@@ -1,0 +1,30 @@
+"""Ablation: fixed ARIMA(2,1,2) versus AIC-searched orders (DESIGN.md §5)."""
+
+from repro.core.prediction import predict_family_dispersion
+
+
+def bench_arima_fixed_order(benchmark, full_ds, report):
+    forecast = benchmark.pedantic(
+        predict_family_dispersion,
+        args=(full_ds, "pandora"),
+        kwargs={"order": (2, 1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nfixed (2,1,2): similarity={forecast.comparison.similarity:.3f}")
+    assert forecast.comparison.similarity > 0.7
+
+
+def bench_arima_auto_order(benchmark, full_ds):
+    forecast = benchmark.pedantic(
+        predict_family_dispersion,
+        args=(full_ds, "pandora"),
+        kwargs={"order": None},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nauto order={forecast.order}: similarity={forecast.comparison.similarity:.3f}"
+    )
+    # The searched order should not be materially worse than the fixed one.
+    assert forecast.comparison.similarity > 0.7

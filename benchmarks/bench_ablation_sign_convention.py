@@ -1,0 +1,39 @@
+"""Ablation: signed-sum dispersion versus absolute-distance dispersion.
+
+The paper's metric keeps the sign (east/west) so symmetric source
+constellations cancel to ~0; summing absolute distances instead destroys
+the symmetric/asymmetric distinction this benchmark demonstrates.
+"""
+
+import numpy as np
+
+from repro.geo.haversine import geographic_center, haversine_km, signed_distances_km
+
+
+def _both_metrics(ds, family):
+    idx = ds.attacks_of(family)
+    signed = np.empty(idx.size)
+    absolute = np.empty(idx.size)
+    for k, i in enumerate(idx):
+        lats, lons = ds.participant_coords(int(i))
+        center = geographic_center(lats, lons)
+        signed[k] = abs(float(np.sum(signed_distances_km(lats, lons, *center))))
+        absolute[k] = float(np.sum(haversine_km(lats, lons, *center)))
+    return signed, absolute
+
+
+def bench_sign_convention(benchmark, small_ds):
+    signed, absolute = benchmark.pedantic(
+        _both_metrics, args=(small_ds, "pandora"), rounds=1, iterations=1
+    )
+    frac_signed_zero = float(np.mean(signed < 100.0))
+    frac_abs_zero = float(np.mean(absolute < 100.0))
+    print(
+        f"\nsigned: {frac_signed_zero:.0%} near zero; "
+        f"absolute: {frac_abs_zero:.0%} near zero "
+        f"(medians {np.median(signed):.0f} vs {np.median(absolute):.0f} km)"
+    )
+    # Only the signed convention exposes the symmetric mass.
+    assert frac_signed_zero > 0.4
+    assert frac_abs_zero < 0.05
+    assert np.median(absolute) > 10 * np.median(signed)

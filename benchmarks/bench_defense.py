@@ -1,0 +1,50 @@
+"""Defense-extension benchmarks: the paper's insights as measurable policies."""
+
+from repro.defense.attribution import labeling_sensitivity
+from repro.defense.blacklist import CountryBlacklist
+from repro.defense.detection import sweep_detection_windows
+from repro.defense.provisioning import backtest_provisioning
+
+
+def bench_country_blacklist(benchmark, small_ds):
+    cutoff = small_ds.window.start + 0.5 * small_ds.window.duration
+
+    def run():
+        return CountryBlacklist().fit(small_ds, cutoff).evaluate(small_ds, cutoff)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncountry blacklist: {result.n_entries} countries cover "
+          f"{result.coverage:.1%} of future participations")
+    assert result.coverage > 0.9
+
+
+def bench_detection_sweep(benchmark, small_ds):
+    outcomes = benchmark.pedantic(
+        sweep_detection_windows, args=(small_ds,), rounds=2, iterations=1
+    )
+    print()
+    for o in outcomes:
+        print(f"  detect in {o.time_to_detect / 60:>5.0f} min -> catches "
+              f"{o.caught_fraction:.0%} of attacks, mitigates "
+              f"{o.exposure_mitigated:.0%} of exposure")
+    assert outcomes[0].caught_fraction > outcomes[-1].caught_fraction
+
+
+def bench_provisioning_backtest(benchmark, small_ds):
+    result = benchmark.pedantic(
+        backtest_provisioning, args=(small_ds,), rounds=1, iterations=1
+    )
+    print(f"\nprovisioning: {result.hits}/{result.n_predictions} windows hit "
+          f"(mean error {result.mean_abs_error / 3600:.1f} h)")
+    assert result.n_predictions > 0
+
+
+def bench_labeling_sensitivity(benchmark, small_ds):
+    impacts = benchmark.pedantic(
+        labeling_sensitivity, args=(small_ds,), rounds=1, iterations=1
+    )
+    print()
+    for impact in impacts:
+        print(f"  noise {impact.error_rate:.0%}: intra={impact.intra_events} "
+              f"inter={impact.inter_events} (inter frac {impact.inter_fraction:.1%})")
+    assert impacts[-1].inter_fraction >= impacts[0].inter_fraction

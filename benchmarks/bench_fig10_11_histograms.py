@@ -1,0 +1,18 @@
+"""Figs 10-11: asymmetric dispersion histograms (Pandora vs Blackenergy)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig10_11_histograms")
+
+
+def bench_fig10_11_histograms(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    # Shape contract: Blackenergy disperses much farther than Pandora and
+    # both are symmetric-dominant.
+    assert float(measured["pandora: symmetric fraction"]) > 0.6
+    assert float(measured["blackenergy: symmetric fraction"]) > 0.75
+    be = float(measured["blackenergy: asymmetric mean (km)"])
+    pa = float(measured["pandora: asymmetric mean (km)"])
+    assert be > 3 * pa

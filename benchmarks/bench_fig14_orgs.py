@@ -1,0 +1,14 @@
+"""Fig 14: organization-level target affinity (Pandora, Feb 2013)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig14_orgs")
+
+
+def bench_fig14_orgs(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert measured["hotspots include RU"] == "true"
+    infra = measured["attacks on hosting/cloud/DC/registrar/backbone"]
+    assert float(infra.split("(")[1].rstrip("%)")) > 80

@@ -1,0 +1,14 @@
+"""Fig 15: Dirtjumper intra-family collaborations (avg ~2.19 botnets)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig15_intra")
+
+
+def bench_fig15_intra(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert int(measured["dirtjumper intra-family events"]) >= 700
+    assert 2.0 <= float(measured["mean botnets per collaboration"]) <= 2.5
+    assert float(measured["events with equal magnitudes ('same bar height')"].rstrip("%")) >= 80

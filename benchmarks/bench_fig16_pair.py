@@ -1,0 +1,17 @@
+"""Fig 16: the Dirtjumper x Pandora joint campaign."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig16_pair")
+
+
+def bench_fig16_pair(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert int(measured["collaboration events"]) >= 118
+    assert int(measured["unique targets"]) >= 90
+    dur_dj = float(measured["dirtjumper mean duration (s)"])
+    dur_pa = float(measured["pandora mean duration (s)"])
+    # Pandora's attacks run ~20 minutes longer (107 vs 88 min in the paper).
+    assert 600 <= dur_pa - dur_dj <= 1800

@@ -1,0 +1,14 @@
+"""Fig 17: consecutive-attack interval CDF (~65 % < 10 s, ~80 % < 30 s)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig17_consecutive")
+
+
+def bench_fig17_consecutive(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert float(measured["gaps <= 10 s"]) >= 0.55
+    assert float(measured["gaps <= 30 s"]) >= 0.70
+    assert measured["intra-family only"] == "true"

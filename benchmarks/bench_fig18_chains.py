@@ -1,0 +1,15 @@
+"""Fig 18: consecutive attacks over time (Ddoser's 22-attack chain)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig18_chains")
+
+
+def bench_fig18_chains(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert int(measured["longest chain length"]) >= 20
+    assert measured["longest chain family"] == "ddoser"
+    assert measured["longest chain date"] == "2012-08-30"
+    assert float(measured["longest chain duration (min)"]) > 18.0

@@ -1,0 +1,14 @@
+"""Fig 2: daily attack distribution (mean ~243/day, max on 2012-08-30)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig2_daily")
+
+
+def bench_fig2_daily(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert 230 <= float(measured["mean attacks per day"]) <= 260
+    assert measured["max day"] == "2012-08-30"
+    assert measured["max-day top family"] == "dirtjumper"

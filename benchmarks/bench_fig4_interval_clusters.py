@@ -1,0 +1,13 @@
+"""Fig 4: the shared 6-7 min / 20-40 min / 2-3 h interval modes."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig4_interval_clusters")
+
+
+def bench_fig4_interval_clusters(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    share_row = [r for r in result.rows if r.label.startswith("families sharing")][0]
+    with_modes, total = (int(x) for x in share_row.measured.split("/"))
+    assert with_modes >= total - 2

@@ -1,0 +1,12 @@
+"""Fig 5: per-family interval CDFs (Aldibot spacing, zero-gap masses)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig5_family_cdf")
+
+
+def bench_fig5_family_cdf(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert measured["aldibot: no intervals under 60 s"] == "true"

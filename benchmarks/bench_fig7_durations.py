@@ -1,0 +1,15 @@
+"""Figs 6-7: attack-duration distribution (mean >> median, p80 ~ hours)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig7_durations")
+
+
+def bench_fig7_durations(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    mean = float(measured["mean duration (s)"])
+    median = float(measured["median duration (s)"])
+    assert mean > 3 * median  # heavy right tail
+    assert float(measured["share under 60 s"]) < 0.10

@@ -1,0 +1,13 @@
+"""Fig 8: weekly source shifts (existing-country affinity)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig8_shift")
+
+
+def bench_fig8_shift(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    ratio = measured["existing:new ratio"]
+    assert ratio == "inf" or float(ratio) >= 10.0

@@ -1,0 +1,14 @@
+"""Fig 9: geolocation-distance CDF per family."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("fig9_geo_cdf")
+
+
+def bench_fig9_geo_cdf(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    # Paper reading: Dirtjumper and Pandora have > 40 % of values at ~0.
+    assert float(measured["dirtjumper: fraction at ~0 km"]) > 0.40
+    assert float(measured["pandora: fraction at ~0 km"]) > 0.40

@@ -1,0 +1,28 @@
+"""Throughput of the dataset generator and of the core analyses."""
+
+from repro.core.geolocation import attack_dispersions
+from repro.core.intervals import simultaneous_attacks
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+
+
+def bench_generate_tiny(benchmark):
+    ds = benchmark.pedantic(
+        generate_dataset, args=(DatasetConfig.tiny(seed=5),), rounds=2, iterations=1
+    )
+    assert ds.n_attacks > 100
+
+
+def bench_dispersion_analysis_full(benchmark, full_ds):
+    """Vectorised dispersion over Dirtjumper's ~35k attacks (~2M bots)."""
+    _times, values = benchmark.pedantic(
+        attack_dispersions, args=(full_ds, "dirtjumper"), rounds=2, iterations=1
+    )
+    assert values.size == full_ds.attacks_of("dirtjumper").size
+
+
+def bench_simultaneous_grouping_full(benchmark, full_ds):
+    report = benchmark.pedantic(
+        simultaneous_attacks, args=(full_ds,), rounds=2, iterations=1
+    )
+    assert report.single_family_events > 0

@@ -1,0 +1,51 @@
+"""Robustness: key reproduction statistics are stable across seeds.
+
+The reproduction contract (DESIGN.md §4) should not hinge on one lucky
+seed: this bench regenerates small datasets under different master seeds
+and checks that the headline shapes (duration median, simultaneous mass,
+HTTP dominance, Dirtjumper collaboration hub) hold for every one.
+"""
+
+import numpy as np
+
+from repro.core.collaboration import collaboration_table, detect_collaborations
+from repro.core.durations import duration_summary
+from repro.core.overview import protocol_popularity
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+from repro.monitor.schemas import Protocol
+
+SEEDS = (3, 17, 2024)
+
+
+def bench_seed_stability(benchmark):
+    def run():
+        stats = []
+        for seed in SEEDS:
+            ds = generate_dataset(DatasetConfig(seed=seed, scale=0.01))
+            d = duration_summary(ds)
+            gaps = np.diff(ds.start)
+            pop = protocol_popularity(ds)
+            table = collaboration_table(ds, detect_collaborations(ds))
+            hub = max(table, key=lambda f: table[f]["intra"])
+            stats.append(
+                {
+                    "seed": seed,
+                    "median_duration": d.stats.median,
+                    "zero_gap": float(np.mean(gaps == 0)),
+                    "http_dominant": pop[Protocol.HTTP] == max(pop.values()),
+                    "hub": hub,
+                }
+            )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for row in stats:
+        print(f"  seed {row['seed']:>5d}: median dur {row['median_duration']:>6.0f}s  "
+              f"P(gap=0) {row['zero_gap']:.2f}  http={row['http_dominant']}  "
+              f"hub={row['hub']}")
+    for row in stats:
+        assert 500 <= row["median_duration"] <= 6000
+        assert row["http_dominant"]
+        assert row["hub"] == "dirtjumper"

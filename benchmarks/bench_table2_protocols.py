@@ -1,0 +1,13 @@
+"""Table II + Fig 1: protocol preferences (exact at full scale)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("table2_protocols")
+
+
+def bench_table2_protocols(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert measured["HTTP/dirtjumper"] == "34620"
+    assert measured["dominant protocol (Fig 1)"] == "HTTP"

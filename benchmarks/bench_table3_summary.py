@@ -1,0 +1,17 @@
+"""Table III: workload summary (pinned totals at full scale)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("table3_summary")
+
+
+def bench_table3_summary(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert measured["attackers / bot_ips"] == "310950"
+    assert measured["victims / target_ips"] == "9026"
+    assert measured["ddos_id"] == "50704"
+    assert measured["botnet_id"] == "674"
+    assert measured["attackers / countries"] == "186"
+    assert measured["victims / countries"] == "84"

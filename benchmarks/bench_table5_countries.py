@@ -1,0 +1,19 @@
+"""Table V: country-level target statistics."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("table5_countries")
+
+
+def bench_table5_countries(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=3, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    # Per-family top countries match the paper's Table V.
+    assert measured["dirtjumper: top country"].startswith("US")
+    assert measured["pandora: top country"].startswith("RU")
+    assert measured["darkshell: top country"].startswith("CN")
+    assert measured["colddeath: top country"].startswith("IN")
+    assert measured["ddoser: top country"].startswith("MX")
+    # Country counts are pinned by calibration.
+    assert measured["dirtjumper: # target countries"] == "71"

@@ -1,0 +1,16 @@
+"""Table VI: collaboration statistics (Dirtjumper hub, partner structure)."""
+
+from repro.experiments.registry import get_experiment
+
+EXPERIMENT = get_experiment("table6_collaboration")
+
+
+def bench_table6_collaboration(benchmark, full_ds, report):
+    result = benchmark.pedantic(EXPERIMENT.run, args=(full_ds,), rounds=1, iterations=1)
+    report(result)
+    measured = {row.label: row.measured for row in result.rows}
+    assert measured["intra-family hub"] == "dirtjumper"
+    assert measured["dirtjumper in every inter-family collab"] == "true"
+    assert int(measured["dirtjumper: inter-family"]) >= 118
+    assert int(measured["pandora: inter-family"]) >= 115
+    assert int(measured["blackenergy: intra-family"]) <= 20  # near zero, as in the paper

@@ -1,0 +1,97 @@
+"""Collaboration hunting: find botnets that gang up on targets.
+
+Reproduces the paper's §V analyses on a synthetic dataset:
+
+* concurrent collaborations — different botnets, same target, starts
+  within 60 s, durations within half an hour (Table VI, Figs 15-16);
+* multistage chains — back-to-back attacks on one target (Figs 17-18);
+
+and, because the generator stages known collaborations, the script also
+scores the detector against the ground truth (precision of the staged
+events recovered).
+
+Run::
+
+    python examples/collaboration_hunting.py [--scale 0.05]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import DatasetConfig, generate_dataset
+from repro.core.collaboration import (
+    collaboration_table,
+    detect_collaborations,
+    intra_family_stats,
+    pair_analysis,
+)
+from repro.core.consecutive import chain_summary, detect_chains
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Generating dataset (scale={args.scale}) ...")
+    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+
+    print()
+    print("=== Concurrent collaborations (Table VI) ===")
+    events = detect_collaborations(ds)
+    table = collaboration_table(ds, events)
+    intra = sum(1 for e in events if not e.is_inter_family)
+    inter = len(events) - intra
+    print(f"detected: {intra} intra-family + {inter} inter-family events")
+    for family in sorted(table, key=lambda f: -table[f]["intra"]):
+        row = table[family]
+        if row["intra"] or row["inter"]:
+            print(f"  {family:<12s} intra={row['intra']:<5d} inter={row['inter']}")
+
+    # Score against the staged ground truth.
+    staged = {}
+    for i in np.flatnonzero(ds.truth_collab_kind > 0):
+        staged.setdefault(int(ds.truth_collab_group[i]), set()).add(int(i))
+    staged = {g: m for g, m in staged.items() if len(m) >= 2}
+    detected_sets = [set(e.attack_indices) for e in events]
+    recovered = sum(
+        1 for members in staged.values() if any(members <= d for d in detected_sets)
+    )
+    if staged:
+        print(f"ground truth: {recovered}/{len(staged)} staged events recovered "
+              f"({recovered / len(staged):.0%})")
+
+    print()
+    print("=== The Dirtjumper x Pandora campaign (Fig 16) ===")
+    pa = pair_analysis(ds, "dirtjumper", "pandora", events)
+    print(f"events: {pa.n_events}, targets: {pa.n_targets}, "
+          f"countries: {pa.n_countries}, span: {pa.span_weeks:.1f} weeks")
+    print(f"mean durations: dirtjumper {pa.mean_duration_a / 60:.0f} min vs "
+          f"pandora {pa.mean_duration_b / 60:.0f} min")
+
+    stats = intra_family_stats(ds, "dirtjumper", events)
+    print()
+    print("=== Dirtjumper intra-family structure (Fig 15) ===")
+    print(f"events: {stats.n_events}, mean botnets/event: "
+          f"{stats.mean_botnets_per_event:.2f} (paper: 2.19)")
+    print(f"equal-magnitude events: {stats.equal_magnitude_fraction:.0%} "
+          "(the 'same bar height' fingerprint of central coordination)")
+
+    print()
+    print("=== Multistage chains (Figs 17-18) ===")
+    chains = detect_chains(ds)
+    if chains:
+        s = chain_summary(ds, chains)
+        print(f"chains: {s.n_chains}, families: {', '.join(s.families)}")
+        print(f"longest: {s.longest_chain_length} consecutive attacks by "
+              f"{s.longest_chain_family} over {s.longest_chain_duration / 60:.0f} min")
+        print(f"gap CDF: {s.under_10s_fraction:.0%} <= 10 s, "
+              f"{s.under_30s_fraction:.0%} <= 30 s (paper: ~65 % / ~80 %)")
+    else:
+        print("no chains at this scale; try --scale 0.1")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Defense planning: turn the characterizations into mitigation knobs.
+
+The paper closes each section with "insights into defenses".  This
+example operationalises three of them on a synthetic dataset:
+
+1. **Detection window** (§III-C): 80 % of attacks end within ~4 hours, so
+   a detector that needs longer than that misses most attacks — the
+   script derives the window from the measured duration CDF.
+2. **Next-attack scheduling** (§III-D / abstract finding 2): for targets
+   under repeat attack, predict when the next attack starts and how much
+   advance notice a defender gets.
+3. **Blacklist pre-positioning** (§IV-A): given the source-country
+   affinity, measure what fraction of next-week attacking bots an
+   existing-countries blacklist would already cover.
+
+Run::
+
+    python examples/defense_planning.py [--scale 0.05]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import DatasetConfig, generate_dataset
+from repro.core.durations import duration_summary
+from repro.core.prediction import predict_next_attack_time
+from repro.core.shift import weekly_shift
+from repro.simulation.clock import to_datetime
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Generating dataset (scale={args.scale}) ...")
+    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+
+    print()
+    print("=== 1. Detection window (Fig 7) ===")
+    s = duration_summary(ds)
+    print(f"80% of attacks end within {s.stats.p80 / 3600:.1f} h "
+          f"(paper: ~3.9 h); median {s.stats.median / 60:.0f} min")
+    print(f"=> an automatic pipeline must classify within "
+          f"~{s.stats.median / 60:.0f} min to act on the median attack;")
+    print("   manual/semi-automatic response arrives after the attack ends.")
+
+    print()
+    print("=== 2. Next-attack scheduling for hot targets ===")
+    targets, counts = np.unique(ds.target_idx, return_counts=True)
+    hot = targets[np.argsort(-counts)][:5]
+    for target in hot:
+        try:
+            pred = predict_next_attack_time(ds, int(target))
+        except ValueError:
+            continue
+        rec = ds.victims
+        cc = ds.world.countries[int(rec.country_idx[target])].code
+        print(f"  target #{int(target):>5d} ({cc}): {pred.n_attacks} attacks, "
+              f"mean gap {pred.interval_mean / 3600:.1f} h -> next expected "
+              f"{to_datetime(pred.predicted_next_at):%Y-%m-%d %H:%M} "
+              f"(+/- {pred.interval_std / 3600:.1f} h)")
+    print("=> repeat-attack intervals are structured enough to schedule "
+          "scrubbing capacity ahead of time.")
+
+    print()
+    print("=== 3. Blacklist pre-positioning (Fig 8) ===")
+    for family in ("dirtjumper", "pandora", "blackenergy"):
+        if ds.attacks_of(family).size < 10:
+            continue
+        shift = weekly_shift(ds, family)
+        covered = shift.total_existing
+        total = covered + shift.total_new
+        print(f"  {family:<12s} a known-countries blacklist covers "
+              f"{covered / total:.2%} of weekly attacking bots")
+    print("=> country-level disinfection priorities stay valid for weeks; "
+          "only rare expansion bursts require updates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Source prediction: forecast where a family's firepower comes from.
+
+Reproduces the paper's §IV-A workflow end to end:
+
+1. compute each family's geolocation-distance series (signed Haversine
+   dispersion of the bots behind every attack);
+2. train an ARIMA model on the first half and roll one-step forecasts
+   over the second half;
+3. report the Table IV statistics (mean/std/cosine similarity) and the
+   weekly source-country affinity that makes the forecast actionable.
+
+Run::
+
+    python examples/source_prediction.py [--family pandora] [--scale 0.05]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import DatasetConfig, generate_dataset
+from repro.core.geolocation import dispersion_profile
+from repro.core.prediction import predict_family_dispersion
+from repro.core.shift import weekly_shift
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--family", default="pandora")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Generating dataset (scale={args.scale}) ...")
+    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+
+    family = args.family
+    profile = dispersion_profile(ds, family)
+    print()
+    print(f"=== {family}: source-geography profile (Figs 9-11) ===")
+    print(f"attacks analysed:       {profile.n_attacks}")
+    print(f"symmetric fraction:     {profile.symmetric_fraction:.1%}")
+    print(f"asymmetric mean/std km: {profile.asymmetric_mean_km:.0f} / "
+          f"{profile.asymmetric_std_km:.0f}")
+
+    print()
+    print(f"=== {family}: ARIMA forecast (Table IV / Figs 12-13) ===")
+    try:
+        forecast = predict_family_dispersion(ds, family)
+    except ValueError as exc:
+        print(f"cannot forecast: {exc}")
+        print("try a larger --scale or a more active --family")
+        return
+    c = forecast.comparison
+    print(f"ARIMA order:        {forecast.order}")
+    print(f"train/test points:  {forecast.train.size}/{forecast.truth.size}")
+    print(f"truth mean/std:     {c.truth_mean:.0f} / {c.truth_std:.0f} km")
+    print(f"pred  mean/std:     {c.prediction_mean:.0f} / {c.prediction_std:.0f} km")
+    print(f"cosine similarity:  {c.similarity:.3f}   (paper: 0.81-0.96)")
+    print(f"median error rate:  {float(np.median(forecast.errors)):.2f}")
+
+    print()
+    print(f"=== {family}: weekly source shifts (Fig 8) ===")
+    shift = weekly_shift(ds, family)
+    print(f"active weeks:                {shift.weeks.size}")
+    print(f"bots from known countries:   {shift.total_existing}")
+    print(f"bots from new countries:     {shift.total_new}")
+    ratio = shift.affinity_ratio
+    print(f"affinity ratio:              "
+          f"{'inf' if ratio == float('inf') else f'{ratio:.0f}'}:1")
+    print()
+    print("Defense insight: the footprint is sticky — pre-positioning "
+          "filters on the known source countries covers nearly all "
+          "future firepower, and the dispersion forecast flags when the "
+          "constellation is about to change.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` / ``setup.py develop``
+work on offline hosts without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro: a reproduction of "Delving into Internet DDoS Attacks by Botnets"
+(DSN 2015) -- botnet DDoS characterization and analysis, with a synthetic
+botnet-ecosystem substrate standing in for the paper's proprietary logs.
+
+Quickstart::
+
+    from repro import DatasetConfig, generate_dataset
+    from repro.core import overview
+
+    ds = generate_dataset(DatasetConfig.small())
+    print(overview.workload_summary(ds))
+"""
+
+from .core.dataset import AttackDataset, BotRegistry, VictimRegistry
+from .datagen.config import DatasetConfig
+from .datagen.generator import generate_dataset
+from .monitor.schemas import Protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackDataset",
+    "BotRegistry",
+    "VictimRegistry",
+    "DatasetConfig",
+    "generate_dataset",
+    "Protocol",
+    "__version__",
+]

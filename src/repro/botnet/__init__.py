@@ -1,0 +1,39 @@
+"""Botnet ecosystem substrate: families, pools, generations, attack plans."""
+
+from .bots import BotPool
+from .cnc import BotnetRoster
+from .family import DispersionModel, DurationModel, FamilyProfile, GapMixture
+from .profiles import (
+    ACTIVE_FAMILY_NAMES,
+    ALL_FAMILY_NAMES,
+    INTER_FAMILY_COLLABS,
+    MEGA_DAY,
+    MINOR_FAMILY_NAMES,
+    N_ATTACKER_COUNTRIES,
+    N_VICTIM_COUNTRIES,
+    default_profiles,
+    profile_by_name,
+)
+from .scheduler import CollabKind, FamilyPlan, FamilyScheduler, PlannedAttack
+
+__all__ = [
+    "BotPool",
+    "BotnetRoster",
+    "DispersionModel",
+    "DurationModel",
+    "FamilyProfile",
+    "GapMixture",
+    "ACTIVE_FAMILY_NAMES",
+    "ALL_FAMILY_NAMES",
+    "INTER_FAMILY_COLLABS",
+    "MEGA_DAY",
+    "MINOR_FAMILY_NAMES",
+    "N_ATTACKER_COUNTRIES",
+    "N_VICTIM_COUNTRIES",
+    "default_profiles",
+    "profile_by_name",
+    "CollabKind",
+    "FamilyPlan",
+    "FamilyScheduler",
+    "PlannedAttack",
+]

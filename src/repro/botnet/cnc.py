@@ -1,0 +1,119 @@
+"""Botnet generations and their command-and-control side.
+
+Each family consists of multiple *botnets* — generations marked by a new
+malware hash, each with its own controller (§II-B).  The roster assigns
+every botnet a global id, a controller IP in the family's home region and
+an activity span inside the family's active window; attack scheduling
+asks the roster which generations are alive at a given time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo.ipam import SequentialAssigner
+from ..geo.world import World
+from ..simulation.clock import ObservationWindow
+from .family import FamilyProfile
+
+__all__ = ["BotnetRoster"]
+
+
+@dataclass
+class BotnetRoster:
+    """The botnet generations of one family.
+
+    ``first_seen``/``last_seen`` bound each generation's activity; spans
+    overlap so that several generations coexist — the raw material for
+    intra-family collaborations (§V-A) and multistage chains (§V-B).
+    """
+
+    family: str
+    ids: np.ndarray = field(repr=False, default=None)          # global botnet ids
+    first_seen: np.ndarray = field(repr=False, default=None)   # sorted ascending
+    last_seen: np.ndarray = field(repr=False, default=None)
+    controller_ip: np.ndarray = field(repr=False, default=None)
+
+    @classmethod
+    def build(
+        cls,
+        profile: FamilyProfile,
+        world: World,
+        assigner: SequentialAssigner,
+        rng: np.random.Generator,
+        window: ObservationWindow,
+        first_id: int,
+    ) -> "BotnetRoster":
+        """Create the roster, assigning global ids ``first_id ..``."""
+        n = profile.n_botnets
+        lo, hi = profile.active_window
+        act_start = window.start + lo * window.duration
+        act_span = (hi - lo) * window.duration
+
+        # Generation lifetimes overlap: aim for at least ~4 concurrently
+        # active generations (collaborations need distinct botnet ids),
+        # without every generation spanning the whole window.
+        life_frac = float(np.clip(6.0 / n, 0.15, 1.0))
+        life = act_span * life_frac
+        starts = np.sort(rng.random(n)) * max(act_span - life, 1.0) + act_start
+        ends = np.minimum(starts + life, act_start + act_span)
+
+        # Controllers live in the family's top home country.
+        home_cc = profile.home_countries[0][0]
+        country = world.country_by_code(home_cc)
+        org_ids, org_w = world.org_weights_of(country.index)
+        controllers = np.empty(n, dtype=np.uint64)
+        for i in range(n):
+            org_index = int(org_ids[int(rng.integers(0, org_ids.size))])
+            if assigner.remaining(org_index) == 0:
+                org_index = int(org_ids[int(np.argmax([assigner.remaining(int(o)) for o in org_ids]))])
+            controllers[i] = assigner.take(org_index, 1)[0]
+        _ = org_w
+
+        return cls(
+            family=profile.name,
+            ids=(first_id + np.arange(n)).astype(np.int32),
+            first_seen=starts,
+            last_seen=ends,
+            controller_ip=controllers,
+        )
+
+    @property
+    def n_botnets(self) -> int:
+        return self.ids.size
+
+    def active_at(self, ts: float) -> np.ndarray:
+        """Positions (not ids) of generations active at ``ts``."""
+        mask = (self.first_seen <= ts) & (ts < self.last_seen)
+        return np.flatnonzero(mask)
+
+    def pick(self, rng: np.random.Generator, ts: float, k: int = 1) -> np.ndarray:
+        """``k`` distinct botnet ids usable at ``ts``.
+
+        Prefers generations active at ``ts``; when fewer than ``k`` are
+        active, fills with the generations whose span is closest to
+        ``ts`` (their observation bounds are soft, the attack stream is
+        what defines them in the data).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k > self.n_botnets:
+            raise ValueError(
+                f"{self.family}: asked for {k} distinct botnets, roster has {self.n_botnets}"
+            )
+        active = self.active_at(ts)
+        if active.size >= k:
+            sel = rng.choice(active.size, size=k, replace=False)
+            return self.ids[active[sel]]
+        # Fill with nearest-by-span generations.
+        mid = (self.first_seen + self.last_seen) / 2.0
+        order = np.argsort(np.abs(mid - ts), kind="stable")
+        chosen: list[int] = list(active)
+        for pos in order:
+            if pos not in chosen:
+                chosen.append(int(pos))
+            if len(chosen) == k:
+                break
+        return self.ids[np.array(chosen[:k], dtype=np.int64)]

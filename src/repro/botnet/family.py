@@ -1,0 +1,224 @@
+"""Botnet family behaviour profiles.
+
+A :class:`FamilyProfile` captures everything the simulator needs to make
+one malware family behave the way the paper observed it: attack volume
+and protocol mix (Table II), timing behaviour (Figs 3-5), durations
+(Figs 6-7), target preferences (Table V), source-geography footprint and
+dispersion character (Figs 8-11, Table IV), and collaboration habits
+(Table VI, Figs 15-18).
+
+The calibrated per-family instances live in :mod:`repro.botnet.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..monitor.schemas import Protocol
+
+__all__ = ["GapMixture", "DurationModel", "DispersionModel", "FamilyProfile"]
+
+
+@dataclass(frozen=True)
+class GapMixture:
+    """Distribution of the time gap between consecutive attack waves.
+
+    The paper (Fig 4) finds three recurring gap modes shared across
+    families — 6-7 minutes, 20-40 minutes and 2-3 hours — on top of a
+    long sporadic tail.  We model intra-session gaps as a mixture of
+    lognormals centred on those modes; the tail comes from the gaps
+    *between* sessions, whose placement is uniform over the family's
+    active window.
+
+    ``mode_seconds`` and ``mode_weights`` must have equal length and the
+    weights must sum to 1.
+    """
+
+    mode_seconds: tuple[float, ...] = (390.0, 1800.0, 9000.0)
+    mode_weights: tuple[float, ...] = (0.35, 0.35, 0.30)
+    sigma: float = 0.35
+    min_gap: float = 0.0  # families like Aldibot/Optima never attack <60 s apart
+
+    def __post_init__(self) -> None:
+        if len(self.mode_seconds) != len(self.mode_weights):
+            raise ValueError("mode_seconds and mode_weights length mismatch")
+        total = sum(self.mode_weights)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mode_weights must sum to 1, got {total}")
+        if any(m <= 0 for m in self.mode_seconds):
+            raise ValueError("gap modes must be positive")
+
+
+@dataclass(frozen=True)
+class DurationModel:
+    """Lognormal attack-duration model.
+
+    Global calibration (Fig 6-7): median 1,766 s pins ``mu = ln(1766) ≈
+    7.48``; ``sigma`` and the cap are tuned jointly so the truncated
+    distribution lands near the paper's mean (10,308 s), std (18,475 s)
+    and sub-minute share (< 10 % of attacks under 60 s).  Families
+    deviate modestly around that.
+    """
+
+    mu: float = 7.477
+    sigma: float = 2.05
+    min_seconds: float = 5.0
+    max_seconds: float = 110_000.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 < self.min_seconds < self.max_seconds:
+            raise ValueError("need 0 < min_seconds < max_seconds")
+
+
+@dataclass(frozen=True)
+class DispersionModel:
+    """Source-geography dispersion character of a family (§IV-A).
+
+    ``p_symmetric`` is the fraction of attacks whose participating bots
+    are sampled as mirrored pairs (signed-distance sum ≈ 0); the rest get
+    an extra directional contingent whose signed sum is drawn lognormally
+    around ``asym_median_km``.
+    """
+
+    p_symmetric: float = 0.6
+    asym_median_km: float = 1000.0
+    asym_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_symmetric <= 1.0:
+            raise ValueError(f"p_symmetric out of [0,1]: {self.p_symmetric}")
+        if self.asym_median_km < 0:
+            raise ValueError("asym_median_km must be non-negative")
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """Full behavioural profile of one botnet family."""
+
+    name: str
+    active: bool
+    #: Exact number of verified attacks per protocol (Table II).
+    protocol_counts: dict[Protocol, int] = field(default_factory=dict)
+    #: Number of distinct botnet generations (botnet_ids).
+    n_botnets: int = 1
+    #: Size of the bot pool enumerated by the monitoring service.
+    n_bots: int = 100
+    #: Number of distinct victim IPs this family owns in the victim registry.
+    n_targets: int = 10
+    #: Victim countries: (ISO2 code, weight); top entries mirror Table V.
+    target_countries: tuple[tuple[str, float], ...] = ()
+    #: Total number of victim countries (Table V column 2); the list above
+    #: is padded from the global victim-country pool up to this count.
+    n_target_countries: int = 1
+    #: Source countries: (ISO2 code, weight) — the family's home footprint.
+    home_countries: tuple[tuple[str, float], ...] = ()
+    #: Expansion countries recruited mid-window (drives Fig 8 "new country" shifts).
+    expansion_countries: tuple[str, ...] = ()
+    #: Fraction of the observation window the family is active in.
+    active_window: tuple[float, float] = (0.0, 1.0)
+    #: Probability that a wave carries more than one simultaneous attack
+    #: (drives the zero-interval mass in Figs 3/5).
+    p_multi_wave: float = 0.35
+    #: Mean extra attacks per multi-attack wave (geometric).
+    wave_extra_mean: float = 1.0
+    #: Mean number of waves per attack session.
+    waves_per_session: float = 8.0
+    gap_mixture: GapMixture = field(default_factory=GapMixture)
+    duration: DurationModel = field(default_factory=DurationModel)
+    #: Lognormal magnitude (bots per attack): median and sigma.
+    magnitude_median: float = 40.0
+    magnitude_sigma: float = 0.6
+    dispersion: DispersionModel = field(default_factory=DispersionModel)
+    #: Number of intra-family concurrent collaborations to stage (Table VI).
+    intra_collabs: int = 0
+    #: Mean botnets per collaboration (paper: 2.19 for Dirtjumper).
+    collab_size_mean: float = 2.19
+    #: Multistage chains to stage: (number of chains, mean chain length).
+    chains: tuple[int, float] = (0, 0.0)
+    #: Fraction of wave times snapped to the global coordination grid
+    #: (produces the cross-family simultaneous starts of §III-B).
+    sync_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active and self.total_attacks == 0:
+            raise ValueError(f"active family {self.name} must have attacks")
+        if not self.active and self.total_attacks > 0:
+            raise ValueError(f"inactive family {self.name} must not have attacks")
+        if self.n_botnets < 1:
+            raise ValueError(f"{self.name}: need at least one botnet")
+        if self.n_bots < 2:
+            raise ValueError(f"{self.name}: need at least two bots")
+        if self.active:
+            if self.n_targets < 1:
+                raise ValueError(f"{self.name}: active family needs targets")
+            if self.total_attacks < self.n_targets:
+                raise ValueError(
+                    f"{self.name}: {self.total_attacks} attacks cannot cover "
+                    f"{self.n_targets} distinct targets"
+                )
+            if not self.home_countries:
+                raise ValueError(f"{self.name}: active family needs home countries")
+            if not self.target_countries:
+                raise ValueError(f"{self.name}: active family needs target countries")
+        lo, hi = self.active_window
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(f"{self.name}: bad active window {self.active_window}")
+        if not 0.0 <= self.p_multi_wave < 1.0:
+            raise ValueError(f"{self.name}: p_multi_wave out of range")
+        if not 0.0 <= self.sync_fraction <= 1.0:
+            raise ValueError(f"{self.name}: sync_fraction out of range")
+
+    @property
+    def total_attacks(self) -> int:
+        """Total verified attacks across all protocols (Table II row sum)."""
+        return sum(self.protocol_counts.values())
+
+    def scaled(self, fraction: float) -> "FamilyProfile":
+        """A proportionally smaller profile for tests and examples.
+
+        Attack counts, bots, botnets, targets and collaboration counts all
+        scale by ``fraction`` (at least 1 where the original was nonzero);
+        distributional parameters are untouched.  Scaling keeps the
+        invariant that attacks can still cover the scaled target pool.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+
+        def scale(n: int, minimum: int = 0) -> int:
+            if n == 0:
+                return 0
+            return max(minimum, int(round(n * fraction)))
+
+        protocols = {
+            proto: scale(count, minimum=1)
+            for proto, count in self.protocol_counts.items()
+        }
+        total = sum(protocols.values())
+        n_targets = min(scale(self.n_targets, minimum=1), max(1, total)) if self.active else 0
+        return FamilyProfile(
+            name=self.name,
+            active=self.active,
+            protocol_counts=protocols,
+            n_botnets=scale(self.n_botnets, minimum=1),
+            n_bots=scale(self.n_bots, minimum=10),
+            n_targets=n_targets,
+            target_countries=self.target_countries,
+            n_target_countries=self.n_target_countries,
+            home_countries=self.home_countries,
+            expansion_countries=self.expansion_countries,
+            active_window=self.active_window,
+            p_multi_wave=self.p_multi_wave,
+            wave_extra_mean=self.wave_extra_mean,
+            waves_per_session=self.waves_per_session,
+            gap_mixture=self.gap_mixture,
+            duration=self.duration,
+            magnitude_median=self.magnitude_median,
+            magnitude_sigma=self.magnitude_sigma,
+            dispersion=self.dispersion,
+            intra_collabs=scale(self.intra_collabs, minimum=1),
+            collab_size_mean=self.collab_size_mean,
+            chains=(scale(self.chains[0], minimum=1), self.chains[1]),
+            sync_fraction=self.sync_fraction,
+        )

@@ -1,0 +1,469 @@
+"""Calibrated behaviour profiles for the 23 botnet families.
+
+Every number here that the paper prints is pinned exactly:
+
+* per-family × per-protocol attack counts (Table II) sum to 50,704;
+* 674 botnet ids across the 23 families;
+* 310,950 bot IPs across all family pools (Table III);
+* 9,026 victim IPs partitioned across the 10 active families (Table III);
+* Table V top-5 victim countries are used as target-country weights and
+  the per-family victim-country counts match Table V column 2;
+* Blackenergy is active for about one third of the window (§III-A).
+
+Numbers the paper reports only distributionally (interval modes,
+duration quantiles, dispersion means, collaboration sizes) are encoded as
+distribution parameters; the reproduction contract in DESIGN.md §4 states
+which *shapes* must hold.
+
+One deliberate deviation: Table VI credits Ddoser with 134 intra-family
+collaborations, but Table II gives Ddoser only 126 verified attacks, so
+134 two-attack collaborations cannot be realised from verified attacks
+alone.  We stage 20 Ddoser collaborations (and note the discrepancy in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from ..monitor.schemas import Protocol
+from .family import DispersionModel, DurationModel, FamilyProfile, GapMixture
+
+__all__ = [
+    "ACTIVE_FAMILY_NAMES",
+    "MINOR_FAMILY_NAMES",
+    "ALL_FAMILY_NAMES",
+    "INTER_FAMILY_COLLABS",
+    "MEGA_DAY",
+    "N_ATTACKER_COUNTRIES",
+    "N_VICTIM_COUNTRIES",
+    "default_profiles",
+    "profile_by_name",
+]
+
+#: The 10 families the paper analyses in depth (§III).
+ACTIVE_FAMILY_NAMES = (
+    "aldibot",
+    "blackenergy",
+    "colddeath",
+    "darkshell",
+    "ddoser",
+    "dirtjumper",
+    "nitol",
+    "optima",
+    "pandora",
+    "yzf",
+)
+
+#: The remaining 13 tracked-but-quiet families (names of real minor DDoS
+#: families of the 2012 era; they contribute bots and botnets, no attacks).
+MINOR_FAMILY_NAMES = (
+    "armageddon",
+    "athena",
+    "blackrev",
+    "madness",
+    "nbot",
+    "russkill",
+    "tornado",
+    "warbot",
+    "yoyoddos",
+    "zemra",
+    "drive",
+    "solarbot",
+    "infy",
+)
+
+ALL_FAMILY_NAMES = ACTIVE_FAMILY_NAMES + MINOR_FAMILY_NAMES
+
+#: Attacker-side country coverage (Table III: bots come from 186 countries).
+N_ATTACKER_COUNTRIES = 186
+
+#: Victim-side country coverage (Table III: targets in 84 countries).
+N_VICTIM_COUNTRIES = 84
+
+#: Staged inter-family concurrent collaborations (§V-A, Table VI):
+#: every inter-family collaboration involves Dirtjumper; the dominant
+#: partner is Pandora (118), with single events for three other families.
+INTER_FAMILY_COLLABS: tuple[tuple[str, str, int], ...] = (
+    ("dirtjumper", "pandora", 118),
+    ("dirtjumper", "blackenergy", 1),
+    ("dirtjumper", "colddeath", 1),
+    ("dirtjumper", "optima", 1),
+)
+
+#: The 2012-08-30 surge (§III-A): the busiest day had 983 attacks, all by
+#: Dirtjumper against targets in the same Russian subnet.  ``day`` is the
+#: 0-based day index within the observation window (08-29 is day 0).
+MEGA_DAY = {"family": "dirtjumper", "day": 1, "extra_attacks": 1100, "country": "RU"}
+
+# Gap mixtures -----------------------------------------------------------
+
+_DEFAULT_GAPS = GapMixture(
+    mode_seconds=(390.0, 1800.0, 9000.0), mode_weights=(0.35, 0.35, 0.30)
+)
+#: Families that evade detection by never striking twice within a minute
+#: (§III-B: Aldibot and Optima have no sub-60 s intervals) still show a
+#: short-gap mode just above the threshold.
+_SPACED_GAPS = GapMixture(
+    mode_seconds=(100.0, 390.0, 1800.0, 9000.0),
+    mode_weights=(0.30, 0.25, 0.25, 0.20),
+    min_gap=60.0,
+)
+
+# Duration models --------------------------------------------------------
+
+_GLOBAL_DURATION = DurationModel()
+# Pandora's collaborative attacks average ~107 minutes and Dirtjumper's
+# ~88 (§V-A); their baseline durations sit close to the global model.
+_SHORT_DURATION = DurationModel(mu=7.1, sigma=1.7, max_seconds=60_000.0)
+
+
+def default_profiles() -> dict[str, FamilyProfile]:
+    """The calibrated profile set; a fresh dict on every call."""
+    profiles: dict[str, FamilyProfile] = {}
+
+    profiles["dirtjumper"] = FamilyProfile(
+        name="dirtjumper",
+        active=True,
+        protocol_counts={Protocol.HTTP: 34620},
+        n_botnets=280,
+        n_bots=128000,
+        n_targets=4706,
+        target_countries=(
+            ("US", 9674.0), ("RU", 8391.0), ("DE", 3750.0), ("UA", 3412.0), ("NL", 1626.0),
+        ),
+        n_target_countries=71,
+        home_countries=(
+            ("RU", 0.26), ("UA", 0.16), ("US", 0.10), ("DE", 0.08), ("RO", 0.08),
+            ("PL", 0.07), ("TR", 0.07), ("BR", 0.06), ("IN", 0.06), ("VN", 0.06),
+        ),
+        expansion_countries=("ID", "EG", "TH", "AR", "MA"),
+        p_multi_wave=0.55,
+        wave_extra_mean=2.0,
+        waves_per_session=10.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_GLOBAL_DURATION,
+        magnitude_median=50.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.55, asym_median_km=1100.0, asym_sigma=0.55),
+        intra_collabs=756,
+        collab_size_mean=2.19,
+        chains=(60, 4.0),
+        sync_fraction=0.25,
+    )
+
+    profiles["pandora"] = FamilyProfile(
+        name="pandora",
+        active=True,
+        protocol_counts={Protocol.HTTP: 6906},
+        n_botnets=89,
+        n_bots=44000,
+        n_targets=1500,
+        target_countries=(
+            ("RU", 2115.0), ("DE", 155.0), ("US", 123.0), ("UA", 9.0), ("KG", 7.0),
+        ),
+        n_target_countries=43,
+        home_countries=(
+            ("RU", 0.34), ("UA", 0.20), ("BY", 0.11), ("KZ", 0.10), ("RO", 0.08),
+            ("PL", 0.07), ("MD", 0.05), ("LT", 0.05),
+        ),
+        expansion_countries=("LV", "EE", "GE"),
+        p_multi_wave=0.55,
+        wave_extra_mean=2.0,
+        waves_per_session=8.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_GLOBAL_DURATION,
+        magnitude_median=45.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.767, asym_median_km=440.0, asym_sigma=0.7),
+        intra_collabs=10,
+        collab_size_mean=2.0,
+        chains=(0, 0.0),
+        sync_fraction=0.30,
+    )
+
+    profiles["blackenergy"] = FamilyProfile(
+        name="blackenergy",
+        active=True,
+        protocol_counts={
+            Protocol.HTTP: 3048,
+            Protocol.TCP: 199,
+            Protocol.ICMP: 147,
+            Protocol.UDP: 71,
+            Protocol.SYN: 31,
+        },
+        n_botnets=65,
+        n_bots=36000,
+        n_targets=800,
+        target_countries=(
+            ("NL", 949.0), ("US", 820.0), ("SG", 729.0), ("RU", 262.0), ("DE", 219.0),
+        ),
+        n_target_countries=20,
+        home_countries=(
+            ("US", 0.15), ("BR", 0.12), ("IN", 0.12), ("CN", 0.11), ("RU", 0.11),
+            ("DE", 0.10), ("ID", 0.10), ("VN", 0.07), ("TR", 0.06), ("MX", 0.06),
+        ),
+        expansion_countries=("NG", "PH", "EG", "PK"),
+        # Active for roughly one third of the window (§III-A).
+        active_window=(0.05, 0.38),
+        p_multi_wave=0.50,
+        wave_extra_mean=1.8,
+        waves_per_session=8.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_GLOBAL_DURATION,
+        magnitude_median=40.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.895, asym_median_km=3970.0, asym_sigma=0.4),
+        intra_collabs=0,
+        chains=(0, 0.0),
+        sync_fraction=0.30,
+    )
+
+    profiles["darkshell"] = FamilyProfile(
+        name="darkshell",
+        active=True,
+        protocol_counts={Protocol.HTTP: 999, Protocol.UNDETERMINED: 1530},
+        n_botnets=48,
+        n_bots=26000,
+        n_targets=700,
+        target_countries=(
+            ("CN", 1880.0), ("KR", 1004.0), ("US", 694.0), ("HK", 385.0), ("JP", 86.0),
+        ),
+        n_target_countries=13,
+        home_countries=(
+            ("CN", 0.40), ("TW", 0.15), ("KR", 0.15), ("HK", 0.10), ("VN", 0.10), ("TH", 0.10),
+        ),
+        expansion_countries=("MY", "PH"),
+        p_multi_wave=0.45,
+        wave_extra_mean=1.8,
+        waves_per_session=7.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_SHORT_DURATION,
+        magnitude_median=35.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.60, asym_median_km=900.0, asym_sigma=0.6),
+        intra_collabs=253,
+        collab_size_mean=2.2,
+        chains=(30, 4.0),
+        sync_fraction=0.10,
+    )
+
+    profiles["colddeath"] = FamilyProfile(
+        name="colddeath",
+        active=True,
+        protocol_counts={Protocol.HTTP: 826},
+        n_botnets=25,
+        n_bots=12000,
+        n_targets=360,
+        target_countries=(
+            ("IN", 801.0), ("PK", 345.0), ("BW", 125.0), ("TH", 117.0), ("ID", 112.0),
+        ),
+        n_target_countries=16,
+        home_countries=(
+            ("IN", 0.30), ("PK", 0.20), ("BD", 0.15), ("ID", 0.15), ("TH", 0.10), ("LK", 0.10),
+        ),
+        expansion_countries=("MY", "NP"),
+        p_multi_wave=0.35,
+        wave_extra_mean=1.55,
+        waves_per_session=6.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_GLOBAL_DURATION,
+        magnitude_median=30.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.65, asym_median_km=250.0, asym_sigma=0.8),
+        intra_collabs=0,
+        chains=(0, 0.0),
+        sync_fraction=0.10,
+    )
+
+    profiles["nitol"] = FamilyProfile(
+        name="nitol",
+        active=True,
+        protocol_counts={Protocol.HTTP: 591, Protocol.TCP: 345},
+        n_botnets=30,
+        n_bots=14000,
+        n_targets=330,
+        target_countries=(
+            ("CN", 778.0), ("US", 176.0), ("CA", 15.0), ("GB", 10.0), ("NL", 6.0),
+        ),
+        n_target_countries=12,
+        home_countries=(
+            ("CN", 0.45), ("RU", 0.15), ("IN", 0.10), ("US", 0.10), ("BR", 0.10), ("TR", 0.10),
+        ),
+        expansion_countries=("KR", "VN"),
+        active_window=(0.10, 0.95),
+        p_multi_wave=0.35,
+        wave_extra_mean=1.25,
+        waves_per_session=5.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_SHORT_DURATION,
+        magnitude_median=30.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.60, asym_median_km=1500.0, asym_sigma=0.6),
+        intra_collabs=17,
+        collab_size_mean=2.0,
+        chains=(5, 3.0),
+        sync_fraction=0.10,
+    )
+
+    profiles["optima"] = FamilyProfile(
+        name="optima",
+        active=True,
+        protocol_counts={Protocol.HTTP: 567, Protocol.UNKNOWN: 126},
+        n_botnets=22,
+        n_bots=11000,
+        n_targets=300,
+        target_countries=(
+            ("RU", 171.0), ("DE", 155.0), ("US", 123.0), ("UA", 9.0), ("KG", 7.0),
+        ),
+        n_target_countries=12,
+        home_countries=(
+            ("RU", 0.18), ("US", 0.15), ("IN", 0.13), ("BR", 0.12), ("CN", 0.12),
+            ("UA", 0.10), ("DE", 0.10), ("TR", 0.10),
+        ),
+        expansion_countries=("KZ", "PL"),
+        # No attacks fewer than 60 s apart (§III-B) -> single-attack waves
+        # and a floored gap mixture.
+        p_multi_wave=0.0,
+        wave_extra_mean=0.0,
+        waves_per_session=6.0,
+        gap_mixture=_SPACED_GAPS,
+        duration=_GLOBAL_DURATION,
+        magnitude_median=30.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.55, asym_median_km=3400.0, asym_sigma=0.45),
+        intra_collabs=1,
+        collab_size_mean=2.0,
+        chains=(0, 0.0),
+        sync_fraction=0.10,
+    )
+
+    profiles["yzf"] = FamilyProfile(
+        name="yzf",
+        active=True,
+        protocol_counts={Protocol.HTTP: 177, Protocol.TCP: 182, Protocol.UDP: 187},
+        n_botnets=18,
+        n_bots=8000,
+        n_targets=250,
+        target_countries=(
+            ("RU", 120.0), ("UA", 105.0), ("US", 65.0), ("DE", 39.0), ("NL", 19.0),
+        ),
+        n_target_countries=11,
+        home_countries=(
+            ("RU", 0.30), ("UA", 0.25), ("KZ", 0.15), ("BY", 0.10), ("GE", 0.10), ("AM", 0.10),
+        ),
+        expansion_countries=("AZ",),
+        p_multi_wave=0.40,
+        wave_extra_mean=1.65,
+        waves_per_session=5.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_SHORT_DURATION,
+        magnitude_median=25.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.60, asym_median_km=700.0, asym_sigma=0.6),
+        intra_collabs=66,
+        collab_size_mean=2.0,
+        chains=(0, 0.0),
+        sync_fraction=0.10,
+    )
+
+    profiles["ddoser"] = FamilyProfile(
+        name="ddoser",
+        active=True,
+        protocol_counts={Protocol.UDP: 126},
+        n_botnets=16,
+        n_bots=9500,
+        n_targets=60,
+        target_countries=(
+            ("MX", 452.0), ("VE", 191.0), ("UY", 83.0), ("CL", 66.0), ("US", 48.0),
+        ),
+        n_target_countries=19,
+        home_countries=(
+            ("MX", 0.30), ("VE", 0.20), ("BR", 0.15), ("CO", 0.15), ("AR", 0.10), ("CL", 0.10),
+        ),
+        expansion_countries=("PE", "EC"),
+        p_multi_wave=0.30,
+        wave_extra_mean=1.1,
+        waves_per_session=4.0,
+        gap_mixture=_DEFAULT_GAPS,
+        duration=_SHORT_DURATION,
+        magnitude_median=30.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.60, asym_median_km=1200.0, asym_sigma=0.6),
+        # Table VI says 134, which exceeds Ddoser's 126 verified attacks;
+        # see the module docstring for the documented deviation.
+        intra_collabs=20,
+        collab_size_mean=2.0,
+        chains=(4, 8.0),
+        sync_fraction=0.10,
+    )
+
+    profiles["aldibot"] = FamilyProfile(
+        name="aldibot",
+        active=True,
+        protocol_counts={Protocol.UDP: 26},
+        n_botnets=9,
+        n_bots=2450,
+        n_targets=20,
+        target_countries=(
+            ("US", 32.0), ("FR", 11.0), ("ES", 8.0), ("VE", 8.0), ("DE", 4.0),
+        ),
+        n_target_countries=14,
+        home_countries=(
+            ("US", 0.30), ("DE", 0.20), ("FR", 0.15), ("GB", 0.15), ("NL", 0.10), ("ES", 0.10),
+        ),
+        expansion_countries=(),
+        p_multi_wave=0.0,
+        wave_extra_mean=0.0,
+        waves_per_session=2.0,
+        gap_mixture=_SPACED_GAPS,
+        duration=_GLOBAL_DURATION,
+        magnitude_median=20.0,
+        magnitude_sigma=0.5,
+        dispersion=DispersionModel(p_symmetric=0.55, asym_median_km=2000.0, asym_sigma=0.5),
+        intra_collabs=0,
+        chains=(0, 0.0),
+        sync_fraction=0.0,
+    )
+
+    # -- the 13 tracked-but-quiet families ------------------------------
+    minor_botnets = (10, 8, 8, 7, 6, 6, 5, 5, 5, 4, 3, 3, 2)
+    minor_bots = (3000, 2500, 2200, 2000, 1800, 1600, 1500, 1400, 1200, 1000, 800, 600, 400)
+    minor_homes = (
+        (("UA", 0.5), ("RU", 0.5)),
+        (("US", 0.5), ("CA", 0.5)),
+        (("RU", 0.6), ("BY", 0.4)),
+        (("RU", 0.5), ("KZ", 0.5)),
+        (("CN", 0.6), ("TW", 0.4)),
+        (("RU", 0.7), ("UA", 0.3)),
+        (("BR", 0.6), ("AR", 0.4)),
+        (("DE", 0.5), ("PL", 0.5)),
+        (("CN", 0.7), ("HK", 0.3)),
+        (("RS", 0.5), ("BA", 0.5)),
+        (("US", 0.6), ("MX", 0.4)),
+        (("TR", 0.6), ("AZ", 0.4)),
+        (("IR", 0.6), ("IQ", 0.4)),
+    )
+    for name, n_botnets, n_bots, homes in zip(
+        MINOR_FAMILY_NAMES, minor_botnets, minor_bots, minor_homes
+    ):
+        profiles[name] = FamilyProfile(
+            name=name,
+            active=False,
+            protocol_counts={},
+            n_botnets=n_botnets,
+            n_bots=n_bots,
+            n_targets=0,
+            home_countries=homes,
+        )
+
+    return profiles
+
+
+def profile_by_name(name: str) -> FamilyProfile:
+    """Fetch one default profile by family name."""
+    profiles = default_profiles()
+    try:
+        return profiles[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {name!r}; known: {', '.join(sorted(profiles))}"
+        ) from None

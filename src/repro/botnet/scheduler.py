@@ -1,0 +1,390 @@
+"""Attack planning: waves, sessions, collaborations, chains, the mega-day.
+
+The scheduler turns a :class:`FamilyProfile` into a list of
+:class:`PlannedAttack` objects with start times, durations, targets,
+botnet assignments, magnitudes and dispersion flags.  The temporal
+texture the paper reports is produced here:
+
+* attacks arrive in *waves* — a wave of size k contributes k simultaneous
+  starts, which generates the zero-interval mass of Figs 3/5;
+* waves group into *sessions*; intra-session gaps come from the family's
+  mode mixture (6-7 min / 20-40 min / 2-3 h, Fig 4), while the sporadic
+  placement of sessions creates the long interval tail;
+* a fraction of wave times snaps to a shared 5-minute grid, producing the
+  cross-family simultaneous starts of §III-B;
+* staged structures — intra-family collaborations (Table VI, Fig 15),
+  multistage chains (Figs 17-18) and the 2012-08-30 Dirtjumper surge
+  (Fig 2) — are carved out of the family's exact attack budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..monitor.schemas import Protocol
+from ..simulation.clock import SECONDS_PER_DAY, ObservationWindow
+from .cnc import BotnetRoster
+from .family import FamilyProfile
+
+__all__ = ["PlannedAttack", "FamilyScheduler", "CollabKind"]
+
+
+class CollabKind:
+    """Ground-truth collaboration labels carried by planned attacks."""
+
+    NONE = 0
+    INTRA = 1
+    INTER = 2
+
+
+@dataclass
+class PlannedAttack:
+    """One attack-to-be, before protocol/target/participant assignment."""
+
+    start: float
+    duration: float
+    family: str
+    botnet_id: int = -1
+    protocol: Protocol = Protocol.HTTP
+    target_index: int = -1
+    magnitude: int = 0
+    symmetric: bool = True
+    residual_km: float = 0.0
+    collab_group: int = -1
+    collab_kind: int = CollabKind.NONE
+    chain_id: int = -1
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class FamilyPlan:
+    """Scheduler output for one family."""
+
+    family: str
+    attacks: list[PlannedAttack] = field(default_factory=list)
+    #: Attack budget still unassigned (reserved for inter-family collabs).
+    reserved: int = 0
+
+
+class FamilyScheduler:
+    """Plans all attacks of one family (except inter-family collabs)."""
+
+    def __init__(
+        self,
+        profile: FamilyProfile,
+        window: ObservationWindow,
+        roster: BotnetRoster,
+        rng: np.random.Generator,
+        reserve_for_inter: int = 0,
+        mega_extra: int = 0,
+    ):
+        self.profile = profile
+        self.window = window
+        self.roster = roster
+        self.rng = rng
+        self.reserve_for_inter = reserve_for_inter
+        self.mega_extra = mega_extra
+        # AR(1) state (log space) of the asymmetric dispersion residuals:
+        # the paper's distance series vary persistently around a
+        # family-specific mean (§IV-A), which is what makes them
+        # ARIMA-predictable.  The state advances once per asymmetric
+        # attack, so the *asymmetric-only* series carries the
+        # autocorrelation regardless of how symmetric attacks interleave.
+        self._residual_state = 0.0
+        self._residual_phi = 0.9
+        lo, hi = profile.active_window
+        self.act_start = window.start + lo * window.duration
+        self.act_end = window.start + hi * window.duration
+        self.act_span = self.act_end - self.act_start
+        self._collab_counter = 0
+        self._chain_counter = 0
+
+    # -- random helpers --------------------------------------------------
+
+    def _durations(self, n: int) -> np.ndarray:
+        model = self.profile.duration
+        d = self.rng.lognormal(model.mu, model.sigma, size=n)
+        return np.clip(d, model.min_seconds, model.max_seconds)
+
+    def _magnitudes(self, n: int) -> np.ndarray:
+        p = self.profile
+        m = self.rng.lognormal(np.log(p.magnitude_median), p.magnitude_sigma, size=n)
+        return np.maximum(4, np.round(m)).astype(np.int64)
+
+    def _gaps(self, n: int) -> np.ndarray:
+        mix = self.profile.gap_mixture
+        modes = np.asarray(mix.mode_seconds)
+        weights = np.asarray(mix.mode_weights)
+        which = self.rng.choice(modes.size, size=n, p=weights)
+        gaps = self.rng.lognormal(np.log(modes[which]), mix.sigma)
+        if mix.min_gap > 0:
+            gaps = np.maximum(gaps, mix.min_gap)
+        return gaps
+
+    def _symmetry(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Symmetric flags and asymmetric residual targets for ``n`` attacks.
+
+        Residuals follow a lognormal AR(1): the marginal distribution is
+        ``Lognormal(ln(median), sigma)`` while consecutive asymmetric
+        attacks stay correlated (phi = 0.9), giving the stationary,
+        predictable series of Figs 10-13.
+        """
+        disp = self.profile.dispersion
+        symmetric = self.rng.random(n) < disp.p_symmetric
+        residual = np.zeros(n)
+        phi = self._residual_phi
+        innov_sd = disp.asym_sigma * np.sqrt(1.0 - phi * phi)
+        mu_log = np.log(max(disp.asym_median_km, 1.0))
+        state = self._residual_state
+        for i in np.flatnonzero(~symmetric):
+            state = phi * state + float(self.rng.normal(0.0, innov_sd))
+            residual[i] = float(np.exp(mu_log + state))
+        self._residual_state = state
+        return symmetric, residual
+
+    # -- wave placement ---------------------------------------------------
+
+    def _wave_times(self, n_waves: int) -> np.ndarray:
+        """Session-structured wave start times within the active window."""
+        if n_waves == 0:
+            return np.zeros(0)
+        p = self.profile
+        n_sessions = max(1, int(round(n_waves / p.waves_per_session)))
+        session_starts = np.sort(self.rng.random(n_sessions)) * self.act_span + self.act_start
+        base = n_waves // n_sessions
+        extra = n_waves - base * n_sessions
+        times: list[float] = []
+        for s, start in enumerate(session_starts):
+            count = base + (1 if s < extra else 0)
+            if count == 0:
+                continue
+            gaps = self._gaps(count)
+            offsets = np.concatenate(([0.0], np.cumsum(gaps[:-1])))
+            times.extend(start + offsets)
+        t = np.asarray(times)
+        # Sessions that run past the active window wrap around, keeping
+        # the attack count exact without distorting the gap modes.
+        t = self.act_start + np.mod(t - self.act_start, self.act_span)
+        if p.sync_fraction > 0:
+            snap = self.rng.random(t.size) < p.sync_fraction
+            t[snap] = np.round(t[snap] / 300.0) * 300.0
+        t = np.sort(t)
+        min_gap = p.gap_mixture.min_gap
+        if min_gap > 0 and t.size > 1:
+            # Families like Aldibot/Optima never strike twice within a
+            # minute (§III-B) — the floor must hold across sessions, not
+            # just within one.  s_i = min_gap*i + running max(t_j - min_gap*j)
+            # pushes each wave just far enough without reordering.
+            steps = min_gap * np.arange(t.size)
+            t = steps + np.maximum.accumulate(t - steps)
+        return t
+
+    def _wave_sizes(self, n_attacks: int) -> list[int]:
+        """Wave sizes summing exactly to ``n_attacks``."""
+        p = self.profile
+        sizes: list[int] = []
+        remaining = n_attacks
+        while remaining > 0:
+            size = 1
+            if p.p_multi_wave > 0 and self.rng.random() < p.p_multi_wave:
+                size += int(self.rng.geometric(1.0 / max(p.wave_extra_mean, 1.0)))
+            size = min(size, remaining)
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+    # -- staged structures -------------------------------------------------
+
+    def _plan_collabs(self, next_group: int) -> tuple[list[PlannedAttack], int]:
+        """Intra-family concurrent collaborations (§V-A)."""
+        p = self.profile
+        attacks: list[PlannedAttack] = []
+        group = next_group
+        if self.roster.n_botnets < 2:
+            # A single-generation family cannot stage intra-family
+            # collaborations (they require distinct botnet ids).
+            return [], next_group
+        for _ in range(p.intra_collabs):
+            size = 2
+            if p.collab_size_mean > 2.0:
+                size += int(self.rng.poisson(p.collab_size_mean - 2.0))
+            size = min(size, self.roster.n_botnets)
+            base = self.act_start + self.rng.random() * self.act_span
+            botnets = self.roster.pick(self.rng, base, k=size)
+            duration = float(self._durations(1)[0])
+            magnitude = int(self._magnitudes(1)[0])
+            symmetric, residual = self._symmetry(1)
+            for j in range(size):
+                attacks.append(
+                    PlannedAttack(
+                        start=base + float(self.rng.random() * 50.0),
+                        # Duration differences stay inside the half-hour
+                        # window of the paper's collaboration definition.
+                        duration=duration + float(self.rng.random() * 1500.0),
+                        family=p.name,
+                        botnet_id=int(botnets[j]),
+                        magnitude=magnitude,
+                        symmetric=bool(symmetric[0]),
+                        residual_km=float(residual[0]),
+                        collab_group=group,
+                        collab_kind=CollabKind.INTRA,
+                    )
+                )
+            group += 1
+        return attacks, group
+
+    def _chain_lengths(self) -> list[int]:
+        n_chains, mean_len = self.profile.chains
+        if n_chains == 0:
+            return []
+        lengths = []
+        for i in range(n_chains):
+            if self.profile.name == "ddoser" and i == 0:
+                # The longest observed chain: 22 consecutive attacks
+                # lasting over 18 minutes on 2012-08-30 (§V-B).
+                lengths.append(22)
+                continue
+            lengths.append(max(2, int(self.rng.poisson(max(mean_len - 1.0, 1.0))) + 1))
+        return lengths
+
+    def _plan_chains(self) -> list[PlannedAttack]:
+        """Multistage consecutive-attack chains (§V-B, Figs 17-18)."""
+        attacks: list[PlannedAttack] = []
+        if self.roster.n_botnets < 2:
+            # With a single botnet id, consecutive short attacks on one
+            # target would be re-merged by the 60 s segmentation rule.
+            return attacks
+        for i, length in enumerate(self._chain_lengths()):
+            chain_id = self._chain_counter
+            self._chain_counter += 1
+            if self.profile.name == "ddoser" and i == 0:
+                start = self.window.start + 1 * SECONDS_PER_DAY + 3600.0 * 10
+            else:
+                start = self.act_start + self.rng.random() * self.act_span
+            botnets = self.roster.pick(self.rng, start, k=min(3, self.roster.n_botnets))
+            magnitude = int(self._magnitudes(1)[0])
+            symmetric, residual = self._symmetry(1)
+            t = start
+            for j in range(length):
+                # Chain members are short; the next one starts right at
+                # (or within 60 s of) the previous end.  The 35 s floor
+                # keeps two same-botnet members of a round-robin chain
+                # more than 60 s apart, so segmentation never re-merges
+                # them.
+                duration = float(self.rng.uniform(35.0, 80.0))
+                attacks.append(
+                    PlannedAttack(
+                        start=t,
+                        duration=duration,
+                        family=self.profile.name,
+                        botnet_id=int(botnets[j % botnets.size]),
+                        magnitude=magnitude,
+                        symmetric=bool(symmetric[0]),
+                        residual_km=float(residual[0]),
+                        chain_id=chain_id,
+                    )
+                )
+                u = self.rng.random()
+                if u < 0.65:
+                    gap = self.rng.uniform(0.0, 10.0)
+                elif u < 0.80:
+                    gap = self.rng.uniform(10.0, 30.0)
+                else:
+                    gap = self.rng.uniform(30.0, 60.0)
+                t += duration + gap
+        return attacks
+
+    def _plan_mega_day(self) -> list[PlannedAttack]:
+        """The 2012-08-30 Dirtjumper surge against one Russian subnet."""
+        if self.mega_extra == 0:
+            return []
+        day_start = self.window.start + 1 * SECONDS_PER_DAY
+        times = day_start + np.sort(self.rng.random(self.mega_extra)) * SECONDS_PER_DAY
+        durations = self._durations(self.mega_extra)
+        magnitudes = self._magnitudes(self.mega_extra)
+        symmetric, residual = self._symmetry(self.mega_extra)
+        attacks = []
+        for i in range(self.mega_extra):
+            attacks.append(
+                PlannedAttack(
+                    start=float(times[i]),
+                    duration=float(durations[i]),
+                    family=self.profile.name,
+                    botnet_id=int(self.roster.pick(self.rng, float(times[i]), k=1)[0]),
+                    magnitude=int(magnitudes[i]),
+                    symmetric=bool(symmetric[i]),
+                    residual_km=float(residual[i]),
+                    collab_group=-1,
+                    chain_id=-2,  # marker: mega-day attack (targets assigned specially)
+                )
+            )
+        return attacks
+
+    # -- main entry ---------------------------------------------------------
+
+    def plan(self, next_collab_group: int = 0) -> tuple[FamilyPlan, int]:
+        """Produce the family's full plan (minus inter-family collabs).
+
+        Returns the plan and the next free collaboration-group id.
+        """
+        p = self.profile
+        total = p.total_attacks
+        collab_attacks, next_group = self._plan_collabs(next_collab_group)
+        chain_attacks = self._plan_chains()
+        mega_attacks = self._plan_mega_day()
+        if self.reserve_for_inter > total:
+            raise ValueError(
+                f"{p.name}: inter-family reserve ({self.reserve_for_inter}) "
+                f"exceeds the attack budget ({total})"
+            )
+        # Heavily scaled-down profiles can end up with staged structures
+        # that do not fit the attack budget; trim chains first, then
+        # collaborations (whole events at a time) until the plan fits.
+        budget = total - self.reserve_for_inter
+        while len(collab_attacks) + len(chain_attacks) + len(mega_attacks) > budget:
+            if mega_attacks:
+                mega_attacks.pop()
+            elif chain_attacks:
+                last_chain = chain_attacks[-1].chain_id
+                chain_attacks = [a for a in chain_attacks if a.chain_id != last_chain]
+            elif collab_attacks:
+                last_group = collab_attacks[-1].collab_group
+                collab_attacks = [a for a in collab_attacks if a.collab_group != last_group]
+            else:  # pragma: no cover - defensive
+                break
+        special = len(collab_attacks) + len(chain_attacks) + len(mega_attacks)
+        regular = budget - special
+
+        attacks: list[PlannedAttack] = []
+        if regular:
+            sizes = self._wave_sizes(regular)
+            times = self._wave_times(len(sizes))
+            durations = self._durations(regular)
+            magnitudes = self._magnitudes(regular)
+            symmetric, residual = self._symmetry(regular)
+            k = 0
+            for wave_time, size in zip(times, sizes):
+                for _ in range(size):
+                    attacks.append(
+                        PlannedAttack(
+                            start=float(wave_time),
+                            duration=float(durations[k]),
+                            family=p.name,
+                            botnet_id=int(self.roster.pick(self.rng, float(wave_time), k=1)[0]),
+                            magnitude=int(magnitudes[k]),
+                            symmetric=bool(symmetric[k]),
+                            residual_km=float(residual[k]),
+                        )
+                    )
+                    k += 1
+
+        attacks.extend(collab_attacks)
+        attacks.extend(chain_attacks)
+        attacks.extend(mega_attacks)
+        plan = FamilyPlan(family=p.name, attacks=attacks, reserved=self.reserve_for_inter)
+        return plan, next_group

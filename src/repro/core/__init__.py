@@ -1,0 +1,49 @@
+"""The paper's contribution: DDoS attack characterization and analysis.
+
+Submodules map to the paper's sections:
+
+* :mod:`overview` — §II-D/§III-A (Tables II-III, Figs 1-2)
+* :mod:`intervals` — §III-B (Figs 3-5)
+* :mod:`durations` — §III-C (Figs 6-7)
+* :mod:`shift`, :mod:`geolocation`, :mod:`prediction` — §IV-A
+  (Figs 8-13, Table IV)
+* :mod:`targets` — §IV-B (Table V, Fig 14)
+* :mod:`collaboration`, :mod:`consecutive` — §V (Table VI, Figs 15-18)
+* :mod:`report` — plain-text renderings of the tables
+"""
+
+from . import (
+    campaigns,
+    collaboration,
+    consecutive,
+    durations,
+    geolocation,
+    intervals,
+    overview,
+    prediction,
+    report,
+    sanity,
+    shift,
+    stats,
+    targets,
+)
+from .dataset import AttackDataset, BotRegistry, VictimRegistry
+
+__all__ = [
+    "AttackDataset",
+    "BotRegistry",
+    "VictimRegistry",
+    "campaigns",
+    "collaboration",
+    "consecutive",
+    "durations",
+    "geolocation",
+    "intervals",
+    "overview",
+    "prediction",
+    "report",
+    "sanity",
+    "shift",
+    "stats",
+    "targets",
+]

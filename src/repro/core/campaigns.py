@@ -1,0 +1,121 @@
+"""Campaign analysis: rounds of attacks against the same target (§III-D).
+
+The overview summary observes that "multiple rounds of attacks could be
+launched against the same target within a short interval of up to
+several hours" and that repeat-attack targets are where interval
+investigation pays off.  This module groups each target's attacks into
+*campaigns* — maximal runs where the gap to the previous attack stays
+under a threshold (default: six hours) — and characterises them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import AttackDataset
+
+__all__ = ["Campaign", "detect_campaigns", "CampaignSummary", "campaign_summary"]
+
+DEFAULT_ROUND_GAP_SECONDS = 6 * 3600.0
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A burst of repeated attacks on one target."""
+
+    target_index: int
+    attack_indices: tuple[int, ...]
+    start: float
+    end: float
+    families: tuple[str, ...]
+
+    @property
+    def rounds(self) -> int:
+        return len(self.attack_indices)
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_multi_family(self) -> bool:
+        return len(set(self.families)) > 1
+
+
+def detect_campaigns(
+    ds: AttackDataset,
+    round_gap: float = DEFAULT_ROUND_GAP_SECONDS,
+    min_rounds: int = 2,
+) -> list[Campaign]:
+    """Group each target's attacks into campaigns.
+
+    Consecutive attacks on one target belong to the same campaign when
+    the next one starts within ``round_gap`` seconds of the previous
+    *start* (rounds may overlap).  Only campaigns with at least
+    ``min_rounds`` attacks are returned, ordered by start time.
+    """
+    if round_gap <= 0:
+        raise ValueError(f"round_gap must be positive: {round_gap}")
+    if min_rounds < 1:
+        raise ValueError(f"min_rounds must be >= 1: {min_rounds}")
+    campaigns: list[Campaign] = []
+    order = np.lexsort((ds.start, ds.target_idx))
+    targets = ds.target_idx[order]
+    boundaries = np.flatnonzero(np.diff(targets) != 0) + 1
+    for group in np.split(order, boundaries):
+        starts = ds.start[group]
+        run_break = np.flatnonzero(np.diff(starts) > round_gap) + 1
+        for run in np.split(group, run_break):
+            if run.size < min_rounds:
+                continue
+            campaigns.append(
+                Campaign(
+                    target_index=int(ds.target_idx[run[0]]),
+                    attack_indices=tuple(int(i) for i in run),
+                    start=float(ds.start[run[0]]),
+                    end=float(ds.end[run].max()),
+                    families=tuple(
+                        ds.family_name(int(ds.family_idx[i])) for i in run
+                    ),
+                )
+            )
+    campaigns.sort(key=lambda c: c.start)
+    return campaigns
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate view of the campaign structure."""
+
+    n_campaigns: int
+    n_targets_hit_repeatedly: int
+    mean_rounds: float
+    max_rounds: int
+    median_span_hours: float
+    multi_family_fraction: float
+    #: Fraction of all attacks that belong to some campaign.
+    attacks_in_campaigns_fraction: float
+
+
+def campaign_summary(
+    ds: AttackDataset, campaigns: list[Campaign] | None = None
+) -> CampaignSummary:
+    """Summarise detected campaigns (§III-D's 'multiple rounds' claim)."""
+    if campaigns is None:
+        campaigns = detect_campaigns(ds)
+    if not campaigns:
+        raise ValueError("no campaigns detected")
+    rounds = np.array([c.rounds for c in campaigns])
+    spans = np.array([c.span for c in campaigns])
+    covered = sum(c.rounds for c in campaigns)
+    return CampaignSummary(
+        n_campaigns=len(campaigns),
+        n_targets_hit_repeatedly=len({c.target_index for c in campaigns}),
+        mean_rounds=float(rounds.mean()),
+        max_rounds=int(rounds.max()),
+        median_span_hours=float(np.median(spans) / 3600.0),
+        multi_family_fraction=float(np.mean([c.is_multi_family for c in campaigns])),
+        attacks_in_campaigns_fraction=float(covered / ds.n_attacks),
+    )

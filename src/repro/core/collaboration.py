@@ -1,0 +1,254 @@
+"""Concurrent collaboration detection (§V-A, Table VI, Figs 15-16).
+
+The paper's definition: attacks by *different botnets* against the *same
+target* whose start times are within 60 seconds of each other and whose
+durations differ by at most half an hour are a collaboration.  A
+collaboration is intra-family when all participating botnets belong to
+one family, inter-family otherwise.
+
+The detector here works purely from the attack table (never from the
+generator's ground-truth labels); the test suite compares its output
+against the staged ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import AttackDataset
+
+__all__ = [
+    "START_WINDOW_SECONDS",
+    "DURATION_WINDOW_SECONDS",
+    "CollabEvent",
+    "detect_collaborations",
+    "collaboration_table",
+    "IntraFamilyStats",
+    "intra_family_stats",
+    "PairAnalysis",
+    "pair_analysis",
+]
+
+START_WINDOW_SECONDS = 60.0
+DURATION_WINDOW_SECONDS = 1800.0
+
+
+@dataclass(frozen=True)
+class CollabEvent:
+    """One detected collaboration: >= 2 attacks co-targeting one victim."""
+
+    attack_indices: tuple[int, ...]
+    target_index: int
+    families: tuple[str, ...]
+    botnet_ids: tuple[int, ...]
+    start: float
+    is_inter_family: bool
+
+    @property
+    def n_botnets(self) -> int:
+        return len(set(self.botnet_ids))
+
+
+def detect_collaborations(
+    ds: AttackDataset,
+    start_window: float = START_WINDOW_SECONDS,
+    duration_window: float = DURATION_WINDOW_SECONDS,
+) -> list[CollabEvent]:
+    """Find all collaborations under the paper's §V-A definition.
+
+    Attacks on each target are scanned in start order; a maximal run of
+    attacks whose starts are pairwise within ``start_window`` is a
+    candidate group.  Within a candidate group, attacks by the same
+    botnet are reduced to one (a botnet cannot collaborate with itself),
+    and members whose duration strays more than ``duration_window`` from
+    the group's first attack are dropped.  Groups with at least two
+    distinct botnets left become events.
+    """
+    events: list[CollabEvent] = []
+    order = np.lexsort((ds.start, ds.target_idx))
+    targets = ds.target_idx[order]
+    boundaries = np.flatnonzero(np.diff(targets) != 0) + 1
+    for group in np.split(order, boundaries):
+        if group.size < 2:
+            continue
+        starts = ds.start[group]
+        # Runs of near-simultaneous starts on this target.
+        run_break = np.flatnonzero(np.diff(starts) > start_window) + 1
+        for run in np.split(group, run_break):
+            if run.size < 2:
+                continue
+            base_duration = float(ds.end[run[0]] - ds.start[run[0]])
+            keep: list[int] = []
+            seen_botnets: set[int] = set()
+            for i in run:
+                botnet = int(ds.botnet_id[i])
+                duration = float(ds.end[i] - ds.start[i])
+                if botnet in seen_botnets:
+                    continue
+                if abs(duration - base_duration) > duration_window:
+                    continue
+                seen_botnets.add(botnet)
+                keep.append(int(i))
+            if len(keep) < 2:
+                continue
+            families = tuple(
+                sorted({ds.family_name(int(ds.family_idx[i])) for i in keep})
+            )
+            events.append(
+                CollabEvent(
+                    attack_indices=tuple(keep),
+                    target_index=int(ds.target_idx[keep[0]]),
+                    families=families,
+                    botnet_ids=tuple(int(ds.botnet_id[i]) for i in keep),
+                    start=float(min(ds.start[i] for i in keep)),
+                    is_inter_family=len(families) > 1,
+                )
+            )
+    events.sort(key=lambda e: e.start)
+    return events
+
+
+def collaboration_table(
+    ds: AttackDataset, events: list[CollabEvent] | None = None
+) -> dict[str, dict[str, int]]:
+    """Table VI: per-family intra- and inter-family collaboration counts.
+
+    Every family participating in an event is credited once, matching the
+    paper's per-family accounting (which is why Dirtjumper's 121
+    inter-family events equal the sum of its partners' counts).
+    """
+    if events is None:
+        events = detect_collaborations(ds)
+    table: dict[str, dict[str, int]] = {
+        fam: {"intra": 0, "inter": 0} for fam in ds.active_families
+    }
+    for event in events:
+        kind = "inter" if event.is_inter_family else "intra"
+        for family in event.families:
+            if family in table:
+                table[family][kind] += 1
+    return table
+
+
+@dataclass(frozen=True)
+class IntraFamilyStats:
+    """Fig 15 material: one family's intra-family collaborations."""
+
+    family: str
+    n_events: int
+    mean_botnets_per_event: float
+    #: (start time, botnet id, attack magnitude) per participating attack.
+    points: list[tuple[float, int, int]]
+    #: Fraction of events whose members have identical magnitudes (the
+    #: "same bar height" observation suggesting central instructions).
+    equal_magnitude_fraction: float
+
+
+def intra_family_stats(
+    ds: AttackDataset, family: str, events: list[CollabEvent] | None = None
+) -> IntraFamilyStats:
+    """Summarise one family's intra-family collaborations (Fig 15)."""
+    if events is None:
+        events = detect_collaborations(ds)
+    mine = [e for e in events if not e.is_inter_family and e.families == (family,)]
+    points: list[tuple[float, int, int]] = []
+    equal = 0
+    for event in mine:
+        mags = [int(ds.magnitude[i]) for i in event.attack_indices]
+        spread = (max(mags) - min(mags)) / max(max(mags), 1)
+        if spread <= 0.25:
+            equal += 1
+        for i in event.attack_indices:
+            points.append((float(ds.start[i]), int(ds.botnet_id[i]), int(ds.magnitude[i])))
+    n_botnets = [e.n_botnets for e in mine]
+    return IntraFamilyStats(
+        family=family,
+        n_events=len(mine),
+        mean_botnets_per_event=float(np.mean(n_botnets)) if n_botnets else 0.0,
+        points=points,
+        equal_magnitude_fraction=float(equal / len(mine)) if mine else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class PairAnalysis:
+    """Fig 16 material: collaborations between two specific families."""
+
+    family_a: str
+    family_b: str
+    n_events: int
+    n_targets: int
+    n_countries: int
+    n_organizations: int
+    n_asns: int
+    top_countries: list[tuple[str, int]]
+    mean_duration_a: float
+    mean_duration_b: float
+    #: Aligned per-event series: (start, duration_a, duration_b, mag_a, mag_b).
+    series: list[tuple[float, float, float, int, int]]
+    span_weeks: float
+
+
+def pair_analysis(
+    ds: AttackDataset,
+    family_a: str,
+    family_b: str,
+    events: list[CollabEvent] | None = None,
+) -> PairAnalysis:
+    """Analyse the collaborations between ``family_a`` and ``family_b``.
+
+    The paper's Fig 16 compares Dirtjumper and Pandora: durations and
+    magnitudes per event side by side, plus the target/country/org/AS
+    footprint of the joint campaign.
+    """
+    if family_a == family_b:
+        raise ValueError("pair_analysis needs two different families")
+    if events is None:
+        events = detect_collaborations(ds)
+    pair = tuple(sorted((family_a, family_b)))
+    mine = [e for e in events if e.is_inter_family and set(pair) <= set(e.families)]
+
+    targets = sorted({e.target_index for e in mine})
+    countries = ds.victims.country_idx[targets] if targets else np.zeros(0, dtype=int)
+    uniq_c, counts_c = (
+        np.unique(countries, return_counts=True) if targets else (np.zeros(0), np.zeros(0))
+    )
+    order = np.argsort(-counts_c, kind="stable")
+    top_countries = [
+        (ds.world.countries[int(uniq_c[i])].code, int(counts_c[i])) for i in order[:5]
+    ]
+
+    series: list[tuple[float, float, float, int, int]] = []
+    durations_a: list[float] = []
+    durations_b: list[float] = []
+    for event in mine:
+        per_family: dict[str, tuple[float, int]] = {}
+        for i in event.attack_indices:
+            fam = ds.family_name(int(ds.family_idx[i]))
+            if fam in (family_a, family_b) and fam not in per_family:
+                per_family[fam] = (float(ds.end[i] - ds.start[i]), int(ds.magnitude[i]))
+        if family_a in per_family and family_b in per_family:
+            dur_a, mag_a = per_family[family_a]
+            dur_b, mag_b = per_family[family_b]
+            durations_a.append(dur_a)
+            durations_b.append(dur_b)
+            series.append((event.start, dur_a, dur_b, mag_a, mag_b))
+
+    starts = [s for s, *_ in series]
+    span_weeks = (max(starts) - min(starts)) / (7 * 86400.0) if len(starts) > 1 else 0.0
+    return PairAnalysis(
+        family_a=family_a,
+        family_b=family_b,
+        n_events=len(series),
+        n_targets=len(targets),
+        n_countries=int(uniq_c.size),
+        n_organizations=int(np.unique(ds.victims.org_idx[targets]).size) if targets else 0,
+        n_asns=int(np.unique(ds.victims.asn[targets]).size) if targets else 0,
+        top_countries=top_countries,
+        mean_duration_a=float(np.mean(durations_a)) if durations_a else 0.0,
+        mean_duration_b=float(np.mean(durations_b)) if durations_b else 0.0,
+        series=sorted(series),
+        span_weeks=float(span_weeks),
+    )

@@ -1,0 +1,191 @@
+"""Multistage (consecutive) attack detection (§V-B, Figs 17-18).
+
+The second collaboration form: attacks on the same target that happen
+*one after another* — the next attack starts at the end of the previous
+one, within a 60-second margin of overlap or gap.  The paper finds this
+form only intra-family (Darkshell, Ddoser, Dirtjumper, Nitol), with a
+longest chain of 22 consecutive Ddoser attacks and ~80 % of consecutive
+gaps under 30 seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import AttackDataset
+from .stats import ecdf
+
+__all__ = [
+    "CHAIN_MARGIN_SECONDS",
+    "AttackChain",
+    "detect_chains",
+    "ChainSummary",
+    "chain_summary",
+    "consecutive_gap_cdf",
+    "chain_timeline",
+]
+
+CHAIN_MARGIN_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class AttackChain:
+    """A maximal run of consecutive attacks on one target."""
+
+    attack_indices: tuple[int, ...]
+    target_index: int
+    families: tuple[str, ...]
+    start: float
+    end: float
+    #: Gap between each attack's end and the next attack's start (may be
+    #: slightly negative for overlaps within the margin).
+    gaps: tuple[float, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.attack_indices)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_intra_family(self) -> bool:
+        return len(set(self.families)) == 1
+
+
+def detect_chains(
+    ds: AttackDataset,
+    margin: float = CHAIN_MARGIN_SECONDS,
+    min_length: int = 2,
+) -> list[AttackChain]:
+    """Find maximal consecutive-attack chains on every target.
+
+    Attacks on a target are scanned in start order; attack *B* continues
+    a chain ending with attack *A* when ``B.start`` falls within
+    ``margin`` of ``A.end`` (on either side).  Simultaneous attacks
+    (identical starts) are concurrent collaborations, not stages, and do
+    not link.
+    """
+    chains: list[AttackChain] = []
+    order = np.lexsort((ds.start, ds.target_idx))
+    targets = ds.target_idx[order]
+    boundaries = np.flatnonzero(np.diff(targets) != 0) + 1
+    for group in np.split(order, boundaries):
+        if group.size < min_length:
+            continue
+        current: list[int] = [int(group[0])]
+        gaps: list[float] = []
+
+        def flush() -> None:
+            if len(current) >= min_length:
+                chains.append(
+                    AttackChain(
+                        attack_indices=tuple(current),
+                        target_index=int(ds.target_idx[current[0]]),
+                        families=tuple(
+                            ds.family_name(int(ds.family_idx[i])) for i in current
+                        ),
+                        start=float(ds.start[current[0]]),
+                        end=float(ds.end[current[-1]]),
+                        gaps=tuple(gaps),
+                    )
+                )
+
+        for i in group[1:]:
+            prev = current[-1]
+            gap = float(ds.start[i] - ds.end[prev])
+            starts_apart = float(ds.start[i] - ds.start[prev])
+            if abs(gap) <= margin and starts_apart > 1.0:
+                current.append(int(i))
+                gaps.append(gap)
+            else:
+                flush()
+                current = [int(i)]
+                gaps = []
+        flush()
+    chains.sort(key=lambda c: c.start)
+    return chains
+
+
+@dataclass(frozen=True)
+class ChainSummary:
+    """§V-B headline numbers."""
+
+    n_chains: int
+    families: list[str]
+    intra_family_only: bool
+    longest_chain_length: int
+    longest_chain_family: str
+    longest_chain_duration: float
+    gap_mean: float
+    gap_median: float
+    gap_std: float
+    under_10s_fraction: float
+    under_30s_fraction: float
+
+
+def chain_summary(ds: AttackDataset, chains: list[AttackChain] | None = None) -> ChainSummary:
+    """Summarise detected chains the way §V-B reports them."""
+    if chains is None:
+        chains = detect_chains(ds)
+    if not chains:
+        raise ValueError("no consecutive-attack chains detected")
+    gaps = np.concatenate([np.asarray(c.gaps) for c in chains if c.gaps])
+    longest = max(chains, key=lambda c: c.length)
+    families = sorted({fam for c in chains for fam in c.families})
+    return ChainSummary(
+        n_chains=len(chains),
+        families=families,
+        intra_family_only=all(c.is_intra_family for c in chains),
+        longest_chain_length=longest.length,
+        longest_chain_family=longest.families[0],
+        longest_chain_duration=longest.duration,
+        gap_mean=float(np.mean(gaps)),
+        gap_median=float(np.median(gaps)),
+        gap_std=float(np.std(gaps)),
+        under_10s_fraction=float(np.mean(gaps <= 10.0)),
+        under_30s_fraction=float(np.mean(gaps <= 30.0)),
+    )
+
+
+def consecutive_gap_cdf(
+    ds: AttackDataset, chains: list[AttackChain] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 17: the CDF of gaps between consecutive attacks."""
+    if chains is None:
+        chains = detect_chains(ds)
+    gaps = np.concatenate(
+        [np.asarray(c.gaps) for c in chains if c.gaps]
+    ) if chains else np.zeros(0)
+    if gaps.size == 0:
+        raise ValueError("no consecutive-attack gaps to characterise")
+    return ecdf(np.maximum(gaps, 0.0))
+
+
+def chain_timeline(
+    ds: AttackDataset, chains: list[AttackChain] | None = None
+) -> list[tuple[float, int, str, int]]:
+    """Fig 18: one dot per chained attack over time.
+
+    Returns ``(start time, target index, family, magnitude)`` tuples
+    sorted by time; consecutive dots of one chain share a target row and
+    the marker size is the attack magnitude, as in the paper's plot.
+    """
+    if chains is None:
+        chains = detect_chains(ds)
+    dots: list[tuple[float, int, str, int]] = []
+    for chain in chains:
+        for i in chain.attack_indices:
+            dots.append(
+                (
+                    float(ds.start[i]),
+                    int(ds.target_idx[i]),
+                    ds.family_name(int(ds.family_idx[i])),
+                    int(ds.magnitude[i]),
+                )
+            )
+    dots.sort()
+    return dots

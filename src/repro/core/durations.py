@@ -1,0 +1,74 @@
+"""Attack-duration analyses (§III-C, Figs 6-7).
+
+The duration of an attack is ``end_time - timestamp``.  The paper's
+headline numbers: mean 10,308 s, median 1,766 s, std 18,475 s, 80 % of
+attacks under 13,882 s (≈ 4 hours) — the suggested detection window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import AttackDataset
+from .stats import SeriesSummary, ecdf, summarize
+
+__all__ = [
+    "durations",
+    "DurationSummary",
+    "duration_summary",
+    "duration_cdf",
+    "duration_timeline",
+]
+
+
+def durations(ds: AttackDataset, family: str | None = None) -> np.ndarray:
+    """Per-attack durations in seconds, optionally for one family."""
+    if family is None:
+        return ds.durations
+    idx = ds.attacks_of(family)
+    return (ds.end - ds.start)[idx]
+
+
+@dataclass(frozen=True)
+class DurationSummary:
+    """§III-C headline statistics plus the four-hour share."""
+
+    stats: SeriesSummary
+    under_60s_fraction: float
+    under_4h_fraction: float
+    p80_hours: float
+
+
+def duration_summary(ds: AttackDataset, family: str | None = None) -> DurationSummary:
+    """Fig 7's quoted statistics for the duration distribution."""
+    d = durations(ds, family)
+    if d.size == 0:
+        raise ValueError("no attacks to summarise")
+    stats = summarize(d)
+    return DurationSummary(
+        stats=stats,
+        under_60s_fraction=float(np.mean(d < 60.0)),
+        under_4h_fraction=float(np.mean(d < 4 * 3600.0)),
+        p80_hours=stats.p80 / 3600.0,
+    )
+
+
+def duration_cdf(ds: AttackDataset, family: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 7: the empirical CDF of attack durations."""
+    d = durations(ds, family)
+    if d.size == 0:
+        raise ValueError("no attacks to summarise")
+    return ecdf(d)
+
+
+def duration_timeline(ds: AttackDataset) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fig 6: (day index, duration, family index) per attack over time.
+
+    Attacks are in chronological order; within a day, simultaneous
+    attacks keep the dataset's (IP-based) tie-break order, mirroring the
+    paper's plotting convention.
+    """
+    days = ((ds.start - ds.window.start) // 86400).astype(np.int64)
+    return days, ds.durations, ds.family_idx.astype(np.int64)

@@ -1,0 +1,110 @@
+"""Weekly source shift patterns (§IV-A, Fig 8).
+
+The paper aggregates, per family and per week, the bots involved in DDoS
+attacks, and tracks how that footprint *shifts*: how many bots appear in
+countries the family already attacked from, versus countries that are
+new for the family.  The strong affinity to a fixed country set — with
+new-country shifts an order of magnitude rarer — is the basis of the
+source-prediction claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import AttackDataset
+
+__all__ = ["WeeklyShift", "weekly_shift", "aggregate_shift"]
+
+
+@dataclass(frozen=True)
+class WeeklyShift:
+    """Fig 8 series for one family."""
+
+    family: str
+    weeks: np.ndarray                  # week indices with any activity
+    bots_existing: np.ndarray          # bots attacking from already-seen countries
+    bots_new: np.ndarray               # bots attacking from newly-seen countries
+    new_countries: np.ndarray          # number of new countries entered that week
+
+    @property
+    def total_existing(self) -> int:
+        return int(self.bots_existing.sum())
+
+    @property
+    def total_new(self) -> int:
+        return int(self.bots_new.sum())
+
+    @property
+    def affinity_ratio(self) -> float:
+        """existing-country bots per new-country bot (∞-safe)."""
+        new = self.total_new
+        return float(self.total_existing) / new if new else float("inf")
+
+
+def weekly_shift(ds: AttackDataset, family: str) -> WeeklyShift:
+    """Compute the Fig 8 shift series for one family.
+
+    Week 0 establishes the family's initial footprint: every bot of the
+    first active week counts as "existing" (the paper's baseline week).
+    """
+    idx = ds.attacks_of(family)
+    if idx.size == 0:
+        raise ValueError(f"family {family!r} launched no attacks")
+    weeks_of_attack = ((ds.start[idx] - ds.window.start) // (7 * 86400)).astype(np.int64)
+
+    weeks: list[int] = []
+    existing_counts: list[int] = []
+    new_counts: list[int] = []
+    new_country_counts: list[int] = []
+    seen: set[int] = set()
+    for week in np.unique(weeks_of_attack):
+        attack_ids = idx[weeks_of_attack == week]
+        bots = np.unique(
+            np.concatenate([ds.participants_of(int(i)) for i in attack_ids])
+        )
+        countries = ds.bots.country_idx[bots]
+        if seen:
+            known = np.isin(countries, list(seen))
+        else:
+            known = np.ones(countries.size, dtype=bool)  # baseline week
+        fresh = {int(c) for c in np.unique(countries[~known])}
+        weeks.append(int(week))
+        existing_counts.append(int(np.sum(known)))
+        new_counts.append(int(np.sum(~known)))
+        new_country_counts.append(len(fresh))
+        seen.update(int(c) for c in np.unique(countries))
+    return WeeklyShift(
+        family=family,
+        weeks=np.asarray(weeks, dtype=np.int64),
+        bots_existing=np.asarray(existing_counts, dtype=np.int64),
+        bots_new=np.asarray(new_counts, dtype=np.int64),
+        new_countries=np.asarray(new_country_counts, dtype=np.int64),
+    )
+
+
+def aggregate_shift(ds: AttackDataset, families: list[str] | None = None) -> WeeklyShift:
+    """Fig 8's stacked view: shifts summed over families, week by week."""
+    if families is None:
+        families = [f for f in ds.active_families if ds.attacks_of(f).size]
+    if not families:
+        raise ValueError("no active families with attacks")
+    per_family = [weekly_shift(ds, f) for f in families]
+    n_weeks = ds.window.n_weeks + 1
+    existing = np.zeros(n_weeks, dtype=np.int64)
+    new = np.zeros(n_weeks, dtype=np.int64)
+    new_countries = np.zeros(n_weeks, dtype=np.int64)
+    for shift in per_family:
+        existing[shift.weeks] += shift.bots_existing
+        new[shift.weeks] += shift.bots_new
+        new_countries[shift.weeks] += shift.new_countries
+    active = np.flatnonzero((existing > 0) | (new > 0))
+    return WeeklyShift(
+        family="<all>",
+        weeks=active,
+        bots_existing=existing[active],
+        bots_new=new[active],
+        new_countries=new_countries[active],
+    )

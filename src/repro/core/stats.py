@@ -1,0 +1,62 @@
+"""Small statistical helpers shared by the analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ecdf", "ecdf_at", "SeriesSummary", "summarize"]
+
+
+def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted values, cumulative probability)``.
+
+    The probability at position ``i`` is ``(i + 1) / n`` — the fraction of
+    observations less than or equal to that value.
+    """
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        raise ValueError("ecdf of empty data")
+    p = np.arange(1, v.size + 1, dtype=float) / v.size
+    return v, p
+
+
+def ecdf_at(values, points) -> np.ndarray:
+    """The empirical CDF evaluated at arbitrary ``points``."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        raise ValueError("ecdf of empty data")
+    points = np.asarray(points, dtype=float)
+    return np.searchsorted(v, points, side="right") / v.size
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean / median / std / extremes / selected percentiles of a series."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p80: float
+    p95: float
+
+
+def summarize(values) -> SeriesSummary:
+    """Compute the summary the paper quotes for intervals and durations."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("summarize of empty data")
+    return SeriesSummary(
+        n=int(v.size),
+        mean=float(np.mean(v)),
+        median=float(np.median(v)),
+        std=float(np.std(v, ddof=0)),
+        minimum=float(np.min(v)),
+        maximum=float(np.max(v)),
+        p80=float(np.percentile(v, 80)),
+        p95=float(np.percentile(v, 95)),
+    )

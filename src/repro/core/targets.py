@@ -1,0 +1,150 @@
+"""Target analyses: country- and organization-level victims (§IV-B).
+
+* Table V — per-family victim-country breakdown with top-5 lists;
+* the global top-5 target countries (USA, Russia, Germany, Ukraine, the
+  Netherlands in the paper);
+* Fig 14 — organization-level affinity: attacks per victim organization
+  for one family in one calendar month, with map coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+import numpy as np
+
+from .dataset import AttackDataset
+
+__all__ = [
+    "CountryBreakdown",
+    "country_breakdown",
+    "top_target_countries",
+    "OrganizationSpot",
+    "organization_affinity",
+    "victim_org_types",
+]
+
+
+@dataclass(frozen=True)
+class CountryBreakdown:
+    """Table V row group for one family."""
+
+    family: str
+    n_countries: int
+    #: (ISO2 code, attack count) sorted by count descending.
+    top: list[tuple[str, int]]
+    total_attacks: int
+
+
+def country_breakdown(ds: AttackDataset, family: str, top_n: int = 5) -> CountryBreakdown:
+    """Table V: victim countries of one family with its top-``top_n`` list."""
+    idx = ds.attacks_of(family)
+    if idx.size == 0:
+        raise ValueError(f"family {family!r} launched no attacks")
+    countries = ds.victims.country_idx[ds.target_idx[idx]]
+    uniq, counts = np.unique(countries, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    top = [
+        (ds.world.countries[int(uniq[i])].code, int(counts[i]))
+        for i in order[:top_n]
+    ]
+    return CountryBreakdown(
+        family=family,
+        n_countries=int(uniq.size),
+        top=top,
+        total_attacks=int(idx.size),
+    )
+
+
+def top_target_countries(ds: AttackDataset, top_n: int = 5) -> list[tuple[str, int]]:
+    """The globally most-attacked countries (§IV-B1's USA/Russia/... list)."""
+    countries = ds.victims.country_idx[ds.target_idx]
+    uniq, counts = np.unique(countries, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    return [
+        (ds.world.countries[int(uniq[i])].code, int(counts[i]))
+        for i in order[:top_n]
+    ]
+
+
+@dataclass(frozen=True)
+class OrganizationSpot:
+    """One marker of the Fig 14 map: a victim organization under attack."""
+
+    organization: str
+    org_type: str
+    country_code: str
+    city: str
+    lat: float
+    lon: float
+    attack_count: int
+    n_targets: int
+
+
+def organization_affinity(
+    ds: AttackDataset,
+    family: str,
+    year: int | None = None,
+    month: int | None = None,
+) -> list[OrganizationSpot]:
+    """Fig 14: attacks per victim organization (optionally one month).
+
+    The paper plots Pandora's February 2013 hotspots; pass ``year=2013,
+    month=2`` to reproduce that view.  Spots are sorted by attack count
+    descending, mapped to the organization's home city coordinates.
+    """
+    idx = ds.attacks_of(family)
+    if idx.size == 0:
+        raise ValueError(f"family {family!r} launched no attacks")
+    if (year is None) != (month is None):
+        raise ValueError("pass both year and month, or neither")
+    if year is not None:
+        month_tags = np.array(
+            [
+                (d.year, d.month)
+                for d in (
+                    datetime.fromtimestamp(ts, tz=timezone.utc) for ts in ds.start[idx]
+                )
+            ]
+        )
+        keep = (month_tags[:, 0] == year) & (month_tags[:, 1] == month)
+        idx = idx[keep]
+        if idx.size == 0:
+            return []
+    targets = ds.target_idx[idx]
+    orgs = ds.victims.org_idx[targets]
+    uniq, counts = np.unique(orgs, return_counts=True)
+    spots = []
+    for org_index, count in zip(uniq, counts):
+        org = ds.world.organizations[int(org_index)]
+        city = ds.world.cities[org.city_index]
+        country = ds.world.countries[org.country_index]
+        n_targets = int(np.unique(targets[orgs == org_index]).size)
+        spots.append(
+            OrganizationSpot(
+                organization=org.name,
+                org_type=org.org_type,
+                country_code=country.code,
+                city=city.name,
+                lat=city.lat,
+                lon=city.lon,
+                attack_count=int(count),
+                n_targets=n_targets,
+            )
+        )
+    spots.sort(key=lambda s: (-s.attack_count, s.organization))
+    return spots
+
+
+def victim_org_types(ds: AttackDataset) -> dict[str, int]:
+    """Attacks per victim-organization *type* (§IV-B2's finding that
+    hosting services, clouds, data centers, registrars and backbones
+    absorb most attacks)."""
+    orgs = ds.victims.org_idx[ds.target_idx]
+    out: dict[str, int] = {}
+    uniq, counts = np.unique(orgs, return_counts=True)
+    for org_index, count in zip(uniq, counts):
+        org_type = ds.world.organizations[int(org_index)].org_type
+        out[org_type] = out.get(org_type, 0) + int(count)
+    return out

@@ -1,0 +1,14 @@
+"""Dataset generation: configuration, victim placement, the generator."""
+
+from .config import DatasetConfig
+from .generator import GenerationError, generate_dataset
+from .victims import TargetPool, build_victims, victim_country_pool
+
+__all__ = [
+    "DatasetConfig",
+    "GenerationError",
+    "generate_dataset",
+    "TargetPool",
+    "build_victims",
+    "victim_country_pool",
+]

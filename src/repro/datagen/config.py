@@ -1,0 +1,114 @@
+"""Dataset-generation configuration.
+
+A dataset is a pure function of a :class:`DatasetConfig`: the same config
+(including its seed) always regenerates the same dataset byte for byte.
+``scale`` shrinks every count proportionally — tests and examples use
+small scales; the benchmark harness uses the full-size configuration that
+matches the paper's totals exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..botnet.family import FamilyProfile
+from ..botnet.profiles import (
+    INTER_FAMILY_COLLABS,
+    MEGA_DAY,
+    N_ATTACKER_COUNTRIES,
+    N_VICTIM_COUNTRIES,
+    default_profiles,
+)
+from ..simulation.clock import ObservationWindow
+
+__all__ = ["DatasetConfig"]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Everything the generator needs; see module docstring."""
+
+    seed: int = 7
+    #: Proportional size of the dataset (1.0 = the paper's exact totals).
+    scale: float = 1.0
+    window: ObservationWindow = field(default_factory=ObservationWindow)
+    #: Override the calibrated family profiles (already-scaled profiles
+    #: are used verbatim; ``scale`` is not applied on top).
+    profiles: dict[str, FamilyProfile] | None = None
+    #: Fraction of each family's bots placed in its home countries.
+    home_share: float = 0.90
+    #: Probability that a long attack is logged as several pulses, which
+    #: the monitor's 60 s segmentation must re-merge.
+    pulse_split_prob: float = 0.25
+    #: Segmentation threshold (§II-D); the ablation bench sweeps this.
+    gap_seconds: float = 60.0
+    n_attacker_countries: int = N_ATTACKER_COUNTRIES
+    n_victim_countries: int = N_VICTIM_COUNTRIES
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0.0 < self.home_share <= 1.0:
+            raise ValueError(f"home_share must be in (0, 1], got {self.home_share}")
+        if not 0.0 <= self.pulse_split_prob <= 1.0:
+            raise ValueError(f"pulse_split_prob out of [0, 1]: {self.pulse_split_prob}")
+        if self.gap_seconds < 0:
+            raise ValueError(f"gap_seconds must be non-negative: {self.gap_seconds}")
+        if self.n_attacker_countries < 1 or self.n_victim_countries < 1:
+            raise ValueError("country pool sizes must be positive")
+
+    # -- resolution --------------------------------------------------------
+
+    def resolved_profiles(self) -> dict[str, FamilyProfile]:
+        """The family profiles actually used (scaled defaults unless overridden)."""
+        if self.profiles is not None:
+            return dict(self.profiles)
+        profiles = default_profiles()
+        if self.scale >= 1.0:
+            return profiles
+        return {name: prof.scaled(self.scale) for name, prof in profiles.items()}
+
+    def resolved_inter_collabs(self) -> list[tuple[str, str, int]]:
+        """Inter-family collaboration counts at this scale, restricted to
+        family pairs that exist in the resolved profiles."""
+        profiles = self.resolved_profiles()
+        out = []
+        for fam_a, fam_b, count in INTER_FAMILY_COLLABS:
+            if fam_a not in profiles or fam_b not in profiles:
+                continue
+            if not (profiles[fam_a].active and profiles[fam_b].active):
+                continue
+            scaled = count if self.scale >= 1.0 else max(1, int(round(count * self.scale)))
+            out.append((fam_a, fam_b, scaled))
+        return out
+
+    def resolved_mega(self) -> dict:
+        """The 2012-08-30 surge spec at this scale (may be zero-size)."""
+        mega = dict(MEGA_DAY)
+        if self.scale < 1.0:
+            mega["extra_attacks"] = int(round(mega["extra_attacks"] * self.scale))
+        profiles = self.resolved_profiles()
+        if mega["family"] not in profiles or not profiles[mega["family"]].active:
+            mega["extra_attacks"] = 0
+        return mega
+
+    # -- presets -------------------------------------------------------------
+
+    @classmethod
+    def full(cls, seed: int = 7) -> "DatasetConfig":
+        """The paper-scale dataset: 50,704 attacks, 310,950 bots."""
+        return cls(seed=seed, scale=1.0)
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "DatasetConfig":
+        """~2 % scale: ~1,000 attacks; integration tests and examples."""
+        return cls(seed=seed, scale=0.02)
+
+    @classmethod
+    def tiny(cls, seed: int = 7) -> "DatasetConfig":
+        """~0.5 % scale: a few hundred attacks; fast unit tests."""
+        return cls(seed=seed, scale=0.005)
+
+    def with_seed(self, seed: int) -> "DatasetConfig":
+        """The same configuration under a different master seed."""
+        return replace(self, seed=seed)

@@ -1,0 +1,493 @@
+"""End-to-end dataset generation.
+
+``generate_dataset(config)`` runs the whole pipeline:
+
+1. build the world, the IPv4 plan and the GeoIP service;
+2. build botnet rosters (674 generations) and per-family bot pools
+   (310,950 bots at full scale);
+3. build the victim registry (9,026 targets) and per-family target pools;
+4. plan every family's attacks (waves/sessions, staged collaborations,
+   chains, the 2012-08-30 surge) plus the inter-family collaborations;
+5. assign protocols (exact Table II multisets) and targets (Table V
+   country weights, full coverage of the victim registry);
+6. resolve (botnet, target) timing conflicts so the 60 s segmentation
+   rule cannot merge distinct attacks;
+7. sample per-attack participants from the bot pools;
+8. emit raw pulses through the discrete-event engine into the monitoring
+   collector, segment them with the 60 s rule, and verify the round trip;
+9. assemble the columnar :class:`~repro.core.dataset.AttackDataset`.
+
+Everything is driven by named seed streams, so a dataset is a pure
+function of its :class:`~repro.datagen.config.DatasetConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..botnet.bots import BotPool
+from ..botnet.cnc import BotnetRoster
+from ..botnet.scheduler import CollabKind, FamilyScheduler, PlannedAttack
+from ..core.dataset import AttackDataset, BotRegistry
+from ..geo.ipam import IPAllocator, SequentialAssigner
+from ..geo.mapping import GeoIPService
+from ..geo.world import World
+from ..monitor.collector import Collector
+from ..monitor.labeling import FamilyLabeler
+from ..monitor.schemas import AttackPulse, BotnetRecord, Protocol
+from ..simulation.clock import ObservationWindow
+from ..simulation.engine import SimulationEngine
+from ..simulation.events import EventKind
+from ..simulation.rng import SeededStreams
+from .config import DatasetConfig
+from .victims import TargetPool, build_victims
+
+__all__ = ["generate_dataset", "GenerationError"]
+
+
+class GenerationError(RuntimeError):
+    """Internal consistency failure during generation (a bug, not data)."""
+
+
+def _attacker_country_pool(world: World, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``n`` countries by internet weight: the global bot tail pool."""
+    order = sorted(world.countries, key=lambda c: -c.weight)[:n]
+    idx = np.array([c.index for c in order], dtype=np.int64)
+    w = np.array([c.weight for c in order], dtype=float)
+    return idx, w
+
+
+def _plan_inter_family(
+    collabs: list[tuple[str, str, int]],
+    profiles,
+    pools: dict[str, TargetPool],
+    rosters: dict[str, BotnetRoster],
+    window: ObservationWindow,
+    rng: np.random.Generator,
+    next_group: int,
+) -> tuple[list[PlannedAttack], int]:
+    """Stage the inter-family concurrent collaborations (§V-A, Fig 16).
+
+    Dirtjumper×Pandora ran from October to December 2012 against 96
+    unique targets; each event pairs one attack from each family with
+    near-identical magnitudes and durations differing by 10-28 minutes.
+    """
+    attacks: list[PlannedAttack] = []
+    # Oct 1 / Dec 31 2012 as fractions of the paper window.
+    season = (0.159, 0.599)
+    for fam_a, fam_b, count in collabs:
+        prof_a, prof_b = profiles[fam_a], profiles[fam_b]
+        lo = max(prof_a.active_window[0], prof_b.active_window[0], season[0])
+        hi = min(prof_a.active_window[1], prof_b.active_window[1], season[1])
+        if hi <= lo:  # fall back to the plain activity overlap
+            lo = max(prof_a.active_window[0], prof_b.active_window[0])
+            hi = min(prof_a.active_window[1], prof_b.active_window[1])
+            if hi <= lo:
+                raise GenerationError(
+                    f"{fam_a} and {fam_b} never active together; cannot stage collabs"
+                )
+        t0 = window.start + lo * window.duration
+        span = (hi - lo) * window.duration
+
+        pool_a = pools[fam_a]
+        n_targets = max(1, min(int(round(count * 96.0 / 118.0)), pool_a.n_targets, count))
+        target_sel = rng.choice(pool_a.target_indices.size, size=n_targets, replace=False)
+        targets = pool_a.target_indices[target_sel]
+        for e in range(count):
+            # First cover every designated target once, then revisit.
+            target = int(targets[e]) if e < n_targets else int(targets[rng.integers(0, n_targets)])
+            base = t0 + rng.random() * span
+            dur_a = float(rng.lognormal(np.log(4800.0), 0.4))
+            dur_b = dur_a + float(rng.uniform(600.0, 1700.0))
+            magnitude = int(max(4, round(rng.lognormal(np.log(40.0), 0.4))))
+            bot_a = int(rosters[fam_a].pick(rng, base, k=1)[0])
+            bot_b = int(rosters[fam_b].pick(rng, base, k=1)[0])
+            sym = bool(rng.random() < 0.6)
+            residual = 0.0 if sym else float(rng.lognormal(np.log(800.0), 0.5))
+            for fam, bot, dur in ((fam_a, bot_a, dur_a), (fam_b, bot_b, dur_b)):
+                attacks.append(
+                    PlannedAttack(
+                        start=base + float(rng.random() * 50.0),
+                        duration=dur,
+                        family=fam,
+                        botnet_id=bot,
+                        target_index=target,
+                        magnitude=magnitude,
+                        symmetric=sym,
+                        residual_km=residual,
+                        collab_group=next_group,
+                        collab_kind=CollabKind.INTER,
+                    )
+                )
+            next_group += 1
+    return attacks, next_group
+
+
+def _assign_protocols(per_family: dict[str, list[PlannedAttack]], profiles, streams) -> None:
+    """Give every attack a protocol; exact Table II multiset per family."""
+    for name, attacks in per_family.items():
+        counts = profiles[name].protocol_counts
+        multiset: list[Protocol] = []
+        for proto in sorted(counts, key=lambda p: p.value):
+            multiset.extend([proto] * counts[proto])
+        if len(multiset) != len(attacks):
+            raise GenerationError(
+                f"{name}: planned {len(attacks)} attacks but protocol "
+                f"multiset holds {len(multiset)}"
+            )
+        rng = streams.stream(f"protocols.{name}")
+        order = rng.permutation(len(multiset))
+        for attack, pos in zip(attacks, order):
+            attack.protocol = multiset[pos]
+
+
+def _assign_targets(
+    attacks: list[PlannedAttack], pool: TargetPool, rng: np.random.Generator
+) -> None:
+    """Fill in targets: staged structures first, then full pool coverage.
+
+    Mega-day attacks (marked ``chain_id == -2``) round-robin over the
+    designated Russian subnet; each chain and each intra-family collab
+    group shares a single target; the remaining ("regular") attacks first
+    cover every not-yet-attacked victim once, then draw country-weighted
+    Zipf targets.
+    """
+    used: set[int] = set()
+    regular: list[PlannedAttack] = []
+    by_chain: dict[int, list[PlannedAttack]] = {}
+    by_group: dict[int, list[PlannedAttack]] = {}
+    mega: list[PlannedAttack] = []
+    for attack in attacks:
+        if attack.target_index >= 0:  # inter-family collabs arrive pre-assigned
+            used.add(attack.target_index)
+            continue
+        if attack.chain_id == -2:
+            mega.append(attack)
+        elif attack.chain_id >= 0:
+            by_chain.setdefault(attack.chain_id, []).append(attack)
+        elif attack.collab_group >= 0:
+            by_group.setdefault(attack.collab_group, []).append(attack)
+        else:
+            regular.append(attack)
+
+    if mega:
+        targets = pool.mega_targets if pool.mega_targets.size else pool.target_indices
+        for i, attack in enumerate(mega):
+            attack.target_index = int(targets[i % targets.size])
+            used.add(attack.target_index)
+    for members in by_chain.values():
+        target = pool.sample_target(rng)
+        for attack in members:
+            attack.target_index = target
+        used.add(target)
+    for members in by_group.values():
+        target = pool.sample_target(rng)
+        for attack in members:
+            attack.target_index = target
+        used.add(target)
+
+    uncovered = [int(t) for t in pool.target_indices if int(t) not in used]
+    rng.shuffle(uncovered)
+    rng.shuffle(regular)
+    for attack in regular:
+        if uncovered:
+            attack.target_index = uncovered.pop()
+        else:
+            attack.target_index = pool.sample_target(rng)
+    if uncovered:
+        # Not enough regular attacks to cover the pool: hand leftovers to
+        # staged attacks (overrides their shared-target property for the
+        # overflow only; only reachable at extreme scale-down).
+        overflow = mega + [a for ms in by_chain.values() for a in ms]
+        for attack, target in zip(overflow, uncovered):
+            attack.target_index = int(target)
+        uncovered = uncovered[len(overflow):]
+    for attack in attacks:
+        if attack.target_index < 0:
+            raise GenerationError(f"{attack.family}: unassigned target survived")
+
+
+def _resolve_conflicts(
+    attacks: list[PlannedAttack], window: ObservationWindow, rng: np.random.Generator
+) -> None:
+    """Ensure no two attacks share (botnet, target) within the 60 s rule.
+
+    The segmentation stage merges same-botnet-same-target activity with
+    gaps <= 60 s; planned attacks that would merge are pushed apart, so
+    the verified-attack count stays exact.
+    """
+    groups: dict[tuple[int, int], list[PlannedAttack]] = {}
+    for attack in attacks:
+        groups.setdefault((attack.botnet_id, attack.target_index), []).append(attack)
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        members.sort(key=lambda a: a.start)
+        prev_end = members[0].end
+        for attack in members[1:]:
+            min_start = prev_end + 61.0
+            if attack.start < min_start:
+                attack.start = min_start + float(rng.random() * 30.0)
+            prev_end = max(prev_end, attack.end)
+
+
+def _clamp_to_window(attacks: list[PlannedAttack], window: ObservationWindow) -> None:
+    """Keep every attack's *start* inside the observation window.
+
+    Runs before conflict resolution (which only ever pushes starts
+    later, never earlier, so it cannot undo this).  An attack may end
+    after the window closes — the monitoring service records the end
+    time it eventually observes, exactly as the real collection did.
+    """
+    horizon = float(window.end - 1)
+    for attack in attacks:
+        if attack.start >= horizon:
+            attack.start = horizon - 1.0
+        if attack.start < window.start:
+            attack.start = float(window.start)
+
+
+def _emit_pulses(
+    attacks: list[PlannedAttack],
+    engine: SimulationEngine,
+    rng: np.random.Generator,
+    split_prob: float,
+) -> None:
+    """Schedule each planned attack as 1-3 raw pulses on the engine."""
+    for tag, attack in enumerate(attacks):
+        # Splitting carves short (<= 50 s) gaps strictly *inside* the
+        # planned span, so the merged record reproduces the attack
+        # exactly and never bleeds into a neighbouring attack.
+        cuts: list[tuple[float, float]] = [(attack.start, attack.end)]
+        if attack.duration > 300.0 and rng.random() < split_prob:
+            n_cuts = 2 if (attack.duration > 900.0 and rng.random() < 0.5) else 1
+            centers = np.sort(rng.uniform(0.25, 0.75, size=n_cuts)) * attack.duration
+            if n_cuts == 1 or (centers[1] - centers[0]) > 110.0:
+                gaps = rng.uniform(5.0, 50.0, size=n_cuts)
+                cuts = []
+                edge = attack.start
+                for center, gap in zip(centers, gaps):
+                    cuts.append((edge, attack.start + float(center - gap / 2.0)))
+                    edge = attack.start + float(center + gap / 2.0)
+                cuts.append((edge, attack.end))
+        for lo, hi in cuts:
+            pulse = AttackPulse(
+                botnet_id=attack.botnet_id,
+                family=attack.family,
+                target_index=attack.target_index,
+                start=lo,
+                end=hi,
+                protocol=attack.protocol,
+                attack_tag=tag,
+            )
+            engine.schedule(lo, EventKind.ATTACK_PULSE, pulse)
+
+
+def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
+    """Generate the full synthetic dataset for ``config`` (see module docs)."""
+    if config is None:
+        config = DatasetConfig()
+    streams = SeededStreams(config.seed)
+    window = config.window
+    profiles = config.resolved_profiles()
+    family_names = list(profiles.keys())
+    family_index = {name: i for i, name in enumerate(family_names)}
+    active_names = [n for n in family_names if profiles[n].active]
+
+    world = World.build(streams)
+    allocator = IPAllocator(world, streams)
+    geoip = GeoIPService(world, allocator)
+    assigner = SequentialAssigner(allocator)
+    attacker_idx, attacker_w = _attacker_country_pool(world, config.n_attacker_countries)
+
+    # --- rosters -----------------------------------------------------------
+    rosters: dict[str, BotnetRoster] = {}
+    next_botnet_id = 1
+    for name in family_names:
+        roster = BotnetRoster.build(
+            profiles[name], world, assigner,
+            streams.stream(f"roster.{name}"), window, next_botnet_id,
+        )
+        rosters[name] = roster
+        next_botnet_id += roster.n_botnets
+
+    # --- victims -----------------------------------------------------------
+    mega = config.resolved_mega()
+    victims, target_pools = build_victims(
+        profiles, world, assigner, geoip, streams.stream("victims"),
+        config.n_victim_countries, mega_family=mega["family"],
+    )
+    # build_victims numbers owners by active-family position; remap global.
+    active_to_global = np.array([family_index[n] for n in active_names], dtype=np.int16)
+    owned = victims.owner_family_idx >= 0
+    victims.owner_family_idx[owned] = active_to_global[victims.owner_family_idx[owned]]
+
+    # --- bot pools ----------------------------------------------------------
+    pools: dict[str, BotPool] = {}
+    for name in family_names:
+        pools[name] = BotPool.build(
+            profiles[name], world, assigner, geoip,
+            streams.stream(f"bots.{name}"), window,
+            attacker_idx, attacker_w, rosters[name].ids,
+            home_share=config.home_share,
+        )
+
+    # --- planning ------------------------------------------------------------
+    inter = config.resolved_inter_collabs()
+    reserve: dict[str, int] = {}
+    for fam_a, fam_b, count in inter:
+        reserve[fam_a] = reserve.get(fam_a, 0) + count
+        reserve[fam_b] = reserve.get(fam_b, 0) + count
+
+    per_family: dict[str, list[PlannedAttack]] = {}
+    next_group = 0
+    for name in active_names:
+        scheduler = FamilyScheduler(
+            profiles[name], window, rosters[name],
+            streams.stream(f"schedule.{name}"),
+            reserve_for_inter=reserve.get(name, 0),
+            mega_extra=mega["extra_attacks"] if name == mega["family"] else 0,
+        )
+        plan, next_group = scheduler.plan(next_group)
+        per_family[name] = plan.attacks
+
+    inter_attacks, next_group = _plan_inter_family(
+        inter, profiles, target_pools, rosters, window,
+        streams.stream("inter"), next_group,
+    )
+    for attack in inter_attacks:
+        per_family[attack.family].append(attack)
+
+    _assign_protocols(per_family, profiles, streams)
+    for name in active_names:
+        _assign_targets(per_family[name], target_pools[name], streams.stream(f"targets.{name}"))
+
+    all_attacks = [a for name in active_names for a in per_family[name]]
+    _clamp_to_window(all_attacks, window)
+    _resolve_conflicts(all_attacks, window, streams.stream("conflicts"))
+
+    # --- monitoring pipeline ---------------------------------------------------
+    botnet_to_family = {
+        int(bid): name for name in family_names for bid in rosters[name].ids
+    }
+    labeler = FamilyLabeler(botnet_to_family)
+    engine = SimulationEngine(start_time=window.start)
+    collector = Collector(labeler, gap_seconds=config.gap_seconds)
+    collector.attach(engine)
+    _emit_pulses(all_attacks, engine, streams.stream("pulses"), config.pulse_split_prob)
+    engine.run()
+    segments = collector.segment()
+
+    if len(segments) != len(all_attacks):
+        raise GenerationError(
+            f"segmentation produced {len(segments)} attacks from "
+            f"{len(all_attacks)} planned (conflict resolution failed)"
+        )
+    seen_tags: set[int] = set()
+    for seg in segments:
+        if len(seg.tags) != 1:
+            raise GenerationError(f"segment merged distinct attacks: tags={seg.tags}")
+        seen_tags.add(seg.tags[0])
+    if len(seen_tags) != len(all_attacks):
+        raise GenerationError("segmentation lost attacks")
+
+    # --- participants -------------------------------------------------------
+    pool_offset: dict[str, int] = {}
+    offset = 0
+    for name in family_names:
+        pool_offset[name] = offset
+        offset += pools[name].n_bots
+
+    n = len(segments)
+    start = np.empty(n)
+    end = np.empty(n)
+    family_col = np.empty(n, dtype=np.int16)
+    botnet_col = np.empty(n, dtype=np.int32)
+    protocol_col = np.empty(n, dtype=np.int8)
+    target_col = np.empty(n, dtype=np.int32)
+    magnitude_col = np.empty(n, dtype=np.int32)
+    group_col = np.empty(n, dtype=np.int32)
+    kind_col = np.empty(n, dtype=np.int8)
+    chain_col = np.empty(n, dtype=np.int32)
+    sym_col = np.empty(n, dtype=bool)
+    residual_col = np.empty(n, dtype=np.float64)
+    parts: list[np.ndarray] = []
+    offsets = np.zeros(n + 1, dtype=np.int64)
+
+    part_rngs = {name: streams.stream(f"participants.{name}") for name in active_names}
+    for i, seg in enumerate(segments):
+        planned = all_attacks[seg.tags[0]]
+        name = planned.family
+        start[i] = seg.start
+        end[i] = seg.end
+        family_col[i] = family_index[name]
+        botnet_col[i] = seg.botnet_id
+        protocol_col[i] = int(planned.protocol)
+        target_col[i] = planned.target_index
+        group_col[i] = planned.collab_group
+        kind_col[i] = planned.collab_kind
+        chain_col[i] = planned.chain_id if planned.chain_id >= 0 else -1
+        sym_col[i] = planned.symmetric
+        residual_col[i] = planned.residual_km
+        local = pools[name].sample_participants(
+            part_rngs[name], seg.start, planned.magnitude,
+            planned.symmetric, planned.residual_km,
+        )
+        parts.append(local + pool_offset[name])
+        magnitude_col[i] = local.size
+        offsets[i + 1] = offsets[i] + local.size
+
+    participants = (
+        np.concatenate(parts).astype(np.int64) if parts else np.zeros(0, dtype=np.int64)
+    )
+
+    # --- registries ------------------------------------------------------------
+    bots = BotRegistry(
+        ip=np.concatenate([pools[n].ip for n in family_names]),
+        lat=np.concatenate([pools[n].lat for n in family_names]),
+        lon=np.concatenate([pools[n].lon for n in family_names]),
+        country_idx=np.concatenate([pools[n].country_idx for n in family_names]),
+        city_idx=np.concatenate([pools[n].city_idx for n in family_names]),
+        org_idx=np.concatenate([pools[n].org_idx for n in family_names]),
+        asn=np.concatenate([pools[n].asn for n in family_names]),
+        family_idx=np.concatenate(
+            [np.full(pools[n].n_bots, family_index[n], dtype=np.int16) for n in family_names]
+        ),
+        botnet_id=np.concatenate([pools[n].botnet_id for n in family_names]),
+        recruit_ts=np.concatenate([pools[n].recruit_ts for n in family_names]),
+    )
+    botnet_records = [
+        BotnetRecord(
+            botnet_id=int(rosters[name].ids[j]),
+            family=name,
+            controller_ip=int(rosters[name].controller_ip[j]),
+            first_seen=float(rosters[name].first_seen[j]),
+            last_seen=float(rosters[name].last_seen[j]),
+        )
+        for name in family_names
+        for j in range(rosters[name].n_botnets)
+    ]
+
+    return AttackDataset(
+        window=window,
+        world=world,
+        families=family_names,
+        active_families=active_names,
+        bots=bots,
+        victims=victims,
+        botnets=botnet_records,
+        start=start,
+        end=end,
+        family_idx=family_col,
+        botnet_id=botnet_col,
+        protocol=protocol_col,
+        target_idx=target_col,
+        magnitude=magnitude_col,
+        part_offsets=offsets,
+        participants=participants,
+        truth_collab_group=group_col,
+        truth_collab_kind=kind_col,
+        truth_chain_id=chain_col,
+        truth_symmetric=sym_col,
+        truth_residual_km=residual_col,
+    )

@@ -1,0 +1,320 @@
+"""Victim registry construction.
+
+Builds the global victim population (Table III: 9,026 target IPs in 84
+countries) and each family's target pool: which victims it can attack,
+with country weights matching Table V.  Victim organizations skew toward
+hosting providers, cloud/data centers, registrars and backbone ASes —
+the paper's organization-level finding (§IV-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..botnet.family import FamilyProfile
+from ..core.dataset import VictimRegistry
+from ..geo.ipam import SequentialAssigner
+from ..geo.mapping import GeoIPService
+from ..geo.world import World
+
+__all__ = ["TargetPool", "build_victims", "victim_country_pool"]
+
+#: Organization-type attractiveness for attackers (§IV-B2: web hosting,
+#: cloud providers, data centers, registrars, backbones dominate).
+_VICTIM_TYPE_BOOST = {
+    "hosting": 5.0,
+    "cloud": 4.0,
+    "datacenter": 3.0,
+    "registrar": 2.0,
+    "backbone": 2.0,
+    "isp": 1.0,
+    "enterprise": 0.5,
+}
+
+#: Zipf exponent for repeat-target selection within a country.
+_TARGET_ZIPF = 0.9
+
+
+@dataclass
+class TargetPool:
+    """One family's victims, organised for per-attack sampling."""
+
+    family: str
+    target_indices: np.ndarray                       # global victim indices
+    country_ids: np.ndarray                          # distinct country indices
+    country_weights: np.ndarray                      # normalised
+    by_country: dict[int, np.ndarray] = field(default_factory=dict)
+    zipf_by_country: dict[int, np.ndarray] = field(default_factory=dict)
+    mega_targets: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def n_targets(self) -> int:
+        return self.target_indices.size
+
+    def sample_target(self, rng: np.random.Generator) -> int:
+        """Country-weighted, Zipf-within-country target draw."""
+        c = int(self.country_ids[rng.choice(self.country_ids.size, p=self.country_weights)])
+        targets = self.by_country[c]
+        probs = self.zipf_by_country[c]
+        return int(targets[rng.choice(targets.size, p=probs)])
+
+
+def victim_country_pool(
+    world: World, profiles: dict[str, FamilyProfile], n_countries: int
+) -> list[int]:
+    """The global victim-country list (84 countries in the paper).
+
+    Starts from the union of every family's explicit target countries
+    (the Table V top-5s), then pads with the highest-weight remaining
+    countries until ``n_countries`` is reached.
+    """
+    pool: list[int] = []
+    seen: set[int] = set()
+    for profile in profiles.values():
+        for cc, _w in profile.target_countries:
+            idx = world.country_by_code(cc).index
+            if idx not in seen:
+                seen.add(idx)
+                pool.append(idx)
+    by_weight = sorted(world.countries, key=lambda c: -c.weight)
+    for country in by_weight:
+        if len(pool) >= n_countries:
+            break
+        if country.index not in seen:
+            seen.add(country.index)
+            pool.append(country.index)
+    return pool[:n_countries]
+
+
+def _family_country_plan(
+    profile: FamilyProfile, world: World, pool: list[int], rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(country ids, weights, per-country target counts) for one family."""
+    explicit = [(world.country_by_code(cc).index, w) for cc, w in profile.target_countries]
+    explicit_ids = {c for c, _ in explicit}
+    n_countries = min(profile.n_target_countries, profile.n_targets, len(pool))
+    n_countries = max(n_countries, min(len(explicit), profile.n_targets))
+    ids: list[int] = [c for c, _ in explicit][:n_countries]
+    # Pad from the global pool, smallest Table V weight scaled down by rank.
+    tail_base = min(w for _c, w in explicit) if explicit else 1.0
+    weights: list[float] = [w for _c, w in explicit][: len(ids)]
+    rank = 1
+    for c in pool:
+        if len(ids) >= n_countries:
+            break
+        if c in explicit_ids:
+            continue
+        ids.append(c)
+        weights.append(tail_base * 0.8 / rank)
+        rank += 1
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    w_arr = np.asarray(weights, dtype=float)
+    w_arr = w_arr / w_arr.sum()
+
+    # Largest-remainder allocation of targets to countries, each >= 1.
+    n = profile.n_targets
+    raw = w_arr * (n - len(ids))
+    counts = np.floor(raw).astype(np.int64) + 1
+    short = n - int(counts.sum())
+    if short > 0:
+        order = np.argsort(-(raw - np.floor(raw)))
+        for j in range(short):
+            counts[order[j % order.size]] += 1
+    elif short < 0:
+        order = np.argsort(raw - np.floor(raw))
+        k = 0
+        while short < 0:
+            j = order[k % order.size]
+            if counts[j] > 1:
+                counts[j] -= 1
+                short += 1
+            k += 1
+    _ = rng
+    return ids_arr, w_arr, counts
+
+
+def _ensure_pool_coverage(
+    plans: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
+    explicit_by_family: dict[str, set[int]],
+    pool: list[int],
+) -> None:
+    """Swap padded countries between families so the union covers the pool.
+
+    Families pad their country lists from the front of the global pool,
+    which can leave tail countries unattacked (the paper's 84 victim
+    countries are a global property).  For every uncovered pool country,
+    find a padded (non-Table-V) slot whose country appears in at least
+    two families and retarget it, keeping every per-family country
+    *count* exactly as planned.
+    """
+    coverage: dict[int, int] = {}
+    for ids, _w, _c in plans.values():
+        for c in ids:
+            coverage[int(c)] = coverage.get(int(c), 0) + 1
+    for country in pool:
+        if coverage.get(country, 0) > 0:
+            continue
+        swapped = False
+        # Prefer the family with the longest country list (most slack).
+        for name in sorted(plans, key=lambda n: -plans[n][0].size):
+            ids, _w, _counts = plans[name]
+            explicit = explicit_by_family[name]
+            for pos in range(ids.size - 1, -1, -1):
+                c = int(ids[pos])
+                if c in explicit or coverage.get(c, 0) < 2:
+                    continue
+                coverage[c] -= 1
+                ids[pos] = country
+                coverage[country] = 1
+                swapped = True
+                break
+            if swapped:
+                break
+        # If no swap is possible (extreme scale-down), the country stays
+        # uncovered; the measured victim-country count simply comes out
+        # lower, which EXPERIMENTS.md reports.
+
+
+def build_victims(
+    profiles: dict[str, FamilyProfile],
+    world: World,
+    assigner: SequentialAssigner,
+    geoip: GeoIPService,
+    rng: np.random.Generator,
+    n_victim_countries: int,
+    mega_family: str = "",
+    mega_min_targets: int = 45,
+) -> tuple[VictimRegistry, dict[str, TargetPool]]:
+    """Materialise the victim registry and per-family target pools.
+
+    Victims are partitioned across active families (so the global unique
+    count is exact); the ``mega_family`` (Dirtjumper) gets a contiguous
+    batch of Russian targets inside a single hosting organization — the
+    "same subnet" the 2012-08-30 surge hit.
+    """
+    pool_countries = victim_country_pool(world, profiles, n_victim_countries)
+    family_names = [n for n, p in profiles.items() if p.active]
+
+    ips: list[np.ndarray] = []
+    lats: list[np.ndarray] = []
+    lons: list[np.ndarray] = []
+    country_col: list[np.ndarray] = []
+    city_col: list[np.ndarray] = []
+    org_col: list[np.ndarray] = []
+    asn_col: list[np.ndarray] = []
+    pools: dict[str, TargetPool] = {}
+    cursor = 0
+
+    def place_targets(country_index: int, n: int) -> np.ndarray:
+        """Place ``n`` victims in one country; returns global indices."""
+        nonlocal cursor
+        org_ids, org_w = world.org_weights_of(country_index)
+        boost = np.array(
+            [_VICTIM_TYPE_BOOST.get(world.organizations[int(o)].org_type, 1.0) for o in org_ids]
+        )
+        w = org_w * boost
+        w = w / w.sum()
+        per_org = rng.multinomial(n, w)
+        got_indices: list[np.ndarray] = []
+        remainder = 0
+        for pos in np.argsort(-per_org):
+            want = int(per_org[pos]) + remainder
+            remainder = 0
+            if want == 0:
+                continue
+            org_index = int(org_ids[pos])
+            got = min(want, assigner.remaining(org_index))
+            if got < want:
+                remainder = want - got
+            if got == 0:
+                continue
+            batch = assigner.take(org_index, got)
+            org = world.organizations[org_index]
+            blats, blons = geoip.coords_for_city(org.city_index, batch)
+            ips.append(batch)
+            lats.append(blats)
+            lons.append(blons)
+            country_col.append(np.full(got, country_index, dtype=np.int16))
+            city_col.append(np.full(got, org.city_index, dtype=np.int32))
+            org_col.append(np.full(got, org_index, dtype=np.int32))
+            asn_col.append(np.full(got, org.asn, dtype=np.int32))
+            got_indices.append(np.arange(cursor, cursor + got, dtype=np.int64))
+            cursor += got
+        if remainder:
+            raise RuntimeError(
+                f"victim placement: country {country_index} out of address space"
+            )
+        return np.concatenate(got_indices) if got_indices else np.zeros(0, dtype=np.int64)
+
+    plans: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    explicit_by_family: dict[str, set[int]] = {}
+    for name in family_names:
+        profile = profiles[name]
+        plans[name] = _family_country_plan(profile, world, pool_countries, rng)
+        explicit_by_family[name] = {
+            world.country_by_code(cc).index for cc, _w in profile.target_countries
+        }
+    _ensure_pool_coverage(plans, explicit_by_family, pool_countries)
+
+    for fam_pos, name in enumerate(family_names):
+        ids_arr, w_arr, counts = plans[name]
+        by_country: dict[int, np.ndarray] = {}
+        fam_targets: list[np.ndarray] = []
+        mega_targets = np.zeros(0, dtype=np.int64)
+        for c, cnt in zip(ids_arr, counts):
+            placed = place_targets(int(c), int(cnt))
+            by_country[int(c)] = placed
+            fam_targets.append(placed)
+        all_targets = np.concatenate(fam_targets) if fam_targets else np.zeros(0, dtype=np.int64)
+
+        zipf = {
+            int(c): (lambda t: ((1.0 / np.arange(1, t.size + 1) ** _TARGET_ZIPF)
+                                / (1.0 / np.arange(1, t.size + 1) ** _TARGET_ZIPF).sum()))(tgts)
+            for c, tgts in by_country.items()
+            if tgts.size
+        }
+        pools[name] = TargetPool(
+            family=name,
+            target_indices=all_targets,
+            country_ids=ids_arr,
+            country_weights=w_arr,
+            by_country={int(c): t for c, t in by_country.items()},
+            zipf_by_country=zipf,
+            mega_targets=mega_targets,
+        )
+
+    owner = np.full(cursor, -1, dtype=np.int16)
+    for fam_pos, name in enumerate(family_names):
+        owner[pools[name].target_indices] = fam_pos
+
+    org_all = np.concatenate(org_col) if org_col else np.zeros(0, dtype=np.int32)
+    country_all = (
+        np.concatenate(country_col) if country_col else np.zeros(0, dtype=np.int16)
+    )
+    if mega_family in pools and world.has_country("RU"):
+        # The 2012-08-30 surge hit targets "in the same subnet": pick the
+        # mega family's largest single-organization group of Russian
+        # victims.
+        ru = world.country_by_code("RU").index
+        fam_targets_all = pools[mega_family].target_indices
+        ru_mask = country_all[fam_targets_all] == ru
+        ru_targets = fam_targets_all[ru_mask]
+        if ru_targets.size:
+            orgs, counts_per_org = np.unique(org_all[ru_targets], return_counts=True)
+            best_org = orgs[int(np.argmax(counts_per_org))]
+            group = ru_targets[org_all[ru_targets] == best_org]
+            pools[mega_family].mega_targets = group[:mega_min_targets]
+
+    registry = VictimRegistry(
+        ip=np.concatenate(ips) if ips else np.zeros(0, dtype=np.uint64),
+        lat=np.concatenate(lats) if lats else np.zeros(0),
+        lon=np.concatenate(lons) if lons else np.zeros(0),
+        country_idx=country_all,
+        city_idx=np.concatenate(city_col) if city_col else np.zeros(0, dtype=np.int32),
+        org_idx=org_all,
+        asn=np.concatenate(asn_col) if asn_col else np.zeros(0, dtype=np.int32),
+        owner_family_idx=owner,
+    )
+    return registry, pools

@@ -1,0 +1,33 @@
+"""Defense extensions: the paper's "insights into defenses", made runnable.
+
+The paper closes by planning to "leverage these findings to design more
+effective defense schemes"; this package implements the obvious first
+steps as measurable policies:
+
+* :mod:`blacklist` — source-country / source-IP blacklists trained on
+  history, scored on future traffic (§IV-A affinity);
+* :mod:`detection` — detection-window analysis around the ~4 hour
+  duration knee (§III-C);
+* :mod:`provisioning` — scrubbing capacity scheduled from next-attack
+  predictions (abstract finding 2);
+* :mod:`attribution` — sensitivity of the collaboration split to family
+  mislabeling (§II-B's labeling-accuracy assumption).
+"""
+
+from .attribution import NoiseImpact, labeling_sensitivity
+from .blacklist import BlacklistEvaluation, CountryBlacklist, IPBlacklist
+from .detection import DetectionOutcome, evaluate_detection_window, sweep_detection_windows
+from .provisioning import ProvisioningResult, backtest_provisioning
+
+__all__ = [
+    "NoiseImpact",
+    "labeling_sensitivity",
+    "BlacklistEvaluation",
+    "CountryBlacklist",
+    "IPBlacklist",
+    "DetectionOutcome",
+    "evaluate_detection_window",
+    "sweep_detection_windows",
+    "ProvisioningResult",
+    "backtest_provisioning",
+]

@@ -1,0 +1,13 @@
+"""Per-table/figure experiment modules and the registry."""
+
+from .base import Experiment, ExperimentResult, Row
+from .registry import ALL_EXPERIMENTS, get_experiment, run_all
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "Row",
+    "ALL_EXPERIMENTS",
+    "get_experiment",
+    "run_all",
+]

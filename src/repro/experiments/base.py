@@ -1,0 +1,72 @@
+"""Experiment framework: paper-vs-measured rows for every table/figure.
+
+Each experiment module exposes an :data:`EXPERIMENT` instance whose
+``run(ds)`` returns an :class:`ExperimentResult` — a list of rows, each a
+``(label, paper value, measured value)`` triple (paper value may be
+``None`` when the paper reports no number for that row).  The benchmark
+harness times ``run`` and prints the rows; ``EXPERIMENTS.md`` is the
+curated record of one full-scale run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.dataset import AttackDataset
+
+__all__ = ["Row", "ExperimentResult", "Experiment"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One comparison row of an experiment."""
+
+    label: str
+    paper: str | None
+    measured: str
+
+    def render(self) -> str:
+        """One aligned ``label paper= measured=`` line."""
+        paper = self.paper if self.paper is not None else "-"
+        return f"{self.label:<42s} paper={paper:<16s} measured={self.measured}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment reports."""
+
+    experiment_id: str
+    rows: list[Row] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, label: str, paper, measured) -> None:
+        """Append a comparison row (``paper=None`` renders as ``-``)."""
+        self.rows.append(
+            Row(
+                label=label,
+                paper=None if paper is None else str(paper),
+                measured=str(measured),
+            )
+        )
+
+    def render(self) -> str:
+        """The experiment's full plain-text block."""
+        lines = [f"== {self.experiment_id} =="]
+        lines.extend(row.render() for row in self.rows)
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A reproducible table/figure of the paper."""
+
+    id: str
+    title: str
+    section: str
+    run: Callable[[AttackDataset], ExperimentResult]
+
+    def __call__(self, ds: AttackDataset) -> ExperimentResult:
+        return self.run(ds)

@@ -1,0 +1,49 @@
+"""Figs 10-11: asymmetric dispersion histograms for Pandora and Blackenergy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import AttackDataset
+from ..core.geolocation import dispersion_histogram, dispersion_profile
+from .base import Experiment, ExperimentResult
+
+PAPER = {
+    "pandora": {"symmetric": 0.767, "asym_mean": 566.0},
+    "blackenergy": {"symmetric": 0.895, "asym_mean": 4304.0},
+}
+
+
+def run(ds: AttackDataset) -> ExperimentResult:
+    result = ExperimentResult("fig10_11_histograms")
+    for family, paper in PAPER.items():
+        if family not in ds.active_families or ds.attacks_of(family).size < 10:
+            continue
+        profile = dispersion_profile(ds, family)
+        result.add(
+            f"{family}: symmetric fraction",
+            f"{paper['symmetric']:.3f}",
+            f"{profile.symmetric_fraction:.3f}",
+        )
+        result.add(
+            f"{family}: asymmetric mean (km)",
+            f"{paper['asym_mean']:.0f}",
+            f"{profile.asymmetric_mean_km:.0f}",
+        )
+        edges, counts = dispersion_histogram(ds, family)
+        if counts.size:
+            mode_bin = float(edges[int(np.argmax(counts))])
+            result.add(f"{family}: histogram mode bin (km)", None, f"{mode_bin:.0f}")
+    if "pandora" in ds.active_families and "blackenergy" in ds.active_families:
+        p = dispersion_profile(ds, "pandora").asymmetric_mean_km
+        b = dispersion_profile(ds, "blackenergy").asymmetric_mean_km
+        result.add("blackenergy mean >> pandora mean", "4304 vs 566", f"{b:.0f} vs {p:.0f}")
+    return result
+
+
+EXPERIMENT = Experiment(
+    id="fig10_11_histograms",
+    title="Asymmetric geolocation histograms (Pandora, Blackenergy)",
+    section="IV-A (Figs 10-11)",
+    run=run,
+)

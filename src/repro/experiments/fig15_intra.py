@@ -1,0 +1,32 @@
+"""Fig 15: Dirtjumper's intra-family collaboration structure."""
+
+from __future__ import annotations
+
+from ..core.collaboration import detect_collaborations, intra_family_stats
+from ..core.dataset import AttackDataset
+from .base import Experiment, ExperimentResult
+
+
+def run(ds: AttackDataset) -> ExperimentResult:
+    result = ExperimentResult("fig15_intra")
+    events = detect_collaborations(ds)
+    stats = intra_family_stats(ds, "dirtjumper", events)
+    result.add("dirtjumper intra-family events", 756, stats.n_events)
+    result.add(
+        "mean botnets per collaboration", "2.19", f"{stats.mean_botnets_per_event:.2f}"
+    )
+    result.add(
+        "events with equal magnitudes ('same bar height')",
+        "most",
+        f"{stats.equal_magnitude_fraction:.0%}",
+    )
+    result.add("plotted (time, botnet, magnitude) points", None, len(stats.points))
+    return result
+
+
+EXPERIMENT = Experiment(
+    id="fig15_intra",
+    title="Intra-family collaborations of Dirtjumper",
+    section="V-A (Fig 15)",
+    run=run,
+)

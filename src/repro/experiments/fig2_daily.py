@@ -1,0 +1,28 @@
+"""Fig 2: the daily attack distribution."""
+
+from __future__ import annotations
+
+from ..core.dataset import AttackDataset
+from ..core.overview import daily_attack_counts
+from .base import Experiment, ExperimentResult
+
+
+def run(ds: AttackDataset) -> ExperimentResult:
+    result = ExperimentResult("fig2_daily")
+    daily = daily_attack_counts(ds)
+    result.add("mean attacks per day", 243, f"{daily.mean_per_day:.0f}")
+    result.add("max attacks in one day", 983, daily.max_per_day)
+    result.add("max day", "2012-08-30", daily.max_day_label)
+    result.add("max-day top family", "dirtjumper", daily.max_day_top_family)
+    active_days = int((daily.counts > 0).sum())
+    result.add("days with activity", None, f"{active_days}/{daily.n_days}")
+    result.notes = "no diurnal/weekly periodicity is expected (attacks are not user-driven)"
+    return result
+
+
+EXPERIMENT = Experiment(
+    id="fig2_daily",
+    title="Daily attack distribution",
+    section="III-A (Fig 2)",
+    run=run,
+)

@@ -1,0 +1,53 @@
+"""Fig 3: attack-interval CDF, all attacks and family-confined."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import AttackDataset
+from ..core.intervals import attack_intervals, interval_summary, simultaneous_attacks
+from ..core.stats import ecdf_at
+from .base import Experiment, ExperimentResult
+
+
+def run(ds: AttackDataset) -> ExperimentResult:
+    result = ExperimentResult("fig3_intervals")
+    gaps = attack_intervals(ds)
+    all_zero = float(np.mean(gaps == 0)) if gaps.size else 0.0
+    result.add("simultaneous fraction (all families)", ">0.55", f"{all_zero:.2f}")
+
+    fam_fracs = []
+    for family in ds.active_families:
+        idx = ds.attacks_of(family)
+        if idx.size < 2:
+            continue
+        fam_gaps = np.diff(np.sort(ds.start[idx]))
+        fam_fracs.append(float(np.mean(fam_gaps == 0)))
+    result.add(
+        "simultaneous fraction (per family, max)",
+        ">0.50",
+        f"{max(fam_fracs):.2f}" if fam_fracs else "n/a",
+    )
+    summary = interval_summary(ds, family="dirtjumper")
+    result.add("dirtjumper mean interval (s)", None, f"{summary.stats.mean:.0f}")
+    result.add("dirtjumper p80 interval (s)", None, f"{summary.p80_seconds:.0f}")
+    result.add(
+        "CDF at 1081 s (all attacks)", "0.80 (family-based)",
+        f"{float(ecdf_at(gaps, [1081.0])[0]):.2f}",
+    )
+    sim = simultaneous_attacks(ds)
+    result.add("single-family simultaneous events", 3692, sim.single_family_events)
+    result.add("multi-family simultaneous events", 956, sim.multi_family_events)
+    if sim.pair_counts:
+        (a, b), count = sim.pair_counts[0]
+        result.add("top simultaneous pair", "dirtjumper+blackenergy (391)", f"{a}+{b} ({count})")
+    result.notes = "zero-gap mass and long tail are the contract; event counts are stochastic"
+    return result
+
+
+EXPERIMENT = Experiment(
+    id="fig3_intervals",
+    title="Attack interval CDF (all vs per family)",
+    section="III-B (Fig 3)",
+    run=run,
+)

@@ -1,0 +1,61 @@
+"""Registry of every reproduced table and figure."""
+
+from __future__ import annotations
+
+from ..core.dataset import AttackDataset
+from .base import Experiment, ExperimentResult
+from .fig2_daily import EXPERIMENT as FIG2
+from .fig3_intervals import EXPERIMENT as FIG3
+from .fig4_interval_clusters import EXPERIMENT as FIG4
+from .fig5_family_cdf import EXPERIMENT as FIG5
+from .fig7_durations import EXPERIMENT as FIG7
+from .fig8_shift import EXPERIMENT as FIG8
+from .fig9_geo_cdf import EXPERIMENT as FIG9
+from .fig10_11_histograms import EXPERIMENT as FIG10_11
+from .fig14_orgs import EXPERIMENT as FIG14
+from .fig15_intra import EXPERIMENT as FIG15
+from .fig16_pair import EXPERIMENT as FIG16
+from .fig17_consecutive import EXPERIMENT as FIG17
+from .fig18_chains import EXPERIMENT as FIG18
+from .table2_protocols import EXPERIMENT as TABLE2
+from .table3_summary import EXPERIMENT as TABLE3
+from .table4_prediction import EXPERIMENT as TABLE4
+from .table5_countries import EXPERIMENT as TABLE5
+from .table6_collaboration import EXPERIMENT as TABLE6
+
+__all__ = ["ALL_EXPERIMENTS", "get_experiment", "run_all"]
+
+ALL_EXPERIMENTS: tuple[Experiment, ...] = (
+    TABLE2,
+    TABLE3,
+    FIG2,
+    FIG3,
+    FIG4,
+    FIG5,
+    FIG7,
+    FIG8,
+    FIG9,
+    FIG10_11,
+    TABLE4,
+    TABLE5,
+    FIG14,
+    TABLE6,
+    FIG15,
+    FIG16,
+    FIG17,
+    FIG18,
+)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look an experiment up by id (e.g. ``"table4_prediction"``)."""
+    for experiment in ALL_EXPERIMENTS:
+        if experiment.id == experiment_id:
+            return experiment
+    known = ", ".join(e.id for e in ALL_EXPERIMENTS)
+    raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def run_all(ds: AttackDataset) -> list[ExperimentResult]:
+    """Run every experiment against a dataset, in paper order."""
+    return [experiment.run(ds) for experiment in ALL_EXPERIMENTS]

@@ -1,0 +1,57 @@
+"""Table V: country-level DDoS target statistics."""
+
+from __future__ import annotations
+
+from ..core.dataset import AttackDataset
+from ..core.targets import country_breakdown, top_target_countries
+from .base import Experiment, ExperimentResult
+
+#: Table V: family -> (n countries, top-5 [(cc, attacks)]).
+PAPER_TABLE5 = {
+    "aldibot": (14, [("US", 32), ("FR", 11), ("ES", 8), ("VE", 8), ("DE", 4)]),
+    "blackenergy": (20, [("NL", 949), ("US", 820), ("SG", 729), ("RU", 262), ("DE", 219)]),
+    "colddeath": (16, [("IN", 801), ("PK", 345), ("BW", 125), ("TH", 117), ("ID", 112)]),
+    "darkshell": (13, [("CN", 1880), ("KR", 1004), ("US", 694), ("HK", 385), ("JP", 86)]),
+    "ddoser": (19, [("MX", 452), ("VE", 191), ("UY", 83), ("CL", 66), ("US", 48)]),
+    "dirtjumper": (71, [("US", 9674), ("RU", 8391), ("DE", 3750), ("UA", 3412), ("NL", 1626)]),
+    "nitol": (12, [("CN", 778), ("US", 176), ("CA", 15), ("GB", 10), ("NL", 6)]),
+    "optima": (12, [("RU", 171), ("DE", 155), ("US", 123), ("UA", 9), ("KG", 7)]),
+    "pandora": (43, [("RU", 2115), ("DE", 155), ("US", 123), ("UA", 9), ("KG", 7)]),
+    "yzf": (11, [("RU", 120), ("UA", 105), ("US", 65), ("DE", 39), ("NL", 19)]),
+}
+
+#: §IV-B1's global top-5 target countries.
+PAPER_GLOBAL_TOP5 = [("US", 13738), ("RU", 11451), ("DE", 5048), ("UA", 4078), ("NL", 2816)]
+
+
+def run(ds: AttackDataset) -> ExperimentResult:
+    result = ExperimentResult("table5_countries")
+    for family, (paper_n, paper_top) in PAPER_TABLE5.items():
+        if family not in ds.active_families or ds.attacks_of(family).size == 0:
+            continue
+        breakdown = country_breakdown(ds, family)
+        result.add(f"{family}: # target countries", paper_n, breakdown.n_countries)
+        result.add(
+            f"{family}: top country",
+            f"{paper_top[0][0]} ({paper_top[0][1]})",
+            f"{breakdown.top[0][0]} ({breakdown.top[0][1]})" if breakdown.top else "n/a",
+        )
+        measured_codes = [cc for cc, _n in breakdown.top]
+        paper_codes = [cc for cc, _n in paper_top]
+        overlap = len(set(measured_codes) & set(paper_codes))
+        result.add(f"{family}: top-5 overlap with paper", "5", overlap)
+    top = top_target_countries(ds)
+    result.add(
+        "global top-5",
+        ", ".join(f"{cc}:{n}" for cc, n in PAPER_GLOBAL_TOP5),
+        ", ".join(f"{cc}:{n}" for cc, n in top),
+    )
+    return result
+
+
+EXPERIMENT = Experiment(
+    id="table5_countries",
+    title="Country-level DDoS target statistics",
+    section="IV-B1 (Table V)",
+    run=run,
+)

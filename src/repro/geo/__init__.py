@@ -1,0 +1,35 @@
+"""Geolocation substrate: world model, IP allocation, GeoIP service, geometry."""
+
+from .haversine import (
+    EARTH_RADIUS_KM,
+    direction_sign,
+    dispersion_km,
+    geographic_center,
+    haversine_km,
+    signed_distances_km,
+)
+from .ipam import Block, IPAllocator, SequentialAssigner, ip_to_str, str_to_ip
+from .mapping import GeoIPService, GeoRecord, ip_jitter_many
+from .world import COUNTRY_TABLE, City, Country, Organization, World
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "direction_sign",
+    "dispersion_km",
+    "geographic_center",
+    "haversine_km",
+    "signed_distances_km",
+    "Block",
+    "IPAllocator",
+    "SequentialAssigner",
+    "ip_to_str",
+    "str_to_ip",
+    "GeoIPService",
+    "GeoRecord",
+    "ip_jitter_many",
+    "COUNTRY_TABLE",
+    "City",
+    "Country",
+    "Organization",
+    "World",
+]

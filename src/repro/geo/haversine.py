@@ -1,0 +1,121 @@
+"""Great-circle geometry used by the geolocation analyses (§IV-A).
+
+The paper measures how dispersed the bots participating in an attack are:
+it finds the geographic centre of the bot locations, computes the
+Haversine distance from every bot to that centre, attaches a *sign* to
+each distance (positive for bots east/north of the centre, negative for
+west/south) and sums them.  A sum of zero means the bots are
+geographically symmetric around their centre.  This module implements the
+primitives; :mod:`repro.core.geolocation` builds the per-family analyses
+on top of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "haversine_km",
+    "geographic_center",
+    "direction_sign",
+    "signed_distances_km",
+    "dispersion_km",
+]
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(lat1, lon1, lat2, lon2):
+    """Great-circle distance in km between points given in degrees.
+
+    Accepts scalars or numpy arrays (broadcasting applies).  Always
+    returns non-negative values bounded by half the Earth circumference.
+    """
+    lat1 = np.radians(np.asarray(lat1, dtype=float))
+    lon1 = np.radians(np.asarray(lon1, dtype=float))
+    lat2 = np.radians(np.asarray(lat2, dtype=float))
+    lon2 = np.radians(np.asarray(lon2, dtype=float))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    # Clip to guard against floating error pushing sqrt argument past 1.
+    c = 2.0 * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    result = EARTH_RADIUS_KM * c
+    if np.ndim(result) == 0:
+        return float(result)
+    return result
+
+
+def geographic_center(lats, lons) -> tuple[float, float]:
+    """Geographic centre (centroid on the sphere) of a set of points.
+
+    Points are converted to 3-D unit vectors, averaged, and the mean
+    vector is converted back to latitude/longitude.  This avoids the
+    antimeridian pitfalls of naive coordinate averaging.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.size == 0:
+        raise ValueError("geographic_center of an empty point set")
+    lat_r = np.radians(lats)
+    lon_r = np.radians(lons)
+    x = np.mean(np.cos(lat_r) * np.cos(lon_r))
+    y = np.mean(np.cos(lat_r) * np.sin(lon_r))
+    z = np.mean(np.sin(lat_r))
+    norm = np.sqrt(x * x + y * y + z * z)
+    if norm < 1e-12:
+        # Perfectly antipodal/symmetric configuration: centre is ambiguous;
+        # fall back to the coordinate mean, which is deterministic.
+        return float(np.mean(lats)), float(np.mean(lons))
+    lat_c = np.degrees(np.arcsin(z / norm))
+    lon_c = np.degrees(np.arctan2(y, x))
+    return float(lat_c), float(lon_c)
+
+
+def direction_sign(lats, lons, center_lat: float, center_lon: float):
+    """Sign of each point relative to a centre (paper's convention, §IV-A).
+
+    Positive means east (or, for points on the centre meridian, north);
+    negative means west (or south).  Longitude differences are wrapped to
+    (-180, 180] so a point just across the antimeridian is still "east".
+    Points exactly at the centre get sign 0 so they contribute nothing
+    to the signed sum.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    dlon = (lons - center_lon + 180.0) % 360.0 - 180.0
+    dlat = lats - center_lat
+    sign = np.sign(dlon)
+    on_meridian = sign == 0
+    sign = np.where(on_meridian, np.sign(dlat), sign)
+    return sign
+
+
+def signed_distances_km(lats, lons, center_lat: float, center_lon: float):
+    """Signed Haversine distance of each point from the centre."""
+    d = haversine_km(lats, lons, center_lat, center_lon)
+    return direction_sign(lats, lons, center_lat, center_lon) * d
+
+
+def dispersion_km(lats, lons, absolute: bool = True) -> float:
+    """The paper's geolocation-distribution value for one bot snapshot.
+
+    Finds the geographic centre of the given bot locations, sums the
+    signed distances from the centre, and (by default, as in the paper)
+    returns the absolute value of that sum.  Zero indicates a
+    geographically symmetric source distribution.
+
+    ``absolute=False`` returns the raw signed sum, which the ablation
+    benchmark uses to study the sign convention.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.size == 0:
+        raise ValueError("dispersion of an empty bot set")
+    if lats.size == 1:
+        return 0.0
+    center_lat, center_lon = geographic_center(lats, lons)
+    total = float(np.sum(signed_distances_km(lats, lons, center_lat, center_lon)))
+    return abs(total) if absolute else total

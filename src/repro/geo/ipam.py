@@ -1,0 +1,212 @@
+"""IPv4 address-space allocation for the synthetic world.
+
+The real dataset resolves bot and victim IPs through a commercial GeoIP
+service.  Our substitute needs the inverse capability too: *place* a bot
+or victim inside a chosen country/organization and hand out an IP address
+that the GeoIP service will resolve back consistently.  This module
+manages that address plan: every organization owns one contiguous block,
+blocks never overlap, and lookup is O(log n) by binary search.
+
+Reserved ranges (0/8, 10/8, 127/8, 169.254/16, 172.16/12, 192.168/16,
+224/3) are skipped so no synthetic host ever carries a bogon address.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulation.rng import SeededStreams
+from .world import World
+
+__all__ = ["IPAllocator", "ip_to_str", "str_to_ip", "Block"]
+
+_MAX_IP = (1 << 32) - 1
+
+# (start, end) pairs of reserved space, half-open, sorted by start.
+_RESERVED: list[tuple[int, int]] = [
+    (0x00000000, 0x01000000),  # 0.0.0.0/8
+    (0x0A000000, 0x0B000000),  # 10.0.0.0/8
+    (0x7F000000, 0x80000000),  # 127.0.0.0/8
+    (0xA9FE0000, 0xA9FF0000),  # 169.254.0.0/16
+    (0xAC100000, 0xAC200000),  # 172.16.0.0/12
+    (0xC0A80000, 0xC0A90000),  # 192.168.0.0/16
+    (0xE0000000, 0x100000000),  # 224.0.0.0/3 (multicast + reserved)
+]
+
+
+def ip_to_str(ip: int) -> str:
+    """Render a 32-bit integer as dotted-quad notation."""
+    if not 0 <= ip <= _MAX_IP:
+        raise ValueError(f"not a 32-bit IPv4 address: {ip}")
+    return f"{(ip >> 24) & 0xFF}.{(ip >> 16) & 0xFF}.{(ip >> 8) & 0xFF}.{ip & 0xFF}"
+
+
+def str_to_ip(s: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = s.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {s!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {s!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True)
+class Block:
+    """A half-open address block ``[start, start + size)`` owned by one org."""
+
+    start: int
+    size: int
+    org_index: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, ip: int) -> bool:
+        """True when ``ip`` falls inside this block."""
+        return self.start <= ip < self.end
+
+
+class IPAllocator:
+    """Deterministic IPv4 address plan over a :class:`World`.
+
+    Each organization receives one contiguous block whose size scales with
+    the organization's type (hosting/cloud/datacenter orgs are larger) and
+    weight.  Allocation walks the address space from low to high, skipping
+    reserved ranges, so the plan is a pure function of the world and the
+    seed.
+    """
+
+    # Relative block-size multiplier per organization type.
+    _TYPE_SIZE = {
+        "hosting": 16,
+        "cloud": 24,
+        "datacenter": 12,
+        "registrar": 4,
+        "backbone": 32,
+        "isp": 48,
+        "enterprise": 4,
+    }
+
+    def __init__(self, world: World, streams: SeededStreams, base_block_size: int = 256):
+        self._world = world
+        rng = streams.stream("geo.ipam")
+        self._blocks: list[Block] = []
+        self._block_starts: list[int] = []
+        self._block_by_org: dict[int, Block] = {}
+
+        cursor = 0x01000000  # first non-reserved /8
+        reserved_iter = iter(_RESERVED)
+        next_reserved = next(reserved_iter, None)
+        # Skip reserved ranges that end before the cursor.
+        while next_reserved is not None and next_reserved[1] <= cursor:
+            next_reserved = next(reserved_iter, None)
+
+        for org in world.organizations:
+            multiplier = self._TYPE_SIZE.get(org.org_type, 8)
+            # Small random factor so identically typed orgs differ.
+            factor = 1 + int(rng.integers(0, 4))
+            size = base_block_size * multiplier * factor
+            # Hop over any reserved range the block would touch.
+            while next_reserved is not None and cursor + size > next_reserved[0]:
+                cursor = next_reserved[1]
+                next_reserved = next(reserved_iter, None)
+            if cursor + size > _MAX_IP:
+                raise RuntimeError("IPv4 space exhausted by allocation plan")
+            block = Block(start=cursor, size=size, org_index=org.index)
+            self._blocks.append(block)
+            self._block_starts.append(cursor)
+            self._block_by_org[org.index] = block
+            cursor += size
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    def blocks(self) -> list[Block]:
+        """All allocated blocks, ascending by start address."""
+        return list(self._blocks)
+
+    def block_of_org(self, org_index: int) -> Block:
+        """The block owned by ``org_index`` (raises ``KeyError``)."""
+        try:
+            return self._block_by_org[org_index]
+        except KeyError:
+            raise KeyError(f"organization {org_index} has no allocation") from None
+
+    def lookup(self, ip: int) -> Block | None:
+        """Return the block containing ``ip``, or ``None`` if unallocated."""
+        pos = bisect.bisect_right(self._block_starts, ip) - 1
+        if pos < 0:
+            return None
+        block = self._blocks[pos]
+        return block if block.contains(ip) else None
+
+    def org_of_ip(self, ip: int) -> int | None:
+        """Organization index owning ``ip``, or ``None``."""
+        block = self.lookup(ip)
+        return None if block is None else block.org_index
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_ips(self, rng: np.random.Generator, org_index: int, n: int) -> np.ndarray:
+        """Draw ``n`` distinct IPs (uint64 array) from an org's block.
+
+        Raises ``ValueError`` if the block is smaller than ``n``.
+        """
+        block = self.block_of_org(org_index)
+        if n > block.size:
+            raise ValueError(
+                f"org {org_index} block holds {block.size} addresses, asked for {n}"
+            )
+        offsets = rng.choice(block.size, size=n, replace=False)
+        return (block.start + offsets).astype(np.uint64)
+
+    def sample_ip(self, rng: np.random.Generator, org_index: int) -> int:
+        """Draw one IP from an org's block (may repeat across calls)."""
+        block = self.block_of_org(org_index)
+        return int(block.start + rng.integers(0, block.size))
+
+
+class SequentialAssigner:
+    """Hands out globally unique IPs from org blocks, first-fit sequential.
+
+    The dataset generator places hundreds of thousands of hosts; drawing
+    randomly per host risks collisions across consumers, so unique
+    addresses are taken sequentially per organization.  ``take`` raises
+    ``ValueError`` when an org's block is exhausted — callers spill over
+    to another organization in the same country.
+    """
+
+    def __init__(self, allocator: IPAllocator):
+        self._allocator = allocator
+        self._cursors: dict[int, int] = {}
+
+    def remaining(self, org_index: int) -> int:
+        block = self._allocator.block_of_org(org_index)
+        return block.size - self._cursors.get(org_index, 0)
+
+    def take(self, org_index: int, n: int) -> np.ndarray:
+        """Take ``n`` unique IPs from the org's block (uint64 array)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        block = self._allocator.block_of_org(org_index)
+        cursor = self._cursors.get(org_index, 0)
+        if cursor + n > block.size:
+            raise ValueError(
+                f"org {org_index} block exhausted: {block.size - cursor} "
+                f"addresses left, asked for {n}"
+            )
+        ips = (block.start + cursor + np.arange(n, dtype=np.uint64)).astype(np.uint64)
+        self._cursors[org_index] = cursor + n
+        return ips

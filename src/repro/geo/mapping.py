@@ -1,0 +1,143 @@
+"""Synthetic GeoIP service (the Digital Envoy substitute).
+
+The paper resolves every IP address — bot and victim — to country, city,
+organization, ASN, latitude and longitude through Digital Envoy's
+NetAcuity service (§II-C).  :class:`GeoIPService` offers the same query
+surface against the synthetic world: the organization comes from the
+address plan, the city from the organization, and the precise coordinates
+are a deterministic per-IP jitter around the city centre so that distinct
+hosts in one city do not collapse onto a single point.
+
+The jitter is a pure function of the IP (a splitmix64 bit-mix fed through
+Box-Muller), so the same address always resolves to the same coordinates
+— from any service instance, scalar or vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ipam import IPAllocator, ip_to_str
+from .world import World
+
+__all__ = ["GeoRecord", "GeoIPService", "ip_jitter_many"]
+
+#: Standard deviation (degrees) of the per-IP jitter around the city centre.
+_JITTER_DEG = 0.35
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a high-quality 64-bit mixing function."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK
+    x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK
+    x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK
+    return x ^ (x >> np.uint64(31))
+
+
+def ip_jitter_many(ips) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic per-IP coordinate jitter, vectorised.
+
+    Returns ``(dlat, dlon)`` arrays in degrees.  Two independent uniforms
+    are derived from the IP by splitmix64 mixing and pushed through the
+    Box-Muller transform, giving isotropic Gaussian jitter.
+    """
+    ips = np.asarray(ips, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        h1 = _splitmix64(ips)
+        h2 = _splitmix64(ips ^ np.uint64(0xD6E8FEB86659FD93))
+    u1 = (h1 >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    u2 = (h2 >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    r = np.sqrt(-2.0 * np.log(np.maximum(u1, 1e-15)))
+    dlat = r * np.cos(2.0 * np.pi * u2) * _JITTER_DEG
+    dlon = r * np.sin(2.0 * np.pi * u2) * _JITTER_DEG
+    return dlat, dlon
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """Everything the monitoring pipeline records about one IP (Table I)."""
+
+    ip: int
+    country_code: str
+    country_index: int
+    city: str
+    city_index: int
+    organization: str
+    org_index: int
+    asn: int
+    lat: float
+    lon: float
+
+    @property
+    def ip_str(self) -> str:
+        return ip_to_str(self.ip)
+
+
+class GeoIPService:
+    """Resolve IPs against the synthetic world.
+
+    >>> record = service.lookup(ip)
+    >>> record.country_code, record.asn, (record.lat, record.lon)
+    """
+
+    def __init__(self, world: World, allocator: IPAllocator):
+        self._world = world
+        self._allocator = allocator
+
+    @property
+    def world(self) -> World:
+        return self._world
+
+    @property
+    def allocator(self) -> IPAllocator:
+        return self._allocator
+
+    def lookup(self, ip: int) -> GeoRecord:
+        """Full geolocation record for one IP.
+
+        Raises ``KeyError`` for addresses outside the allocation plan —
+        the synthetic monitoring service never emits such addresses, so a
+        miss indicates a bug rather than a data condition.
+        """
+        org_index = self._allocator.org_of_ip(int(ip))
+        if org_index is None:
+            raise KeyError(f"IP {ip_to_str(int(ip))} is not in the allocation plan")
+        org = self._world.organizations[org_index]
+        city = self._world.cities[org.city_index]
+        country = self._world.countries[org.country_index]
+        dlat, dlon = ip_jitter_many(np.array([ip], dtype=np.uint64))
+        lat = float(np.clip(city.lat + dlat[0], -85.0, 85.0))
+        lon = ((city.lon + dlon[0] + 180.0) % 360.0) - 180.0
+        return GeoRecord(
+            ip=int(ip),
+            country_code=country.code,
+            country_index=country.index,
+            city=city.name,
+            city_index=city.index,
+            organization=org.name,
+            org_index=org.index,
+            asn=org.asn,
+            lat=lat,
+            lon=lon,
+        )
+
+    def lookup_many(self, ips) -> list[GeoRecord]:
+        """Resolve a sequence of IPs (order preserved)."""
+        return [self.lookup(int(ip)) for ip in ips]
+
+    def coords_for_city(self, city_index: int, ips) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised coordinates for many IPs known to live in one city.
+
+        The dataset generator places hosts org-by-org, so it already knows
+        each batch's city; this avoids a per-IP block lookup.
+        """
+        city = self._world.cities[city_index]
+        ips = np.asarray(ips, dtype=np.uint64)
+        dlat, dlon = ip_jitter_many(ips)
+        lats = np.clip(city.lat + dlat, -85.0, 85.0)
+        lons = ((city.lon + dlon + 180.0) % 360.0) - 180.0
+        return lats, lons

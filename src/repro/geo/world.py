@@ -1,0 +1,415 @@
+"""Synthetic world model: countries, cities, organizations, ASNs.
+
+The paper geolocates every IP address with a commercial service (Digital
+Envoy NetAcuity): each IP maps to a country, city, organization, ASN and a
+latitude/longitude pair.  This module provides the static world that our
+synthetic GeoIP service (:mod:`repro.geo.mapping`) resolves against.
+
+Countries are real (ISO 3166-1 alpha-2 codes with approximate centroid
+coordinates and an internet-population weight).  Cities, organizations and
+ASNs are generated deterministically per country: the analyses only need a
+consistent many-to-one structure with realistic spatial layout, not real
+names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulation.rng import SeededStreams
+
+__all__ = ["Country", "City", "Organization", "World", "COUNTRY_TABLE"]
+
+# (iso2, name, centroid_lat, centroid_lon, internet_weight)
+# Centroids are approximate country centroids; weights are a coarse proxy
+# for internet-host population used when spreading synthetic bots and
+# victims over the globe.
+COUNTRY_TABLE: list[tuple[str, str, float, float, float]] = [
+    ("US", "United States", 39.8, -98.6, 100.0),
+    ("CN", "China", 35.9, 104.2, 95.0),
+    ("RU", "Russia", 61.5, 105.3, 45.0),
+    ("DE", "Germany", 51.2, 10.4, 40.0),
+    ("JP", "Japan", 36.2, 138.3, 40.0),
+    ("GB", "United Kingdom", 54.0, -2.0, 35.0),
+    ("FR", "France", 46.2, 2.2, 32.0),
+    ("BR", "Brazil", -14.2, -51.9, 30.0),
+    ("IN", "India", 20.6, 79.0, 30.0),
+    ("IT", "Italy", 41.9, 12.6, 25.0),
+    ("KR", "South Korea", 35.9, 127.8, 25.0),
+    ("CA", "Canada", 56.1, -106.3, 22.0),
+    ("ES", "Spain", 40.5, -3.7, 20.0),
+    ("MX", "Mexico", 23.6, -102.6, 18.0),
+    ("ID", "Indonesia", -0.8, 113.9, 18.0),
+    ("NL", "Netherlands", 52.1, 5.3, 17.0),
+    ("TR", "Turkey", 39.0, 35.2, 16.0),
+    ("AU", "Australia", -25.3, 133.8, 15.0),
+    ("PL", "Poland", 51.9, 19.1, 14.0),
+    ("UA", "Ukraine", 48.4, 31.2, 14.0),
+    ("AR", "Argentina", -38.4, -63.6, 12.0),
+    ("TW", "Taiwan", 23.7, 121.0, 12.0),
+    ("SE", "Sweden", 60.1, 18.6, 11.0),
+    ("VN", "Vietnam", 14.1, 108.3, 11.0),
+    ("CO", "Colombia", 4.6, -74.3, 10.0),
+    ("EG", "Egypt", 26.8, 30.8, 10.0),
+    ("TH", "Thailand", 15.9, 101.0, 10.0),
+    ("ZA", "South Africa", -30.6, 22.9, 9.0),
+    ("IR", "Iran", 32.4, 53.7, 9.0),
+    ("MY", "Malaysia", 4.2, 101.9, 9.0),
+    ("PH", "Philippines", 12.9, 121.8, 9.0),
+    ("RO", "Romania", 45.9, 25.0, 8.5),
+    ("BE", "Belgium", 50.5, 4.5, 8.0),
+    ("CH", "Switzerland", 46.8, 8.2, 8.0),
+    ("AT", "Austria", 47.5, 14.6, 7.0),
+    ("CZ", "Czechia", 49.8, 15.5, 7.0),
+    ("PT", "Portugal", 39.4, -8.2, 6.5),
+    ("GR", "Greece", 39.1, 21.8, 6.0),
+    ("IL", "Israel", 31.0, 34.9, 6.0),
+    ("HK", "Hong Kong", 22.4, 114.1, 6.0),
+    ("SG", "Singapore", 1.35, 103.8, 6.0),
+    ("DK", "Denmark", 56.3, 9.5, 5.5),
+    ("NO", "Norway", 60.5, 8.5, 5.5),
+    ("FI", "Finland", 61.9, 25.7, 5.5),
+    ("HU", "Hungary", 47.2, 19.5, 5.5),
+    ("CL", "Chile", -35.7, -71.5, 5.5),
+    ("PK", "Pakistan", 30.4, 69.3, 5.5),
+    ("SA", "Saudi Arabia", 23.9, 45.1, 5.0),
+    ("AE", "United Arab Emirates", 23.4, 53.8, 5.0),
+    ("VE", "Venezuela", 6.4, -66.6, 5.0),
+    ("PE", "Peru", -9.2, -75.0, 5.0),
+    ("NG", "Nigeria", 9.1, 8.7, 5.0),
+    ("BG", "Bulgaria", 42.7, 25.5, 4.5),
+    ("SK", "Slovakia", 48.7, 19.7, 4.0),
+    ("IE", "Ireland", 53.4, -8.2, 4.0),
+    ("NZ", "New Zealand", -40.9, 174.9, 4.0),
+    ("BY", "Belarus", 53.7, 28.0, 4.0),
+    ("KZ", "Kazakhstan", 48.0, 66.9, 4.0),
+    ("RS", "Serbia", 44.0, 21.0, 3.5),
+    ("HR", "Croatia", 45.1, 15.2, 3.5),
+    ("LT", "Lithuania", 55.2, 23.9, 3.0),
+    ("LV", "Latvia", 56.9, 24.6, 3.0),
+    ("EE", "Estonia", 58.6, 25.0, 3.0),
+    ("SI", "Slovenia", 46.2, 14.8, 3.0),
+    ("MA", "Morocco", 31.8, -7.1, 3.0),
+    ("DZ", "Algeria", 28.0, 1.7, 3.0),
+    ("TN", "Tunisia", 33.9, 9.5, 3.0),
+    ("KE", "Kenya", -0.0, 37.9, 3.0),
+    ("EC", "Ecuador", -1.8, -78.2, 3.0),
+    ("UY", "Uruguay", -32.5, -55.8, 3.0),
+    ("BO", "Bolivia", -16.3, -63.6, 2.5),
+    ("PY", "Paraguay", -23.4, -58.4, 2.5),
+    ("CR", "Costa Rica", 9.7, -83.8, 2.5),
+    ("PA", "Panama", 8.5, -80.8, 2.5),
+    ("DO", "Dominican Republic", 18.7, -70.2, 2.5),
+    ("GT", "Guatemala", 15.8, -90.2, 2.5),
+    ("SV", "El Salvador", 13.8, -88.9, 2.0),
+    ("HN", "Honduras", 15.2, -86.2, 2.0),
+    ("NI", "Nicaragua", 12.9, -85.2, 2.0),
+    ("CU", "Cuba", 21.5, -77.8, 2.0),
+    ("JM", "Jamaica", 18.1, -77.3, 2.0),
+    ("TT", "Trinidad and Tobago", 10.7, -61.2, 2.0),
+    ("IS", "Iceland", 64.9, -19.0, 2.0),
+    ("LU", "Luxembourg", 49.8, 6.1, 2.0),
+    ("MT", "Malta", 35.9, 14.4, 2.0),
+    ("CY", "Cyprus", 35.1, 33.4, 2.0),
+    ("AL", "Albania", 41.2, 20.2, 2.0),
+    ("MK", "North Macedonia", 41.6, 21.7, 2.0),
+    ("BA", "Bosnia and Herzegovina", 43.9, 17.7, 2.0),
+    ("ME", "Montenegro", 42.7, 19.4, 1.5),
+    ("MD", "Moldova", 47.4, 28.4, 2.0),
+    ("GE", "Georgia", 42.3, 43.4, 2.0),
+    ("AM", "Armenia", 40.1, 45.0, 2.0),
+    ("AZ", "Azerbaijan", 40.1, 47.6, 2.0),
+    ("UZ", "Uzbekistan", 41.4, 64.6, 2.0),
+    ("KG", "Kyrgyzstan", 41.2, 74.8, 1.5),
+    ("TJ", "Tajikistan", 38.9, 71.3, 1.5),
+    ("TM", "Turkmenistan", 38.97, 59.6, 1.5),
+    ("MN", "Mongolia", 46.9, 103.8, 1.5),
+    ("NP", "Nepal", 28.4, 84.1, 1.5),
+    ("BD", "Bangladesh", 23.7, 90.4, 3.0),
+    ("LK", "Sri Lanka", 7.9, 80.8, 2.0),
+    ("MM", "Myanmar", 21.9, 95.9, 1.5),
+    ("KH", "Cambodia", 12.6, 105.0, 1.5),
+    ("LA", "Laos", 19.9, 102.5, 1.2),
+    ("BN", "Brunei", 4.5, 114.7, 1.2),
+    ("MO", "Macao", 22.2, 113.5, 1.2),
+    ("JO", "Jordan", 30.6, 36.2, 2.0),
+    ("LB", "Lebanon", 33.9, 35.9, 2.0),
+    ("SY", "Syria", 34.8, 39.0, 1.5),
+    ("IQ", "Iraq", 33.2, 43.7, 2.0),
+    ("KW", "Kuwait", 29.3, 47.5, 2.0),
+    ("QA", "Qatar", 25.4, 51.2, 2.0),
+    ("BH", "Bahrain", 26.0, 50.6, 1.5),
+    ("OM", "Oman", 21.5, 55.9, 1.5),
+    ("YE", "Yemen", 15.6, 48.5, 1.2),
+    ("AF", "Afghanistan", 33.9, 67.7, 1.2),
+    ("ET", "Ethiopia", 9.1, 40.5, 1.5),
+    ("GH", "Ghana", 7.9, -1.0, 2.0),
+    ("CI", "Ivory Coast", 7.5, -5.5, 1.5),
+    ("SN", "Senegal", 14.5, -14.5, 1.5),
+    ("CM", "Cameroon", 7.4, 12.3, 1.5),
+    ("UG", "Uganda", 1.4, 32.3, 1.5),
+    ("TZ", "Tanzania", -6.4, 34.9, 1.5),
+    ("ZM", "Zambia", -13.1, 27.8, 1.2),
+    ("ZW", "Zimbabwe", -19.0, 29.2, 1.2),
+    ("BW", "Botswana", -22.3, 24.7, 1.2),
+    ("NA", "Namibia", -22.9, 18.5, 1.2),
+    ("MZ", "Mozambique", -18.7, 35.5, 1.2),
+    ("AO", "Angola", -11.2, 17.9, 1.2),
+    ("MU", "Mauritius", -20.3, 57.6, 1.2),
+    ("MG", "Madagascar", -18.8, 47.0, 1.2),
+    ("LY", "Libya", 26.3, 17.2, 1.2),
+    ("SD", "Sudan", 12.9, 30.2, 1.2),
+    ("RW", "Rwanda", -1.9, 29.9, 1.0),
+    ("MW", "Malawi", -13.3, 34.3, 1.0),
+    ("BJ", "Benin", 9.3, 2.3, 1.0),
+    ("BF", "Burkina Faso", 12.2, -1.6, 1.0),
+    ("ML", "Mali", 17.6, -4.0, 1.0),
+    ("NE", "Niger", 17.6, 8.1, 1.0),
+    ("TD", "Chad", 15.5, 18.7, 1.0),
+    ("GA", "Gabon", -0.8, 11.6, 1.0),
+    ("CG", "Congo", -0.2, 15.8, 1.0),
+    ("CD", "DR Congo", -4.0, 21.8, 1.0),
+    ("GN", "Guinea", 9.9, -9.7, 1.0),
+    ("SL", "Sierra Leone", 8.5, -11.8, 1.0),
+    ("LR", "Liberia", 6.4, -9.4, 1.0),
+    ("TG", "Togo", 8.6, 0.8, 1.0),
+    ("MR", "Mauritania", 21.0, -10.9, 1.0),
+    ("SO", "Somalia", 5.2, 46.2, 1.0),
+    ("DJ", "Djibouti", 11.8, 42.6, 1.0),
+    ("ER", "Eritrea", 15.2, 39.8, 1.0),
+    ("SS", "South Sudan", 7.3, 30.3, 1.0),
+    ("GM", "Gambia", 13.4, -15.3, 1.0),
+    ("GW", "Guinea-Bissau", 11.8, -15.2, 1.0),
+    ("SZ", "Eswatini", -26.5, 31.5, 1.0),
+    ("LS", "Lesotho", -29.6, 28.2, 1.0),
+    ("BI", "Burundi", -3.4, 29.9, 1.0),
+    ("CF", "Central African Republic", 6.6, 20.9, 1.0),
+    ("CV", "Cape Verde", 16.0, -24.0, 1.0),
+    ("ST", "Sao Tome and Principe", 0.2, 6.6, 0.8),
+    ("KM", "Comoros", -11.9, 43.9, 0.8),
+    ("SC", "Seychelles", -4.7, 55.5, 0.8),
+    ("BS", "Bahamas", 25.0, -77.4, 1.0),
+    ("BB", "Barbados", 13.2, -59.5, 1.0),
+    ("BZ", "Belize", 17.2, -88.5, 1.0),
+    ("GY", "Guyana", 4.9, -58.9, 1.0),
+    ("SR", "Suriname", 3.9, -56.0, 1.0),
+    ("HT", "Haiti", 18.97, -72.3, 1.0),
+    ("AG", "Antigua and Barbuda", 17.1, -61.8, 0.8),
+    ("DM", "Dominica", 15.4, -61.4, 0.8),
+    ("GD", "Grenada", 12.1, -61.7, 0.8),
+    ("KN", "Saint Kitts and Nevis", 17.3, -62.7, 0.8),
+    ("LC", "Saint Lucia", 13.9, -61.0, 0.8),
+    ("VC", "Saint Vincent", 13.3, -61.2, 0.8),
+    ("FJ", "Fiji", -17.7, 178.1, 1.0),
+    ("PG", "Papua New Guinea", -6.3, 143.9, 1.0),
+    ("SB", "Solomon Islands", -9.6, 160.2, 0.8),
+    ("VU", "Vanuatu", -15.4, 166.9, 0.8),
+    ("WS", "Samoa", -13.8, -172.1, 0.8),
+    ("TO", "Tonga", -21.2, -175.2, 0.8),
+    ("MV", "Maldives", 3.2, 73.2, 1.0),
+    ("BT", "Bhutan", 27.5, 90.4, 0.8),
+    ("TL", "Timor-Leste", -8.9, 125.7, 0.8),
+    ("PS", "Palestine", 31.9, 35.2, 1.0),
+    ("AD", "Andorra", 42.5, 1.6, 0.8),
+    ("MC", "Monaco", 43.7, 7.4, 0.8),
+    ("SM", "San Marino", 43.9, 12.5, 0.8),
+    ("LI", "Liechtenstein", 47.2, 9.6, 0.8),
+    ("GL", "Greenland", 71.7, -42.6, 0.8),
+    ("FO", "Faroe Islands", 62.0, -6.9, 0.8),
+    ("GI", "Gibraltar", 36.1, -5.3, 0.8),
+    ("PR", "Puerto Rico", 18.2, -66.4, 1.5),
+    ("RE", "Reunion", -21.1, 55.5, 0.8),
+    ("GP", "Guadeloupe", 16.3, -61.6, 0.8),
+    ("MQ", "Martinique", 14.6, -61.0, 0.8),
+    ("NC", "New Caledonia", -21.3, 165.6, 0.8),
+    ("PF", "French Polynesia", -17.7, -149.4, 0.8),
+    ("AW", "Aruba", 12.5, -70.0, 0.8),
+    ("CW", "Curacao", 12.2, -69.0, 0.8),
+]
+
+#: Organization archetypes and their relative frequency among victims.
+#: The paper (§IV-B2) finds most attacks aim at web hosting services,
+#: cloud providers/data centers, domain registrars and backbone ASes.
+ORG_TYPES: list[tuple[str, float]] = [
+    ("hosting", 0.30),
+    ("cloud", 0.18),
+    ("datacenter", 0.12),
+    ("registrar", 0.06),
+    ("backbone", 0.08),
+    ("isp", 0.16),
+    ("enterprise", 0.10),
+]
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country in the synthetic world."""
+
+    index: int
+    code: str
+    name: str
+    lat: float
+    lon: float
+    weight: float
+
+
+@dataclass(frozen=True)
+class City:
+    """A synthetic city: a population centre inside one country."""
+
+    index: int
+    name: str
+    country_index: int
+    lat: float
+    lon: float
+    weight: float
+
+
+@dataclass(frozen=True)
+class Organization:
+    """A synthetic organization (hosting provider, ISP, ...) with one ASN."""
+
+    index: int
+    name: str
+    org_type: str
+    country_index: int
+    city_index: int
+    asn: int
+    weight: float
+
+
+@dataclass
+class World:
+    """The full static world: countries, cities, organizations, ASNs.
+
+    Construction is deterministic given the seed streams.  City counts per
+    country scale with the country's internet weight; every organization
+    lives in one city and owns one ASN (a simplification — the analyses
+    only count distinct ASNs/organizations, they never inspect BGP).
+    """
+
+    countries: list[Country] = field(default_factory=list)
+    cities: list[City] = field(default_factory=list)
+    organizations: list[Organization] = field(default_factory=list)
+    _cities_by_country: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _orgs_by_country: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _country_by_code: dict[str, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        streams: SeededStreams,
+        mean_cities_per_country: float = 16.0,
+        mean_orgs_per_country: float = 20.0,
+        city_spread_deg: float = 4.0,
+    ) -> "World":
+        """Construct the world deterministically from seed streams.
+
+        ``mean_cities_per_country`` / ``mean_orgs_per_country`` set the
+        *average*; the per-country number scales with internet weight so
+        large countries get proportionally more of both.
+        """
+        rng = streams.stream("geo.world")
+        world = cls()
+        total_weight = sum(w for *_rest, w in COUNTRY_TABLE)
+        n_countries = len(COUNTRY_TABLE)
+
+        for idx, (code, name, lat, lon, weight) in enumerate(COUNTRY_TABLE):
+            world.countries.append(Country(idx, code, name, lat, lon, weight))
+            world._country_by_code[code] = idx
+
+        asn_counter = 100
+        for country in world.countries:
+            share = country.weight / total_weight * n_countries
+            n_cities = max(2, int(round(mean_cities_per_country * share)))
+            n_orgs = max(2, int(round(mean_orgs_per_country * share)))
+
+            city_indices: list[int] = []
+            # City weights follow a Zipf-like decay: the capital region
+            # dominates, which concentrates bots/victims realistically.
+            for c in range(n_cities):
+                jitter_lat = float(rng.normal(0.0, city_spread_deg))
+                jitter_lon = float(rng.normal(0.0, city_spread_deg))
+                lat = float(np.clip(country.lat + jitter_lat, -85.0, 85.0))
+                lon = ((country.lon + jitter_lon + 180.0) % 360.0) - 180.0
+                city = City(
+                    index=len(world.cities),
+                    name=f"{country.code}-city-{c:03d}",
+                    country_index=country.index,
+                    lat=lat,
+                    lon=lon,
+                    weight=1.0 / (c + 1),
+                )
+                world.cities.append(city)
+                city_indices.append(city.index)
+            world._cities_by_country[country.index] = city_indices
+
+            org_indices: list[int] = []
+            type_names = [t for t, _w in ORG_TYPES]
+            type_probs = np.array([w for _t, w in ORG_TYPES])
+            type_probs = type_probs / type_probs.sum()
+            for o in range(n_orgs):
+                org_type = type_names[int(rng.choice(len(type_names), p=type_probs))]
+                city_idx = city_indices[int(rng.integers(0, len(city_indices)))]
+                asn_counter += int(rng.integers(1, 40))
+                org = Organization(
+                    index=len(world.organizations),
+                    name=f"{org_type}-{country.code.lower()}-{o:03d}",
+                    org_type=org_type,
+                    country_index=country.index,
+                    city_index=city_idx,
+                    asn=asn_counter,
+                    weight=1.0 / (o + 1),
+                )
+                world.organizations.append(org)
+                org_indices.append(org.index)
+            world._orgs_by_country[country.index] = org_indices
+
+        return world
+
+    # -- lookups -------------------------------------------------------
+
+    def country_by_code(self, code: str) -> Country:
+        """Country for an ISO2 ``code`` (raises ``KeyError``)."""
+        try:
+            return self.countries[self._country_by_code[code]]
+        except KeyError:
+            raise KeyError(f"unknown country code: {code!r}") from None
+
+    def has_country(self, code: str) -> bool:
+        """True when ``code`` exists in this world."""
+        return code in self._country_by_code
+
+    def cities_of(self, country_index: int) -> list[City]:
+        """All cities of one country."""
+        return [self.cities[i] for i in self._cities_by_country.get(country_index, [])]
+
+    def organizations_of(self, country_index: int) -> list[Organization]:
+        """All organizations of one country."""
+        return [self.organizations[i] for i in self._orgs_by_country.get(country_index, [])]
+
+    def city_weights_of(self, country_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(city indices, normalised weights) for sampling within a country."""
+        idx = np.array(self._cities_by_country.get(country_index, []), dtype=np.int64)
+        w = np.array([self.cities[i].weight for i in idx], dtype=float)
+        return idx, w / w.sum()
+
+    def org_weights_of(self, country_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(org indices, normalised weights) for sampling within a country."""
+        idx = np.array(self._orgs_by_country.get(country_index, []), dtype=np.int64)
+        w = np.array([self.organizations[i].weight for i in idx], dtype=float)
+        return idx, w / w.sum()
+
+    @property
+    def n_countries(self) -> int:
+        return len(self.countries)
+
+    @property
+    def n_cities(self) -> int:
+        return len(self.cities)
+
+    @property
+    def n_organizations(self) -> int:
+        return len(self.organizations)

@@ -1,0 +1,30 @@
+"""Persistence: schema exports (CSV/JSONL) and dataset caching."""
+
+from .cache import config_key, load_dataset, load_or_generate, save_dataset
+from .csvio import (
+    ATTACK_FIELDS,
+    export_attacks_csv,
+    export_botlist_csv,
+    export_botnetlist_csv,
+    read_attacks_csv,
+)
+from .figures import FIGURE_EXPORTERS, export_figure_data
+from .ingest import dataset_from_records
+from .jsonlio import export_attacks_jsonl, read_attacks_jsonl
+
+__all__ = [
+    "config_key",
+    "load_dataset",
+    "load_or_generate",
+    "save_dataset",
+    "ATTACK_FIELDS",
+    "export_attacks_csv",
+    "export_botlist_csv",
+    "export_botnetlist_csv",
+    "read_attacks_csv",
+    "FIGURE_EXPORTERS",
+    "dataset_from_records",
+    "export_figure_data",
+    "export_attacks_jsonl",
+    "read_attacks_jsonl",
+]

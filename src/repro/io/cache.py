@@ -1,0 +1,88 @@
+"""Dataset caching: generate once, reuse across processes.
+
+Full-scale generation takes on the order of a minute (the closed-loop
+dispersion sampler dominates); the benchmark harness and examples cache
+the result on disk, keyed by a stable hash of the configuration.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import pickle
+from pathlib import Path
+
+from ..core.dataset import AttackDataset
+from ..datagen.config import DatasetConfig
+from ..datagen.generator import generate_dataset
+
+__all__ = ["config_key", "save_dataset", "load_dataset", "load_or_generate"]
+
+_FORMAT_VERSION = 1
+
+
+def config_key(config: DatasetConfig) -> str:
+    """A stable short hash identifying a configuration (and cache entry)."""
+    profiles = config.resolved_profiles()
+    payload = repr(
+        (
+            _FORMAT_VERSION,
+            config.seed,
+            config.scale,
+            (config.window.start, config.window.end),
+            config.home_share,
+            config.pulse_split_prob,
+            config.gap_seconds,
+            config.n_attacker_countries,
+            config.n_victim_countries,
+            sorted((name, repr(prof)) for name, prof in profiles.items()),
+        )
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def save_dataset(ds: AttackDataset, path: str | Path) -> Path:
+    """Serialise a dataset (gzip pickle).  Returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with gzip.open(tmp, "wb", compresslevel=4) as fh:
+        pickle.dump((_FORMAT_VERSION, ds), fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+    return path
+
+
+def load_dataset(path: str | Path) -> AttackDataset:
+    """Load a dataset written by :func:`save_dataset`.
+
+    Only load files you created yourself — this is a pickle.
+    """
+    path = Path(path)
+    with gzip.open(path, "rb") as fh:
+        version, ds = pickle.load(fh)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"dataset file {path} has format v{version}, expected v{_FORMAT_VERSION}")
+    if not isinstance(ds, AttackDataset):
+        raise TypeError(f"dataset file {path} does not contain an AttackDataset")
+    return ds
+
+
+def load_or_generate(
+    config: DatasetConfig, cache_dir: str | Path | None = None
+) -> AttackDataset:
+    """Return the dataset for ``config``, generating and caching on miss.
+
+    ``cache_dir`` defaults to ``.repro-cache`` under the current
+    directory.  Because a dataset is a pure function of its config, the
+    cache key is just the config hash.
+    """
+    cache_dir = Path(cache_dir) if cache_dir is not None else Path(".repro-cache")
+    path = cache_dir / f"dataset-{config_key(config)}.pkl.gz"
+    if path.exists():
+        try:
+            return load_dataset(path)
+        except (OSError, ValueError, TypeError, pickle.UnpicklingError):
+            path.unlink(missing_ok=True)  # corrupt cache entry: regenerate
+    ds = generate_dataset(config)
+    save_dataset(ds, path)
+    return ds

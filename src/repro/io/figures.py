@@ -1,0 +1,183 @@
+"""Figure-series exporters: dump the data behind every figure as CSV.
+
+The experiment modules report comparison *rows*; plotting needs the full
+*series* (CDF curves, daily counts, histograms, timelines).  This module
+writes one CSV per figure into a directory, ready for any plotting tool:
+
+>>> export_figure_data(ds, "figures/")
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..core import consecutive, durations, geolocation, intervals, overview, shift
+from ..core.dataset import AttackDataset
+
+__all__ = ["export_figure_data", "FIGURE_EXPORTERS"]
+
+
+def _write_csv(path: Path, header: list[str], rows) -> int:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        n = 0
+        for row in rows:
+            writer.writerow(row)
+            n += 1
+    return n
+
+
+def _fig2_daily(ds: AttackDataset, out: Path) -> int:
+    daily = overview.daily_attack_counts(ds)
+    return _write_csv(
+        out / "fig2_daily_attacks.csv",
+        ["day_index", "date", "attacks"],
+        (
+            (day, ds.window.day_label(day), int(count))
+            for day, count in enumerate(daily.counts[: ds.window.n_days])
+        ),
+    )
+
+
+def _fig3_interval_cdf(ds: AttackDataset, out: Path) -> int:
+    gaps = intervals.attack_intervals(ds)
+    xs = np.sort(gaps)
+    ps = np.arange(1, xs.size + 1) / xs.size
+    return _write_csv(
+        out / "fig3_interval_cdf_all.csv",
+        ["interval_seconds", "cdf"],
+        ((float(x), float(p)) for x, p in zip(xs, ps)),
+    )
+
+
+def _fig5_family_cdfs(ds: AttackDataset, out: Path) -> int:
+    rows = []
+    for family in ds.active_families:
+        gaps = intervals.family_intervals(ds, family)
+        if gaps.size == 0:
+            continue
+        xs = np.sort(gaps)
+        ps = np.arange(1, xs.size + 1) / xs.size
+        rows.extend((family, float(x), float(p)) for x, p in zip(xs, ps))
+    return _write_csv(
+        out / "fig5_family_interval_cdf.csv", ["family", "interval_seconds", "cdf"], rows
+    )
+
+
+def _fig6_duration_timeline(ds: AttackDataset, out: Path) -> int:
+    days, values, fams = durations.duration_timeline(ds)
+    return _write_csv(
+        out / "fig6_duration_timeline.csv",
+        ["day_index", "duration_seconds", "family"],
+        (
+            (int(d), float(v), ds.family_name(int(f)))
+            for d, v, f in zip(days, values, fams)
+        ),
+    )
+
+
+def _fig7_duration_cdf(ds: AttackDataset, out: Path) -> int:
+    xs, ps = durations.duration_cdf(ds)
+    return _write_csv(
+        out / "fig7_duration_cdf.csv",
+        ["duration_seconds", "cdf"],
+        ((float(x), float(p)) for x, p in zip(xs, ps)),
+    )
+
+
+def _fig8_shift(ds: AttackDataset, out: Path) -> int:
+    total = shift.aggregate_shift(ds)
+    return _write_csv(
+        out / "fig8_weekly_shift.csv",
+        ["week", "bots_existing_countries", "bots_new_countries", "new_countries"],
+        (
+            (int(w), int(e), int(n), int(c))
+            for w, e, n, c in zip(
+                total.weeks, total.bots_existing, total.bots_new, total.new_countries
+            )
+        ),
+    )
+
+
+def _fig9_dispersion_cdfs(ds: AttackDataset, out: Path) -> int:
+    rows = []
+    for family in ds.active_families:
+        if ds.attacks_of(family).size < 10:
+            continue
+        xs, ps = geolocation.dispersion_cdf(ds, family)
+        rows.extend((family, float(x), float(p)) for x, p in zip(xs, ps))
+    return _write_csv(
+        out / "fig9_dispersion_cdf.csv", ["family", "dispersion_km", "cdf"], rows
+    )
+
+
+def _fig10_11_histograms(ds: AttackDataset, out: Path) -> int:
+    rows = []
+    for family in ("pandora", "blackenergy"):
+        if family not in ds.active_families or ds.attacks_of(family).size < 10:
+            continue
+        edges, counts = geolocation.dispersion_histogram(ds, family)
+        rows.extend(
+            (family, float(edge), int(count)) for edge, count in zip(edges, counts)
+        )
+    return _write_csv(
+        out / "fig10_11_dispersion_histograms.csv",
+        ["family", "bin_left_km", "count"],
+        rows,
+    )
+
+
+def _fig17_consecutive_cdf(ds: AttackDataset, out: Path) -> int:
+    chains = consecutive.detect_chains(ds)
+    if not chains or not any(c.gaps for c in chains):
+        return _write_csv(out / "fig17_consecutive_gap_cdf.csv", ["gap_seconds", "cdf"], [])
+    xs, ps = consecutive.consecutive_gap_cdf(ds, chains)
+    return _write_csv(
+        out / "fig17_consecutive_gap_cdf.csv",
+        ["gap_seconds", "cdf"],
+        ((float(x), float(p)) for x, p in zip(xs, ps)),
+    )
+
+
+def _fig18_chain_timeline(ds: AttackDataset, out: Path) -> int:
+    dots = consecutive.chain_timeline(ds)
+    return _write_csv(
+        out / "fig18_chain_timeline.csv",
+        ["timestamp", "target_index", "family", "magnitude"],
+        dots,
+    )
+
+
+#: figure id -> exporter; each writes one CSV and returns its row count.
+FIGURE_EXPORTERS = {
+    "fig2": _fig2_daily,
+    "fig3": _fig3_interval_cdf,
+    "fig5": _fig5_family_cdfs,
+    "fig6": _fig6_duration_timeline,
+    "fig7": _fig7_duration_cdf,
+    "fig8": _fig8_shift,
+    "fig9": _fig9_dispersion_cdfs,
+    "fig10_11": _fig10_11_histograms,
+    "fig17": _fig17_consecutive_cdf,
+    "fig18": _fig18_chain_timeline,
+}
+
+
+def export_figure_data(
+    ds: AttackDataset, out_dir: str | Path, only: list[str] | None = None
+) -> dict[str, int]:
+    """Write the series behind each figure as CSV files.
+
+    Returns ``{figure id: rows written}``.  ``only`` restricts the export
+    to specific figure ids (see :data:`FIGURE_EXPORTERS`).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    selected = FIGURE_EXPORTERS if only is None else {
+        key: FIGURE_EXPORTERS[key] for key in only
+    }
+    return {key: exporter(ds, out) for key, exporter in selected.items()}

@@ -1,0 +1,82 @@
+"""JSONL export of the attack schema (one JSON object per attack).
+
+A line-oriented sibling of :mod:`repro.io.csvio` for pipelines that
+prefer structured rows (e.g. jq / log processors).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.dataset import AttackDataset
+from ..geo.ipam import str_to_ip
+from ..monitor.schemas import DDoSAttackRecord, Protocol
+
+__all__ = ["export_attacks_jsonl", "read_attacks_jsonl"]
+
+
+def export_attacks_jsonl(ds: AttackDataset, path: str | Path) -> int:
+    """Write one JSON object per attack; returns the row count."""
+    path = Path(path)
+    n = 0
+    with path.open("w") as fh:
+        for rec in ds.iter_attacks():
+            fh.write(
+                json.dumps(
+                    {
+                        "ddos_id": rec.ddos_id,
+                        "botnet_id": rec.botnet_id,
+                        "family": rec.family,
+                        "category": rec.category.name,
+                        "target_ip": rec.target_ip_str,
+                        "timestamp": rec.timestamp,
+                        "end_time": rec.end_time,
+                        "asn": rec.asn,
+                        "cc": rec.country_code,
+                        "city": rec.city,
+                        "organization": rec.organization,
+                        "latitude": rec.lat,
+                        "longitude": rec.lon,
+                        "magnitude": rec.magnitude,
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            n += 1
+    return n
+
+
+def read_attacks_jsonl(path: str | Path) -> list[DDoSAttackRecord]:
+    """Read attack records from a JSONL file written by the exporter."""
+    path = Path(path)
+    records: list[DDoSAttackRecord] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            records.append(
+                DDoSAttackRecord(
+                    ddos_id=int(row["ddos_id"]),
+                    botnet_id=int(row["botnet_id"]),
+                    family=row["family"],
+                    category=Protocol.from_name(row["category"]),
+                    target_ip=str_to_ip(row["target_ip"]),
+                    timestamp=float(row["timestamp"]),
+                    end_time=float(row["end_time"]),
+                    asn=int(row["asn"]),
+                    country_code=row["cc"],
+                    city=row["city"],
+                    organization=row["organization"],
+                    lat=float(row["latitude"]),
+                    lon=float(row["longitude"]),
+                    magnitude=int(row["magnitude"]),
+                )
+            )
+    return records

@@ -1,0 +1,26 @@
+"""Monitoring-service substrate: schemas, collection, segmentation, labeling."""
+
+from .collector import Collector
+from .labeling import FamilyLabeler
+from .reports import read_hourly_reports, write_hourly_reports
+from .schemas import AttackPulse, BotnetRecord, BotRecord, DDoSAttackRecord, Protocol
+from .segmentation import DEFAULT_GAP_SECONDS, SegmentedAttack, segment_pulses
+from .snapshots import LOOKBACK_SECONDS, Snapshot, iter_hourly_snapshots
+
+__all__ = [
+    "Collector",
+    "FamilyLabeler",
+    "read_hourly_reports",
+    "write_hourly_reports",
+    "AttackPulse",
+    "BotnetRecord",
+    "BotRecord",
+    "DDoSAttackRecord",
+    "Protocol",
+    "DEFAULT_GAP_SECONDS",
+    "SegmentedAttack",
+    "segment_pulses",
+    "LOOKBACK_SECONDS",
+    "Snapshot",
+    "iter_hourly_snapshots",
+]

@@ -1,0 +1,54 @@
+"""Family attribution: mapping botnet ids to malware families.
+
+In the real pipeline this step is reverse engineering plus threat
+intelligence (§II-B); the paper treats labels as ground truth with very
+low error.  Our labeler is built from the botnet rosters and can inject a
+configurable mislabel rate for robustness experiments (how sensitive the
+analyses are to attribution noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FamilyLabeler"]
+
+
+class FamilyLabeler:
+    """Resolve a botnet id to its family name."""
+
+    def __init__(self, botnet_to_family: dict[int, str]):
+        if not botnet_to_family:
+            raise ValueError("labeler needs at least one botnet")
+        self._map = dict(botnet_to_family)
+        self._families = sorted(set(self._map.values()))
+
+    @property
+    def families(self) -> list[str]:
+        return list(self._families)
+
+    @property
+    def n_botnets(self) -> int:
+        return len(self._map)
+
+    def label(self, botnet_id: int) -> str:
+        """Family name of ``botnet_id`` (raises ``KeyError`` if unknown)."""
+        try:
+            return self._map[botnet_id]
+        except KeyError:
+            raise KeyError(f"unknown botnet id: {botnet_id}") from None
+
+    def with_noise(self, rng: np.random.Generator, error_rate: float) -> "FamilyLabeler":
+        """A copy where each label is swapped to a random other family
+        with probability ``error_rate`` — models attribution mistakes."""
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate out of [0, 1]: {error_rate}")
+        if len(self._families) < 2 or error_rate == 0.0:
+            return FamilyLabeler(self._map)
+        noisy = {}
+        for botnet_id, family in self._map.items():
+            if rng.random() < error_rate:
+                others = [f for f in self._families if f != family]
+                family = others[int(rng.integers(0, len(others)))]
+            noisy[botnet_id] = family
+        return FamilyLabeler(noisy)

@@ -1,0 +1,140 @@
+"""The three data schemas of the monitoring service (§II-A, Table I).
+
+The vendor dataset consists of a *Botlist* (bots: IP + BGP + GeoIP), a
+*Botnetlist* (botnets: type, infected hosts, controller) and a
+*DDoSattack* list (one record per verified attack).  These dataclasses
+are the row-level view; :class:`repro.core.dataset.AttackDataset` stores
+the same information columnar for the analyses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..geo.ipam import ip_to_str
+
+__all__ = ["Protocol", "BotRecord", "BotnetRecord", "DDoSAttackRecord", "AttackPulse"]
+
+
+class Protocol(enum.IntEnum):
+    """Attack category: the transport/protocol the attack rides on (§II-D).
+
+    ``UNDETERMINED`` means the attack used multiple protocols and no single
+    one could be assigned; ``UNKNOWN`` means the traffic type could not be
+    established at all.
+    """
+
+    HTTP = 0
+    TCP = 1
+    UDP = 2
+    UNDETERMINED = 3
+    ICMP = 4
+    UNKNOWN = 5
+    SYN = 6
+
+    @classmethod
+    def from_name(cls, name: str) -> "Protocol":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown protocol name: {name!r}") from None
+
+
+@dataclass(frozen=True)
+class BotRecord:
+    """One Botlist row: a bot with its IP, BGP and GeoIP attributes."""
+
+    bot_index: int
+    ip: int
+    botnet_id: int
+    family: str
+    country_code: str
+    city: str
+    organization: str
+    asn: int
+    lat: float
+    lon: float
+    recruited_at: float
+    left_at: float
+
+    @property
+    def ip_str(self) -> str:
+        return ip_to_str(self.ip)
+
+    def active_at(self, ts: float) -> bool:
+        """True while the bot is enrolled in the botnet at ``ts``."""
+        return self.recruited_at <= ts < self.left_at
+
+
+@dataclass(frozen=True)
+class BotnetRecord:
+    """One Botnetlist row: a botnet (generation) of a malware family."""
+
+    botnet_id: int
+    family: str
+    controller_ip: int
+    first_seen: float
+    last_seen: float
+
+    @property
+    def controller_ip_str(self) -> str:
+        return ip_to_str(self.controller_ip)
+
+
+@dataclass(frozen=True)
+class DDoSAttackRecord:
+    """One DDoSattack row (Table I): a verified attack on one target.
+
+    ``magnitude`` is the number of distinct bot IPs involved — the paper's
+    proxy for attack size (§III-B justifies why spoofing can be ruled out).
+    """
+
+    ddos_id: int
+    botnet_id: int
+    family: str
+    category: Protocol
+    target_ip: int
+    timestamp: float
+    end_time: float
+    asn: int
+    country_code: str
+    city: str
+    organization: str
+    lat: float
+    lon: float
+    magnitude: int
+
+    @property
+    def target_ip_str(self) -> str:
+        return ip_to_str(self.target_ip)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.timestamp
+
+    def overlaps(self, other: "DDoSAttackRecord") -> bool:
+        """True if the two attacks' active intervals intersect."""
+        return self.timestamp < other.end_time and other.timestamp < self.end_time
+
+
+@dataclass(frozen=True)
+class AttackPulse:
+    """A raw burst of attack traffic, before segmentation (§II-D).
+
+    The monitoring systems log traffic bursts; pulses from the same botnet
+    against the same target with gaps of at most 60 seconds are merged
+    into one DDoS attack record by :mod:`repro.monitor.segmentation`.
+    """
+
+    botnet_id: int
+    family: str
+    target_index: int
+    start: float
+    end: float
+    protocol: Protocol
+    attack_tag: int  # generator-side identity, used only for validation
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"pulse ends before it starts: {self}")

@@ -1,0 +1,67 @@
+"""Hourly botnet snapshots (§II-B).
+
+The vendor emits, per family and per hour, the set of bots seen in the
+*previous 24 hours*.  Materialising ~5,000 hourly reports × 23 families
+would be wasteful, so snapshots are computed lazily from the attack
+participations with a sliding-window sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..simulation.clock import SECONDS_PER_HOUR, ObservationWindow
+
+__all__ = ["Snapshot", "iter_hourly_snapshots"]
+
+LOOKBACK_SECONDS = 24 * SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One hourly report: bots of a family active in the last 24 hours."""
+
+    family: str
+    timestamp: float
+    bot_indices: np.ndarray
+
+    @property
+    def n_bots(self) -> int:
+        return self.bot_indices.size
+
+
+def iter_hourly_snapshots(
+    attack_starts: np.ndarray,
+    participant_offsets: np.ndarray,
+    participants: np.ndarray,
+    window: ObservationWindow,
+    family: str = "",
+    skip_empty: bool = True,
+) -> Iterator[Snapshot]:
+    """Yield hourly 24-hour-cumulative snapshots of attack participants.
+
+    ``attack_starts`` must be sorted ascending; ``participant_offsets``
+    (length ``n+1``) and ``participants`` are the CSR layout of per-attack
+    bot indices.  Each snapshot at hour boundary ``t`` contains the union
+    of participants of attacks that *started* in ``(t - 24h, t]``.
+    """
+    starts = np.asarray(attack_starts, dtype=float)
+    if starts.size > 1 and np.any(np.diff(starts) < 0):
+        raise ValueError("attack_starts must be sorted ascending")
+    offsets = np.asarray(participant_offsets)
+    if offsets.size != starts.size + 1:
+        raise ValueError("participant_offsets must have length len(attack_starts) + 1")
+    for hour in range(1, window.n_hours + 1):
+        t = window.start + hour * SECONDS_PER_HOUR
+        lo = int(np.searchsorted(starts, t - LOOKBACK_SECONDS, side="right"))
+        hi = int(np.searchsorted(starts, t, side="right"))
+        if hi <= lo:
+            if skip_empty:
+                continue
+            bots = np.zeros(0, dtype=participants.dtype)
+        else:
+            bots = np.unique(participants[offsets[lo] : offsets[hi]])
+        yield Snapshot(family=family, timestamp=float(t), bot_indices=bots)

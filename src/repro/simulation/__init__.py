@@ -1,0 +1,34 @@
+"""Deterministic simulation substrate: seeded RNG streams, time base, DES engine."""
+
+from .clock import (
+    OBSERVATION_DAYS,
+    OBSERVATION_END,
+    OBSERVATION_START,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+    ObservationWindow,
+    from_datetime,
+    to_datetime,
+)
+from .engine import SimulationEngine, SimulationError
+from .events import Event, EventKind
+from .rng import SeededStreams, derive_seed
+
+__all__ = [
+    "OBSERVATION_DAYS",
+    "OBSERVATION_END",
+    "OBSERVATION_START",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_WEEK",
+    "ObservationWindow",
+    "from_datetime",
+    "to_datetime",
+    "SimulationEngine",
+    "SimulationError",
+    "Event",
+    "EventKind",
+    "SeededStreams",
+    "derive_seed",
+]

@@ -1,0 +1,133 @@
+"""Simulation time base.
+
+All timestamps in the library are POSIX seconds (UTC).  The observation
+window matches the paper: 2012-08-29 00:00:00 UTC through 2013-03-24
+00:00:00 UTC, a total of 207 days (§II-B).  This module centralises the
+window constants and the conversions the analyses need (day index, week
+index, hourly snapshot boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+__all__ = [
+    "OBSERVATION_START",
+    "OBSERVATION_END",
+    "OBSERVATION_DAYS",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_WEEK",
+    "ObservationWindow",
+    "to_datetime",
+    "from_datetime",
+]
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Start of the paper's collection window: 2012-08-29 00:00:00 UTC.
+OBSERVATION_START = int(datetime(2012, 8, 29, tzinfo=timezone.utc).timestamp())
+
+#: Number of days in the paper's collection window (§II-B: "a total of 207 days").
+OBSERVATION_DAYS = 207
+
+#: End of the collection window: 2013-03-24 00:00:00 UTC.
+OBSERVATION_END = OBSERVATION_START + OBSERVATION_DAYS * SECONDS_PER_DAY
+
+
+def to_datetime(ts: float) -> datetime:
+    """Convert POSIX seconds to an aware UTC ``datetime``."""
+    return datetime.fromtimestamp(ts, tz=timezone.utc)
+
+
+def from_datetime(dt: datetime) -> int:
+    """Convert a ``datetime`` (naive datetimes are taken as UTC) to POSIX seconds."""
+    if dt.tzinfo is None:
+        dt = dt.replace(tzinfo=timezone.utc)
+    return int(dt.timestamp())
+
+
+@dataclass(frozen=True)
+class ObservationWindow:
+    """A half-open time window ``[start, end)`` in POSIX seconds.
+
+    Provides the index conversions used throughout the analyses: the
+    paper bins attacks by day (Fig 2), by week (Fig 8) and by hourly
+    snapshot (§II-B: one report per family per hour).
+    """
+
+    start: int = OBSERVATION_START
+    end: int = OBSERVATION_END
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window: start={self.start} end={self.end}")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    @property
+    def n_days(self) -> int:
+        return -(-self.duration // SECONDS_PER_DAY)  # ceil
+
+    @property
+    def n_weeks(self) -> int:
+        return -(-self.duration // SECONDS_PER_WEEK)
+
+    @property
+    def n_hours(self) -> int:
+        return -(-self.duration // SECONDS_PER_HOUR)
+
+    def contains(self, ts: float) -> bool:
+        """True when ``ts`` falls inside the half-open window."""
+        return self.start <= ts < self.end
+
+    def clamp(self, ts: float) -> float:
+        """Clamp ``ts`` into ``[start, end)``."""
+        return min(max(ts, self.start), self.end - 1)
+
+    def day_index(self, ts: float) -> int:
+        """0-based day number of ``ts`` within the window."""
+        return int(ts - self.start) // SECONDS_PER_DAY
+
+    def week_index(self, ts: float) -> int:
+        """0-based week number of ``ts`` within the window."""
+        return int(ts - self.start) // SECONDS_PER_WEEK
+
+    def hour_index(self, ts: float) -> int:
+        """0-based hourly-snapshot number of ``ts`` within the window."""
+        return int(ts - self.start) // SECONDS_PER_HOUR
+
+    def day_start(self, day: int) -> int:
+        """POSIX seconds at which day index ``day`` begins."""
+        return self.start + day * SECONDS_PER_DAY
+
+    def week_start(self, week: int) -> int:
+        """POSIX seconds at which week index ``week`` begins."""
+        return self.start + week * SECONDS_PER_WEEK
+
+    def hour_start(self, hour: int) -> int:
+        """POSIX seconds at which snapshot hour ``hour`` begins."""
+        return self.start + hour * SECONDS_PER_HOUR
+
+    def day_label(self, day: int) -> str:
+        """ISO date string for a day index (used by reports and figures)."""
+        return to_datetime(self.day_start(day)).strftime("%Y-%m-%d")
+
+    def subwindow(self, frac_start: float, frac_end: float) -> "ObservationWindow":
+        """A window covering the given fractional span of this one.
+
+        Used by family profiles that are only active for part of the
+        observation period (e.g. Blackenergy, active ~1/3 of it).
+        """
+        if not 0.0 <= frac_start < frac_end <= 1.0:
+            raise ValueError(f"bad fractions: {frac_start}, {frac_end}")
+        span = self.duration
+        return ObservationWindow(
+            start=self.start + int(frac_start * span),
+            end=self.start + int(frac_end * span),
+        )

@@ -1,0 +1,132 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal but complete DES core: schedule events, register handlers per
+event kind, run until the queue drains or a time horizon is reached.
+Determinism guarantees:
+
+* events are delivered in ``(time, kind, seq)`` order, where ``seq`` is a
+  monotone scheduling counter — ties never depend on hash order;
+* handlers run in registration order;
+* the engine itself consumes no randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from .events import Event, EventKind
+
+__all__ = ["SimulationEngine", "SimulationError"]
+
+Handler = Callable[[Event], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (scheduling into the past, etc.)."""
+
+
+class SimulationEngine:
+    """Priority-queue based discrete-event engine.
+
+    >>> engine = SimulationEngine()
+    >>> engine.on(EventKind.ATTACK_PULSE, handler)
+    >>> engine.schedule(t0, EventKind.ATTACK_PULSE, payload)
+    >>> engine.run()
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._handlers: dict[EventKind, list[Handler]] = {}
+        self._global_handlers: list[Handler] = []
+        self._processed = 0
+        self._running = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (the timestamp of the last delivered event)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events delivered so far."""
+        return self._processed
+
+    # -- wiring --------------------------------------------------------
+
+    def on(self, kind: EventKind, handler: Handler) -> None:
+        """Register ``handler`` for events of ``kind``."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def on_any(self, handler: Handler) -> None:
+        """Register ``handler`` for every event (runs after kind handlers)."""
+        self._global_handlers.append(handler)
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, time: float, kind: EventKind, payload=None) -> Event:
+        """Queue an event; returns the queued :class:`Event`.
+
+        Scheduling strictly into the past (before the engine's current
+        time) is an error — it would silently reorder history.
+        """
+        if self._running and time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = Event(time=float(time), kind=kind, seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_all(self, events: Iterable[tuple[float, EventKind, object]]) -> int:
+        """Bulk-schedule ``(time, kind, payload)`` tuples; returns the count."""
+        n = 0
+        for time, kind, payload in events:
+            self.schedule(time, kind, payload)
+            n += 1
+        return n
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> Event | None:
+        """Deliver the single next event; ``None`` if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._running = True
+        try:
+            for handler in self._handlers.get(event.kind, ()):  # kind handlers first
+                handler(event)
+            for handler in self._global_handlers:
+                handler(event)
+        finally:
+            self._running = False
+        self._processed += 1
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run until the queue drains, ``until`` is passed, or ``max_events``.
+
+        Returns the number of events delivered by this call.  An event
+        with ``time > until`` stays queued (the horizon is inclusive).
+        """
+        delivered = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            if max_events is not None and delivered >= max_events:
+                break
+            self.step()
+            delivered += 1
+        return delivered

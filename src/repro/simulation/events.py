@@ -1,0 +1,47 @@
+"""Event types for the botnet-ecosystem simulation.
+
+The simulation is event-sourced: the botnet layer schedules events on the
+engine, and the monitoring substrate consumes the resulting ordered event
+stream exactly the way the real monitoring service consumed traffic logs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of events the simulation produces, in tie-break priority order.
+
+    When several events share a timestamp, they are delivered in ascending
+    ``EventKind`` value: recruitment/churn reshapes a botnet before any
+    attack pulse at the same instant, and snapshots observe the state
+    *after* everything else that happened in their hour.
+    """
+
+    RECRUIT = 0          # bots join a botnet
+    CHURN = 1            # bots leave a botnet
+    CAMPAIGN_START = 2   # a botmaster begins a campaign (bookkeeping)
+    ATTACK_PULSE = 3     # one burst of attack traffic (start, end, bots)
+    ATTACK_END = 4       # bookkeeping marker for the end of an attack
+    SNAPSHOT = 5         # hourly monitoring snapshot boundary
+    CAMPAIGN_END = 6
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One simulation event, totally ordered by (time, kind, seq).
+
+    ``seq`` is assigned by the engine at scheduling time, so two events
+    with the same timestamp and kind are delivered in scheduling order —
+    this is what makes runs byte-for-byte reproducible.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)

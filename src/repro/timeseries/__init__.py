@@ -1,0 +1,36 @@
+"""Time-series substrate: ARIMA estimation, diagnostics and forecast metrics."""
+
+from .acf import acf, ljung_box, pacf
+from .arima import ARIMA, ARIMAFit
+from .differencing import difference, integrate, integrate_forecast
+from .hannan_rissanen import hannan_rissanen, yule_walker
+from .metrics import (
+    ForecastComparison,
+    compare_forecast,
+    cosine_similarity,
+    error_rates,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+from .order_selection import OrderSearchResult, select_order
+
+__all__ = [
+    "acf",
+    "ljung_box",
+    "pacf",
+    "ARIMA",
+    "ARIMAFit",
+    "difference",
+    "integrate",
+    "integrate_forecast",
+    "hannan_rissanen",
+    "yule_walker",
+    "ForecastComparison",
+    "compare_forecast",
+    "cosine_similarity",
+    "error_rates",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "OrderSearchResult",
+    "select_order",
+]

@@ -1,0 +1,47 @@
+"""Differencing and integration for the "I" in ARIMA."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["difference", "integrate", "integrate_forecast"]
+
+
+def difference(series, d: int = 1) -> np.ndarray:
+    """Apply ``d`` rounds of first differencing; length shrinks by ``d``."""
+    y = np.asarray(series, dtype=float)
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    if y.size <= d:
+        raise ValueError(f"series of length {y.size} cannot be differenced {d} times")
+    for _ in range(d):
+        y = np.diff(y)
+    return y
+
+
+def integrate(diffed, heads: list[np.ndarray]) -> np.ndarray:
+    """Invert :func:`difference` given the retained heads.
+
+    ``heads`` must contain, for each differencing round (outermost first),
+    the first element of the series at that level — i.e. ``heads[0]`` is
+    the first value of the original series, ``heads[1]`` the first value
+    after one differencing round, and so on.
+    """
+    y = np.asarray(diffed, dtype=float)
+    for head in reversed(heads):
+        y = np.concatenate(([float(head)], y)).cumsum()
+    return y
+
+
+def integrate_forecast(forecast_diffed, last_values: np.ndarray) -> np.ndarray:
+    """Undo differencing for a forecast continuing a known series.
+
+    ``last_values`` holds the final ``d`` observations of the original
+    (undifferenced) series at successively differenced levels: element 0
+    is the last original value, element 1 the last first-difference, etc.
+    """
+    f = np.asarray(forecast_diffed, dtype=float)
+    last_values = np.asarray(last_values, dtype=float)
+    for level in range(last_values.size - 1, -1, -1):
+        f = last_values[level] + np.cumsum(f)
+    return f

@@ -1,0 +1,89 @@
+"""Initial ARMA parameter estimates: Yule-Walker and Hannan-Rissanen.
+
+The conditional-sum-of-squares optimiser in :mod:`repro.timeseries.arima`
+needs a starting point.  Yule-Walker handles the pure-AR case; the
+Hannan-Rissanen two-stage regression provides joint AR+MA starting values
+by first fitting a long AR model to estimate the innovations, then
+regressing the series on lagged values and lagged innovations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .acf import acf
+
+__all__ = ["yule_walker", "hannan_rissanen"]
+
+
+def yule_walker(series, p: int) -> np.ndarray:
+    """AR(p) coefficients from the Yule-Walker equations."""
+    if p == 0:
+        return np.zeros(0)
+    y = np.asarray(series, dtype=float)
+    if y.size <= p:
+        raise ValueError(f"need more than p={p} observations, got {y.size}")
+    rho = acf(y, p)
+    # Toeplitz system R phi = r
+    r_matrix = np.empty((p, p))
+    for i in range(p):
+        for j in range(p):
+            r_matrix[i, j] = rho[abs(i - j)]
+    try:
+        phi = np.linalg.solve(r_matrix, rho[1 : p + 1])
+    except np.linalg.LinAlgError:
+        phi, *_ = np.linalg.lstsq(r_matrix, rho[1 : p + 1], rcond=None)
+    return phi
+
+
+def _long_ar_residuals(y: np.ndarray, order: int) -> np.ndarray:
+    """Residuals of a long AR fit, used as innovation proxies."""
+    phi = yule_walker(y, order)
+    n = y.size
+    resid = np.zeros(n)
+    for t in range(order, n):
+        resid[t] = y[t] - float(np.dot(phi, y[t - order : t][::-1]))
+    return resid
+
+
+def hannan_rissanen(series, p: int, q: int) -> tuple[np.ndarray, np.ndarray]:
+    """Two-stage Hannan-Rissanen estimates ``(phi, theta)`` for ARMA(p, q).
+
+    The input series should already be differenced and mean-centred.
+    Falls back to conservative defaults (Yule-Walker AR, zero MA) when the
+    regression is ill-conditioned — the downstream CSS optimiser only
+    needs a sane starting point.
+    """
+    y = np.asarray(series, dtype=float)
+    if p == 0 and q == 0:
+        return np.zeros(0), np.zeros(0)
+    if q == 0:
+        return yule_walker(y, p), np.zeros(0)
+
+    long_order = max(p + q, min(20, max(1, y.size // 10)))
+    if y.size <= long_order + max(p, q) + 1:
+        # Too short for the two-stage regression; start from AR-only.
+        phi = yule_walker(y, p) if p > 0 else np.zeros(0)
+        return phi, np.zeros(q)
+
+    eps = _long_ar_residuals(y, long_order)
+    start = long_order + max(p, q)
+    rows = y.size - start
+    design = np.empty((rows, p + q))
+    for i, t in enumerate(range(start, y.size)):
+        if p:
+            design[i, :p] = y[t - p : t][::-1]
+        if q:
+            design[i, p:] = eps[t - q : t][::-1]
+    target = y[start:]
+    try:
+        coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    except np.linalg.LinAlgError:
+        phi = yule_walker(y, p) if p > 0 else np.zeros(0)
+        return phi, np.zeros(q)
+    phi = coef[:p]
+    theta = coef[p:]
+    # Clamp wild starting values; CSS refines from here.
+    phi = np.clip(phi, -0.98, 0.98)
+    theta = np.clip(theta, -0.98, 0.98)
+    return phi, theta

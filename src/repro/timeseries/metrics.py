@@ -1,0 +1,104 @@
+"""Forecast-quality metrics used by the prediction experiments (Table IV).
+
+The paper compares the predicted and ground-truth geolocation-distance
+series by mean, standard deviation and cosine similarity, and plots the
+per-point error rate over time (Figs 12-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "error_rates",
+    "ForecastComparison",
+    "compare_forecast",
+]
+
+
+def _paired(a, b) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        raise ValueError("empty inputs")
+    return x, y
+
+
+def cosine_similarity(a, b) -> float:
+    """Cosine similarity between two equal-length vectors.
+
+    Returns 0.0 when either vector is all-zero (orthogonal by convention),
+    and 1.0 when both are all-zero (identical).
+    """
+    x, y = _paired(a, b)
+    nx = float(np.linalg.norm(x))
+    ny = float(np.linalg.norm(y))
+    if nx == 0.0 and ny == 0.0:
+        return 1.0
+    if nx == 0.0 or ny == 0.0:
+        return 0.0
+    return float(np.dot(x, y) / (nx * ny))
+
+
+def mean_absolute_error(truth, prediction) -> float:
+    """Mean absolute error between aligned vectors."""
+    x, y = _paired(truth, prediction)
+    return float(np.mean(np.abs(x - y)))
+
+
+def root_mean_squared_error(truth, prediction) -> float:
+    """Root-mean-squared error between aligned vectors."""
+    x, y = _paired(truth, prediction)
+    return float(np.sqrt(np.mean((x - y) ** 2)))
+
+
+def error_rates(truth, prediction, floor: float | None = None) -> np.ndarray:
+    """Per-point relative error ``|pred - truth| / max(|truth|, floor)``.
+
+    The paper's Figs 12-13 show the error rate over time; a floor keeps
+    near-zero truth values (symmetric snapshots) from exploding the rate.
+    By default the floor is the mean absolute truth value.
+    """
+    x, y = _paired(truth, prediction)
+    if floor is None:
+        floor = float(np.mean(np.abs(x)))
+        if floor == 0.0:
+            floor = 1.0
+    denom = np.maximum(np.abs(x), floor)
+    return np.abs(y - x) / denom
+
+
+@dataclass(frozen=True)
+class ForecastComparison:
+    """The Table IV row for one family: prediction vs ground truth."""
+
+    prediction_mean: float
+    prediction_std: float
+    truth_mean: float
+    truth_std: float
+    similarity: float
+    mae: float
+    rmse: float
+    n_points: int
+
+
+def compare_forecast(truth, prediction) -> ForecastComparison:
+    """Compute the paper's Table IV statistics for one forecast."""
+    x, y = _paired(truth, prediction)
+    return ForecastComparison(
+        prediction_mean=float(np.mean(y)),
+        prediction_std=float(np.std(y, ddof=0)),
+        truth_mean=float(np.mean(x)),
+        truth_std=float(np.std(x, ddof=0)),
+        similarity=cosine_similarity(x, y),
+        mae=mean_absolute_error(x, y),
+        rmse=root_mean_squared_error(x, y),
+        n_points=int(x.size),
+    )

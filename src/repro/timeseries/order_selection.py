@@ -1,0 +1,60 @@
+"""Automatic ARIMA order selection by information criterion grid search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arima import ARIMA, ARIMAFit
+
+__all__ = ["OrderSearchResult", "select_order"]
+
+
+@dataclass(frozen=True)
+class OrderSearchResult:
+    """Outcome of a grid search over (p, d, q)."""
+
+    best_order: tuple[int, int, int]
+    best_fit: ARIMAFit
+    scores: dict[tuple[int, int, int], float]
+    criterion: str
+
+
+def select_order(
+    series,
+    max_p: int = 3,
+    max_d: int = 1,
+    max_q: int = 3,
+    criterion: str = "aic",
+) -> OrderSearchResult:
+    """Grid-search ARIMA orders, returning the best fit by AIC or BIC.
+
+    Orders whose fit fails (too-short series, optimizer blowup) are
+    skipped; at least the mean-only model (0, 0, 0) always succeeds for a
+    non-trivial series, so the search cannot come back empty-handed.
+    """
+    if criterion not in ("aic", "bic"):
+        raise ValueError(f"criterion must be 'aic' or 'bic', got {criterion!r}")
+    y = np.asarray(series, dtype=float)
+    scores: dict[tuple[int, int, int], float] = {}
+    best: tuple[float, tuple[int, int, int], ARIMAFit] | None = None
+    for d in range(max_d + 1):
+        for p in range(max_p + 1):
+            for q in range(max_q + 1):
+                order = (p, d, q)
+                try:
+                    fit = ARIMA(order).fit(y)
+                except (ValueError, np.linalg.LinAlgError):
+                    continue
+                score = fit.aic if criterion == "aic" else fit.bic
+                if not np.isfinite(score):
+                    continue
+                scores[order] = float(score)
+                if best is None or score < best[0]:
+                    best = (float(score), order, fit)
+    if best is None:
+        raise ValueError("no ARIMA order could be fitted to the series")
+    return OrderSearchResult(
+        best_order=best[1], best_fit=best[2], scores=scores, criterion=criterion
+    )

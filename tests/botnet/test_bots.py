@@ -1,0 +1,125 @@
+"""Tests for bot pools and the closed-loop participant sampler."""
+
+import numpy as np
+import pytest
+
+from repro.botnet.bots import BotPool
+from repro.botnet.profiles import profile_by_name
+from repro.geo.haversine import dispersion_km
+from repro.geo.ipam import IPAllocator, SequentialAssigner
+from repro.geo.mapping import GeoIPService
+from repro.geo.world import World
+from repro.simulation.clock import ObservationWindow
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def env():
+    streams = SeededStreams(13)
+    world = World.build(streams)
+    alloc = IPAllocator(world, streams)
+    return streams, world, alloc, GeoIPService(world, alloc)
+
+
+def build_pool(env, family="pandora", scale=0.1):
+    streams, world, alloc, geoip = env
+    assigner = SequentialAssigner(alloc)
+    profile = profile_by_name(family).scaled(scale)
+    countries = sorted(world.countries, key=lambda c: -c.weight)[:186]
+    idx = np.array([c.index for c in countries])
+    w = np.array([c.weight for c in countries])
+    pool = BotPool.build(
+        profile, world, assigner, geoip, streams.fresh(f"pool.{family}.{scale}"),
+        ObservationWindow(), idx, w, np.arange(1, profile.n_botnets + 1),
+    )
+    return profile, pool
+
+
+class TestBuild:
+    def test_pool_size_matches_profile(self, env):
+        profile, pool = build_pool(env)
+        assert pool.n_bots == profile.n_bots
+
+    def test_unique_ips(self, env):
+        _profile, pool = build_pool(env)
+        assert np.unique(pool.ip).size == pool.n_bots
+
+    def test_home_countries_dominate(self, env):
+        profile, pool = build_pool(env)
+        _streams, world, *_ = env
+        home = {world.country_by_code(cc).index for cc, _w in profile.home_countries}
+        in_home = np.isin(pool.country_idx, list(home)).mean()
+        assert in_home > 0.75
+
+    def test_expansion_bots_recruited_late(self, env):
+        profile, pool = build_pool(env)
+        if pool.expansion_idx.size:
+            window = ObservationWindow()
+            frac = (pool.expansion_recruit - window.start) / window.duration
+            assert np.all(frac > 0.2)
+
+    def test_coords_match_geoip(self, env):
+        _profile, pool = build_pool(env)
+        _streams, _world, _alloc, geoip = env
+        for b in (0, pool.n_bots // 2, pool.n_bots - 1):
+            rec = geoip.lookup(int(pool.ip[b]))
+            assert rec.lat == pytest.approx(float(pool.lat[b]))
+            assert rec.lon == pytest.approx(float(pool.lon[b]))
+            assert rec.country_index == int(pool.country_idx[b])
+
+    def test_city_structures_cover_core(self, env):
+        _profile, pool = build_pool(env)
+        total = sum(v.size for v in pool.city_bots.values())
+        assert total == pool.n_bots - pool.expansion_idx.size
+
+
+class TestSampling:
+    def test_symmetric_samples_have_small_dispersion(self, env):
+        profile, pool = build_pool(env)
+        rng = np.random.default_rng(0)
+        ts = ObservationWindow().start + 5_000_000
+        values = []
+        for _ in range(30):
+            idx = pool.sample_participants(rng, ts, 40, True, 0.0)
+            values.append(dispersion_km(pool.lat[idx], pool.lon[idx]))
+        assert float(np.median(values)) < 100.0
+
+    def test_asymmetric_samples_track_target(self, env):
+        profile, pool = build_pool(env)
+        rng = np.random.default_rng(1)
+        ts = ObservationWindow().start + 5_000_000
+        for target in (300.0, 1500.0):
+            measured = [
+                dispersion_km(pool.lat[i], pool.lon[i])
+                for i in (
+                    pool.sample_participants(rng, ts, 40, False, target)
+                    for _ in range(20)
+                )
+            ]
+            assert float(np.median(measured)) == pytest.approx(target, rel=0.35)
+
+    def test_magnitude_respected_roughly(self, env):
+        _profile, pool = build_pool(env)
+        rng = np.random.default_rng(2)
+        ts = ObservationWindow().start + 1_000_000
+        idx = pool.sample_participants(rng, ts, 60, True, 0.0)
+        assert 30 <= idx.size <= 100
+
+    def test_participants_unique_and_valid(self, env):
+        _profile, pool = build_pool(env)
+        rng = np.random.default_rng(3)
+        idx = pool.sample_participants(rng, ObservationWindow().start, 24, False, 500.0)
+        assert np.unique(idx).size == idx.size
+        assert idx.min() >= 0 and idx.max() < pool.n_bots
+
+    def test_minimum_magnitude(self, env):
+        _profile, pool = build_pool(env)
+        rng = np.random.default_rng(4)
+        idx = pool.sample_participants(rng, ObservationWindow().start, 1, True, 0.0)
+        assert idx.size >= 2
+
+    def test_tiny_pool_still_works(self, env):
+        _profile, pool = build_pool(env, family="aldibot", scale=0.02)
+        rng = np.random.default_rng(5)
+        idx = pool.sample_participants(rng, ObservationWindow().start + 100.0, 10, True, 0.0)
+        assert idx.size >= 2

@@ -1,0 +1,63 @@
+"""Tests for botnet rosters."""
+
+import numpy as np
+import pytest
+
+from repro.botnet.cnc import BotnetRoster
+from repro.botnet.profiles import profile_by_name
+from repro.geo.ipam import IPAllocator, SequentialAssigner
+from repro.geo.world import World
+from repro.simulation.clock import ObservationWindow
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def roster():
+    streams = SeededStreams(11)
+    world = World.build(streams)
+    assigner = SequentialAssigner(IPAllocator(world, streams))
+    profile = profile_by_name("pandora").scaled(0.1)
+    return BotnetRoster.build(
+        profile, world, assigner, streams.stream("roster"), ObservationWindow(), first_id=100
+    )
+
+
+class TestRoster:
+    def test_ids_sequential_from_first(self, roster):
+        assert roster.ids[0] == 100
+        assert np.array_equal(roster.ids, 100 + np.arange(roster.n_botnets))
+
+    def test_spans_inside_window(self, roster):
+        window = ObservationWindow()
+        assert np.all(roster.first_seen >= window.start)
+        assert np.all(roster.last_seen <= window.end)
+        assert np.all(roster.last_seen > roster.first_seen)
+
+    def test_overlapping_generations(self, roster):
+        # Mid-window there should be several concurrently active botnets
+        # (collaborations need them).
+        window = ObservationWindow()
+        mid = window.start + window.duration / 2
+        assert roster.active_at(mid).size >= 2
+
+    def test_pick_distinct(self, roster):
+        rng = np.random.default_rng(0)
+        window = ObservationWindow()
+        mid = window.start + window.duration / 2
+        ids = roster.pick(rng, mid, k=3)
+        assert np.unique(ids).size == 3
+
+    def test_pick_outside_activity_fills_nearest(self, roster):
+        rng = np.random.default_rng(0)
+        ids = roster.pick(rng, ObservationWindow().start - 1e6, k=2)
+        assert np.unique(ids).size == 2
+
+    def test_pick_too_many(self, roster):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            roster.pick(rng, ObservationWindow().start, k=roster.n_botnets + 1)
+        with pytest.raises(ValueError):
+            roster.pick(rng, ObservationWindow().start, k=0)
+
+    def test_controllers_allocated(self, roster):
+        assert np.unique(roster.controller_ip).size == roster.n_botnets

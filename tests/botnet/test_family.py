@@ -1,0 +1,114 @@
+"""Tests for family profile validation and scaling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.botnet.family import DispersionModel, DurationModel, FamilyProfile, GapMixture
+from repro.monitor.schemas import Protocol
+
+
+def minimal_profile(**overrides) -> FamilyProfile:
+    base = dict(
+        name="test",
+        active=True,
+        protocol_counts={Protocol.HTTP: 100},
+        n_botnets=4,
+        n_bots=500,
+        n_targets=20,
+        target_countries=(("US", 10.0), ("RU", 5.0)),
+        n_target_countries=5,
+        home_countries=(("US", 0.6), ("DE", 0.4)),
+    )
+    base.update(overrides)
+    return FamilyProfile(**base)
+
+
+class TestValidation:
+    def test_valid_profile(self):
+        profile = minimal_profile()
+        assert profile.total_attacks == 100
+
+    def test_active_needs_attacks(self):
+        with pytest.raises(ValueError):
+            minimal_profile(protocol_counts={})
+
+    def test_inactive_must_not_attack(self):
+        with pytest.raises(ValueError):
+            minimal_profile(active=False)
+
+    def test_attacks_must_cover_targets(self):
+        with pytest.raises(ValueError):
+            minimal_profile(n_targets=1000)
+
+    def test_needs_home_countries(self):
+        with pytest.raises(ValueError):
+            minimal_profile(home_countries=())
+
+    def test_bad_active_window(self):
+        with pytest.raises(ValueError):
+            minimal_profile(active_window=(0.5, 0.5))
+
+    def test_bad_multi_wave(self):
+        with pytest.raises(ValueError):
+            minimal_profile(p_multi_wave=1.0)
+
+    def test_bad_sync(self):
+        with pytest.raises(ValueError):
+            minimal_profile(sync_fraction=-0.1)
+
+
+class TestSubModels:
+    def test_gap_mixture_weights_must_sum(self):
+        with pytest.raises(ValueError):
+            GapMixture(mode_seconds=(1.0, 2.0), mode_weights=(0.5, 0.6))
+
+    def test_gap_mixture_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GapMixture(mode_seconds=(1.0,), mode_weights=(0.5, 0.5))
+
+    def test_gap_mixture_positive_modes(self):
+        with pytest.raises(ValueError):
+            GapMixture(mode_seconds=(0.0, 1.0), mode_weights=(0.5, 0.5))
+
+    def test_duration_model_validation(self):
+        with pytest.raises(ValueError):
+            DurationModel(sigma=0.0)
+        with pytest.raises(ValueError):
+            DurationModel(min_seconds=100.0, max_seconds=10.0)
+
+    def test_dispersion_model_validation(self):
+        with pytest.raises(ValueError):
+            DispersionModel(p_symmetric=1.5)
+        with pytest.raises(ValueError):
+            DispersionModel(asym_median_km=-1.0)
+
+
+class TestScaling:
+    @given(st.floats(min_value=0.005, max_value=1.0))
+    @settings(max_examples=60)
+    def test_scaled_profiles_stay_valid(self, fraction):
+        profile = minimal_profile(intra_collabs=20, chains=(5, 3.0))
+        scaled = profile.scaled(fraction)
+        # Constructor validation ran, so these invariants hold:
+        assert scaled.total_attacks >= scaled.n_targets
+        assert scaled.n_botnets >= 1
+        assert scaled.n_bots >= 10
+
+    def test_scale_one_is_identity_for_counts(self):
+        profile = minimal_profile()
+        scaled = profile.scaled(1.0)
+        assert scaled.total_attacks == profile.total_attacks
+        assert scaled.n_bots == profile.n_bots
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            minimal_profile().scaled(0.0)
+        with pytest.raises(ValueError):
+            minimal_profile().scaled(1.5)
+
+    def test_structures_survive_scaling(self):
+        profile = minimal_profile(intra_collabs=100, chains=(10, 4.0))
+        scaled = profile.scaled(0.01)
+        assert scaled.intra_collabs >= 1
+        assert scaled.chains[0] >= 1

@@ -1,0 +1,111 @@
+"""Tests pinning the calibrated profiles to the paper's exact totals."""
+
+from repro.botnet.profiles import (
+    ACTIVE_FAMILY_NAMES,
+    ALL_FAMILY_NAMES,
+    INTER_FAMILY_COLLABS,
+    MINOR_FAMILY_NAMES,
+    default_profiles,
+    profile_by_name,
+)
+from repro.monitor.schemas import Protocol
+
+import pytest
+
+
+class TestCensus:
+    def test_23_families_10_active(self):
+        profiles = default_profiles()
+        assert len(profiles) == 23
+        assert sum(p.active for p in profiles.values()) == 10
+        assert set(ACTIVE_FAMILY_NAMES) == {n for n, p in profiles.items() if p.active}
+        assert len(ALL_FAMILY_NAMES) == 23
+        assert len(MINOR_FAMILY_NAMES) == 13
+
+    def test_total_attacks_is_50704(self):
+        profiles = default_profiles()
+        assert sum(p.total_attacks for p in profiles.values()) == 50704
+
+    def test_total_botnets_is_674(self):
+        profiles = default_profiles()
+        assert sum(p.n_botnets for p in profiles.values()) == 674
+
+    def test_total_bots_is_310950(self):
+        profiles = default_profiles()
+        assert sum(p.n_bots for p in profiles.values()) == 310950
+
+    def test_total_targets_is_9026(self):
+        profiles = default_profiles()
+        assert sum(p.n_targets for p in profiles.values()) == 9026
+
+
+class TestTable2Cells:
+    def test_dirtjumper_http(self):
+        assert profile_by_name("dirtjumper").protocol_counts[Protocol.HTTP] == 34620
+
+    def test_blackenergy_five_protocols(self):
+        counts = profile_by_name("blackenergy").protocol_counts
+        assert counts == {
+            Protocol.HTTP: 3048,
+            Protocol.TCP: 199,
+            Protocol.ICMP: 147,
+            Protocol.UDP: 71,
+            Protocol.SYN: 31,
+        }
+
+    def test_darkshell_undetermined(self):
+        assert profile_by_name("darkshell").protocol_counts[Protocol.UNDETERMINED] == 1530
+
+    def test_yzf_three_way_split(self):
+        counts = profile_by_name("yzf").protocol_counts
+        assert counts[Protocol.HTTP] == 177
+        assert counts[Protocol.TCP] == 182
+        assert counts[Protocol.UDP] == 187
+
+
+class TestBehaviouralCalibration:
+    def test_blackenergy_active_one_third(self):
+        lo, hi = profile_by_name("blackenergy").active_window
+        assert 0.25 <= hi - lo <= 0.40
+
+    def test_aldibot_optima_spaced(self):
+        for name in ("aldibot", "optima"):
+            profile = profile_by_name(name)
+            assert profile.p_multi_wave == 0.0
+            assert profile.gap_mixture.min_gap >= 60.0
+
+    def test_table5_country_counts(self):
+        expected = {
+            "aldibot": 14, "blackenergy": 20, "colddeath": 16, "darkshell": 13,
+            "ddoser": 19, "dirtjumper": 71, "nitol": 12, "optima": 12,
+            "pandora": 43, "yzf": 11,
+        }
+        for name, n in expected.items():
+            assert profile_by_name(name).n_target_countries == n, name
+
+    def test_dirtjumper_collab_hub(self):
+        profiles = default_profiles()
+        dj = profiles["dirtjumper"]
+        assert dj.intra_collabs == 756
+        assert dj.collab_size_mean == pytest.approx(2.19)
+        assert all(fam_a == "dirtjumper" for fam_a, _b, _n in INTER_FAMILY_COLLABS)
+        pair_counts = {fam_b: n for _a, fam_b, n in INTER_FAMILY_COLLABS}
+        assert pair_counts["pandora"] == 118
+
+    def test_chain_families(self):
+        with_chains = {
+            n for n, p in default_profiles().items() if p.chains[0] > 0
+        }
+        assert with_chains == {"darkshell", "ddoser", "dirtjumper", "nitol"}
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            profile_by_name("mirai")
+
+    def test_dispersion_ordering(self):
+        # Table IV ordering: Blackenergy/Optima disperse far, Pandora and
+        # Colddeath stay regional.
+        med = {n: profile_by_name(n).dispersion.asym_median_km
+               for n in ("blackenergy", "optima", "pandora", "colddeath")}
+        assert med["blackenergy"] > med["pandora"]
+        assert med["optima"] > med["colddeath"]

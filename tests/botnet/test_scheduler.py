@@ -1,0 +1,197 @@
+"""Tests for the family attack scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.botnet.cnc import BotnetRoster
+from repro.botnet.profiles import profile_by_name
+from repro.botnet.scheduler import CollabKind, FamilyScheduler
+from repro.geo.ipam import IPAllocator, SequentialAssigner
+from repro.geo.world import World
+from repro.simulation.clock import ObservationWindow
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def env():
+    streams = SeededStreams(17)
+    world = World.build(streams)
+    assigner = SequentialAssigner(IPAllocator(world, streams))
+    return streams, world, assigner
+
+
+def plan_for(env, family="darkshell", scale=0.1, reserve=0, mega=0, seed_name="s"):
+    streams, world, assigner = env
+    profile = profile_by_name(family).scaled(scale)
+    roster = BotnetRoster.build(
+        profile, world, assigner, streams.fresh(f"r.{family}.{scale}"),
+        ObservationWindow(), first_id=1,
+    )
+    scheduler = FamilyScheduler(
+        profile, ObservationWindow(), roster, streams.fresh(seed_name),
+        reserve_for_inter=reserve, mega_extra=mega,
+    )
+    plan, _next_group = scheduler.plan()
+    return profile, plan
+
+
+class TestBudget:
+    def test_exact_attack_count(self, env):
+        profile, plan = plan_for(env)
+        assert len(plan.attacks) == profile.total_attacks
+
+    def test_reserve_subtracts(self, env):
+        profile, plan = plan_for(env, family="pandora", reserve=5, seed_name="s2")
+        assert len(plan.attacks) == profile.total_attacks - 5
+        assert plan.reserved == 5
+
+    def test_reserve_too_large_raises(self, env):
+        with pytest.raises(ValueError):
+            plan_for(env, family="aldibot", scale=0.05, reserve=1000, seed_name="s3")
+
+    def test_mega_day_attacks_on_day_one(self, env):
+        profile, plan = plan_for(env, family="dirtjumper", scale=0.02, mega=20, seed_name="s4")
+        window = ObservationWindow()
+        mega = [a for a in plan.attacks if a.chain_id == -2]
+        assert len(mega) == 20
+        for attack in mega:
+            assert window.day_index(attack.start) == 1
+
+
+class TestStructures:
+    def test_collab_groups_well_formed(self, env):
+        profile, plan = plan_for(env, family="darkshell", scale=0.2, seed_name="s5")
+        groups = {}
+        for attack in plan.attacks:
+            if attack.collab_kind == CollabKind.INTRA:
+                groups.setdefault(attack.collab_group, []).append(attack)
+        assert groups, "scaled darkshell should stage collaborations"
+        for members in groups.values():
+            assert len(members) >= 2
+            starts = [a.start for a in members]
+            assert max(starts) - min(starts) <= 60.0
+            durations = [a.duration for a in members]
+            assert max(durations) - min(durations) <= 1800.0
+            botnets = {a.botnet_id for a in members}
+            assert len(botnets) == len(members)
+            magnitudes = {a.magnitude for a in members}
+            assert len(magnitudes) == 1
+
+    def test_chains_consecutive(self, env):
+        profile, plan = plan_for(env, family="darkshell", scale=0.2, seed_name="s6")
+        chains = {}
+        for attack in plan.attacks:
+            if attack.chain_id >= 0:
+                chains.setdefault(attack.chain_id, []).append(attack)
+        assert chains
+        for members in chains.values():
+            members.sort(key=lambda a: a.start)
+            assert len(members) >= 2
+            for prev, cur in zip(members, members[1:]):
+                gap = cur.start - prev.end
+                assert -1.0 <= gap <= 60.5
+            # Consecutive members use different botnet ids.
+            for prev, cur in zip(members, members[1:]):
+                assert prev.botnet_id != cur.botnet_id
+
+    def test_ddoser_long_chain_at_full_scale(self, env):
+        profile, plan = plan_for(env, family="ddoser", scale=1.0, seed_name="s7")
+        lengths = {}
+        for attack in plan.attacks:
+            if attack.chain_id >= 0:
+                lengths[attack.chain_id] = lengths.get(attack.chain_id, 0) + 1
+        assert max(lengths.values()) == 22
+
+    def test_attacks_within_active_window(self, env):
+        profile, plan = plan_for(env, family="blackenergy", scale=0.1, seed_name="s8")
+        window = ObservationWindow()
+        lo, hi = profile.active_window
+        act_start = window.start + lo * window.duration
+        act_end = window.start + hi * window.duration
+        regular = [a for a in plan.attacks if a.collab_kind == 0 and a.chain_id == -1]
+        starts = np.array([a.start for a in regular])
+        assert np.all(starts >= act_start - 1)
+        assert np.all(starts <= act_end + 1)
+
+
+class TestTrimming:
+    def test_oversized_structures_trimmed_to_budget(self, env):
+        """A profile whose staged structures exceed its attacks still plans."""
+        from repro.botnet.family import FamilyProfile
+        from repro.monitor.schemas import Protocol
+
+        streams, world, assigner = env
+        profile = FamilyProfile(
+            name="cramped",
+            active=True,
+            protocol_counts={Protocol.UDP: 12},
+            n_botnets=4,
+            n_bots=200,
+            n_targets=4,
+            target_countries=(("US", 1.0),),
+            n_target_countries=2,
+            home_countries=(("US", 1.0),),
+            intra_collabs=10,          # would need >= 20 attacks
+            chains=(5, 6.0),           # would need ~30 more
+        )
+        roster = BotnetRoster.build(
+            profile, world, assigner, streams.fresh("trim"), ObservationWindow(), 1
+        )
+        scheduler = FamilyScheduler(
+            profile, ObservationWindow(), roster, streams.fresh("trim2")
+        )
+        plan, _g = scheduler.plan()
+        assert len(plan.attacks) == 12  # exact budget preserved
+
+    def test_trim_drops_whole_events(self, env):
+        from repro.botnet.family import FamilyProfile
+        from repro.monitor.schemas import Protocol
+
+        streams, world, assigner = env
+        profile = FamilyProfile(
+            name="cramped2",
+            active=True,
+            protocol_counts={Protocol.UDP: 9},
+            n_botnets=4,
+            n_bots=200,
+            n_targets=2,
+            target_countries=(("US", 1.0),),
+            n_target_countries=1,
+            home_countries=(("US", 1.0),),
+            intra_collabs=6,
+        )
+        roster = BotnetRoster.build(
+            profile, world, assigner, streams.fresh("trim3"), ObservationWindow(), 1
+        )
+        scheduler = FamilyScheduler(
+            profile, ObservationWindow(), roster, streams.fresh("trim4")
+        )
+        plan, _g = scheduler.plan()
+        groups = {}
+        for attack in plan.attacks:
+            if attack.collab_group >= 0:
+                groups.setdefault(attack.collab_group, []).append(attack)
+        # Surviving collaborations are complete (never half an event).
+        for members in groups.values():
+            assert len(members) >= 2
+
+
+class TestTiming:
+    def test_simultaneity_fraction(self, env):
+        profile, plan = plan_for(env, family="dirtjumper", scale=0.2, seed_name="s9")
+        starts = np.sort([a.start for a in plan.attacks])
+        zero = float(np.mean(np.diff(starts) == 0))
+        assert 0.3 < zero < 0.7
+
+    def test_spaced_family_has_no_short_gaps(self, env):
+        profile, plan = plan_for(env, family="optima", scale=0.5, seed_name="s10")
+        regular = [a for a in plan.attacks if a.collab_kind == 0]
+        starts = np.sort([a.start for a in regular])
+        gaps = np.diff(starts)
+        assert np.all(gaps[gaps > 0] >= 59.0)
+
+    def test_durations_positive_and_bounded(self, env):
+        profile, plan = plan_for(env, family="pandora", scale=0.1, seed_name="s11")
+        for attack in plan.attacks:
+            assert attack.duration >= 5.0
+            assert attack.duration <= profile.duration.max_seconds + 1501

@@ -1,0 +1,25 @@
+"""Shared fixtures: small synthetic datasets, generated once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_ds():
+    """~250-attack dataset: fast enough for unit-level assertions."""
+    return generate_dataset(DatasetConfig.tiny(seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_ds():
+    """~1,000-attack dataset: integration-level assertions."""
+    return generate_dataset(DatasetConfig.small(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return DatasetConfig.tiny(seed=7)

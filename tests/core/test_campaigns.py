@@ -1,0 +1,52 @@
+"""Tests for campaign (repeat-round) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import campaign_summary, detect_campaigns
+
+
+class TestDetect:
+    def test_campaigns_well_formed(self, small_ds):
+        campaigns = detect_campaigns(small_ds)
+        assert campaigns
+        for campaign in campaigns:
+            assert campaign.rounds >= 2
+            targets = {int(small_ds.target_idx[i]) for i in campaign.attack_indices}
+            assert targets == {campaign.target_index}
+            starts = [float(small_ds.start[i]) for i in campaign.attack_indices]
+            assert starts == sorted(starts)
+            assert max(np.diff(starts), default=0) <= 6 * 3600.0
+
+    def test_gap_monotonicity(self, small_ds):
+        tight = detect_campaigns(small_ds, round_gap=600.0)
+        loose = detect_campaigns(small_ds, round_gap=24 * 3600.0)
+        tight_attacks = sum(c.rounds for c in tight)
+        loose_attacks = sum(c.rounds for c in loose)
+        assert loose_attacks >= tight_attacks
+
+    def test_min_rounds(self, small_ds):
+        big = detect_campaigns(small_ds, min_rounds=4)
+        assert all(c.rounds >= 4 for c in big)
+
+    def test_validation(self, small_ds):
+        with pytest.raises(ValueError):
+            detect_campaigns(small_ds, round_gap=0)
+        with pytest.raises(ValueError):
+            detect_campaigns(small_ds, min_rounds=0)
+
+
+class TestSummary:
+    def test_summary_consistency(self, small_ds):
+        campaigns = detect_campaigns(small_ds)
+        s = campaign_summary(small_ds, campaigns)
+        assert s.n_campaigns == len(campaigns)
+        assert s.max_rounds >= s.mean_rounds >= 2
+        assert 0 <= s.multi_family_fraction <= 1
+        assert 0 < s.attacks_in_campaigns_fraction <= 1
+
+    def test_repeat_rounds_exist(self, small_ds):
+        # §III-D: targets see multiple rounds within hours.
+        s = campaign_summary(small_ds)
+        assert s.n_targets_hit_repeatedly >= 10
+        assert s.median_span_hours < 48

@@ -1,0 +1,83 @@
+"""Tests for multistage-chain detection (Figs 17-18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.consecutive import (
+    chain_summary,
+    chain_timeline,
+    consecutive_gap_cdf,
+    detect_chains,
+)
+
+
+@pytest.fixture(scope="module")
+def chains(small_ds):
+    return detect_chains(small_ds)
+
+
+class TestDetection:
+    def test_chains_well_formed(self, small_ds, chains):
+        for chain in chains:
+            assert chain.length >= 2
+            assert len(chain.gaps) == chain.length - 1
+            targets = {int(small_ds.target_idx[i]) for i in chain.attack_indices}
+            assert targets == {chain.target_index}
+            for gap in chain.gaps:
+                assert abs(gap) <= 60.0
+
+    def test_members_ordered(self, small_ds, chains):
+        for chain in chains:
+            starts = [float(small_ds.start[i]) for i in chain.attack_indices]
+            assert starts == sorted(starts)
+
+    def test_staged_chains_recovered(self, small_ds, chains):
+        """Staged multistage chains must be detected (possibly extended)."""
+        staged = {}
+        fam_chain = {}
+        for i in np.flatnonzero(small_ds.truth_chain_id >= 0):
+            fam = int(small_ds.family_idx[i])
+            key = (fam, int(small_ds.truth_chain_id[i]))
+            staged.setdefault(key, []).append(int(i))
+            fam_chain[key] = fam
+        staged = {k: v for k, v in staged.items() if len(v) >= 2}
+        detected_sets = [set(c.attack_indices) for c in chains]
+        for key, members in staged.items():
+            member_set = set(members)
+            assert any(member_set <= d for d in detected_sets), (
+                f"staged chain {key} with {len(members)} attacks not detected"
+            )
+
+    def test_min_length_filter(self, small_ds):
+        long_only = detect_chains(small_ds, min_length=4)
+        assert all(c.length >= 4 for c in long_only)
+
+
+class TestSummary:
+    def test_summary_consistency(self, small_ds, chains):
+        if not chains:
+            pytest.skip("no chains at this scale")
+        s = chain_summary(small_ds, chains)
+        assert s.n_chains == len(chains)
+        assert s.longest_chain_length == max(c.length for c in chains)
+        assert 0 <= s.under_10s_fraction <= s.under_30s_fraction <= 1
+
+    def test_gap_cdf(self, small_ds, chains):
+        if not any(c.gaps for c in chains):
+            pytest.skip("no gaps at this scale")
+        xs, ps = consecutive_gap_cdf(small_ds, chains)
+        assert np.all(xs >= 0)
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_timeline_dots(self, small_ds, chains):
+        dots = chain_timeline(small_ds, chains)
+        assert len(dots) == sum(c.length for c in chains)
+        times = [t for t, *_ in dots]
+        assert times == sorted(times)
+
+    def test_empty_dataset_raises(self, small_ds):
+        sub = small_ds.subset(np.array([0, 1]))
+        empty_chains = detect_chains(sub)
+        if not empty_chains:
+            with pytest.raises(ValueError):
+                chain_summary(sub, empty_chains)

@@ -1,0 +1,44 @@
+"""Tests for duration analyses (Figs 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.durations import (
+    duration_cdf,
+    duration_summary,
+    duration_timeline,
+    durations,
+)
+
+
+class TestDurations:
+    def test_matches_columns(self, tiny_ds):
+        d = durations(tiny_ds)
+        assert np.array_equal(d, tiny_ds.end - tiny_ds.start)
+
+    def test_family_filter(self, tiny_ds):
+        fam = "dirtjumper"
+        d = durations(tiny_ds, fam)
+        assert d.size == tiny_ds.attacks_of(fam).size
+
+    def test_summary_shape(self, small_ds):
+        s = duration_summary(small_ds)
+        assert s.stats.mean > s.stats.median  # heavy right tail
+        assert 0 <= s.under_60s_fraction <= 0.2
+        assert 0.5 <= s.under_4h_fraction <= 1.0
+        assert s.p80_hours == pytest.approx(s.stats.p80 / 3600.0)
+
+    def test_cdf_valid(self, small_ds):
+        xs, ps = duration_cdf(small_ds)
+        assert xs.size == small_ds.n_attacks
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_timeline_alignment(self, tiny_ds):
+        days, d, fams = duration_timeline(tiny_ds)
+        assert days.size == d.size == fams.size == tiny_ds.n_attacks
+        assert days.min() >= 0
+
+    def test_empty_family_raises(self, tiny_ds):
+        # Minor families launch no attacks.
+        with pytest.raises(ValueError):
+            duration_summary(tiny_ds, "zemra")

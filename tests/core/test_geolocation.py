@@ -1,0 +1,91 @@
+"""Tests for the dispersion analyses (Figs 9-11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geolocation import (
+    SYMMETRY_TOLERANCE_KM,
+    attack_dispersions,
+    dispersion_cdf,
+    dispersion_histogram,
+    dispersion_profile,
+)
+from repro.geo.haversine import dispersion_km
+
+
+class TestAttackDispersions:
+    def test_alignment_and_order(self, small_ds):
+        times, values = attack_dispersions(small_ds, "pandora")
+        assert times.size == values.size == small_ds.attacks_of("pandora").size
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(values >= 0)
+
+    def test_matches_scalar_reference(self, small_ds):
+        """The vectorised computation must agree with the scalar one."""
+        idx = small_ds.attacks_of("pandora")
+        _times, values = attack_dispersions(small_ds, "pandora")
+        for k in (0, idx.size // 2, idx.size - 1):
+            lats, lons = small_ds.participant_coords(int(idx[k]))
+            expected = dispersion_km(lats, lons)
+            assert values[k] == pytest.approx(expected, abs=1e-6)
+
+    def test_no_attacks_raises(self, small_ds):
+        with pytest.raises(ValueError):
+            attack_dispersions(small_ds, "zemra")
+
+    def test_symmetric_truth_has_low_dispersion(self, small_ds):
+        """Staged-symmetric attacks must measure below the tolerance."""
+        idx = small_ds.attacks_of("pandora")
+        _times, values = attack_dispersions(small_ds, "pandora")
+        sym = small_ds.truth_symmetric[idx]
+        if sym.any():
+            assert np.median(values[sym]) < SYMMETRY_TOLERANCE_KM
+
+
+class TestSnapshotDispersions:
+    def test_aligned_and_nonnegative(self, small_ds):
+        from repro.core.geolocation import snapshot_dispersions
+
+        times, values = snapshot_dispersions(small_ds, "pandora")
+        assert times.size == values.size
+        assert times.size > 0
+        assert np.all(np.diff(times) > 0)
+        assert np.all(values >= 0)
+
+    def test_no_attacks_raises(self, small_ds):
+        from repro.core.geolocation import snapshot_dispersions
+
+        with pytest.raises(ValueError):
+            snapshot_dispersions(small_ds, "zemra")
+
+
+class TestProfile:
+    def test_fields_consistent(self, small_ds):
+        p = dispersion_profile(small_ds, "pandora")
+        assert 0 <= p.symmetric_fraction <= 1
+        assert p.n_attacks == small_ds.attacks_of("pandora").size
+        if p.symmetric_fraction < 1.0:
+            assert p.asymmetric_mean_km >= SYMMETRY_TOLERANCE_KM
+
+    def test_tolerance_monotone(self, small_ds):
+        loose = dispersion_profile(small_ds, "pandora", tolerance_km=500.0)
+        tight = dispersion_profile(small_ds, "pandora", tolerance_km=50.0)
+        assert loose.symmetric_fraction >= tight.symmetric_fraction
+
+
+class TestCdfHistogram:
+    def test_cdf(self, small_ds):
+        xs, ps = dispersion_cdf(small_ds, "dirtjumper")
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_histogram_excludes_symmetric(self, small_ds):
+        edges, counts = dispersion_histogram(small_ds, "dirtjumper", bin_km=500.0)
+        _times, values = attack_dispersions(small_ds, "dirtjumper")
+        n_asym = int(np.sum(values >= SYMMETRY_TOLERANCE_KM))
+        assert counts.sum() == n_asym
+        if edges.size:
+            assert np.all(np.diff(edges) == 500.0)
+
+    def test_bad_bin_raises(self, small_ds):
+        with pytest.raises(ValueError):
+            dispersion_histogram(small_ds, "pandora", bin_km=0.0)

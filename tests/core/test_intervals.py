@@ -1,0 +1,84 @@
+"""Tests for interval analyses (Figs 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import (
+    INTERVAL_BUCKETS,
+    attack_intervals,
+    family_interval_cdf,
+    family_intervals,
+    interval_clusters,
+    interval_summary,
+    simultaneous_attacks,
+)
+
+
+class TestIntervals:
+    def test_all_intervals_length(self, small_ds):
+        gaps = attack_intervals(small_ds)
+        assert gaps.size == small_ds.n_attacks - 1
+        assert np.all(gaps >= 0)
+
+    def test_family_intervals_exclude_simultaneous(self, small_ds):
+        with_sim = family_intervals(small_ds, "dirtjumper", include_simultaneous=True)
+        without = family_intervals(small_ds, "dirtjumper", include_simultaneous=False)
+        assert without.size <= with_sim.size
+        assert np.all(without > 0)
+
+    def test_summary_fields(self, small_ds):
+        s = interval_summary(small_ds)
+        assert 0 <= s.simultaneous_fraction <= 1
+        assert s.p80_seconds >= 0
+        assert s.longest_days * 86400 == pytest.approx(s.stats.maximum)
+
+    def test_summary_needs_two_attacks(self, small_ds):
+        sub = small_ds.subset(np.array([0]))
+        with pytest.raises(ValueError):
+            interval_summary(sub)
+
+
+class TestSimultaneous:
+    def test_report_consistency(self, small_ds):
+        report = simultaneous_attacks(small_ds)
+        assert report.single_family_events >= 0
+        assert report.multi_family_events >= 0
+        for (a, b), count in report.pair_counts:
+            assert a < b
+            assert count >= 1
+
+    def test_tolerance_widens_events(self, small_ds):
+        tight = simultaneous_attacks(small_ds, tolerance=0.0)
+        loose = simultaneous_attacks(small_ds, tolerance=30.0)
+        tight_total = tight.single_family_events + tight.multi_family_events
+        loose_total = loose.single_family_events + loose.multi_family_events
+        # Looser grouping merges runs: events cannot multiply.
+        assert loose_total <= tight_total or loose.multi_family_events >= tight.multi_family_events
+
+
+class TestClusters:
+    def test_buckets_cover_all_gaps(self, small_ds):
+        clusters = interval_clusters(small_ds, "dirtjumper")
+        gaps = family_intervals(small_ds, "dirtjumper", include_simultaneous=False)
+        assert sum(clusters.values()) == gaps.size
+
+    def test_bucket_labels_stable(self):
+        labels = [label for label, _lo, _hi in INTERVAL_BUCKETS]
+        assert "6-7 min" in labels and "20-40 min" in labels and "2-3 h" in labels
+        # Buckets are contiguous and ordered.
+        for (_l1, _lo1, hi1), (_l2, lo2, _hi2) in zip(INTERVAL_BUCKETS, INTERVAL_BUCKETS[1:]):
+            assert hi1 == lo2
+
+
+class TestFamilyCdf:
+    def test_cdf_valid(self, small_ds):
+        xs, ps = family_interval_cdf(small_ds, "pandora")
+        assert np.all(np.diff(xs) >= 0)
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_single_attack_family_raises(self, small_ds):
+        # Construct a subset with a single pandora attack.
+        idx = small_ds.attacks_of("pandora")[:1]
+        sub = small_ds.subset(idx)
+        with pytest.raises(ValueError):
+            family_interval_cdf(sub, "pandora")

@@ -1,0 +1,97 @@
+"""Tests for the overview analyses (Tables II-III, Figs 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.overview import (
+    daily_attack_counts,
+    protocol_breakdown,
+    protocol_popularity,
+    workload_summary,
+)
+from repro.monitor.schemas import Protocol
+
+
+class TestWorkloadSummary:
+    def test_counts_match_registries(self, tiny_ds):
+        s = workload_summary(tiny_ds)
+        assert s.attackers.n_ips == tiny_ds.bots.n_bots
+        assert s.victims.n_ips == tiny_ds.victims.n_targets
+        assert s.n_attacks == tiny_ds.n_attacks
+        assert s.n_botnets == len(tiny_ds.botnets)
+        assert s.n_traffic_types == 7
+
+    def test_victim_side_smaller(self, tiny_ds):
+        s = workload_summary(tiny_ds)
+        assert s.victims.n_ips < s.attackers.n_ips
+        assert s.victims.n_countries <= s.attackers.n_countries
+
+
+class TestProtocols:
+    def test_breakdown_sums_to_total(self, tiny_ds):
+        rows = protocol_breakdown(tiny_ds)
+        assert sum(c for _p, _f, c in rows) == tiny_ds.n_attacks
+
+    def test_popularity_covers_all_protocols(self, tiny_ds):
+        pop = protocol_popularity(tiny_ds)
+        assert set(pop) == set(Protocol)
+        assert sum(pop.values()) == tiny_ds.n_attacks
+
+    def test_http_dominates(self, tiny_ds):
+        pop = protocol_popularity(tiny_ds)
+        assert pop[Protocol.HTTP] == max(pop.values())
+
+    def test_breakdown_protocol_major_order(self, tiny_ds):
+        rows = protocol_breakdown(tiny_ds)
+        protos = [p for p, _f, _c in rows]
+        assert protos == sorted(protos, key=lambda p: p.value)
+
+
+class TestDaily:
+    def test_counts_sum(self, tiny_ds):
+        daily = daily_attack_counts(tiny_ds)
+        assert daily.counts.sum() == tiny_ds.n_attacks
+        assert daily.n_days >= tiny_ds.window.n_days
+
+    def test_max_consistency(self, tiny_ds):
+        daily = daily_attack_counts(tiny_ds)
+        assert daily.max_per_day == daily.counts.max()
+        assert daily.counts[daily.max_day_index] == daily.max_per_day
+        assert daily.max_day_top_family in tiny_ds.families
+
+    def test_family_filter(self, tiny_ds):
+        fam = "dirtjumper"
+        daily = daily_attack_counts(tiny_ds, family=fam)
+        assert daily.counts.sum() == tiny_ds.attacks_of(fam).size
+        assert daily.max_day_top_family == fam
+
+    def test_mean_per_day(self, tiny_ds):
+        daily = daily_attack_counts(tiny_ds)
+        expected = tiny_ds.n_attacks / tiny_ds.window.n_days
+        assert daily.mean_per_day == pytest.approx(expected, rel=0.05)
+
+
+class TestPeriodicity:
+    def test_no_diurnal_pattern(self, small_ds):
+        """§III-A: bot-driven attacks show no strong daily/weekly cycles."""
+        from repro.core.overview import periodicity_profile
+
+        profile = periodicity_profile(small_ds)
+        assert profile.hour_of_day.sum() == small_ds.n_attacks
+        assert profile.day_of_week.sum() == small_ds.n_attacks
+        assert not profile.diurnal_pattern_detected
+        assert not profile.weekly_pattern_detected
+
+    def test_family_filter(self, small_ds):
+        from repro.core.overview import periodicity_profile
+
+        profile = periodicity_profile(small_ds, family="dirtjumper")
+        assert profile.hour_of_day.sum() == small_ds.attacks_of("dirtjumper").size
+
+    def test_empty_raises(self, small_ds):
+        import pytest
+
+        from repro.core.overview import periodicity_profile
+
+        with pytest.raises(ValueError):
+            periodicity_profile(small_ds, family="zemra")

@@ -1,0 +1,62 @@
+"""Tests for the prediction analyses (Table IV, Figs 12-13)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    MIN_SERIES_POINTS,
+    predict_family_dispersion,
+    predict_next_attack_time,
+)
+
+
+class TestDispersionForecast:
+    def test_forecast_structure(self, small_ds):
+        forecast = predict_family_dispersion(small_ds, "dirtjumper")
+        assert forecast.prediction.size == forecast.truth.size
+        assert forecast.errors.size == forecast.truth.size
+        assert np.all(forecast.prediction >= 0)
+        assert forecast.comparison.n_points == forecast.truth.size
+
+    def test_similarity_reasonable(self, small_ds):
+        forecast = predict_family_dispersion(small_ds, "dirtjumper")
+        # The staged series is persistent; even at small scale the
+        # forecast should be strongly aligned with the truth.
+        assert forecast.comparison.similarity > 0.6
+
+    def test_too_few_points_raises(self, small_ds):
+        with pytest.raises(ValueError):
+            predict_family_dispersion(small_ds, "aldibot")
+
+    def test_bad_train_fraction(self, small_ds):
+        with pytest.raises(ValueError):
+            predict_family_dispersion(small_ds, "dirtjumper", train_fraction=0.95)
+
+    def test_auto_order(self, small_ds):
+        forecast = predict_family_dispersion(small_ds, "dirtjumper", order=None)
+        assert len(forecast.order) == 3
+
+    def test_full_series_mode(self, small_ds):
+        forecast = predict_family_dispersion(
+            small_ds, "dirtjumper", asymmetric_only=False
+        )
+        assert forecast.truth.size >= MIN_SERIES_POINTS // 2
+
+
+class TestNextAttack:
+    def test_prediction_structure(self, small_ds):
+        # Find a target attacked often.
+        targets, counts = np.unique(small_ds.target_idx, return_counts=True)
+        target = int(targets[np.argmax(counts)])
+        pred = predict_next_attack_time(small_ds, target)
+        assert pred.n_attacks == counts.max()
+        assert pred.predicted_next_at >= pred.last_attack_at
+        assert pred.predicted_interval >= 0
+        assert pred.interval_mean > 0
+
+    def test_rare_target_raises(self, small_ds):
+        targets, counts = np.unique(small_ds.target_idx, return_counts=True)
+        rare = int(targets[np.argmin(counts)])
+        if counts.min() < 5:
+            with pytest.raises(ValueError):
+                predict_next_attack_time(small_ds, rare)

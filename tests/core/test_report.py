@@ -1,0 +1,49 @@
+"""Tests for the plain-text table renderers."""
+
+import pytest
+
+from repro.core.report import (
+    format_table,
+    render_collaboration_table,
+    render_country_table,
+    render_headline,
+    render_protocol_table,
+    render_workload_summary,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+
+class TestRenderers:
+    def test_workload(self, tiny_ds):
+        out = render_workload_summary(tiny_ds)
+        assert "# of ddos_id" in out
+        assert str(tiny_ds.n_attacks) in out
+
+    def test_protocols(self, tiny_ds):
+        out = render_protocol_table(tiny_ds)
+        assert "HTTP" in out
+        assert "dirtjumper" in out
+
+    def test_countries(self, tiny_ds):
+        out = render_country_table(tiny_ds)
+        assert "dirtjumper" in out
+
+    def test_collaboration(self, tiny_ds):
+        out = render_collaboration_table(tiny_ds)
+        assert "Intra-Family" in out and "Inter-Family" in out
+
+    def test_headline(self, tiny_ds):
+        out = render_headline(tiny_ds)
+        assert "attacks:" in out
+        assert "durations:" in out

@@ -1,0 +1,39 @@
+"""Tests for the §III-B spoofing/reflection checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.sanity import check_no_spoofing
+
+
+class TestNoSpoofing:
+    def test_generated_data_passes(self, small_ds):
+        evidence = check_no_spoofing(small_ds)
+        assert evidence.connection_oriented_fraction > 0.5
+        assert evidence.source_victim_overlap == 0
+        assert not evidence.spoofing_plausible
+        assert not evidence.reflection_plausible
+
+    def test_fractions_consistent(self, small_ds):
+        evidence = check_no_spoofing(small_ds)
+        assert 0 <= evidence.udp_fraction <= 1
+        assert evidence.n_attacks == small_ds.n_attacks
+        assert evidence.udp_fraction + evidence.connection_oriented_fraction <= 1.0 + 1e-9
+
+    def test_overlap_flags_spoofing(self, small_ds):
+        # Inject a victim IP into the bot registry: the check must flag it.
+        tampered_bots = small_ds.bots
+        original = tampered_bots.ip[0]
+        tampered_bots.ip[0] = small_ds.victims.ip[0]
+        try:
+            evidence = check_no_spoofing(small_ds)
+            assert evidence.source_victim_overlap >= 1
+            assert evidence.spoofing_plausible
+        finally:
+            tampered_bots.ip[0] = original
+
+    def test_empty_raises(self, small_ds):
+        sub = small_ds.subset(np.array([0]))
+        sub_empty = sub.subset(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            check_no_spoofing(sub_empty)

@@ -1,0 +1,56 @@
+"""Tests for the weekly shift analysis (Fig 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shift import aggregate_shift, weekly_shift
+
+
+class TestWeeklyShift:
+    def test_arrays_aligned(self, small_ds):
+        shift = weekly_shift(small_ds, "dirtjumper")
+        assert shift.weeks.size == shift.bots_existing.size == shift.bots_new.size
+        assert shift.weeks.size == shift.new_countries.size
+        assert np.all(np.diff(shift.weeks) > 0)
+
+    def test_baseline_week_counts_as_existing(self, small_ds):
+        shift = weekly_shift(small_ds, "dirtjumper")
+        assert shift.bots_new[0] == 0
+
+    def test_affinity_dominates(self, small_ds):
+        shift = weekly_shift(small_ds, "dirtjumper")
+        assert shift.total_existing > 10 * max(shift.total_new, 1)
+
+    def test_new_countries_monotone_logic(self, small_ds):
+        # Once all countries are known, no further "new" bots can appear
+        # from those countries: total new countries is bounded by the
+        # family's overall footprint.
+        shift = weekly_shift(small_ds, "dirtjumper")
+        idx = small_ds.attacks_of("dirtjumper")
+        bots = np.unique(
+            np.concatenate([small_ds.participants_of(int(i)) for i in idx])
+        )
+        n_countries = np.unique(small_ds.bots.country_idx[bots]).size
+        assert shift.new_countries.sum() <= n_countries
+
+    def test_no_attacks_raises(self, small_ds):
+        with pytest.raises(ValueError):
+            weekly_shift(small_ds, "zemra")
+
+
+class TestAggregate:
+    def test_aggregate_sums_families(self, small_ds):
+        total = aggregate_shift(small_ds)
+        per = [weekly_shift(small_ds, f) for f in small_ds.active_families
+               if small_ds.attacks_of(f).size]
+        assert total.total_existing == sum(s.total_existing for s in per)
+        assert total.total_new == sum(s.total_new for s in per)
+
+    def test_subset_of_families(self, small_ds):
+        solo = aggregate_shift(small_ds, families=["pandora"])
+        direct = weekly_shift(small_ds, "pandora")
+        assert solo.total_existing == direct.total_existing
+
+    def test_empty_family_list_raises(self, small_ds):
+        with pytest.raises(ValueError):
+            aggregate_shift(small_ds, families=[])

@@ -1,0 +1,72 @@
+"""Tests for shared statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import ecdf, ecdf_at, summarize
+
+values_st = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestEcdf:
+    def test_basic(self):
+        xs, ps = ecdf([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert ps.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    @given(values_st)
+    @settings(max_examples=100)
+    def test_monotone_and_bounded(self, values):
+        xs, ps = ecdf(values)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ps) >= 0)
+        assert ps[-1] == pytest.approx(1.0)
+        assert ps[0] > 0
+
+    @given(values_st)
+    @settings(max_examples=100)
+    def test_ecdf_at_consistent(self, values):
+        xs, ps = ecdf(values)
+        at = ecdf_at(values, xs)
+        # At duplicated values the step function takes the rightmost
+        # (largest) probability of the duplicate run.
+        expected = {}
+        for x, p in zip(xs, ps):
+            expected[float(x)] = max(expected.get(float(x), 0.0), float(p))
+        assert np.allclose(at, [expected[float(x)] for x in xs])
+
+    def test_ecdf_at_extremes(self):
+        assert ecdf_at([1.0, 2.0], [0.0])[0] == 0.0
+        assert ecdf_at([1.0, 2.0], [5.0])[0] == 1.0
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(values_st)
+    @settings(max_examples=100)
+    def test_bounds(self, values):
+        s = summarize(values)
+        eps = 1e-9 * max(1.0, abs(s.maximum), abs(s.minimum))  # float summation slack
+        assert s.minimum - eps <= s.median <= s.maximum + eps
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.minimum - eps <= s.p80 <= s.maximum + eps
+        assert s.std >= 0

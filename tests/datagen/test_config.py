@@ -1,0 +1,75 @@
+"""Tests for dataset configuration."""
+
+import pytest
+
+from repro.datagen.config import DatasetConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DatasetConfig()
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            DatasetConfig(scale=1.5)
+
+    def test_bad_home_share(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(home_share=0.0)
+
+    def test_bad_pulse_prob(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(pulse_split_prob=-0.1)
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(gap_seconds=-1.0)
+
+    def test_bad_country_pools(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(n_attacker_countries=0)
+
+
+class TestResolution:
+    def test_full_profiles_unscaled(self):
+        profiles = DatasetConfig.full().resolved_profiles()
+        assert sum(p.total_attacks for p in profiles.values()) == 50704
+
+    def test_scaled_profiles_shrink(self):
+        profiles = DatasetConfig(scale=0.02).resolved_profiles()
+        total = sum(p.total_attacks for p in profiles.values())
+        assert 700 <= total <= 1400
+
+    def test_explicit_profiles_win(self):
+        from repro.botnet.profiles import default_profiles
+
+        custom = {"pandora": default_profiles()["pandora"]}
+        config = DatasetConfig(scale=0.5, profiles=custom)
+        assert list(config.resolved_profiles()) == ["pandora"]
+
+    def test_inter_collabs_scaled(self):
+        full = DatasetConfig.full().resolved_inter_collabs()
+        assert ("dirtjumper", "pandora", 118) in full
+        small = DatasetConfig(scale=0.02).resolved_inter_collabs()
+        pair = {(a, b): n for a, b, n in small}
+        assert pair[("dirtjumper", "pandora")] == 2
+
+    def test_inter_collabs_drop_missing_families(self):
+        from repro.botnet.profiles import default_profiles
+
+        only_pandora = {"pandora": default_profiles()["pandora"]}
+        config = DatasetConfig(profiles=only_pandora)
+        assert config.resolved_inter_collabs() == []
+
+    def test_mega_scaled(self):
+        assert DatasetConfig.full().resolved_mega()["extra_attacks"] == 1100
+        small = DatasetConfig(scale=0.02).resolved_mega()
+        assert small["extra_attacks"] == 22
+
+    def test_presets(self):
+        assert DatasetConfig.full().scale == 1.0
+        assert DatasetConfig.small().scale == 0.02
+        assert DatasetConfig.tiny().scale == 0.005
+        assert DatasetConfig.tiny().with_seed(9).seed == 9

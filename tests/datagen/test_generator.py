@@ -1,0 +1,107 @@
+"""End-to-end generator invariants on the tiny dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+
+
+class TestShape:
+    def test_attack_count_matches_profiles(self, tiny_ds, tiny_config):
+        profiles = tiny_config.resolved_profiles()
+        expected = sum(p.total_attacks for p in profiles.values())
+        assert tiny_ds.n_attacks == expected
+
+    def test_bot_count_matches_profiles(self, tiny_ds, tiny_config):
+        profiles = tiny_config.resolved_profiles()
+        assert tiny_ds.bots.n_bots == sum(p.n_bots for p in profiles.values())
+
+    def test_botnet_count(self, tiny_ds, tiny_config):
+        profiles = tiny_config.resolved_profiles()
+        assert len(tiny_ds.botnets) == sum(p.n_botnets for p in profiles.values())
+
+    def test_sorted_by_start(self, tiny_ds):
+        assert np.all(np.diff(tiny_ds.start) >= 0)
+
+    def test_per_family_protocol_counts_exact(self, tiny_ds, tiny_config):
+        from repro.core.overview import protocol_breakdown
+
+        profiles = tiny_config.resolved_profiles()
+        measured = {(p, f): c for p, f, c in protocol_breakdown(tiny_ds)}
+        for name, profile in profiles.items():
+            for proto, count in profile.protocol_counts.items():
+                assert measured.get((proto, name), 0) == count
+
+
+class TestIntegrity:
+    def test_every_target_attacked(self, tiny_ds):
+        assert np.unique(tiny_ds.target_idx).size == tiny_ds.victims.n_targets
+
+    def test_participants_in_range(self, tiny_ds):
+        assert tiny_ds.participants.min() >= 0
+        assert tiny_ds.participants.max() < tiny_ds.bots.n_bots
+
+    def test_participants_family_consistent(self, tiny_ds):
+        # Every participant of an attack belongs to the attacking family.
+        for i in range(0, tiny_ds.n_attacks, 7):
+            fam = tiny_ds.family_idx[i]
+            bots = tiny_ds.participants_of(i)
+            assert np.all(tiny_ds.bots.family_idx[bots] == fam)
+
+    def test_magnitude_equals_participant_count(self, tiny_ds):
+        counts = np.diff(tiny_ds.part_offsets)
+        assert np.array_equal(counts, tiny_ds.magnitude)
+
+    def test_botnet_ids_belong_to_family(self, tiny_ds):
+        botnet_family = {rec.botnet_id: rec.family for rec in tiny_ds.botnets}
+        for i in range(0, tiny_ds.n_attacks, 5):
+            fam = tiny_ds.family_name(int(tiny_ds.family_idx[i]))
+            assert botnet_family[int(tiny_ds.botnet_id[i])] == fam
+
+    def test_no_mergeable_attacks(self, tiny_ds):
+        # The 60 s rule must not be able to merge two recorded attacks:
+        # same (botnet, target) pairs are separated by more than 60 s.
+        key = tiny_ds.botnet_id.astype(np.int64) << 32 | tiny_ds.target_idx.astype(np.int64)
+        order = np.lexsort((tiny_ds.start, key))
+        k = key[order]
+        same = k[1:] == k[:-1]
+        gap = tiny_ds.start[order][1:] - tiny_ds.end[order][:-1]
+        assert np.all(gap[same] > 60.0)
+
+    def test_attack_starts_inside_window(self, tiny_ds):
+        assert np.all(tiny_ds.start >= tiny_ds.window.start)
+
+    def test_durations_positive(self, tiny_ds):
+        assert np.all(tiny_ds.durations > 0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = generate_dataset(DatasetConfig.tiny(seed=99))
+        b = generate_dataset(DatasetConfig.tiny(seed=99))
+        assert np.array_equal(a.start, b.start)
+        assert np.array_equal(a.participants, b.participants)
+        assert np.array_equal(a.bots.ip, b.bots.ip)
+        assert np.array_equal(a.target_idx, b.target_idx)
+
+    def test_different_seed_differs(self):
+        a = generate_dataset(DatasetConfig.tiny(seed=99))
+        b = generate_dataset(DatasetConfig.tiny(seed=100))
+        assert not np.array_equal(a.start, b.start)
+
+
+class TestGroundTruth:
+    def test_truth_columns_present(self, tiny_ds):
+        assert tiny_ds.truth_collab_kind.size == tiny_ds.n_attacks
+        assert tiny_ds.truth_symmetric.dtype == bool
+
+    def test_staged_collabs_exist(self, tiny_ds):
+        assert np.any(tiny_ds.truth_collab_group >= 0)
+
+    def test_inter_family_groups_span_families(self, tiny_ds):
+        inter = tiny_ds.truth_collab_kind == 2
+        groups = np.unique(tiny_ds.truth_collab_group[inter])
+        for g in groups:
+            members = tiny_ds.truth_collab_group == g
+            assert np.unique(tiny_ds.family_idx[members]).size >= 2

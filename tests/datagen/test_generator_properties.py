@@ -1,0 +1,53 @@
+"""Property tests: generator invariants hold across seeds."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+
+
+@pytest.fixture(scope="module", params=[1, 23, 456])
+def seeded_ds(request):
+    return generate_dataset(DatasetConfig.tiny(seed=request.param)), request.param
+
+
+class TestInvariantsAcrossSeeds:
+    def test_exact_counts_hold(self, seeded_ds):
+        ds, seed = seeded_ds
+        config = DatasetConfig.tiny(seed=seed)
+        profiles = config.resolved_profiles()
+        assert ds.n_attacks == sum(p.total_attacks for p in profiles.values())
+        assert ds.bots.n_bots == sum(p.n_bots for p in profiles.values())
+        assert len(ds.botnets) == sum(p.n_botnets for p in profiles.values())
+
+    def test_sortedness(self, seeded_ds):
+        ds, _seed = seeded_ds
+        assert np.all(np.diff(ds.start) >= 0)
+        assert np.all(ds.end >= ds.start)
+
+    def test_full_target_coverage(self, seeded_ds):
+        ds, _seed = seeded_ds
+        assert np.unique(ds.target_idx).size == ds.victims.n_targets
+
+    def test_segmentation_safety(self, seeded_ds):
+        """No two attacks share (botnet, target) within the 60 s rule."""
+        ds, _seed = seeded_ds
+        key = ds.botnet_id.astype(np.int64) << 32 | ds.target_idx.astype(np.int64)
+        order = np.lexsort((ds.start, key))
+        same = key[order][1:] == key[order][:-1]
+        gap = ds.start[order][1:] - ds.end[order][:-1]
+        assert np.all(gap[same] > 60.0)
+
+    def test_participant_family_consistency(self, seeded_ds):
+        ds, _seed = seeded_ds
+        for i in range(0, ds.n_attacks, 13):
+            bots = ds.participants_of(i)
+            assert bots.size >= 2
+            assert np.all(ds.bots.family_idx[bots] == ds.family_idx[i])
+
+    def test_csr_layout_valid(self, seeded_ds):
+        ds, _seed = seeded_ds
+        assert ds.part_offsets[0] == 0
+        assert ds.part_offsets[-1] == ds.participants.size
+        assert np.all(np.diff(ds.part_offsets) >= 0)

@@ -1,0 +1,94 @@
+"""Tests for victim registry construction."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import DatasetConfig
+from repro.datagen.victims import build_victims, victim_country_pool
+from repro.geo.ipam import IPAllocator, SequentialAssigner
+from repro.geo.mapping import GeoIPService
+from repro.geo.world import World
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def built():
+    streams = SeededStreams(23)
+    world = World.build(streams)
+    alloc = IPAllocator(world, streams)
+    geoip = GeoIPService(world, alloc)
+    assigner = SequentialAssigner(alloc)
+    profiles = DatasetConfig(scale=0.05).resolved_profiles()
+    registry, pools = build_victims(
+        profiles, world, assigner, geoip, streams.stream("victims"),
+        n_victim_countries=84, mega_family="dirtjumper",
+    )
+    return world, profiles, registry, pools
+
+
+class TestCountryPool:
+    def test_pool_size(self, built):
+        world, profiles, *_ = built
+        pool = victim_country_pool(world, profiles, 84)
+        assert len(pool) == 84
+        assert len(set(pool)) == 84
+
+    def test_pool_includes_all_table5_tops(self, built):
+        world, profiles, *_ = built
+        pool = set(victim_country_pool(world, profiles, 84))
+        for profile in profiles.values():
+            for cc, _w in profile.target_countries:
+                assert world.country_by_code(cc).index in pool
+
+
+class TestRegistry:
+    def test_total_targets(self, built):
+        _w, profiles, registry, _pools = built
+        expected = sum(p.n_targets for p in profiles.values() if p.active)
+        assert registry.n_targets == expected
+
+    def test_unique_ips(self, built):
+        *_, registry, _pools = built
+        assert np.unique(registry.ip).size == registry.n_targets
+
+    def test_pool_coverage_is_union(self, built):
+        _w, _p, registry, _pools = built
+        assert np.unique(registry.country_idx).size == 84
+
+    def test_owners_assigned(self, built):
+        *_, registry, pools = built
+        assert np.all(registry.owner_family_idx >= 0)
+        total = sum(p.n_targets for p in pools.values())
+        assert total == registry.n_targets
+
+    def test_family_pools_disjoint(self, built):
+        *_, pools = built
+        seen = set()
+        for pool in pools.values():
+            mine = set(int(t) for t in pool.target_indices)
+            assert not (mine & seen)
+            seen |= mine
+
+    def test_mega_targets_in_russia(self, built):
+        world, _p, registry, pools = built
+        mega = pools["dirtjumper"].mega_targets
+        assert mega.size > 0
+        ru = world.country_by_code("RU").index
+        assert np.all(registry.country_idx[mega] == ru)
+        assert np.unique(registry.org_idx[mega]).size == 1  # one subnet
+
+    def test_family_country_counts(self, built):
+        world, profiles, registry, pools = built
+        for name, pool in pools.items():
+            profile = profiles[name]
+            expected = min(profile.n_target_countries, profile.n_targets)
+            assert pool.country_ids.size >= min(expected, 5)
+            assert abs(pool.country_ids.size - expected) <= 3
+
+    def test_sample_target_valid(self, built):
+        *_, pools = built
+        rng = np.random.default_rng(0)
+        pool = pools["pandora"]
+        for _ in range(20):
+            t = pool.sample_target(rng)
+            assert t in set(int(x) for x in pool.target_indices)

@@ -1,0 +1,23 @@
+"""Tests for attribution-noise sensitivity."""
+
+from repro.defense.attribution import labeling_sensitivity
+
+
+class TestLabelingSensitivity:
+    def test_zero_noise_matches_clean_split(self, small_ds):
+        from repro.core.collaboration import detect_collaborations
+
+        impacts = labeling_sensitivity(small_ds, error_rates=(0.0,))
+        events = detect_collaborations(small_ds)
+        clean_inter = sum(1 for e in events if e.is_inter_family)
+        assert impacts[0].inter_events == clean_inter
+        assert impacts[0].intra_events == len(events) - clean_inter
+
+    def test_noise_inflates_inter_fraction(self, small_ds):
+        impacts = labeling_sensitivity(small_ds, error_rates=(0.0, 0.25))
+        assert impacts[1].inter_fraction >= impacts[0].inter_fraction
+
+    def test_total_events_invariant(self, small_ds):
+        impacts = labeling_sensitivity(small_ds, error_rates=(0.0, 0.05, 0.25))
+        totals = {i.intra_events + i.inter_events for i in impacts}
+        assert len(totals) == 1  # noise reclassifies, never invents events

@@ -1,0 +1,63 @@
+"""Tests for blacklist defenses."""
+
+import numpy as np
+import pytest
+
+from repro.defense.blacklist import CountryBlacklist, IPBlacklist
+
+
+@pytest.fixture(scope="module")
+def cutoff(small_ds):
+    return small_ds.window.start + 0.5 * small_ds.window.duration
+
+
+class TestCountryBlacklist:
+    def test_high_coverage_from_affinity(self, small_ds, cutoff):
+        bl = CountryBlacklist().fit(small_ds, cutoff)
+        result = bl.evaluate(small_ds, cutoff)
+        # §IV-A: sources are sticky, so history-derived country lists
+        # cover nearly all future participations.
+        assert result.coverage > 0.9
+        assert result.future_attacks > 0
+        assert result.n_entries == len(bl.countries)
+
+    def test_family_scoped(self, small_ds, cutoff):
+        bl = CountryBlacklist().fit(small_ds, cutoff, family="dirtjumper")
+        result = bl.evaluate(small_ds, cutoff, family="dirtjumper")
+        assert result.coverage > 0.85
+
+    def test_unfitted_raises(self, small_ds, cutoff):
+        with pytest.raises(RuntimeError):
+            CountryBlacklist().evaluate(small_ds, cutoff)
+
+    def test_blocks_mask_shape(self, small_ds, cutoff):
+        bl = CountryBlacklist().fit(small_ds, cutoff)
+        bots = small_ds.participants_of(0)
+        mask = bl.blocks(small_ds, bots)
+        assert mask.shape == bots.shape
+        assert mask.dtype == bool
+
+
+class TestIPBlacklist:
+    def test_ip_coverage_below_country(self, small_ds, cutoff):
+        ip_bl = IPBlacklist().fit(small_ds, cutoff)
+        cc_bl = CountryBlacklist().fit(small_ds, cutoff)
+        ip_res = ip_bl.evaluate(small_ds, cutoff)
+        cc_res = cc_bl.evaluate(small_ds, cutoff)
+        # Exact-IP lists are strictly narrower than country lists.
+        assert ip_res.blocked_participations <= cc_res.blocked_participations
+        assert ip_res.coverage > 0.0  # bots are reused across attacks
+
+    def test_entries_counted(self, small_ds, cutoff):
+        bl = IPBlacklist().fit(small_ds, cutoff)
+        assert bl.n_entries > 0
+
+    def test_unfitted_raises(self, small_ds, cutoff):
+        with pytest.raises(RuntimeError):
+            IPBlacklist().evaluate(small_ds, cutoff)
+
+    def test_empty_history(self, small_ds):
+        bl = IPBlacklist().fit(small_ds, small_ds.window.start)
+        result = bl.evaluate(small_ds, small_ds.window.start)
+        assert result.blocked_participations == 0
+        assert result.coverage == 0.0

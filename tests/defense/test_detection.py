@@ -1,0 +1,34 @@
+"""Tests for the detection-window analysis."""
+
+import pytest
+
+from repro.defense.detection import evaluate_detection_window, sweep_detection_windows
+
+
+class TestDetectionWindow:
+    def test_instant_detection_catches_everything(self, small_ds):
+        outcome = evaluate_detection_window(small_ds, 0.0)
+        assert outcome.caught_fraction == 1.0
+        assert outcome.exposure_mitigated == pytest.approx(1.0)
+
+    def test_monotone_in_window(self, small_ds):
+        outcomes = sweep_detection_windows(small_ds)
+        caught = [o.caught_fraction for o in outcomes]
+        mitigated = [o.exposure_mitigated for o in outcomes]
+        assert caught == sorted(caught, reverse=True)
+        assert mitigated == sorted(mitigated, reverse=True)
+
+    def test_four_hour_knee(self, small_ds):
+        fast = evaluate_detection_window(small_ds, 300.0)
+        slow = evaluate_detection_window(small_ds, 4 * 3600.0)
+        # §III-C: a 4-hour detector misses the large majority of attacks.
+        assert fast.caught_fraction > 0.7
+        assert slow.caught_fraction < 0.35
+
+    def test_family_filter(self, small_ds):
+        outcome = evaluate_detection_window(small_ds, 600.0, family="dirtjumper")
+        assert outcome.n_attacks == small_ds.attacks_of("dirtjumper").size
+
+    def test_negative_window_rejected(self, small_ds):
+        with pytest.raises(ValueError):
+            evaluate_detection_window(small_ds, -1.0)

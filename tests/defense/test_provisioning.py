@@ -1,0 +1,27 @@
+"""Tests for prediction-driven provisioning."""
+
+import pytest
+
+from repro.defense.provisioning import backtest_provisioning
+
+
+class TestProvisioning:
+    def test_backtest_produces_predictions(self, small_ds):
+        result = backtest_provisioning(small_ds)
+        assert result.n_predictions > 0
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert result.mean_abs_error >= 0.0
+
+    def test_wider_windows_hit_more(self, small_ds):
+        narrow = backtest_provisioning(small_ds, window_factor=0.5)
+        wide = backtest_provisioning(small_ds, window_factor=3.0)
+        assert wide.hits >= narrow.hits
+
+    def test_bad_fraction_rejected(self, small_ds):
+        with pytest.raises(ValueError):
+            backtest_provisioning(small_ds, train_fraction=0.99)
+
+    def test_min_history_reduces_predictions(self, small_ds):
+        low = backtest_provisioning(small_ds, min_history=3)
+        high = backtest_provisioning(small_ds, min_history=20)
+        assert high.n_predictions <= low.n_predictions

@@ -1,0 +1,68 @@
+"""Detailed tests for the §V experiments (Table VI, Figs 15-18)."""
+
+from repro.experiments.fig15_intra import EXPERIMENT as FIG15
+from repro.experiments.fig16_pair import EXPERIMENT as FIG16
+from repro.experiments.fig17_consecutive import EXPERIMENT as FIG17
+from repro.experiments.fig18_chains import EXPERIMENT as FIG18
+from repro.experiments.table6_collaboration import EXPERIMENT as TABLE6, PAPER_TABLE6
+
+
+class TestTable6:
+    def test_paper_reference_shape(self):
+        assert PAPER_TABLE6["dirtjumper"] == (756, 121)
+        assert PAPER_TABLE6["pandora"] == (10, 118)
+        # Every family whose inter count is nonzero partners Dirtjumper.
+        inter_families = {f for f, (_i, n) in PAPER_TABLE6.items() if n > 0}
+        assert "dirtjumper" in inter_families
+
+    def test_hub_detected(self, small_ds):
+        result = TABLE6.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        assert measured["intra-family hub"] == "dirtjumper"
+
+    def test_counts_non_negative(self, small_ds):
+        result = TABLE6.run(small_ds)
+        for row in result.rows:
+            if "intra-family" in row.label and ":" in row.label:
+                assert int(row.measured) >= 0
+
+
+class TestFig15:
+    def test_mean_botnets_at_least_two(self, small_ds):
+        result = FIG15.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        if int(measured["dirtjumper intra-family events"]) > 0:
+            assert float(measured["mean botnets per collaboration"]) >= 2.0
+
+
+class TestFig16:
+    def test_pandora_outlasts_dirtjumper(self, small_ds):
+        result = FIG16.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        if int(measured["collaboration events"]) > 0:
+            dj = float(measured["dirtjumper mean duration (s)"])
+            pa = float(measured["pandora mean duration (s)"])
+            assert pa > dj
+
+    def test_targets_bounded_by_events(self, small_ds):
+        result = FIG16.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        assert int(measured["unique targets"]) <= max(
+            int(measured["collaboration events"]), 1
+        )
+
+
+class TestFig17:
+    def test_cdf_thresholds_ordered(self, small_ds):
+        result = FIG17.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        if "gaps <= 10 s" in measured:
+            assert float(measured["gaps <= 10 s"]) <= float(measured["gaps <= 30 s"])
+
+
+class TestFig18:
+    def test_longest_chain_reported(self, small_ds):
+        result = FIG18.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        if "longest chain length" in measured:
+            assert int(measured["longest chain length"]) >= 2

@@ -1,0 +1,85 @@
+"""Detailed tests for the §II-III experiments (Tables II-III, Figs 1-7)."""
+
+import pytest
+
+from repro.experiments.fig2_daily import EXPERIMENT as FIG2
+from repro.experiments.fig3_intervals import EXPERIMENT as FIG3
+from repro.experiments.fig4_interval_clusters import EXPERIMENT as FIG4
+from repro.experiments.fig5_family_cdf import EXPERIMENT as FIG5
+from repro.experiments.fig7_durations import EXPERIMENT as FIG7
+from repro.experiments.table2_protocols import EXPERIMENT as TABLE2, PAPER_TABLE2
+from repro.experiments.table3_summary import EXPERIMENT as TABLE3
+
+
+class TestTable2:
+    def test_paper_cells_sum_to_50704(self):
+        assert sum(PAPER_TABLE2.values()) == 50704
+
+    def test_every_paper_cell_reported(self, small_ds):
+        result = TABLE2.run(small_ds)
+        labels = {row.label for row in result.rows}
+        for (proto, family) in PAPER_TABLE2:
+            assert f"{proto.name}/{family}" in labels
+
+    def test_no_extra_cells_at_default_calibration(self, small_ds):
+        result = TABLE2.run(small_ds)
+        assert not any("(extra)" in row.label for row in result.rows)
+
+
+class TestTable3:
+    def test_scaled_counts_proportional(self, small_ds, tiny_config):
+        result = TABLE3.run(small_ds)
+        measured = {row.label: int(row.measured) for row in result.rows}
+        # small scale is 2%: totals should be ~2% of the paper numbers.
+        assert measured["ddos_id"] == pytest.approx(50704 * 0.02, rel=0.25)
+        assert measured["attackers / bot_ips"] == pytest.approx(310950 * 0.02, rel=0.25)
+
+    def test_traffic_types_constant(self, small_ds):
+        result = TABLE3.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        assert measured["traffic types"] == "7"
+
+
+class TestFig2:
+    def test_top_family_reported(self, small_ds):
+        result = FIG2.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        assert measured["max-day top family"] in small_ds.families
+
+    def test_activity_coverage(self, small_ds):
+        result = FIG2.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        active, total = measured["days with activity"].split("/")
+        assert int(active) <= int(total)
+
+
+class TestFig3:
+    def test_pair_counts_reported_when_present(self, small_ds):
+        result = FIG3.run(small_ds)
+        labels = {row.label for row in result.rows}
+        assert "single-family simultaneous events" in labels
+        assert "multi-family simultaneous events" in labels
+
+
+class TestFig4:
+    def test_rows_per_active_family(self, small_ds):
+        result = FIG4.run(small_ds)
+        family_rows = [r for r in result.rows if ":" in r.label]
+        # Only families with enough intervals are reported.
+        assert 3 <= len(family_rows) <= 10
+
+
+class TestFig5:
+    def test_fraction_pairs_parse(self, small_ds):
+        result = FIG5.run(small_ds)
+        for row in result.rows:
+            if "P(gap=0)" in row.label:
+                zero, sub60 = (float(x) for x in row.measured.split(" / "))
+                assert 0 <= zero <= sub60 <= 1
+
+
+class TestFig7:
+    def test_band_share_in_unit_interval(self, small_ds):
+        result = FIG7.run(small_ds)
+        measured = {row.label: row.measured for row in result.rows}
+        assert 0 <= float(measured["Fig 6 band 100-10000 s share"]) <= 1

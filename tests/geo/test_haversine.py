@@ -1,0 +1,138 @@
+"""Unit and property tests for the great-circle geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.haversine import (
+    EARTH_RADIUS_KM,
+    direction_sign,
+    dispersion_km,
+    geographic_center,
+    haversine_km,
+    signed_distances_km,
+)
+
+lat_st = st.floats(min_value=-85.0, max_value=85.0, allow_nan=False)
+lon_st = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+
+
+class TestHaversine:
+    def test_zero_distance_same_point(self):
+        assert haversine_km(48.85, 2.35, 48.85, 2.35) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_distance_paris_london(self):
+        # Paris (48.8566, 2.3522) to London (51.5074, -0.1278): ~344 km.
+        d = haversine_km(48.8566, 2.3522, 51.5074, -0.1278)
+        assert d == pytest.approx(344.0, rel=0.02)
+
+    def test_known_distance_equator_quarter(self):
+        # A quarter of the equator.
+        d = haversine_km(0.0, 0.0, 0.0, 90.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_KM / 2.0, rel=1e-6)
+
+    def test_vectorised_matches_scalar(self):
+        lats = np.array([10.0, -20.0, 45.0])
+        lons = np.array([5.0, 100.0, -60.0])
+        batch = haversine_km(lats, lons, 0.0, 0.0)
+        for i in range(3):
+            assert batch[i] == pytest.approx(
+                haversine_km(float(lats[i]), float(lons[i]), 0.0, 0.0)
+            )
+
+    @given(lat_st, lon_st, lat_st, lon_st)
+    @settings(max_examples=200)
+    def test_symmetric_and_bounded(self, lat1, lon1, lat2, lon2):
+        d12 = haversine_km(lat1, lon1, lat2, lon2)
+        d21 = haversine_km(lat2, lon2, lat1, lon1)
+        assert d12 == pytest.approx(d21, abs=1e-6)
+        assert 0.0 <= d12 <= np.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(lat_st, lon_st)
+    @settings(max_examples=100)
+    def test_identity(self, lat, lon):
+        assert haversine_km(lat, lon, lat, lon) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestGeographicCenter:
+    def test_single_point(self):
+        lat, lon = geographic_center([33.0], [44.0])
+        assert lat == pytest.approx(33.0, abs=1e-9)
+        assert lon == pytest.approx(44.0, abs=1e-9)
+
+    def test_symmetric_pair_on_equator(self):
+        lat, lon = geographic_center([0.0, 0.0], [-10.0, 10.0])
+        assert lat == pytest.approx(0.0, abs=1e-9)
+        assert lon == pytest.approx(0.0, abs=1e-9)
+
+    def test_antimeridian_pair(self):
+        # Points at lon 179 and -179 should centre near the antimeridian,
+        # not near lon 0.
+        _lat, lon = geographic_center([0.0, 0.0], [179.0, -179.0])
+        assert abs(abs(lon) - 180.0) < 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geographic_center([], [])
+
+
+class TestDirectionSign:
+    def test_east_is_positive(self):
+        assert direction_sign([0.0], [10.0], 0.0, 0.0)[0] == 1.0
+
+    def test_west_is_negative(self):
+        assert direction_sign([0.0], [-10.0], 0.0, 0.0)[0] == -1.0
+
+    def test_north_on_meridian_is_positive(self):
+        assert direction_sign([10.0], [0.0], 0.0, 0.0)[0] == 1.0
+
+    def test_south_on_meridian_is_negative(self):
+        assert direction_sign([-10.0], [0.0], 0.0, 0.0)[0] == -1.0
+
+    def test_centre_point_is_zero(self):
+        assert direction_sign([0.0], [0.0], 0.0, 0.0)[0] == 0.0
+
+    def test_antimeridian_wrap(self):
+        # A point just across the antimeridian (lon -179 vs centre 179)
+        # lies to the east.
+        assert direction_sign([0.0], [-179.0], 0.0, 179.0)[0] == 1.0
+
+
+class TestDispersion:
+    def test_perfectly_mirrored_pair_is_near_zero(self):
+        value = dispersion_km([10.0, -10.0], [20.0, -20.0])
+        assert value < 1.0
+
+    def test_asymmetric_cloud_is_large(self):
+        # Two western points spread far north/south versus one eastern
+        # point on the equator: their full 2-D distances outweigh the
+        # eastern contribution, leaving a large signed residual.  (A
+        # purely east-west configuration would cancel around the centre.)
+        lats = [30.0, -30.0, 0.0]
+        lons = [-20.0, -20.0, 40.0]
+        assert dispersion_km(lats, lons) > 500.0
+
+    def test_single_bot_is_zero(self):
+        assert dispersion_km([42.0], [13.0]) == 0.0
+
+    def test_absolute_flag(self):
+        lats = [0.0, 0.0, 5.0]
+        lons = [-1.0, 1.0, -40.0]
+        signed = dispersion_km(lats, lons, absolute=False)
+        assert dispersion_km(lats, lons) == pytest.approx(abs(signed))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dispersion_km([], [])
+
+    @given(
+        st.lists(st.tuples(lat_st, lon_st), min_size=2, max_size=12)
+    )
+    @settings(max_examples=100)
+    def test_signed_sum_matches_parts(self, points):
+        lats = np.array([p[0] for p in points])
+        lons = np.array([p[1] for p in points])
+        center = geographic_center(lats, lons)
+        total = float(np.sum(signed_distances_km(lats, lons, *center)))
+        assert dispersion_km(lats, lons) == pytest.approx(abs(total), abs=1e-6)

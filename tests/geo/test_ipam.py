@@ -1,0 +1,117 @@
+"""Tests for the IPv4 allocation plan."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.ipam import IPAllocator, SequentialAssigner, ip_to_str, str_to_ip
+from repro.geo.world import World
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def setup():
+    streams = SeededStreams(5)
+    world = World.build(streams)
+    return world, IPAllocator(world, streams)
+
+
+class TestIpStrings:
+    def test_known_values(self):
+        assert ip_to_str(0x01020304) == "1.2.3.4"
+        assert str_to_ip("1.2.3.4") == 0x01020304
+        assert ip_to_str(0xFFFFFFFF) == "255.255.255.255"
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, ip):
+        assert str_to_ip(ip_to_str(ip)) == ip
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ip_to_str(2**32)
+        with pytest.raises(ValueError):
+            str_to_ip("1.2.3")
+        with pytest.raises(ValueError):
+            str_to_ip("1.2.3.999")
+
+
+class TestAllocator:
+    def test_blocks_disjoint_and_sorted(self, setup):
+        _world, alloc = setup
+        blocks = alloc.blocks()
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.end <= cur.start
+
+    def test_no_reserved_overlap(self, setup):
+        _world, alloc = setup
+        reserved = [(0x0A000000, 0x0B000000), (0x7F000000, 0x80000000),
+                    (0xC0A80000, 0xC0A90000), (0xE0000000, 0x100000000)]
+        for block in alloc.blocks():
+            for lo, hi in reserved:
+                assert block.end <= lo or block.start >= hi
+
+    def test_lookup_hits_own_org(self, setup):
+        _world, alloc = setup
+        for block in alloc.blocks()[:50]:
+            assert alloc.org_of_ip(block.start) == block.org_index
+            assert alloc.org_of_ip(block.end - 1) == block.org_index
+
+    def test_lookup_miss(self, setup):
+        _world, alloc = setup
+        assert alloc.lookup(10) is None  # inside 0/8, never allocated
+
+    def test_sample_ips_within_block(self, setup):
+        _world, alloc = setup
+        rng = np.random.default_rng(0)
+        block = alloc.blocks()[0]
+        ips = alloc.sample_ips(rng, block.org_index, 10)
+        assert np.unique(ips).size == 10
+        assert all(block.contains(int(ip)) for ip in ips)
+
+    def test_sample_too_many_raises(self, setup):
+        _world, alloc = setup
+        rng = np.random.default_rng(0)
+        block = alloc.blocks()[0]
+        with pytest.raises(ValueError):
+            alloc.sample_ips(rng, block.org_index, block.size + 1)
+
+
+class TestSequentialAssigner:
+    def test_unique_across_calls(self, setup):
+        _world, alloc = setup
+        assigner = SequentialAssigner(alloc)
+        org = alloc.blocks()[0].org_index
+        a = assigner.take(org, 10)
+        b = assigner.take(org, 10)
+        assert np.intersect1d(a, b).size == 0
+
+    def test_remaining_decreases(self, setup):
+        _world, alloc = setup
+        assigner = SequentialAssigner(alloc)
+        org = alloc.blocks()[1].org_index
+        before = assigner.remaining(org)
+        assigner.take(org, 7)
+        assert assigner.remaining(org) == before - 7
+
+    def test_exhaustion_raises(self, setup):
+        _world, alloc = setup
+        assigner = SequentialAssigner(alloc)
+        org = alloc.blocks()[2].org_index
+        size = assigner.remaining(org)
+        assigner.take(org, size)
+        with pytest.raises(ValueError):
+            assigner.take(org, 1)
+
+    def test_negative_raises(self, setup):
+        _world, alloc = setup
+        assigner = SequentialAssigner(alloc)
+        with pytest.raises(ValueError):
+            assigner.take(alloc.blocks()[0].org_index, -1)
+
+    def test_all_ips_resolve_back(self, setup):
+        _world, alloc = setup
+        assigner = SequentialAssigner(alloc)
+        org = alloc.blocks()[3].org_index
+        for ip in assigner.take(org, 5):
+            assert alloc.org_of_ip(int(ip)) == org

@@ -1,0 +1,74 @@
+"""Tests for the synthetic GeoIP service."""
+
+import numpy as np
+import pytest
+
+from repro.geo.ipam import IPAllocator, SequentialAssigner
+from repro.geo.mapping import GeoIPService, ip_jitter_many
+from repro.geo.world import World
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def service():
+    streams = SeededStreams(5)
+    world = World.build(streams)
+    alloc = IPAllocator(world, streams)
+    return GeoIPService(world, alloc)
+
+
+class TestJitter:
+    def test_deterministic(self):
+        a = ip_jitter_many([123456, 99, 2**31])
+        b = ip_jitter_many([123456, 99, 2**31])
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_distinct_ips_differ(self):
+        dlat, dlon = ip_jitter_many(np.arange(1000, dtype=np.uint64))
+        # Collisions in the jitter would collapse hosts onto one point.
+        assert np.unique(np.round(dlat, 9)).size > 990
+
+    def test_roughly_centered(self):
+        dlat, dlon = ip_jitter_many(np.arange(20000, dtype=np.uint64))
+        assert abs(float(dlat.mean())) < 0.02
+        assert abs(float(dlon.mean())) < 0.02
+        assert 0.2 < float(dlat.std()) < 0.5
+
+
+class TestLookup:
+    def test_fields_consistent(self, service):
+        block = service.allocator.blocks()[0]
+        rec = service.lookup(block.start)
+        org = service.world.organizations[rec.org_index]
+        assert rec.organization == org.name
+        assert rec.asn == org.asn
+        assert rec.country_index == org.country_index
+        assert -85 <= rec.lat <= 85
+        assert -180 <= rec.lon <= 180
+
+    def test_same_ip_same_answer(self, service):
+        block = service.allocator.blocks()[4]
+        a = service.lookup(block.start + 5)
+        b = service.lookup(block.start + 5)
+        assert (a.lat, a.lon, a.asn) == (b.lat, b.lon, b.asn)
+
+    def test_unallocated_raises(self, service):
+        with pytest.raises(KeyError):
+            service.lookup(10)  # 0.0.0.10 is reserved space
+
+    def test_coords_for_city_matches_lookup(self, service):
+        block = service.allocator.blocks()[2]
+        org = service.world.organizations[block.org_index]
+        ips = np.arange(block.start, block.start + 8, dtype=np.uint64)
+        lats, lons = service.coords_for_city(org.city_index, ips)
+        for i, ip in enumerate(ips):
+            rec = service.lookup(int(ip))
+            assert rec.lat == pytest.approx(lats[i])
+            assert rec.lon == pytest.approx(lons[i])
+
+    def test_lookup_many_order(self, service):
+        block = service.allocator.blocks()[1]
+        ips = [block.start + 3, block.start, block.start + 7]
+        recs = service.lookup_many(ips)
+        assert [r.ip for r in recs] == ips

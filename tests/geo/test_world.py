@@ -1,0 +1,83 @@
+"""Tests for the synthetic world model."""
+
+import numpy as np
+import pytest
+
+from repro.geo.world import COUNTRY_TABLE, World
+from repro.simulation.rng import SeededStreams
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.build(SeededStreams(3))
+
+
+class TestCountryTable:
+    def test_codes_unique(self):
+        codes = [row[0] for row in COUNTRY_TABLE]
+        assert len(codes) == len(set(codes))
+
+    def test_enough_countries_for_the_paper(self):
+        # Table III needs 186 attacker countries.
+        assert len(COUNTRY_TABLE) >= 186
+
+    def test_coordinates_in_range(self):
+        for code, _name, lat, lon, weight in COUNTRY_TABLE:
+            assert -90 <= lat <= 90, code
+            assert -180 <= lon <= 180, code
+            assert weight > 0, code
+
+    def test_key_paper_countries_present(self):
+        codes = {row[0] for row in COUNTRY_TABLE}
+        # Every country named in Table V must exist.
+        needed = {"US", "RU", "DE", "UA", "NL", "FR", "ES", "VE", "SG", "IN",
+                  "PK", "BW", "TH", "ID", "CN", "KR", "HK", "JP", "MX", "UY",
+                  "CL", "CA", "GB", "KG"}
+        assert needed <= codes
+
+
+class TestWorldBuild:
+    def test_deterministic(self):
+        w1 = World.build(SeededStreams(3))
+        w2 = World.build(SeededStreams(3))
+        assert [c.name for c in w1.cities] == [c.name for c in w2.cities]
+        assert [o.asn for o in w1.organizations] == [o.asn for o in w2.organizations]
+
+    def test_seed_changes_world(self):
+        w1 = World.build(SeededStreams(3))
+        w2 = World.build(SeededStreams(4))
+        assert [o.asn for o in w1.organizations] != [o.asn for o in w2.organizations]
+
+    def test_every_country_has_cities_and_orgs(self, world):
+        for country in world.countries:
+            assert len(world.cities_of(country.index)) >= 2
+            assert len(world.organizations_of(country.index)) >= 2
+
+    def test_org_city_consistency(self, world):
+        for org in world.organizations:
+            city = world.cities[org.city_index]
+            assert city.country_index == org.country_index
+
+    def test_asns_unique(self, world):
+        asns = [o.asn for o in world.organizations]
+        assert len(asns) == len(set(asns))
+
+    def test_lookup_by_code(self, world):
+        us = world.country_by_code("US")
+        assert us.name == "United States"
+        assert world.has_country("US")
+        assert not world.has_country("ZZ")
+        with pytest.raises(KeyError):
+            world.country_by_code("ZZ")
+
+    def test_weights_normalised(self, world):
+        idx, w = world.city_weights_of(world.country_by_code("DE").index)
+        assert idx.size == w.size
+        assert np.isclose(w.sum(), 1.0)
+        idx, w = world.org_weights_of(world.country_by_code("DE").index)
+        assert np.isclose(w.sum(), 1.0)
+
+    def test_city_counts_scale_with_weight(self, world):
+        us = world.country_by_code("US")
+        small = world.country_by_code("LI")
+        assert len(world.cities_of(us.index)) > len(world.cities_of(small.index))

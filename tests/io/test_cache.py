@@ -1,0 +1,49 @@
+"""Tests for dataset caching."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import DatasetConfig
+from repro.io.cache import config_key, load_dataset, load_or_generate, save_dataset
+
+
+class TestConfigKey:
+    def test_stable(self):
+        assert config_key(DatasetConfig.tiny()) == config_key(DatasetConfig.tiny())
+
+    def test_seed_sensitivity(self):
+        assert config_key(DatasetConfig.tiny(seed=1)) != config_key(DatasetConfig.tiny(seed=2))
+
+    def test_scale_sensitivity(self):
+        assert config_key(DatasetConfig.tiny()) != config_key(DatasetConfig.small())
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tiny_ds, tmp_path):
+        path = save_dataset(tiny_ds, tmp_path / "ds.pkl.gz")
+        loaded = load_dataset(path)
+        assert loaded.n_attacks == tiny_ds.n_attacks
+        assert np.array_equal(loaded.start, tiny_ds.start)
+        assert np.array_equal(loaded.participants, tiny_ds.participants)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(OSError):
+            load_dataset(tmp_path / "missing.pkl.gz")
+
+
+class TestLoadOrGenerate:
+    def test_generates_then_caches(self, tmp_path):
+        config = DatasetConfig.tiny(seed=41)
+        first = load_or_generate(config, tmp_path)
+        files = list(tmp_path.glob("dataset-*.pkl.gz"))
+        assert len(files) == 1
+        second = load_or_generate(config, tmp_path)
+        assert np.array_equal(first.start, second.start)
+
+    def test_corrupt_cache_regenerated(self, tmp_path):
+        config = DatasetConfig.tiny(seed=43)
+        load_or_generate(config, tmp_path)
+        path = next(tmp_path.glob("dataset-*.pkl.gz"))
+        path.write_bytes(b"garbage")
+        ds = load_or_generate(config, tmp_path)
+        assert ds.n_attacks > 0

@@ -1,0 +1,42 @@
+"""Tests for the figure-series CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.io.figures import FIGURE_EXPORTERS, export_figure_data
+
+
+class TestExport:
+    def test_all_figures_written(self, small_ds, tmp_path):
+        counts = export_figure_data(small_ds, tmp_path)
+        assert set(counts) == set(FIGURE_EXPORTERS)
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == len(FIGURE_EXPORTERS)
+        for path in files:
+            with path.open() as fh:
+                header = next(csv.reader(fh))
+            assert header, path.name
+
+    def test_row_counts_sane(self, small_ds, tmp_path):
+        counts = export_figure_data(small_ds, tmp_path)
+        assert counts["fig2"] == small_ds.window.n_days
+        assert counts["fig3"] == small_ds.n_attacks - 1
+        assert counts["fig6"] == small_ds.n_attacks
+        assert counts["fig7"] == small_ds.n_attacks
+
+    def test_only_filter(self, small_ds, tmp_path):
+        counts = export_figure_data(small_ds, tmp_path, only=["fig2", "fig7"])
+        assert set(counts) == {"fig2", "fig7"}
+        assert len(list(tmp_path.glob("*.csv"))) == 2
+
+    def test_unknown_figure_id(self, small_ds, tmp_path):
+        with pytest.raises(KeyError):
+            export_figure_data(small_ds, tmp_path, only=["fig99"])
+
+    def test_fig5_per_family(self, small_ds, tmp_path):
+        export_figure_data(small_ds, tmp_path, only=["fig5"])
+        with (tmp_path / "fig5_family_interval_cdf.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        families = {row["family"] for row in rows}
+        assert "dirtjumper" in families

@@ -1,0 +1,95 @@
+"""Tests for ingesting external Table I logs."""
+
+import numpy as np
+import pytest
+
+from repro.core.collaboration import detect_collaborations
+from repro.core.consecutive import detect_chains
+from repro.core.durations import duration_summary
+from repro.core.intervals import interval_summary
+from repro.core.overview import daily_attack_counts, protocol_breakdown
+from repro.core.targets import country_breakdown
+from repro.io.ingest import dataset_from_records
+
+
+@pytest.fixture(scope="module")
+def ingested(small_ds):
+    """Round-trip: synthetic dataset -> records -> ingested dataset."""
+    records = list(small_ds.iter_attacks())
+    return dataset_from_records(records, window=small_ds.window)
+
+
+class TestRoundTrip:
+    def test_attack_table_preserved(self, small_ds, ingested):
+        assert ingested.n_attacks == small_ds.n_attacks
+        assert np.allclose(np.sort(ingested.start), np.sort(small_ds.start))
+        assert np.allclose(
+            np.sort(ingested.durations), np.sort(small_ds.durations), atol=0.01
+        )
+
+    def test_attack_level_analyses_agree(self, small_ds, ingested):
+        orig = interval_summary(small_ds)
+        new = interval_summary(ingested)
+        assert new.stats.mean == pytest.approx(orig.stats.mean, rel=1e-6)
+        assert duration_summary(ingested).stats.median == pytest.approx(
+            duration_summary(small_ds).stats.median
+        )
+
+    def test_protocols_preserved(self, small_ds, ingested):
+        orig = {(p, f): c for p, f, c in protocol_breakdown(small_ds)}
+        new = {(p, f): c for p, f, c in protocol_breakdown(ingested)}
+        assert orig == new
+
+    def test_country_analysis_works(self, small_ds, ingested):
+        orig = country_breakdown(small_ds, "dirtjumper")
+        new = country_breakdown(ingested, "dirtjumper")
+        assert new.n_countries == orig.n_countries
+        assert new.top[0] == orig.top[0]
+
+    def test_collaboration_detection_agrees(self, small_ds, ingested):
+        orig = detect_collaborations(small_ds)
+        new = detect_collaborations(ingested)
+        assert len(new) == len(orig)
+        assert sum(e.is_inter_family for e in new) == sum(
+            e.is_inter_family for e in orig
+        )
+
+    def test_chain_detection_agrees(self, small_ds, ingested):
+        assert len(detect_chains(ingested)) == len(detect_chains(small_ds))
+
+    def test_daily_counts_agree(self, small_ds, ingested):
+        assert np.array_equal(
+            daily_attack_counts(ingested).counts, daily_attack_counts(small_ds).counts
+        )
+
+
+class TestStructure:
+    def test_no_bot_side(self, ingested):
+        assert ingested.bots.n_bots == 0
+        assert ingested.participants.size == 0
+        assert ingested.participants_of(0).size == 0
+
+    def test_default_window_inferred(self, small_ds):
+        records = list(small_ds.iter_attacks())[:50]
+        ds = dataset_from_records(records)
+        assert ds.window.start <= min(r.timestamp for r in records)
+        assert ds.window.end > max(r.timestamp for r in records)
+
+    def test_world_reconstructed(self, small_ds, ingested):
+        codes = {c.code for c in ingested.world.countries}
+        assert "RU" in codes
+        rec = ingested.attack(0)
+        assert rec.country_code in codes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_from_records([])
+
+    def test_negative_duration_rejected(self, small_ds):
+        bad = small_ds.attack(0)
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataset_from_records(
+                [dataclasses.replace(bad, end_time=bad.timestamp - 10)]
+            )

@@ -1,0 +1,33 @@
+"""Tests for JSONL export/import."""
+
+import pytest
+
+from repro.io.jsonlio import export_attacks_jsonl, read_attacks_jsonl
+
+
+class TestJsonl:
+    def test_roundtrip(self, tiny_ds, tmp_path):
+        path = tmp_path / "attacks.jsonl"
+        n = export_attacks_jsonl(tiny_ds, path)
+        records = read_attacks_jsonl(path)
+        assert len(records) == n == tiny_ds.n_attacks
+        mid = n // 2
+        orig = tiny_ds.attack(mid)
+        loaded = records[mid]
+        assert loaded.botnet_id == orig.botnet_id
+        assert loaded.family == orig.family
+        assert loaded.target_ip == orig.target_ip
+        assert loaded.end_time == pytest.approx(orig.end_time)
+
+    def test_blank_lines_skipped(self, tiny_ds, tmp_path):
+        path = tmp_path / "attacks.jsonl"
+        export_attacks_jsonl(tiny_ds, path)
+        content = path.read_text() + "\n\n"
+        path.write_text(content)
+        assert len(read_attacks_jsonl(path)) == tiny_ds.n_attacks
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_attacks_jsonl(path)

@@ -1,0 +1,51 @@
+"""Tests for the monitoring collector."""
+
+from repro.monitor.collector import Collector
+from repro.monitor.labeling import FamilyLabeler
+from repro.monitor.schemas import AttackPulse, Protocol
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import EventKind
+
+
+def pulse(botnet=1, family="pandora", target=1, start=0.0, end=10.0, tag=0):
+    return AttackPulse(
+        botnet_id=botnet, family=family, target_index=target,
+        start=start, end=end, protocol=Protocol.HTTP, attack_tag=tag,
+    )
+
+
+def make_collector():
+    return Collector(FamilyLabeler({1: "pandora", 2: "dirtjumper"}))
+
+
+class TestCollector:
+    def test_engine_integration(self):
+        engine = SimulationEngine()
+        collector = make_collector()
+        collector.attach(engine)
+        engine.schedule(0.0, EventKind.ATTACK_PULSE, pulse(start=0, end=10, tag=1))
+        engine.schedule(200.0, EventKind.ATTACK_PULSE, pulse(start=200, end=210, tag=2))
+        engine.run()
+        attacks = collector.segment()
+        assert collector.n_pulses == 2
+        assert len(attacks) == 2
+
+    def test_unattributed_pulse_dropped(self):
+        collector = make_collector()
+        collector.ingest([pulse(botnet=99)])
+        assert collector.n_pulses == 0
+        assert collector.n_dropped == 1
+
+    def test_label_overrides_tag(self):
+        # The labeler's verdict wins over the (possibly wrong) tag family.
+        collector = make_collector()
+        collector.ingest([pulse(botnet=2, family="wrong-tag")])
+        attacks = collector.segment()
+        assert attacks[0].family == "dirtjumper"
+
+    def test_merging_through_collector(self):
+        collector = make_collector()
+        collector.ingest([pulse(start=0, end=10, tag=1), pulse(start=40, end=50, tag=1)])
+        attacks = collector.segment()
+        assert len(attacks) == 1
+        assert attacks[0].pulse_count == 2

@@ -1,0 +1,48 @@
+"""Tests for family attribution."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.labeling import FamilyLabeler
+
+
+@pytest.fixture()
+def labeler():
+    return FamilyLabeler({1: "pandora", 2: "pandora", 3: "dirtjumper"})
+
+
+class TestLabeler:
+    def test_label(self, labeler):
+        assert labeler.label(1) == "pandora"
+        assert labeler.label(3) == "dirtjumper"
+
+    def test_unknown_raises(self, labeler):
+        with pytest.raises(KeyError):
+            labeler.label(99)
+
+    def test_families_sorted(self, labeler):
+        assert labeler.families == ["dirtjumper", "pandora"]
+        assert labeler.n_botnets == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FamilyLabeler({})
+
+
+class TestNoise:
+    def test_zero_noise_identity(self, labeler):
+        noisy = labeler.with_noise(np.random.default_rng(0), 0.0)
+        assert all(noisy.label(b) == labeler.label(b) for b in (1, 2, 3))
+
+    def test_full_noise_flips_everything(self, labeler):
+        noisy = labeler.with_noise(np.random.default_rng(0), 1.0)
+        assert all(noisy.label(b) != labeler.label(b) for b in (1, 2, 3))
+
+    def test_rate_validation(self, labeler):
+        with pytest.raises(ValueError):
+            labeler.with_noise(np.random.default_rng(0), 1.5)
+
+    def test_single_family_unchanged(self):
+        single = FamilyLabeler({1: "pandora"})
+        noisy = single.with_noise(np.random.default_rng(0), 1.0)
+        assert noisy.label(1) == "pandora"

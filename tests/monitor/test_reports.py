@@ -1,0 +1,57 @@
+"""Tests for the hourly report files."""
+
+import json
+
+import pytest
+
+from repro.monitor.reports import read_hourly_reports, write_hourly_reports
+
+
+class TestWrite:
+    def test_streams_per_family(self, tiny_ds, tmp_path):
+        written = write_hourly_reports(tiny_ds, tmp_path, max_hours=20)
+        assert written
+        for family, count in written.items():
+            path = tmp_path / f"{family}.jsonl"
+            if count:
+                assert path.exists()
+                assert len(path.read_text().splitlines()) == count
+
+    def test_record_schema(self, tiny_ds, tmp_path):
+        write_hourly_reports(tiny_ds, tmp_path, families=["dirtjumper"], max_hours=5)
+        lines = (tmp_path / "dirtjumper.jsonl").read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["family"] == "dirtjumper"
+        assert record["n_bots"] > 0
+        assert all(len(cc) == 2 for cc in record["countries"])
+        assert "bot_ips" not in record
+
+    def test_include_ips(self, tiny_ds, tmp_path):
+        write_hourly_reports(
+            tiny_ds, tmp_path, families=["dirtjumper"], max_hours=2, include_ips=True
+        )
+        record = json.loads(
+            (tmp_path / "dirtjumper.jsonl").read_text().splitlines()[0]
+        )
+        assert len(record["bot_ips"]) == record["n_bots"]
+        assert record["bot_ips"][0].count(".") == 3
+
+    def test_max_hours_cap(self, tiny_ds, tmp_path):
+        written = write_hourly_reports(tiny_ds, tmp_path, families=["dirtjumper"], max_hours=3)
+        assert written["dirtjumper"] <= 3
+
+
+class TestRead:
+    def test_roundtrip_counts(self, tiny_ds, tmp_path):
+        write_hourly_reports(tiny_ds, tmp_path, families=["dirtjumper"], max_hours=10)
+        snapshots = read_hourly_reports(tmp_path / "dirtjumper.jsonl")
+        assert snapshots
+        assert all(s.family == "dirtjumper" for s in snapshots)
+        times = [s.timestamp for s in snapshots]
+        assert times == sorted(times)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{oops\n")
+        with pytest.raises(ValueError):
+            read_hourly_reports(path)

@@ -1,0 +1,78 @@
+"""Tests for the Table I schema types."""
+
+import pytest
+
+from repro.monitor.schemas import (
+    AttackPulse,
+    BotnetRecord,
+    BotRecord,
+    DDoSAttackRecord,
+    Protocol,
+)
+
+
+class TestProtocol:
+    def test_seven_traffic_types(self):
+        # Table III: "# of traffic types: 7".
+        assert len(Protocol) == 7
+
+    def test_from_name(self):
+        assert Protocol.from_name("http") is Protocol.HTTP
+        assert Protocol.from_name("SYN") is Protocol.SYN
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            Protocol.from_name("quic")
+
+
+class TestRecords:
+    def _attack(self, start=100.0, end=400.0, botnet=7) -> DDoSAttackRecord:
+        return DDoSAttackRecord(
+            ddos_id=1,
+            botnet_id=botnet,
+            family="pandora",
+            category=Protocol.HTTP,
+            target_ip=0x01020304,
+            timestamp=start,
+            end_time=end,
+            asn=64500,
+            country_code="RU",
+            city="RU-city-000",
+            organization="hosting-ru-000",
+            lat=55.0,
+            lon=37.0,
+            magnitude=42,
+        )
+
+    def test_duration_and_ip(self):
+        rec = self._attack()
+        assert rec.duration == 300.0
+        assert rec.target_ip_str == "1.2.3.4"
+
+    def test_overlaps(self):
+        a = self._attack(100.0, 400.0)
+        b = self._attack(350.0, 500.0)
+        c = self._attack(400.0, 500.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # half-open touch is not overlap
+
+    def test_bot_record_activity(self):
+        bot = BotRecord(
+            bot_index=0, ip=1, botnet_id=1, family="x", country_code="US",
+            city="c", organization="o", asn=1, lat=0.0, lon=0.0,
+            recruited_at=100.0, left_at=200.0,
+        )
+        assert bot.active_at(100.0)
+        assert bot.active_at(150.0)
+        assert not bot.active_at(200.0)
+
+    def test_botnet_record_ip(self):
+        rec = BotnetRecord(1, "pandora", 0x7F000001 + 1, 0.0, 1.0)
+        assert rec.controller_ip_str.count(".") == 3
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            AttackPulse(
+                botnet_id=1, family="x", target_index=0,
+                start=10.0, end=5.0, protocol=Protocol.HTTP, attack_tag=0,
+            )

@@ -1,0 +1,97 @@
+"""Tests for the 60-second segmentation rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.schemas import AttackPulse, Protocol
+from repro.monitor.segmentation import segment_pulses
+
+
+def pulse(botnet=1, target=1, start=0.0, end=10.0, tag=0, proto=Protocol.HTTP):
+    return AttackPulse(
+        botnet_id=botnet, family="f", target_index=target,
+        start=start, end=end, protocol=proto, attack_tag=tag,
+    )
+
+
+class TestMerging:
+    def test_merges_within_gap(self):
+        out = segment_pulses([pulse(start=0, end=10, tag=1), pulse(start=50, end=60, tag=1)])
+        assert len(out) == 1
+        assert out[0].start == 0 and out[0].end == 60
+        assert out[0].pulse_count == 2
+
+    def test_splits_beyond_gap(self):
+        out = segment_pulses([pulse(start=0, end=10), pulse(start=80, end=90)])
+        assert len(out) == 2
+
+    def test_exact_boundary_merges(self):
+        # Gap of exactly 60 s still merges (the rule is "exceeds 60 s").
+        out = segment_pulses([pulse(start=0, end=10), pulse(start=70, end=80)])
+        assert len(out) == 1
+
+    def test_overlapping_pulses_merge(self):
+        out = segment_pulses([pulse(start=0, end=100), pulse(start=20, end=50)])
+        assert len(out) == 1
+        assert out[0].end == 100
+
+    def test_different_botnets_never_merge(self):
+        out = segment_pulses([pulse(botnet=1), pulse(botnet=2)])
+        assert len(out) == 2
+
+    def test_different_targets_never_merge(self):
+        out = segment_pulses([pulse(target=1), pulse(target=2)])
+        assert len(out) == 2
+
+    def test_tags_accumulated(self):
+        out = segment_pulses([pulse(tag=5), pulse(start=5, end=8, tag=6)])
+        assert out[0].tags == [5, 6]
+
+    def test_custom_gap(self):
+        pulses = [pulse(start=0, end=10), pulse(start=25, end=30)]
+        assert len(segment_pulses(pulses, gap_seconds=10)) == 2
+        assert len(segment_pulses(pulses, gap_seconds=20)) == 1
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            segment_pulses([], gap_seconds=-1)
+
+    def test_output_sorted_by_start(self):
+        pulses = [pulse(botnet=2, start=100, end=110), pulse(botnet=1, start=0, end=10)]
+        out = segment_pulses(pulses)
+        assert [a.start for a in out] == sorted(a.start for a in out)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),   # botnet
+            st.integers(min_value=1, max_value=3),   # target
+            st.floats(min_value=0, max_value=5000, allow_nan=False),  # start
+            st.floats(min_value=1, max_value=300, allow_nan=False),   # length
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=150)
+def test_segmentation_invariants(specs):
+    pulses = [
+        pulse(botnet=b, target=t, start=s, end=s + ln, tag=i)
+        for i, (b, t, s, ln) in enumerate(specs)
+    ]
+    out = segment_pulses(pulses)
+    # Never more attacks than pulses; every pulse accounted for exactly once.
+    assert 1 <= len(out) <= len(pulses)
+    assert sum(a.pulse_count for a in out) == len(pulses)
+    all_tags = sorted(tag for a in out for tag in a.tags)
+    assert all_tags == sorted(set(all_tags))
+    # Within a (botnet, target) group, attacks are separated by > 60 s.
+    by_key = {}
+    for a in out:
+        by_key.setdefault((a.botnet_id, a.target_index), []).append(a)
+    for group in by_key.values():
+        group.sort(key=lambda a: a.start)
+        for prev, cur in zip(group, group[1:]):
+            assert cur.start - prev.end > 60.0

@@ -1,0 +1,81 @@
+"""Tests for the observation-window time base."""
+
+import pytest
+
+from repro.simulation.clock import (
+    OBSERVATION_DAYS,
+    OBSERVATION_END,
+    OBSERVATION_START,
+    SECONDS_PER_DAY,
+    ObservationWindow,
+    from_datetime,
+    to_datetime,
+)
+
+
+class TestConstants:
+    def test_window_matches_paper(self):
+        # 2012-08-29 .. 2013-03-24: 207 days (§II-B).
+        assert OBSERVATION_DAYS == 207
+        assert OBSERVATION_END - OBSERVATION_START == 207 * SECONDS_PER_DAY
+        assert to_datetime(OBSERVATION_START).strftime("%Y-%m-%d") == "2012-08-29"
+        assert to_datetime(OBSERVATION_END).strftime("%Y-%m-%d") == "2013-03-24"
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        dt = to_datetime(OBSERVATION_START + 12345)
+        assert from_datetime(dt) == OBSERVATION_START + 12345
+
+    def test_naive_datetime_is_utc(self):
+        from datetime import datetime
+
+        naive = datetime(2012, 8, 29)
+        assert from_datetime(naive) == OBSERVATION_START
+
+
+class TestObservationWindow:
+    def test_defaults(self):
+        w = ObservationWindow()
+        assert w.n_days == 207
+        assert w.n_weeks == 30
+        assert w.n_hours == 207 * 24
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationWindow(start=10, end=10)
+
+    def test_indices(self):
+        w = ObservationWindow()
+        assert w.day_index(w.start) == 0
+        assert w.day_index(w.start + SECONDS_PER_DAY) == 1
+        assert w.week_index(w.start + 8 * SECONDS_PER_DAY) == 1
+        assert w.hour_index(w.start + 3600) == 1
+
+    def test_contains_and_clamp(self):
+        w = ObservationWindow()
+        assert w.contains(w.start)
+        assert not w.contains(w.end)
+        assert w.clamp(w.end + 100) == w.end - 1
+        assert w.clamp(w.start - 100) == w.start
+
+    def test_day_label(self):
+        w = ObservationWindow()
+        assert w.day_label(0) == "2012-08-29"
+        assert w.day_label(1) == "2012-08-30"
+
+    def test_subwindow(self):
+        w = ObservationWindow()
+        sub = w.subwindow(0.0, 0.5)
+        assert sub.start == w.start
+        assert sub.duration == pytest.approx(w.duration / 2, abs=1)
+        with pytest.raises(ValueError):
+            w.subwindow(0.5, 0.5)
+        with pytest.raises(ValueError):
+            w.subwindow(-0.1, 0.5)
+
+    def test_starts(self):
+        w = ObservationWindow()
+        assert w.day_start(2) - w.day_start(1) == SECONDS_PER_DAY
+        assert w.week_start(1) - w.week_start(0) == 7 * SECONDS_PER_DAY
+        assert w.hour_start(5) == w.start + 5 * 3600

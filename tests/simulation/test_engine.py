@@ -1,0 +1,105 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.events import Event, EventKind
+
+
+class TestOrdering:
+    def test_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on_any(lambda e: seen.append(e.payload))
+        engine.schedule(3.0, EventKind.ATTACK_PULSE, "c")
+        engine.schedule(1.0, EventKind.ATTACK_PULSE, "a")
+        engine.schedule(2.0, EventKind.ATTACK_PULSE, "b")
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_kind_breaks_time_ties(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on_any(lambda e: seen.append(e.kind))
+        engine.schedule(1.0, EventKind.SNAPSHOT, None)
+        engine.schedule(1.0, EventKind.RECRUIT, None)
+        engine.schedule(1.0, EventKind.ATTACK_PULSE, None)
+        engine.run()
+        assert seen == [EventKind.RECRUIT, EventKind.ATTACK_PULSE, EventKind.SNAPSHOT]
+
+    def test_seq_breaks_full_ties(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on_any(lambda e: seen.append(e.payload))
+        for i in range(5):
+            engine.schedule(1.0, EventKind.ATTACK_PULSE, i)
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestHandlers:
+    def test_kind_handlers_before_global(self):
+        engine = SimulationEngine()
+        order = []
+        engine.on(EventKind.RECRUIT, lambda e: order.append("kind"))
+        engine.on_any(lambda e: order.append("any"))
+        engine.schedule(0.0, EventKind.RECRUIT, None)
+        engine.run()
+        assert order == ["kind", "any"]
+
+    def test_handler_can_schedule_future(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain(event: Event) -> None:
+            seen.append(event.time)
+            if event.time < 3:
+                engine.schedule(event.time + 1, EventKind.RECRUIT, None)
+
+        engine.on(EventKind.RECRUIT, chain)
+        engine.schedule(0.0, EventKind.RECRUIT, None)
+        engine.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_scheduling_into_past_rejected(self):
+        engine = SimulationEngine()
+
+        def bad(event: Event) -> None:
+            engine.schedule(event.time - 10, EventKind.RECRUIT, None)
+
+        engine.on(EventKind.RECRUIT, bad)
+        engine.schedule(5.0, EventKind.RECRUIT, None)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestRunControl:
+    def test_run_until(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on_any(lambda e: seen.append(e.time))
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, EventKind.RECRUIT, None)
+        delivered = engine.run(until=2.0)
+        assert delivered == 2
+        assert engine.pending == 1
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule(float(t), EventKind.RECRUIT, None)
+        assert engine.run(max_events=4) == 4
+        assert engine.pending == 6
+
+    def test_step_empty_returns_none(self):
+        assert SimulationEngine().step() is None
+
+    def test_counters(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, EventKind.RECRUIT, None)
+        engine.schedule(2.0, EventKind.RECRUIT, None)
+        engine.run()
+        assert engine.processed == 2
+        assert engine.now == 2.0

@@ -1,0 +1,69 @@
+"""Tests for deterministic seed streams."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.rng import SeededStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "alpha") == derive_seed(42, "alpha")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "alpha") != derive_seed(42, "beta")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(42, "alpha") != derive_seed(43, "alpha")
+
+    @given(st.integers(min_value=0, max_value=2**63), st.text(max_size=40))
+    def test_range(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+    def test_non_int_seed_rejected(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            derive_seed("7", "x")  # type: ignore[arg-type]
+
+
+class TestSeededStreams:
+    def test_caching(self):
+        streams = SeededStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_independence(self):
+        streams = SeededStreams(1)
+        a_first = streams.stream("a").random(3).tolist()
+        streams.stream("b").random(1000)  # drain another stream
+        fresh = SeededStreams(1)
+        assert fresh.stream("a").random(3).tolist() == a_first
+
+    def test_fresh_replays(self):
+        streams = SeededStreams(1)
+        first = streams.stream("x").random(4).tolist()
+        replay = streams.fresh("x").random(4).tolist()
+        assert first == replay
+
+    def test_spawn_namespacing(self):
+        parent = SeededStreams(9)
+        child = parent.spawn("sub")
+        direct = SeededStreams(9).stream("sub.leaf").random(4).tolist()
+        assert child.stream("leaf").random(4).tolist() == direct
+
+    def test_spawn_nested(self):
+        parent = SeededStreams(9)
+        deep = parent.spawn("a").spawn("b")
+        direct = SeededStreams(9).stream("a.b.c").random(2).tolist()
+        assert deep.stream("c").random(2).tolist() == direct
+
+    def test_names_listing(self):
+        streams = SeededStreams(1)
+        streams.stream("z")
+        streams.stream("a")
+        assert streams.names() == ["a", "z"]
+
+    def test_master_seed_property(self):
+        assert SeededStreams(17).master_seed == 17
+        assert SeededStreams(17).spawn("x").master_seed == 17

@@ -1,0 +1,85 @@
+"""End-to-end CLI tests (tiny scale, cached per session)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("cli-cache"))
+
+
+def run_cli(capsys, *args):
+    code = main(list(args))
+    out = capsys.readouterr().out
+    return code, out
+
+
+BASE = ["--scale", "0.005", "--seed", "7"]
+
+
+class TestCli:
+    def test_experiments_list(self, capsys):
+        code, out = run_cli(capsys, *BASE, "experiments", "--list")
+        assert code == 0
+        assert "table4_prediction" in out
+
+    def test_report(self, capsys, cache_dir):
+        code, out = run_cli(capsys, *BASE, "--cache-dir", cache_dir, "report")
+        assert code == 0
+        assert "attacks:" in out
+        assert "Intra-Family" in out
+
+    def test_generate(self, capsys, cache_dir, tmp_path):
+        code, out = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir,
+            "generate", "--out", str(tmp_path), "--botlist-limit", "20",
+        )
+        assert code == 0
+        assert (tmp_path / "ddos_attacks.csv").exists()
+        assert (tmp_path / "botlist.csv").exists()
+        assert (tmp_path / "botnetlist.csv").exists()
+
+    def test_single_experiment(self, capsys, cache_dir):
+        code, out = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir, "experiments", "--only", "fig2_daily"
+        )
+        assert code == 0
+        assert "fig2_daily" in out
+
+    def test_unknown_experiment_fails(self, capsys, cache_dir):
+        code, _out = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir, "experiments", "--only", "nope"
+        )
+        assert code == 1
+
+    def test_predict_needs_data(self, capsys, cache_dir):
+        code, out = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir,
+            "predict", "--family", "dirtjumper", "--order", "1,0,0",
+        )
+        # Tiny scale may not have enough points; both outcomes are valid
+        # exits, never a crash.
+        assert code in (0, 1)
+
+    def test_generate_with_figures(self, capsys, cache_dir, tmp_path):
+        code, _out = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir,
+            "generate", "--out", str(tmp_path), "--botlist-limit", "5", "--figures",
+        )
+        assert code == 0
+        assert (tmp_path / "figures" / "fig7_duration_cdf.csv").exists()
+
+    def test_defense_subcommand(self, capsys, cache_dir):
+        code, out = run_cli(capsys, *BASE, "--cache-dir", cache_dir, "defense")
+        assert code == 0
+        assert "blacklists" in out
+        assert "detection windows" in out
+
+    def test_predict_bad_order(self, capsys, cache_dir):
+        code, _out = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir,
+            "predict", "--family", "dirtjumper", "--order", "abc",
+        )
+        assert code == 2

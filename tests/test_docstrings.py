@@ -1,0 +1,41 @@
+"""Quality gate: every public module, class and function is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _is_pkg in pkgutil.walk_packages(repro.__path__, "repro.")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            # Only charge the module that defines the object.
+            if getattr(obj, "__module__", module_name) != module_name:
+                continue
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for attr_name, attr in vars(obj).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                        undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"{module_name}: undocumented public items: {undocumented}"

@@ -1,0 +1,190 @@
+"""Tests for the from-scratch ARIMA estimator."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.arima import ARIMA
+from repro.timeseries.hannan_rissanen import hannan_rissanen, yule_walker
+from repro.timeseries.metrics import compare_forecast
+
+
+def simulate_arma(phi, theta, n=4000, seed=0, const=0.0):
+    rng = np.random.default_rng(seed)
+    p, q = len(phi), len(theta)
+    y = np.zeros(n)
+    eps = rng.normal(size=n)
+    for t in range(max(p, q), n):
+        y[t] = const + eps[t]
+        for i, ph in enumerate(phi):
+            y[t] += ph * y[t - 1 - i]
+        for j, th in enumerate(theta):
+            y[t] += th * eps[t - 1 - j]
+    return y
+
+
+class TestYuleWalker:
+    def test_recovers_ar1(self):
+        y = simulate_arma([0.6], [])
+        phi = yule_walker(y, 1)
+        assert phi[0] == pytest.approx(0.6, abs=0.05)
+
+    def test_recovers_ar2(self):
+        y = simulate_arma([0.5, 0.3], [])
+        phi = yule_walker(y, 2)
+        assert phi[0] == pytest.approx(0.5, abs=0.06)
+        assert phi[1] == pytest.approx(0.3, abs=0.06)
+
+    def test_p_zero(self):
+        assert yule_walker([1.0, 2.0, 3.0], 0).size == 0
+
+
+class TestHannanRissanen:
+    def test_arma11_start_values(self):
+        y = simulate_arma([0.6], [0.4])
+        phi, theta = hannan_rissanen(y - y.mean(), 1, 1)
+        assert phi[0] == pytest.approx(0.6, abs=0.15)
+        assert theta[0] == pytest.approx(0.4, abs=0.2)
+
+    def test_degenerate_orders(self):
+        phi, theta = hannan_rissanen(np.random.default_rng(0).normal(size=50), 0, 0)
+        assert phi.size == 0 and theta.size == 0
+
+
+class TestARIMAFit:
+    def test_recovers_ar1_coefficient(self):
+        y = simulate_arma([0.6], [], const=2.0)
+        fit = ARIMA((1, 0, 0)).fit(y)
+        assert fit.phi[0] == pytest.approx(0.6, abs=0.06)
+        # const relates to the mean: mean = const / (1 - phi).
+        assert fit.const / (1 - fit.phi[0]) == pytest.approx(np.mean(y), rel=0.2)
+
+    def test_recovers_ma1_coefficient(self):
+        y = simulate_arma([], [0.5])
+        fit = ARIMA((0, 0, 1)).fit(y)
+        assert fit.theta[0] == pytest.approx(0.5, abs=0.08)
+
+    def test_sigma2_positive(self):
+        y = simulate_arma([0.4], [])
+        fit = ARIMA((1, 0, 0)).fit(y)
+        assert fit.sigma2 == pytest.approx(1.0, rel=0.15)
+
+    def test_aic_prefers_true_order(self):
+        y = simulate_arma([0.7], [], n=3000)
+        aic_ar1 = ARIMA((1, 0, 0)).fit(y).aic
+        aic_white = ARIMA((0, 0, 0)).fit(y).aic
+        assert aic_ar1 < aic_white
+
+    def test_mean_only_model(self):
+        y = np.random.default_rng(0).normal(5.0, 1.0, 500)
+        fit = ARIMA((0, 0, 0)).fit(y)
+        assert fit.const == pytest.approx(5.0, abs=0.15)
+        assert np.allclose(fit.forecast(3), fit.const)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            ARIMA((2, 1, 2)).fit([1.0, 2.0, 3.0])
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            ARIMA((-1, 0, 0))
+
+
+class TestForecast:
+    def test_random_walk_forecast_is_flat(self):
+        rng = np.random.default_rng(1)
+        y = np.cumsum(rng.normal(size=800))
+        fit = ARIMA((0, 1, 0)).fit(y)
+        f = fit.forecast(5)
+        assert np.allclose(f, y[-1] + fit.const * np.arange(1, 6), atol=1e-6)
+
+    def test_forecast_steps_positive(self):
+        y = simulate_arma([0.4], [], n=200)
+        fit = ARIMA((1, 0, 0)).fit(y)
+        with pytest.raises(ValueError):
+            fit.forecast(0)
+
+    def test_ar1_forecast_decays_to_mean(self):
+        y = simulate_arma([0.8], [], n=3000, const=1.0)
+        mean = float(np.mean(y))
+        fit = ARIMA((1, 0, 0)).fit(y)
+        f = fit.forecast(60)
+        assert f[-1] == pytest.approx(mean, rel=0.25)
+
+
+class TestForecastInterval:
+    def test_band_contains_point(self):
+        y = simulate_arma([0.6], [], n=1500)
+        fit = ARIMA((1, 0, 0)).fit(y)
+        point, lower, upper = fit.forecast_interval(10)
+        assert np.all(lower <= point)
+        assert np.all(point <= upper)
+
+    def test_band_widens_with_horizon(self):
+        y = simulate_arma([0.6], [], n=1500)
+        fit = ARIMA((1, 0, 0)).fit(y)
+        _p, lower, upper = fit.forecast_interval(20)
+        widths = upper - lower
+        assert widths[-1] >= widths[0]
+        assert np.all(np.diff(widths) >= -1e-9)
+
+    def test_coverage_on_ar1(self):
+        rng = np.random.default_rng(7)
+        hits = 0
+        total = 0
+        y = simulate_arma([0.5], [], n=3000, seed=7)
+        fit = ARIMA((1, 0, 0)).fit(y[:2000])
+        # One-step interval should cover ~95% of the next observations.
+        for t in range(2000, 2400):
+            sub_fit_point = fit.const + fit.phi[0] * y[t - 1]
+            sigma = np.sqrt(fit.sigma2)
+            if abs(y[t] - sub_fit_point) <= 1.96 * sigma:
+                hits += 1
+            total += 1
+        _ = rng
+        assert hits / total > 0.90
+
+    def test_random_walk_bands_grow_like_sqrt(self):
+        rng = np.random.default_rng(1)
+        y = np.cumsum(rng.normal(size=2000))
+        fit = ARIMA((0, 1, 0)).fit(y)
+        _p, lower, upper = fit.forecast_interval(16)
+        widths = upper - lower
+        # sqrt growth: width(16) ~ 4x width(1).
+        assert widths[15] == pytest.approx(4 * widths[0], rel=0.3)
+
+
+class TestRollingForecast:
+    @pytest.mark.parametrize("order", [(1, 0, 0), (0, 1, 1), (2, 1, 2), (2, 0, 2)])
+    def test_tracks_stationary_series(self, order):
+        rng = np.random.default_rng(0)
+        n = 2000
+        y = np.empty(n)
+        y[0] = 500.0
+        for t in range(1, n):
+            y[t] = 500 + 0.6 * (y[t - 1] - 500) + rng.normal(0, 50)
+        fit = ARIMA(order).fit(y[:1000])
+        pred = fit.rolling_forecast(y[1000:])
+        c = compare_forecast(y[1000:], pred)
+        # The key regression: no explosive drift, high similarity.
+        assert abs(c.prediction_mean - c.truth_mean) < 50
+        assert c.similarity > 0.97
+        assert c.rmse < 100
+
+    def test_empty_continuation(self):
+        y = simulate_arma([0.4], [], n=200)
+        fit = ARIMA((1, 0, 0)).fit(y)
+        assert fit.rolling_forecast([]).size == 0
+
+
+class TestResidualDiagnostics:
+    def test_good_fit_has_white_residuals(self):
+        y = simulate_arma([0.6], [], n=2500)
+        fit = ARIMA((1, 0, 0)).fit(y)
+        _q, pvalue = fit.residual_diagnostics(y)
+        assert pvalue > 0.01
+
+    def test_underfit_detected(self):
+        y = simulate_arma([0.6, 0.3], [], n=2500)
+        fit = ARIMA((0, 0, 0)).fit(y)  # mean-only model ignores AR structure
+        _q, pvalue = fit.residual_diagnostics(y)
+        assert pvalue < 1e-6

@@ -1,0 +1,66 @@
+"""Tests for differencing/integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.differencing import difference, integrate, integrate_forecast
+
+series_st = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=4, max_size=40
+)
+
+
+class TestDifference:
+    def test_first_difference(self):
+        assert difference([1.0, 3.0, 6.0]).tolist() == [2.0, 3.0]
+
+    def test_second_difference(self):
+        assert difference([1.0, 3.0, 6.0, 10.0], d=2).tolist() == [1.0, 1.0]
+
+    def test_d_zero_is_identity(self):
+        y = np.array([1.0, 2.0])
+        assert difference(y, 0).tolist() == [1.0, 2.0]
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            difference([1.0], 1)
+        with pytest.raises(ValueError):
+            difference([1.0, 2.0], -1)
+
+
+class TestIntegrate:
+    @given(series_st)
+    @settings(max_examples=100)
+    def test_roundtrip_d1(self, values):
+        y = np.asarray(values)
+        d = difference(y, 1)
+        restored = integrate(d, [y[0]])
+        assert np.allclose(restored, y, atol=1e-6)
+
+    @given(series_st)
+    @settings(max_examples=100)
+    def test_roundtrip_d2(self, values):
+        y = np.asarray(values)
+        d2 = difference(y, 2)
+        heads = [y[0], float(np.diff(y)[0])]
+        restored = integrate(d2, heads)
+        assert np.allclose(restored, y, atol=1e-5)
+
+
+class TestIntegrateForecast:
+    def test_continues_series_d1(self):
+        # Original series 10, 12, 15; forecast of diffs [2, 2] continues
+        # as 17, 19.
+        out = integrate_forecast([2.0, 2.0], np.array([15.0]))
+        assert out.tolist() == [17.0, 19.0]
+
+    def test_matches_explicit_cumsum(self):
+        rng = np.random.default_rng(0)
+        y = np.cumsum(rng.normal(size=30)) + 100
+        d = difference(y, 1)
+        future_d = np.array([0.5, -0.2, 0.1])
+        out = integrate_forecast(future_d, np.array([y[-1]]))
+        expect = y[-1] + np.cumsum(future_d)
+        assert np.allclose(out, expect)

@@ -1,0 +1,74 @@
+"""Tests for forecast metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.metrics import (
+    compare_forecast,
+    cosine_similarity,
+    error_rates,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+
+vec_st = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_opposite(self):
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vectors(self):
+        assert cosine_similarity([0, 0], [0, 0]) == 1.0
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+    @given(vec_st)
+    @settings(max_examples=100)
+    def test_bounded(self, v):
+        other = [x + 1.0 for x in v]
+        s = cosine_similarity(v, other)
+        assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9
+
+
+class TestErrors:
+    def test_mae_rmse(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_error_rates_floor(self):
+        rates = error_rates([0.0, 100.0], [10.0, 110.0], floor=50.0)
+        assert rates[0] == pytest.approx(10.0 / 50.0)
+        assert rates[1] == pytest.approx(10.0 / 100.0)
+
+    def test_error_rates_default_floor(self):
+        rates = error_rates([100.0, 0.0], [100.0, 50.0])
+        assert np.isfinite(rates).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            error_rates([], [])
+
+
+class TestCompare:
+    def test_fields(self):
+        c = compare_forecast([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert c.similarity == pytest.approx(1.0)
+        assert c.mae == 0.0
+        assert c.rmse == 0.0
+        assert c.n_points == 3
+        assert c.truth_mean == pytest.approx(2.0)
+        assert c.prediction_std == pytest.approx(np.std([1, 2, 3]))

@@ -1,0 +1,45 @@
+"""Tests for AIC/BIC order selection."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.order_selection import select_order
+
+
+def ar1(phi, n=1500, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = phi * y[t - 1] + rng.normal()
+    return y
+
+
+class TestSelectOrder:
+    def test_prefers_low_order_for_ar1(self):
+        result = select_order(ar1(0.7), max_p=2, max_d=1, max_q=2)
+        p, d, q = result.best_order
+        # AR(1)-like structure: needs some AR or MA terms, not white noise.
+        assert (p, d, q) != (0, 0, 0)
+        assert result.best_fit.aic == min(
+            score for order, score in result.scores.items() if order == result.best_order
+        )
+
+    def test_scores_populated(self):
+        result = select_order(ar1(0.5, n=300), max_p=1, max_d=1, max_q=1)
+        assert len(result.scores) >= 4
+        assert all(np.isfinite(v) for v in result.scores.values())
+
+    def test_bic_criterion(self):
+        result = select_order(ar1(0.5, n=300), max_p=1, max_d=0, max_q=1, criterion="bic")
+        assert result.criterion == "bic"
+
+    def test_bad_criterion(self):
+        with pytest.raises(ValueError):
+            select_order(ar1(0.5, n=200), criterion="hqic")
+
+    def test_white_noise_picks_simple_model(self):
+        y = np.random.default_rng(5).normal(size=1200)
+        result = select_order(y, max_p=2, max_d=1, max_q=2)
+        p, d, q = result.best_order
+        assert d == 0
+        assert p + q <= 2
