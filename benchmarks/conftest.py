@@ -1,10 +1,11 @@
 """Benchmark fixtures.
 
 The full paper-scale dataset (50,704 attacks) is generated once and
-cached on disk under ``.repro-cache`` — the first benchmark session pays
-the ~2 minute generation cost, subsequent sessions load in seconds.
-Every table/figure benchmark prints its paper-vs-measured rows so a
-benchmark run doubles as the reproduction record.
+cached on disk (``$REPRO_CACHE_DIR`` or ``.repro-cache``) — the first
+benchmark session pays the ~2 minute generation cost, subsequent
+sessions load in seconds.  Every table/figure benchmark prints its
+paper-vs-measured rows so a benchmark run doubles as the reproduction
+record.
 """
 
 from __future__ import annotations
@@ -18,13 +19,13 @@ from repro.io.cache import load_or_generate
 @pytest.fixture(scope="session")
 def full_ds():
     """The paper-scale dataset (cached on disk)."""
-    return load_or_generate(DatasetConfig.full(seed=7), ".repro-cache")
+    return load_or_generate(DatasetConfig.full(seed=7))
 
 
 @pytest.fixture(scope="session")
 def small_ds():
     """A ~1,000-attack dataset for ablation sweeps that regenerate."""
-    return load_or_generate(DatasetConfig.small(seed=7), ".repro-cache")
+    return load_or_generate(DatasetConfig.small(seed=7))
 
 
 @pytest.fixture(scope="session")

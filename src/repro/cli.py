@@ -4,11 +4,16 @@ Subcommands::
 
     ddos-repro generate  --scale 0.02 --seed 7 --out data/   # export schemas
     ddos-repro report    --scale 0.02                        # headline + tables
-    ddos-repro experiments [--only table4_prediction]        # paper-vs-measured
+    ddos-repro experiments [--jobs 4] [--only table4_prediction]
     ddos-repro predict   --family pandora                    # ARIMA forecast
 
 All subcommands share ``--scale``, ``--seed`` and ``--cache-dir``; the
-dataset is generated once per (scale, seed) and cached on disk.
+dataset is generated once per (scale, seed) and cached on disk (the
+cache directory falls back to ``$REPRO_CACHE_DIR``, then
+``.repro-cache``).  The ``experiments`` battery additionally snapshots
+the derived analysis views, so a repeat invocation skips the heavy
+scans, and ``--jobs N`` fans the experiments out over a thread pool
+without changing the output.
 """
 
 from __future__ import annotations
@@ -20,8 +25,8 @@ from pathlib import Path
 from .core import report
 from .core.prediction import predict_family_dispersion
 from .datagen.config import DatasetConfig
-from .experiments.registry import ALL_EXPERIMENTS, get_experiment
-from .io.cache import load_or_generate
+from .experiments.registry import ALL_EXPERIMENTS, get_experiment, run_all
+from .io.cache import load_or_generate, load_or_generate_context, save_context_views
 from .io.csvio import export_attacks_csv, export_botlist_csv, export_botnetlist_csv
 
 __all__ = ["main", "build_parser"]
@@ -36,7 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.02, help="dataset scale (1.0 = paper size)")
     parser.add_argument("--seed", type=int, default=7, help="master seed")
     parser.add_argument(
-        "--cache-dir", default=".repro-cache", help="dataset cache directory"
+        "--cache-dir",
+        default=None,
+        help="dataset cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a single experiment id (see --list)",
     )
     exp.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker threads for the battery (output is identical for any value)",
+    )
 
     pred = sub.add_parser("predict", help="ARIMA dispersion forecast for one family")
     pred.add_argument("--family", required=True)
@@ -95,14 +106,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    ds = load_or_generate(_config(args), args.cache_dir)
-    print(report.render_headline(ds))
+    ctx = load_or_generate_context(_config(args), args.cache_dir)
+    print(report.render_headline(ctx))
     print()
-    print(report.render_protocol_table(ds))
+    print(report.render_protocol_table(ctx))
     print()
-    print(report.render_country_table(ds))
+    print(report.render_country_table(ctx))
     print()
-    print(report.render_collaboration_table(ds))
+    print(report.render_collaboration_table(ctx))
     return 0
 
 
@@ -111,18 +122,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         for experiment in ALL_EXPERIMENTS:
             print(f"{experiment.id:<24s} {experiment.section:<28s} {experiment.title}")
         return 0
-    ds = load_or_generate(_config(args), args.cache_dir)
-    experiments = (
-        [get_experiment(args.only)] if args.only else list(ALL_EXPERIMENTS)
-    )
-    for experiment in experiments:
-        print(experiment.run(ds).render())
+    config = _config(args)
+    ctx = load_or_generate_context(config, args.cache_dir)
+    if args.only:
+        print(get_experiment(args.only).run(ctx).render())
         print()
+    else:
+        for result in run_all(ctx, jobs=args.jobs):
+            print(result.render())
+            print()
+    save_context_views(ctx, config, args.cache_dir)
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    ds = load_or_generate(_config(args), args.cache_dir)
+    ctx = load_or_generate_context(_config(args), args.cache_dir)
     if args.order == "auto":
         order = None
     else:
@@ -132,7 +146,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             print(f"bad --order {args.order!r}; expected 'p,d,q' or 'auto'", file=sys.stderr)
             return 2
         order = (p, d, q)
-    forecast = predict_family_dispersion(ds, args.family, order=order)
+    forecast = predict_family_dispersion(ctx, args.family, order=order)
     c = forecast.comparison
     print(f"family:            {forecast.family}")
     print(f"ARIMA order:       {forecast.order}")
@@ -149,7 +163,7 @@ def _cmd_defense(args: argparse.Namespace) -> int:
     from .defense.detection import sweep_detection_windows
     from .defense.provisioning import backtest_provisioning
 
-    ds = load_or_generate(_config(args), args.cache_dir)
+    ds = load_or_generate_context(_config(args), args.cache_dir).dataset
     cutoff = ds.window.start + args.train_fraction * ds.window.duration
 
     print("== blacklists (train on history, score on the future) ==")

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 
 __all__ = [
     "START_WINDOW_SECONDS",
@@ -52,7 +52,7 @@ class CollabEvent:
 
 
 def detect_collaborations(
-    ds: AttackDataset,
+    source: AnalysisSource,
     start_window: float = START_WINDOW_SECONDS,
     duration_window: float = DURATION_WINDOW_SECONDS,
 ) -> list[CollabEvent]:
@@ -65,7 +65,21 @@ def detect_collaborations(
     and members whose duration strays more than ``duration_window`` from
     the group's first attack are dropped.  Groups with at least two
     distinct botnets left become events.
+
+    Under the default windows, the event list is memoized on the shared
+    :class:`AnalysisContext` (Table VI, Figs 15-16 and the attribution
+    policies all consume the same detection).
     """
+    ctx = AnalysisContext.of(source)
+    if start_window == START_WINDOW_SECONDS and duration_window == DURATION_WINDOW_SECONDS:
+        return ctx.collaborations()
+    return _detect_collaborations(ctx.dataset, start_window, duration_window)
+
+
+def _detect_collaborations(
+    ds, start_window: float, duration_window: float
+) -> list[CollabEvent]:
+    """The raw scan behind :func:`detect_collaborations`."""
     events: list[CollabEvent] = []
     order = np.lexsort((ds.start, ds.target_idx))
     targets = ds.target_idx[order]
@@ -111,7 +125,7 @@ def detect_collaborations(
 
 
 def collaboration_table(
-    ds: AttackDataset, events: list[CollabEvent] | None = None
+    source: AnalysisSource, events: list[CollabEvent] | None = None
 ) -> dict[str, dict[str, int]]:
     """Table VI: per-family intra- and inter-family collaboration counts.
 
@@ -119,8 +133,10 @@ def collaboration_table(
     paper's per-family accounting (which is why Dirtjumper's 121
     inter-family events equal the sum of its partners' counts).
     """
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     if events is None:
-        events = detect_collaborations(ds)
+        events = ctx.collaborations()
     table: dict[str, dict[str, int]] = {
         fam: {"intra": 0, "inter": 0} for fam in ds.active_families
     }
@@ -147,11 +163,13 @@ class IntraFamilyStats:
 
 
 def intra_family_stats(
-    ds: AttackDataset, family: str, events: list[CollabEvent] | None = None
+    source: AnalysisSource, family: str, events: list[CollabEvent] | None = None
 ) -> IntraFamilyStats:
     """Summarise one family's intra-family collaborations (Fig 15)."""
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     if events is None:
-        events = detect_collaborations(ds)
+        events = ctx.collaborations()
     mine = [e for e in events if not e.is_inter_family and e.families == (family,)]
     points: list[tuple[float, int, int]] = []
     equal = 0
@@ -192,7 +210,7 @@ class PairAnalysis:
 
 
 def pair_analysis(
-    ds: AttackDataset,
+    source: AnalysisSource,
     family_a: str,
     family_b: str,
     events: list[CollabEvent] | None = None,
@@ -205,8 +223,10 @@ def pair_analysis(
     """
     if family_a == family_b:
         raise ValueError("pair_analysis needs two different families")
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     if events is None:
-        events = detect_collaborations(ds)
+        events = ctx.collaborations()
     pair = tuple(sorted((family_a, family_b)))
     mine = [e for e in events if e.is_inter_family and set(pair) <= set(e.families)]
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 from .stats import ecdf
 
 __all__ = [
@@ -57,7 +57,7 @@ class AttackChain:
 
 
 def detect_chains(
-    ds: AttackDataset,
+    source: AnalysisSource,
     margin: float = CHAIN_MARGIN_SECONDS,
     min_length: int = 2,
 ) -> list[AttackChain]:
@@ -68,7 +68,19 @@ def detect_chains(
     ``margin`` of ``A.end`` (on either side).  Simultaneous attacks
     (identical starts) are concurrent collaborations, not stages, and do
     not link.
+
+    Under the default margin and length, the chain list is memoized on
+    the shared :class:`AnalysisContext` (Figs 17-18 consume the same
+    detection).
     """
+    ctx = AnalysisContext.of(source)
+    if margin == CHAIN_MARGIN_SECONDS and min_length == 2:
+        return ctx.chains()
+    return _detect_chains(ctx.dataset, margin, min_length)
+
+
+def _detect_chains(ds, margin: float, min_length: int) -> list[AttackChain]:
+    """The raw scan behind :func:`detect_chains`."""
     chains: list[AttackChain] = []
     order = np.lexsort((ds.start, ds.target_idx))
     targets = ds.target_idx[order]
@@ -127,10 +139,12 @@ class ChainSummary:
     under_30s_fraction: float
 
 
-def chain_summary(ds: AttackDataset, chains: list[AttackChain] | None = None) -> ChainSummary:
+def chain_summary(
+    source: AnalysisSource, chains: list[AttackChain] | None = None
+) -> ChainSummary:
     """Summarise detected chains the way §V-B reports them."""
     if chains is None:
-        chains = detect_chains(ds)
+        chains = AnalysisContext.of(source).chains()
     if not chains:
         raise ValueError("no consecutive-attack chains detected")
     gaps = np.concatenate([np.asarray(c.gaps) for c in chains if c.gaps])
@@ -152,11 +166,11 @@ def chain_summary(ds: AttackDataset, chains: list[AttackChain] | None = None) ->
 
 
 def consecutive_gap_cdf(
-    ds: AttackDataset, chains: list[AttackChain] | None = None
+    source: AnalysisSource, chains: list[AttackChain] | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Fig 17: the CDF of gaps between consecutive attacks."""
     if chains is None:
-        chains = detect_chains(ds)
+        chains = AnalysisContext.of(source).chains()
     gaps = np.concatenate(
         [np.asarray(c.gaps) for c in chains if c.gaps]
     ) if chains else np.zeros(0)
@@ -166,7 +180,7 @@ def consecutive_gap_cdf(
 
 
 def chain_timeline(
-    ds: AttackDataset, chains: list[AttackChain] | None = None
+    source: AnalysisSource, chains: list[AttackChain] | None = None
 ) -> list[tuple[float, int, str, int]]:
     """Fig 18: one dot per chained attack over time.
 
@@ -174,8 +188,10 @@ def chain_timeline(
     sorted by time; consecutive dots of one chain share a target row and
     the marker size is the attack magnitude, as in the paper's plot.
     """
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     if chains is None:
-        chains = detect_chains(ds)
+        chains = ctx.chains()
     dots: list[tuple[float, int, str, int]] = []
     for chain in chains:
         for i in chain.attack_indices:

@@ -1,0 +1,423 @@
+"""AnalysisContext: the shared derived-view layer over one dataset.
+
+Nearly every table and figure of the paper re-derives the same
+intermediates from the raw attack columns — per-family attack indices,
+sorted interval arrays, per-family dispersion series, victim marginals,
+the collaboration/chain structures.  :class:`AnalysisContext` wraps an
+immutable :class:`~repro.core.dataset.AttackDataset` and memoizes those
+views so they are computed **once** and shared by every consumer: the
+``core`` analyses, all 18 experiment modules, the CLI and the defense
+policies.
+
+Design notes:
+
+* Views are lazy: nothing is computed until a consumer asks.
+* Memoization is thread-safe with per-key locks, so independent
+  experiments can run concurrently (``registry.run_all(jobs=N)``) while
+  still computing each shared view exactly once.
+* The actual analysis code stays in the domain modules (``intervals``,
+  ``geolocation``, ``collaboration``, …) as module-private ``_impl``
+  functions; the context only orchestrates and caches.  Builders resolve
+  the impls through the module object at call time, so tests can spy on
+  them with ``monkeypatch``.
+* Views with picklable values can be exported/imported as a *snapshot*
+  (:meth:`export_views` / :meth:`import_views`); :mod:`repro.io.cache`
+  stores snapshots next to the dataset pickle so repeat CLI invocations
+  skip the derivation work entirely.
+
+``AnalysisContext.of`` attaches the context to the dataset instance, so
+code that still passes a raw ``AttackDataset`` around transparently
+shares one context per dataset.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Union
+
+import numpy as np
+
+from .dataset import AttackDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..monitor.schemas import Protocol
+    from .collaboration import CollabEvent
+    from .consecutive import AttackChain
+    from .overview import DailyDistribution, WorkloadSummary
+    from .prediction import DispersionForecast
+    from .shift import WeeklyShift
+
+__all__ = ["AnalysisContext", "AnalysisSource"]
+
+#: Anything the analyses accept: the raw dataset or its context.
+AnalysisSource = Union[AttackDataset, "AnalysisContext"]
+
+#: Attribute used to attach the shared context to a dataset instance.
+_CONTEXT_ATTR = "_analysis_context"
+_ATTACH_LOCK = threading.Lock()
+
+
+class AnalysisContext:
+    """Lazily-computed, memoized derived views over one dataset."""
+
+    def __init__(self, ds: AttackDataset) -> None:
+        if not isinstance(ds, AttackDataset):
+            raise TypeError(f"AnalysisContext wraps an AttackDataset, got {type(ds).__name__}")
+        self._ds = ds
+        self._views: dict[Hashable, Any] = {}
+        self._meta_lock = threading.Lock()
+        self._key_locks: dict[Hashable, threading.Lock] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def of(cls, source: AnalysisSource) -> "AnalysisContext":
+        """Coerce a dataset (or context) to the dataset's shared context.
+
+        The context is attached to the dataset instance on first use, so
+        every consumer of the same dataset shares one set of views.  Use
+        the plain constructor instead when an *unshared* context is
+        needed (e.g. cold-start benchmarks).
+        """
+        if isinstance(source, AnalysisContext):
+            return source
+        if not isinstance(source, AttackDataset):
+            raise TypeError(
+                f"expected AttackDataset or AnalysisContext, got {type(source).__name__}"
+            )
+        ctx = source.__dict__.get(_CONTEXT_ATTR)
+        if ctx is None:
+            with _ATTACH_LOCK:
+                ctx = source.__dict__.get(_CONTEXT_ATTR)
+                if ctx is None:
+                    ctx = cls(source)
+                    source.__dict__[_CONTEXT_ATTR] = ctx
+        return ctx
+
+    @property
+    def dataset(self) -> AttackDataset:
+        return self._ds
+
+    # -- memoization core --------------------------------------------------
+
+    def view(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """Return the memoized view for ``key``, building it at most once.
+
+        Double-checked per-key locking: concurrent readers of a missing
+        view serialise on that view's lock only, so two experiments can
+        build *different* views in parallel while never building the
+        *same* view twice.
+        """
+        views = self._views
+        try:
+            return views[key]
+        except KeyError:
+            pass
+        with self._meta_lock:
+            lock = self._key_locks.setdefault(key, threading.Lock())
+        with lock:
+            if key not in views:
+                views[key] = build()
+        return views[key]
+
+    @property
+    def n_views(self) -> int:
+        """Number of materialised views (diagnostics / tests)."""
+        return len(self._views)
+
+    def view_keys(self) -> list[Hashable]:
+        """Keys of the materialised views, in creation order."""
+        return list(self._views)
+
+    # -- attack groupings --------------------------------------------------
+
+    def _groups_by(self, key: str, column: np.ndarray) -> dict[int, np.ndarray]:
+        """One grouping pass: column value -> sorted attack indices."""
+
+        def build() -> dict[int, np.ndarray]:
+            order = np.argsort(column, kind="stable")
+            boundaries = np.flatnonzero(np.diff(column[order]) != 0) + 1
+            out: dict[int, np.ndarray] = {}
+            # Stable sort keeps ascending attack indices within each
+            # group, i.e. chronological order.
+            for group in np.split(order, boundaries) if order.size else []:
+                out[int(column[group[0]])] = group
+            return out
+
+        return self.view((key,), build)
+
+    def family_attacks(self, family: str) -> np.ndarray:
+        """Attack indices (chronological) launched by ``family``.
+
+        One grouping pass over ``family_idx`` serves every family —
+        unlike :meth:`AttackDataset.attacks_of`, which scans the full
+        column per call.
+        """
+        groups = self._groups_by("family_attack_index", self._ds.family_idx)
+        fam = self._ds.family_id(family)
+        return groups.get(fam, np.zeros(0, dtype=np.int64))
+
+    def botnet_attacks(self, botnet_id: int) -> np.ndarray:
+        """Attack indices (chronological) launched by one botnet."""
+        groups = self._groups_by("botnet_attack_index", self._ds.botnet_id)
+        return groups.get(int(botnet_id), np.zeros(0, dtype=np.int64))
+
+    def target_attacks(self, target_index: int) -> np.ndarray:
+        """Attack indices (chronological) against one victim."""
+        groups = self._groups_by("target_attack_index", self._ds.target_idx)
+        return groups.get(int(target_index), np.zeros(0, dtype=np.int64))
+
+    # -- intervals and durations -------------------------------------------
+
+    def attack_intervals(self) -> np.ndarray:
+        """Gaps between consecutive attacks across all families."""
+        ds = self._ds
+        return self.view(
+            ("attack_intervals",),
+            lambda: np.diff(ds.start) if ds.n_attacks >= 2 else np.zeros(0),
+        )
+
+    def family_starts(self, family: str) -> np.ndarray:
+        """Sorted start times of one family's attacks."""
+        return self.view(
+            ("family_starts", family),
+            lambda: np.sort(self._ds.start[self.family_attacks(family)]),
+        )
+
+    def family_intervals(self, family: str, include_simultaneous: bool = True) -> np.ndarray:
+        """Gaps between consecutive attacks of one family."""
+
+        def build() -> np.ndarray:
+            if include_simultaneous:
+                starts = self.family_starts(family)
+                if starts.size < 2:
+                    return np.zeros(0)
+                return np.diff(starts)
+            gaps = self.family_intervals(family, include_simultaneous=True)
+            return gaps[gaps > 0]
+
+        return self.view(("family_intervals", family, bool(include_simultaneous)), build)
+
+    def durations(self, family: str | None = None) -> np.ndarray:
+        """Per-attack durations in seconds, optionally for one family."""
+        if family is None:
+            return self.view(("durations",), lambda: self._ds.end - self._ds.start)
+        return self.view(
+            ("durations", family),
+            lambda: self.durations()[self.family_attacks(family)],
+        )
+
+    # -- participants and geolocation --------------------------------------
+
+    def bot_coords_radians(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lat, lon) of every bot in radians — the participant geo matrix."""
+        return self.view(
+            ("bot_coords_radians",),
+            lambda: (np.radians(self._ds.bots.lat), np.radians(self._ds.bots.lon)),
+        )
+
+    def family_participants(self, family: str) -> tuple[np.ndarray, np.ndarray]:
+        """CSR participant layout restricted to one family's attacks.
+
+        Returns ``(offsets, flat)`` where ``flat[offsets[k] :
+        offsets[k + 1]]`` are the bot indices of the family's ``k``-th
+        attack (chronological order, as in :meth:`family_attacks`).
+        """
+
+        def build() -> tuple[np.ndarray, np.ndarray]:
+            ds = self._ds
+            idx = self.family_attacks(family)
+            counts = (ds.part_offsets[idx + 1] - ds.part_offsets[idx]).astype(np.int64)
+            offsets = np.zeros(idx.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            flat = np.empty(int(offsets[-1]), dtype=ds.participants.dtype)
+            for k, i in enumerate(idx):
+                flat[offsets[k] : offsets[k + 1]] = ds.participants_of(int(i))
+            return offsets, flat
+
+        return self.view(("family_participants", family), build)
+
+    def attack_dispersions(self, family: str) -> tuple[np.ndarray, np.ndarray]:
+        """Per-attack dispersion values for one family, in time order."""
+
+        def build() -> tuple[np.ndarray, np.ndarray]:
+            from . import geolocation as _geolocation
+
+            return _geolocation._attack_dispersions(self, family)
+
+        return self.view(("attack_dispersions", family), build)
+
+    # -- victim marginals --------------------------------------------------
+
+    def target_country_idx(self) -> np.ndarray:
+        """Per-attack country index of the victim."""
+        return self.view(
+            ("target_country_idx",),
+            lambda: self._ds.victims.country_idx[self._ds.target_idx],
+        )
+
+    def target_org_idx(self) -> np.ndarray:
+        """Per-attack organization index of the victim."""
+        return self.view(
+            ("target_org_idx",),
+            lambda: self._ds.victims.org_idx[self._ds.target_idx],
+        )
+
+    def target_country_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global victim-country marginal: ``(country indices, counts)``."""
+        return self.view(
+            ("target_country_counts",),
+            lambda: np.unique(self.target_country_idx(), return_counts=True),
+        )
+
+    def family_target_country_counts(self, family: str) -> tuple[np.ndarray, np.ndarray]:
+        """One family's victim-country marginal."""
+        return self.view(
+            ("family_target_country_counts", family),
+            lambda: np.unique(
+                self.target_country_idx()[self.family_attacks(family)], return_counts=True
+            ),
+        )
+
+    def victim_org_type_counts(self) -> dict[str, int]:
+        """Attacks per victim-organization type."""
+
+        def build() -> dict[str, int]:
+            from . import targets as _targets
+
+            return _targets._victim_org_types(self)
+
+        return self.view(("victim_org_type_counts",), build)
+
+    # -- overview ----------------------------------------------------------
+
+    def workload_summary(self) -> "WorkloadSummary":
+        """Table III populations (computed once)."""
+
+        def build():
+            from . import overview as _overview
+
+            return _overview._workload_summary(self._ds)
+
+        return self.view(("workload_summary",), build)
+
+    def protocol_breakdown(self) -> "list[tuple[Protocol, str, int]]":
+        """Table II cells (protocol, family, attacks)."""
+
+        def build():
+            from . import overview as _overview
+
+            return _overview._protocol_breakdown(self._ds)
+
+        return self.view(("protocol_breakdown",), build)
+
+    def protocol_popularity(self) -> "dict[Protocol, int]":
+        """Fig 1 totals per protocol."""
+
+        def build():
+            from . import overview as _overview
+
+            return _overview._protocol_popularity(self._ds)
+
+        return self.view(("protocol_popularity",), build)
+
+    def daily_distribution(self, family: str | None = None) -> "DailyDistribution":
+        """Fig 2 daily series (all attacks or one family)."""
+
+        def build():
+            from . import overview as _overview
+
+            return _overview._daily_attack_counts(self, family)
+
+        return self.view(("daily_distribution", family), build)
+
+    # -- shift -------------------------------------------------------------
+
+    def weekly_shift(self, family: str) -> "WeeklyShift":
+        """Fig 8 weekly source-shift series for one family."""
+
+        def build():
+            from . import shift as _shift
+
+            return _shift._weekly_shift(self, family)
+
+        return self.view(("weekly_shift", family), build)
+
+    # -- detected structure ------------------------------------------------
+
+    def collaborations(self) -> "list[CollabEvent]":
+        """Concurrent collaborations under the paper's default windows."""
+
+        def build():
+            from . import collaboration as _collaboration
+
+            return _collaboration._detect_collaborations(
+                self._ds,
+                _collaboration.START_WINDOW_SECONDS,
+                _collaboration.DURATION_WINDOW_SECONDS,
+            )
+
+        return self.view(("collaborations",), build)
+
+    def chains(self) -> "list[AttackChain]":
+        """Consecutive-attack chains under the paper's default margin."""
+
+        def build():
+            from . import consecutive as _consecutive
+
+            return _consecutive._detect_chains(
+                self._ds, _consecutive.CHAIN_MARGIN_SECONDS, 2
+            )
+
+        return self.view(("chains",), build)
+
+    # -- prediction --------------------------------------------------------
+
+    def dispersion_forecast(self, family: str) -> "DispersionForecast":
+        """Table IV ARIMA forecast for one family (default protocol).
+
+        Raises ``ValueError`` for families with too few points; the
+        *exception* is not memoized, but the underlying dispersion
+        series is, so retries stay cheap.
+        """
+
+        def build():
+            from . import prediction as _prediction
+
+            return _prediction._predict_family_dispersion(self, family)
+
+        return self.view(("dispersion_forecast", family), build)
+
+    # -- snapshotting ------------------------------------------------------
+
+    def export_views(self) -> dict[Hashable, Any]:
+        """Picklable snapshot of the materialised views.
+
+        Values that cannot be pickled (none today, but snapshots must
+        degrade gracefully as views evolve) are skipped.
+        """
+        import pickle
+
+        out: dict[Hashable, Any] = {}
+        for key, value in list(self._views.items()):
+            try:
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                continue
+            out[key] = value
+        return out
+
+    def import_views(self, views: dict[Hashable, Any]) -> int:
+        """Restore a snapshot produced by :meth:`export_views`.
+
+        Existing views win over imported ones (they were computed from
+        this dataset in this process).  Returns the number of views
+        actually restored.
+        """
+        restored = 0
+        with self._meta_lock:
+            for key, value in views.items():
+                if key not in self._views:
+                    self._views[key] = value
+                    restored += 1
+        return restored

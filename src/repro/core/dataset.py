@@ -126,6 +126,13 @@ class AttackDataset:
             raise ValueError("attack end precedes start")
         self._family_index = {name: i for i, name in enumerate(self.families)}
 
+    def __getstate__(self) -> dict:
+        # The attached AnalysisContext (see context.AnalysisContext.of)
+        # is a derived cache and must not travel with the pickle.
+        state = self.__dict__.copy()
+        state.pop("_analysis_context", None)
+        return state
+
     # -- basic shape -----------------------------------------------------
 
     @property
@@ -150,8 +157,14 @@ class AttackDataset:
         return self.families[idx]
 
     def attacks_of(self, family: str) -> np.ndarray:
-        """Attack indices (chronological) launched by ``family``."""
-        return np.flatnonzero(self.family_idx == self.family_id(family))
+        """Attack indices (chronological) launched by ``family``.
+
+        Served from the dataset's shared :class:`AnalysisContext`, whose
+        one-pass grouped index replaces a full-column scan per call.
+        """
+        from .context import AnalysisContext
+
+        return AnalysisContext.of(self).family_attacks(family)
 
     def participants_of(self, attack_index: int) -> np.ndarray:
         """Bot-registry indices participating in one attack."""

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 from .stats import SeriesSummary, ecdf, summarize
 
 __all__ = [
@@ -23,12 +23,9 @@ __all__ = [
 ]
 
 
-def durations(ds: AttackDataset, family: str | None = None) -> np.ndarray:
+def durations(source: AnalysisSource, family: str | None = None) -> np.ndarray:
     """Per-attack durations in seconds, optionally for one family."""
-    if family is None:
-        return ds.durations
-    idx = ds.attacks_of(family)
-    return (ds.end - ds.start)[idx]
+    return AnalysisContext.of(source).durations(family)
 
 
 @dataclass(frozen=True)
@@ -41,9 +38,9 @@ class DurationSummary:
     p80_hours: float
 
 
-def duration_summary(ds: AttackDataset, family: str | None = None) -> DurationSummary:
+def duration_summary(source: AnalysisSource, family: str | None = None) -> DurationSummary:
     """Fig 7's quoted statistics for the duration distribution."""
-    d = durations(ds, family)
+    d = durations(source, family)
     if d.size == 0:
         raise ValueError("no attacks to summarise")
     stats = summarize(d)
@@ -55,20 +52,24 @@ def duration_summary(ds: AttackDataset, family: str | None = None) -> DurationSu
     )
 
 
-def duration_cdf(ds: AttackDataset, family: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+def duration_cdf(
+    source: AnalysisSource, family: str | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Fig 7: the empirical CDF of attack durations."""
-    d = durations(ds, family)
+    d = durations(source, family)
     if d.size == 0:
         raise ValueError("no attacks to summarise")
     return ecdf(d)
 
 
-def duration_timeline(ds: AttackDataset) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def duration_timeline(source: AnalysisSource) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fig 6: (day index, duration, family index) per attack over time.
 
     Attacks are in chronological order; within a day, simultaneous
     attacks keep the dataset's (IP-based) tie-break order, mirroring the
     paper's plotting convention.
     """
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     days = ((ds.start - ds.window.start) // 86400).astype(np.int64)
-    return days, ds.durations, ds.family_idx.astype(np.int64)
+    return days, ctx.durations(), ds.family_idx.astype(np.int64)

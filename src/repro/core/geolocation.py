@@ -9,7 +9,9 @@ value means the bots are geographically symmetric around their centre.
 
 Everything here is vectorised over the dataset's CSR participant layout;
 the full 50k-attack dataset (≈2.7 M participations) profiles in well
-under a second.
+under a second.  The per-family dispersion series is memoized on the
+:class:`AnalysisContext`, so the profile, CDF, histogram and the ARIMA
+predictor all share one computation.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geo.haversine import EARTH_RADIUS_KM
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 from .stats import ecdf
 
 __all__ = [
@@ -56,23 +58,32 @@ def _segment_centers(
     return lat_c, lon_c
 
 
-def attack_dispersions(ds: AttackDataset, family: str) -> tuple[np.ndarray, np.ndarray]:
+def attack_dispersions(
+    source: AnalysisSource, family: str
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-attack dispersion values for one family, in time order.
 
     Returns ``(start timestamps, dispersion values in km)``; both arrays
-    are aligned and sorted chronologically.
+    are aligned and sorted chronologically.  Memoized per family on the
+    shared context.
     """
-    idx = ds.attacks_of(family)
+    return AnalysisContext.of(source).attack_dispersions(family)
+
+
+def _attack_dispersions(
+    ctx: AnalysisContext, family: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """The raw computation behind :func:`attack_dispersions`."""
+    ds = ctx.dataset
+    idx = ctx.family_attacks(family)
     if idx.size == 0:
         raise ValueError(f"family {family!r} launched no attacks")
-    counts = (ds.part_offsets[idx + 1] - ds.part_offsets[idx]).astype(np.int64)
-    # Gather participants attack-by-attack into one flat array.
-    flat = np.concatenate([ds.participants_of(int(i)) for i in idx])
-    offsets = np.zeros(idx.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
+    offsets, flat = ctx.family_participants(family)
+    counts = np.diff(offsets)
 
-    lats_r = np.radians(ds.bots.lat[flat])
-    lons_r = np.radians(ds.bots.lon[flat])
+    all_lats_r, all_lons_r = ctx.bot_coords_radians()
+    lats_r = all_lats_r[flat]
+    lons_r = all_lons_r[flat]
     lat_c, lon_c = _segment_centers(lats_r, lons_r, offsets, counts)
 
     # Broadcast each segment's centre back onto its participants.
@@ -94,7 +105,9 @@ def attack_dispersions(ds: AttackDataset, family: str) -> tuple[np.ndarray, np.n
     return ds.start[idx], values
 
 
-def snapshot_dispersions(ds: AttackDataset, family: str) -> tuple[np.ndarray, np.ndarray]:
+def snapshot_dispersions(
+    source: AnalysisSource, family: str
+) -> tuple[np.ndarray, np.ndarray]:
     """Dispersion per hourly monitoring snapshot (the §II-B view).
 
     The paper's collection produces hourly reports whose bot sets are
@@ -106,13 +119,12 @@ def snapshot_dispersions(ds: AttackDataset, family: str) -> tuple[np.ndarray, np
     from ..geo.haversine import dispersion_km
     from ..monitor.snapshots import iter_hourly_snapshots
 
-    idx = ds.attacks_of(family)
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
+    idx = ctx.family_attacks(family)
     if idx.size == 0:
         raise ValueError(f"family {family!r} launched no attacks")
-    counts = (ds.part_offsets[idx + 1] - ds.part_offsets[idx]).astype(np.int64)
-    flat = np.concatenate([ds.participants_of(int(i)) for i in idx])
-    offsets = np.zeros(idx.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
+    offsets, flat = ctx.family_participants(family)
     times: list[float] = []
     values: list[float] = []
     for snap in iter_hourly_snapshots(ds.start[idx], offsets, flat, ds.window, family):
@@ -139,7 +151,7 @@ class DispersionProfile:
 
 
 def dispersion_profile(
-    ds: AttackDataset, family: str, tolerance_km: float = SYMMETRY_TOLERANCE_KM
+    source: AnalysisSource, family: str, tolerance_km: float = SYMMETRY_TOLERANCE_KM
 ) -> DispersionProfile:
     """Summarise a family's dispersion values.
 
@@ -148,7 +160,7 @@ def dispersion_profile(
     Blackenergy); the asymmetric statistics cover the rest — what
     Figs 10-11 plot after "removing the symmetric distributions".
     """
-    _, values = attack_dispersions(ds, family)
+    _, values = attack_dispersions(source, family)
     symmetric = values < tolerance_km
     asym = values[~symmetric]
     return DispersionProfile(
@@ -162,14 +174,14 @@ def dispersion_profile(
     )
 
 
-def dispersion_cdf(ds: AttackDataset, family: str) -> tuple[np.ndarray, np.ndarray]:
+def dispersion_cdf(source: AnalysisSource, family: str) -> tuple[np.ndarray, np.ndarray]:
     """Fig 9: the CDF of a family's dispersion values."""
-    _, values = attack_dispersions(ds, family)
+    _, values = attack_dispersions(source, family)
     return ecdf(values)
 
 
 def dispersion_histogram(
-    ds: AttackDataset,
+    source: AnalysisSource,
     family: str,
     bin_km: float = 500.0,
     tolerance_km: float = SYMMETRY_TOLERANCE_KM,
@@ -181,7 +193,7 @@ def dispersion_histogram(
     """
     if bin_km <= 0:
         raise ValueError(f"bin_km must be positive, got {bin_km}")
-    _, values = attack_dispersions(ds, family)
+    _, values = attack_dispersions(source, family)
     asym = values[values >= tolerance_km]
     if asym.size == 0:
         return np.zeros(0), np.zeros(0, dtype=np.int64)

@@ -13,6 +13,10 @@ between two consecutive attacks launched by the same family (or, for the
 * :func:`interval_clusters` — Fig 4's bucketed view with the shared
   6-7 min / 20-40 min / 2-3 h modes;
 * :func:`family_interval_cdf` — Fig 5's per-family CDF.
+
+All entry points accept either an :class:`AttackDataset` or an
+:class:`AnalysisContext`; the gap arrays are memoized on the context so
+every consumer shares one copy.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from itertools import combinations
 
 import numpy as np
 
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 from .stats import SeriesSummary, ecdf, summarize
 
 __all__ = [
@@ -38,28 +42,20 @@ __all__ = [
 ]
 
 
-def attack_intervals(ds: AttackDataset) -> np.ndarray:
+def attack_intervals(source: AnalysisSource) -> np.ndarray:
     """Gaps between consecutive attacks across all families (Fig 3 "all")."""
-    if ds.n_attacks < 2:
-        return np.zeros(0)
-    return np.diff(ds.start)
+    return AnalysisContext.of(source).attack_intervals()
 
 
 def family_intervals(
-    ds: AttackDataset, family: str, include_simultaneous: bool = True
+    source: AnalysisSource, family: str, include_simultaneous: bool = True
 ) -> np.ndarray:
     """Gaps between consecutive attacks of one family.
 
     ``include_simultaneous=False`` drops zero gaps, matching Fig 4's
     pre-processing ("simultaneous attacks are eliminated").
     """
-    idx = ds.attacks_of(family)
-    if idx.size < 2:
-        return np.zeros(0)
-    gaps = np.diff(np.sort(ds.start[idx]))
-    if not include_simultaneous:
-        gaps = gaps[gaps > 0]
-    return gaps
+    return AnalysisContext.of(source).family_intervals(family, include_simultaneous)
 
 
 @dataclass(frozen=True)
@@ -72,9 +68,10 @@ class IntervalSummary:
     longest_days: float
 
 
-def interval_summary(ds: AttackDataset, family: str | None = None) -> IntervalSummary:
+def interval_summary(source: AnalysisSource, family: str | None = None) -> IntervalSummary:
     """Summarise intervals across all attacks or for one family."""
-    gaps = attack_intervals(ds) if family is None else family_intervals(ds, family)
+    ctx = AnalysisContext.of(source)
+    gaps = ctx.attack_intervals() if family is None else ctx.family_intervals(family)
     if gaps.size == 0:
         raise ValueError("not enough attacks to compute intervals")
     stats = summarize(gaps)
@@ -98,7 +95,9 @@ class SimultaneousReport:
     pair_counts: list[tuple[tuple[str, str], int]]
 
 
-def simultaneous_attacks(ds: AttackDataset, tolerance: float = 0.0) -> SimultaneousReport:
+def simultaneous_attacks(
+    source: AnalysisSource, tolerance: float = 0.0
+) -> SimultaneousReport:
     """Group attacks by start time and classify simultaneous events.
 
     An *event* is a set of at least two attacks starting at the same time
@@ -106,6 +105,15 @@ def simultaneous_attacks(ds: AttackDataset, tolerance: float = 0.0) -> Simultane
     one family count as single-family; otherwise every unordered family
     pair present in the event is credited one co-occurrence.
     """
+    ctx = AnalysisContext.of(source)
+    if tolerance == 0.0:
+        return ctx.view(
+            ("simultaneous_attacks",), lambda: _simultaneous_attacks(ctx.dataset, 0.0)
+        )
+    return _simultaneous_attacks(ctx.dataset, tolerance)
+
+
+def _simultaneous_attacks(ds, tolerance: float) -> SimultaneousReport:
     if ds.n_attacks == 0:
         return SimultaneousReport(0, 0, [], [])
     starts = ds.start
@@ -157,18 +165,20 @@ INTERVAL_BUCKETS: list[tuple[str, float, float]] = [
 ]
 
 
-def interval_clusters(ds: AttackDataset, family: str) -> dict[str, int]:
+def interval_clusters(source: AnalysisSource, family: str) -> dict[str, int]:
     """Fig 4: bucketed non-simultaneous interval counts for one family."""
-    gaps = family_intervals(ds, family, include_simultaneous=False)
+    gaps = family_intervals(source, family, include_simultaneous=False)
     out: dict[str, int] = {}
     for label, lo, hi in INTERVAL_BUCKETS:
         out[label] = int(np.sum((gaps >= lo) & (gaps < hi)))
     return out
 
 
-def family_interval_cdf(ds: AttackDataset, family: str) -> tuple[np.ndarray, np.ndarray]:
+def family_interval_cdf(
+    source: AnalysisSource, family: str
+) -> tuple[np.ndarray, np.ndarray]:
     """Fig 5: the per-family interval CDF (simultaneous included)."""
-    gaps = family_intervals(ds, family, include_simultaneous=True)
+    gaps = family_intervals(source, family, include_simultaneous=True)
     if gaps.size == 0:
         raise ValueError(f"family {family!r} has fewer than two attacks")
     return ecdf(gaps)

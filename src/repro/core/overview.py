@@ -6,6 +6,10 @@ Implements the paper's §II-D/§III-A characterizations:
 * Table II / Fig 1 — protocol preferences per family and overall;
 * Fig 2 — daily attack counts, the 243/day average, and the 2012-08-30
   maximum.
+
+The population scans and count series are memoized on the shared
+:class:`AnalysisContext`; the private ``_impl`` functions hold the raw
+computations.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..monitor.schemas import Protocol
+from .context import AnalysisContext, AnalysisSource
 from .dataset import AttackDataset
 
 __all__ = [
@@ -52,8 +57,12 @@ class WorkloadSummary:
     n_traffic_types: int
 
 
-def workload_summary(ds: AttackDataset) -> WorkloadSummary:
-    """Compute Table III from the joined dataset."""
+def workload_summary(source: AnalysisSource) -> WorkloadSummary:
+    """Compute Table III from the joined dataset (memoized)."""
+    return AnalysisContext.of(source).workload_summary()
+
+
+def _workload_summary(ds: AttackDataset) -> WorkloadSummary:
     bots = ds.bots
     victims = ds.victims
     attackers = SideSummary(
@@ -79,13 +88,17 @@ def workload_summary(ds: AttackDataset) -> WorkloadSummary:
     )
 
 
-def protocol_breakdown(ds: AttackDataset) -> list[tuple[Protocol, str, int]]:
+def protocol_breakdown(source: AnalysisSource) -> list[tuple[Protocol, str, int]]:
     """Table II: attacks per (protocol, family), protocol-major order.
 
     Only non-zero cells are returned, protocols ordered as in the paper's
     table (HTTP, TCP, UDP, UNDETERMINED, ICMP, UNKNOWN, SYN), families
     alphabetical within a protocol.
     """
+    return AnalysisContext.of(source).protocol_breakdown()
+
+
+def _protocol_breakdown(ds: AttackDataset) -> list[tuple[Protocol, str, int]]:
     rows: list[tuple[Protocol, str, int]] = []
     for proto in Protocol:
         mask = ds.protocol == int(proto)
@@ -99,8 +112,12 @@ def protocol_breakdown(ds: AttackDataset) -> list[tuple[Protocol, str, int]]:
     return rows
 
 
-def protocol_popularity(ds: AttackDataset) -> dict[Protocol, int]:
+def protocol_popularity(source: AnalysisSource) -> dict[Protocol, int]:
     """Fig 1: total attacks per protocol (all protocols, zeros included)."""
+    return AnalysisContext.of(source).protocol_popularity()
+
+
+def _protocol_popularity(ds: AttackDataset) -> dict[Protocol, int]:
     counts = np.bincount(ds.protocol, minlength=len(Protocol))
     return {proto: int(counts[int(proto)]) for proto in Protocol}
 
@@ -147,11 +164,15 @@ class PeriodicityProfile:
         return self.weekly_acf > 0.3
 
 
-def periodicity_profile(ds: AttackDataset, family: str | None = None) -> PeriodicityProfile:
+def periodicity_profile(
+    source: AnalysisSource, family: str | None = None
+) -> PeriodicityProfile:
     """Hour-of-day / day-of-week histograms plus periodic-lag ACFs."""
     from ..timeseries.acf import acf
 
-    starts = ds.start if family is None else ds.start[ds.attacks_of(family)]
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
+    starts = ds.start if family is None else ds.start[ctx.family_attacks(family)]
     if starts.size == 0:
         raise ValueError("no attacks to profile")
     rel = starts - ds.window.start
@@ -174,13 +195,20 @@ def periodicity_profile(ds: AttackDataset, family: str | None = None) -> Periodi
     )
 
 
-def daily_attack_counts(ds: AttackDataset, family: str | None = None) -> DailyDistribution:
+def daily_attack_counts(
+    source: AnalysisSource, family: str | None = None
+) -> DailyDistribution:
     """Fig 2: number of attacks per day (optionally for one family)."""
+    return AnalysisContext.of(source).daily_distribution(family)
+
+
+def _daily_attack_counts(ctx: AnalysisContext, family: str | None) -> DailyDistribution:
+    ds = ctx.dataset
     if family is None:
         starts = ds.start
         fam_col = ds.family_idx
     else:
-        idx = ds.attacks_of(family)
+        idx = ctx.family_attacks(family)
         starts = ds.start[idx]
         fam_col = ds.family_idx[idx]
     days = ((starts - ds.window.start) // 86400).astype(np.int64)

@@ -11,6 +11,11 @@ Two predictors are implemented:
 * **Next-attack-time prediction** — for targets hit repeatedly, the
   inter-attack intervals show strong patterns (§III-B); fitting the
   interval series predicts when the next attack on that target starts.
+
+The default-protocol forecast is memoized on the shared
+:class:`AnalysisContext` (Table IV and the CLI ``predict`` subcommand
+share it), and both predictors consume context views — the dispersion
+series and the per-target attack index — instead of rescanning columns.
 """
 
 from __future__ import annotations
@@ -22,8 +27,8 @@ import numpy as np
 from ..timeseries.arima import ARIMA, ARIMAFit
 from ..timeseries.metrics import ForecastComparison, compare_forecast, error_rates
 from ..timeseries.order_selection import select_order
-from .dataset import AttackDataset
-from .geolocation import SYMMETRY_TOLERANCE_KM, attack_dispersions
+from .context import AnalysisContext, AnalysisSource
+from .geolocation import SYMMETRY_TOLERANCE_KM
 
 __all__ = [
     "DispersionForecast",
@@ -36,6 +41,9 @@ __all__ = [
 #: Minimum series length to train on (the paper drops Darkshell for lack
 #: of data points).
 MIN_SERIES_POINTS = 40
+
+#: The paper's fixed ARIMA order (the default protocol).
+DEFAULT_ORDER = (2, 1, 2)
 
 
 @dataclass(frozen=True)
@@ -52,7 +60,9 @@ class DispersionForecast:
     fit: ARIMAFit
 
 
-def _dispersion_series(ds: AttackDataset, family: str, asymmetric_only: bool) -> np.ndarray:
+def _dispersion_series(
+    ctx: AnalysisContext, family: str, asymmetric_only: bool
+) -> np.ndarray:
     """A family's dispersion values in time order.
 
     Table IV's ground-truth means match the *asymmetric* component of the
@@ -60,16 +70,16 @@ def _dispersion_series(ds: AttackDataset, family: str, asymmetric_only: bool) ->
     symmetric (≈0) snapshots are removed before modelling — they would
     otherwise dominate the series with zeros.
     """
-    _, values = attack_dispersions(ds, family)
+    _, values = ctx.attack_dispersions(family)
     if asymmetric_only:
         values = values[values >= SYMMETRY_TOLERANCE_KM]
     return values
 
 
 def predict_family_dispersion(
-    ds: AttackDataset,
+    source: AnalysisSource,
     family: str,
-    order: tuple[int, int, int] | None = (2, 1, 2),
+    order: tuple[int, int, int] | None = DEFAULT_ORDER,
     train_fraction: float = 0.5,
     asymmetric_only: bool = True,
 ) -> DispersionForecast:
@@ -78,11 +88,25 @@ def predict_family_dispersion(
     ``order=None`` runs an AIC grid search instead of the fixed ARIMA
     order (the ablation benchmark compares both).  Raises ``ValueError``
     when the family has too few points — the paper makes the same call
-    for Darkshell.
+    for Darkshell.  The default protocol is memoized on the shared
+    context.
     """
+    ctx = AnalysisContext.of(source)
+    if order == DEFAULT_ORDER and train_fraction == 0.5 and asymmetric_only:
+        return ctx.dispersion_forecast(family)
+    return _predict_family_dispersion(ctx, family, order, train_fraction, asymmetric_only)
+
+
+def _predict_family_dispersion(
+    ctx: AnalysisContext,
+    family: str,
+    order: tuple[int, int, int] | None = DEFAULT_ORDER,
+    train_fraction: float = 0.5,
+    asymmetric_only: bool = True,
+) -> DispersionForecast:
     if not 0.1 <= train_fraction <= 0.9:
         raise ValueError(f"train_fraction out of [0.1, 0.9]: {train_fraction}")
-    series = _dispersion_series(ds, family, asymmetric_only)
+    series = _dispersion_series(ctx, family, asymmetric_only)
     if series.size < MIN_SERIES_POINTS:
         raise ValueError(
             f"{family}: only {series.size} usable dispersion points "
@@ -126,7 +150,7 @@ class NextAttackPrediction:
 
 
 def predict_next_attack_time(
-    ds: AttackDataset, target_index: int, min_attacks: int = 5
+    source: AnalysisSource, target_index: int, min_attacks: int = 5
 ) -> NextAttackPrediction:
     """Predict when the given target will be attacked next.
 
@@ -134,8 +158,10 @@ def predict_next_attack_time(
     forecast when there is enough history, otherwise the mean interval.
     Raises ``ValueError`` for targets without enough repeat attacks.
     """
-    mask = ds.target_idx == int(target_index)
-    starts = np.sort(ds.start[mask])
+    ctx = AnalysisContext.of(source)
+    # The per-target grouped index replaces a full-column mask per call;
+    # attack indices are chronological, so the starts arrive sorted.
+    starts = ctx.dataset.start[ctx.target_attacks(int(target_index))]
     if starts.size < min_attacks:
         raise ValueError(
             f"target {target_index} was attacked {starts.size} times; "

@@ -3,6 +3,12 @@
 The benchmark harness and the CLI use these renderers to print the same
 rows the paper reports, side by side with the paper's own numbers where
 available.
+
+Every renderer coerces its source to the shared
+:class:`~repro.core.context.AnalysisContext` once and passes the context
+down, so consecutive renders over one dataset reuse the memoized views
+(the Table V loop, for instance, shares the grouped attack index with
+everything else that ran before it).
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ import numpy as np
 
 from ..monitor.schemas import Protocol
 from .collaboration import collaboration_table
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 from .durations import duration_summary
 from .intervals import interval_summary
 from .overview import (
@@ -46,9 +52,9 @@ def format_table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join([line(headers), sep] + [line(r) for r in rows])
 
 
-def render_workload_summary(ds: AttackDataset) -> str:
+def render_workload_summary(source: AnalysisSource) -> str:
     """Table III as text."""
-    s = workload_summary(ds)
+    s = workload_summary(AnalysisContext.of(source))
     rows = [
         ["# of bot_ips", str(s.attackers.n_ips), "# of target_ip", str(s.victims.n_ips)],
         ["# of cities", str(s.attackers.n_cities), "# of cities", str(s.victims.n_cities)],
@@ -62,13 +68,14 @@ def render_workload_summary(ds: AttackDataset) -> str:
     return format_table(["attackers", "count", "victims", "count"], rows)
 
 
-def render_protocol_table(ds: AttackDataset) -> str:
+def render_protocol_table(source: AnalysisSource) -> str:
     """Table II as text (plus the Fig 1 totals)."""
+    ctx = AnalysisContext.of(source)
     rows = [
         [proto.name, family, str(count)]
-        for proto, family, count in protocol_breakdown(ds)
+        for proto, family, count in protocol_breakdown(ctx)
     ]
-    totals = protocol_popularity(ds)
+    totals = protocol_popularity(ctx)
     footer = [
         ["<total>", proto.name, str(totals[proto])]
         for proto in Protocol
@@ -77,13 +84,14 @@ def render_protocol_table(ds: AttackDataset) -> str:
     return format_table(["protocol", "botnet family", "# of attacks"], rows + footer)
 
 
-def render_country_table(ds: AttackDataset, top_n: int = 5) -> str:
+def render_country_table(source: AnalysisSource, top_n: int = 5) -> str:
     """Table V as text."""
+    ctx = AnalysisContext.of(source)
     rows: list[list[str]] = []
-    for family in ds.active_families:
-        if ds.attacks_of(family).size == 0:
+    for family in ctx.dataset.active_families:
+        if ctx.family_attacks(family).size == 0:
             continue
-        breakdown = country_breakdown(ds, family, top_n=top_n)
+        breakdown = country_breakdown(ctx, family, top_n=top_n)
         for j, (code, count) in enumerate(breakdown.top):
             rows.append(
                 [
@@ -96,9 +104,9 @@ def render_country_table(ds: AttackDataset, top_n: int = 5) -> str:
     return format_table(["family", "countries", "top", "count"], rows)
 
 
-def render_collaboration_table(ds: AttackDataset) -> str:
+def render_collaboration_table(source: AnalysisSource) -> str:
     """Table VI as text."""
-    table = collaboration_table(ds)
+    table = collaboration_table(AnalysisContext.of(source))
     families = sorted(table)
     rows = [
         ["Intra-Family"] + [str(table[f]["intra"]) for f in families],
@@ -107,12 +115,14 @@ def render_collaboration_table(ds: AttackDataset) -> str:
     return format_table(["collaboration type"] + families, rows)
 
 
-def render_headline(ds: AttackDataset) -> str:
+def render_headline(source: AnalysisSource) -> str:
     """The abstract's headline numbers, plus interval/duration summaries."""
-    daily = daily_attack_counts(ds)
-    iv = interval_summary(ds)
-    du = duration_summary(ds)
-    top = ", ".join(f"{cc}:{n}" for cc, n in top_target_countries(ds))
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
+    daily = daily_attack_counts(ctx)
+    iv = interval_summary(ctx)
+    du = duration_summary(ctx)
+    top = ", ".join(f"{cc}:{n}" for cc, n in top_target_countries(ctx))
     lines = [
         f"attacks: {ds.n_attacks}  botnets: {len(ds.botnets)}  "
         f"families: {len(ds.active_families)} active / {len(ds.families)} tracked",

@@ -6,6 +6,9 @@ countries the family already attacked from, versus countries that are
 new for the family.  The strong affinity to a fixed country set — with
 new-country shifts an order of magnitude rarer — is the basis of the
 source-prediction claim.
+
+Per-family series are memoized on the shared :class:`AnalysisContext`,
+so Fig 8's stacked view and its per-family rows share one computation.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 
 __all__ = ["WeeklyShift", "weekly_shift", "aggregate_shift"]
 
@@ -44,13 +47,18 @@ class WeeklyShift:
         return float(self.total_existing) / new if new else float("inf")
 
 
-def weekly_shift(ds: AttackDataset, family: str) -> WeeklyShift:
-    """Compute the Fig 8 shift series for one family.
+def weekly_shift(source: AnalysisSource, family: str) -> WeeklyShift:
+    """Compute the Fig 8 shift series for one family (memoized).
 
     Week 0 establishes the family's initial footprint: every bot of the
     first active week counts as "existing" (the paper's baseline week).
     """
-    idx = ds.attacks_of(family)
+    return AnalysisContext.of(source).weekly_shift(family)
+
+
+def _weekly_shift(ctx: AnalysisContext, family: str) -> WeeklyShift:
+    ds = ctx.dataset
+    idx = ctx.family_attacks(family)
     if idx.size == 0:
         raise ValueError(f"family {family!r} launched no attacks")
     weeks_of_attack = ((ds.start[idx] - ds.window.start) // (7 * 86400)).astype(np.int64)
@@ -85,13 +93,17 @@ def weekly_shift(ds: AttackDataset, family: str) -> WeeklyShift:
     )
 
 
-def aggregate_shift(ds: AttackDataset, families: list[str] | None = None) -> WeeklyShift:
+def aggregate_shift(
+    source: AnalysisSource, families: list[str] | None = None
+) -> WeeklyShift:
     """Fig 8's stacked view: shifts summed over families, week by week."""
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     if families is None:
-        families = [f for f in ds.active_families if ds.attacks_of(f).size]
+        families = [f for f in ds.active_families if ctx.family_attacks(f).size]
     if not families:
         raise ValueError("no active families with attacks")
-    per_family = [weekly_shift(ds, f) for f in families]
+    per_family = [ctx.weekly_shift(f) for f in families]
     n_weeks = ds.window.n_weeks + 1
     existing = np.zeros(n_weeks, dtype=np.int64)
     new = np.zeros(n_weeks, dtype=np.int64)

@@ -5,6 +5,10 @@
   Netherlands in the paper);
 * Fig 14 — organization-level affinity: attacks per victim organization
   for one family in one calendar month, with map coordinates.
+
+The victim country/organization marginals are memoized on the shared
+:class:`AnalysisContext` and reused across Table V, Fig 14 and the
+report renderers.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from datetime import datetime, timezone
 
 import numpy as np
 
-from .dataset import AttackDataset
+from .context import AnalysisContext, AnalysisSource
 
 __all__ = [
     "CountryBreakdown",
@@ -37,13 +41,15 @@ class CountryBreakdown:
     total_attacks: int
 
 
-def country_breakdown(ds: AttackDataset, family: str, top_n: int = 5) -> CountryBreakdown:
+def country_breakdown(
+    source: AnalysisSource, family: str, top_n: int = 5
+) -> CountryBreakdown:
     """Table V: victim countries of one family with its top-``top_n`` list."""
-    idx = ds.attacks_of(family)
-    if idx.size == 0:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
+    if ctx.family_attacks(family).size == 0:
         raise ValueError(f"family {family!r} launched no attacks")
-    countries = ds.victims.country_idx[ds.target_idx[idx]]
-    uniq, counts = np.unique(countries, return_counts=True)
+    uniq, counts = ctx.family_target_country_counts(family)
     order = np.argsort(-counts, kind="stable")
     top = [
         (ds.world.countries[int(uniq[i])].code, int(counts[i]))
@@ -53,17 +59,17 @@ def country_breakdown(ds: AttackDataset, family: str, top_n: int = 5) -> Country
         family=family,
         n_countries=int(uniq.size),
         top=top,
-        total_attacks=int(idx.size),
+        total_attacks=int(ctx.family_attacks(family).size),
     )
 
 
-def top_target_countries(ds: AttackDataset, top_n: int = 5) -> list[tuple[str, int]]:
+def top_target_countries(source: AnalysisSource, top_n: int = 5) -> list[tuple[str, int]]:
     """The globally most-attacked countries (§IV-B1's USA/Russia/... list)."""
-    countries = ds.victims.country_idx[ds.target_idx]
-    uniq, counts = np.unique(countries, return_counts=True)
+    ctx = AnalysisContext.of(source)
+    uniq, counts = ctx.target_country_counts()
     order = np.argsort(-counts, kind="stable")
     return [
-        (ds.world.countries[int(uniq[i])].code, int(counts[i]))
+        (ctx.dataset.world.countries[int(uniq[i])].code, int(counts[i]))
         for i in order[:top_n]
     ]
 
@@ -83,7 +89,7 @@ class OrganizationSpot:
 
 
 def organization_affinity(
-    ds: AttackDataset,
+    source: AnalysisSource,
     family: str,
     year: int | None = None,
     month: int | None = None,
@@ -94,7 +100,9 @@ def organization_affinity(
     month=2`` to reproduce that view.  Spots are sorted by attack count
     descending, mapped to the organization's home city coordinates.
     """
-    idx = ds.attacks_of(family)
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
+    idx = ctx.family_attacks(family)
     if idx.size == 0:
         raise ValueError(f"family {family!r} launched no attacks")
     if (year is None) != (month is None):
@@ -137,14 +145,18 @@ def organization_affinity(
     return spots
 
 
-def victim_org_types(ds: AttackDataset) -> dict[str, int]:
+def victim_org_types(source: AnalysisSource) -> dict[str, int]:
     """Attacks per victim-organization *type* (§IV-B2's finding that
     hosting services, clouds, data centers, registrars and backbones
     absorb most attacks)."""
-    orgs = ds.victims.org_idx[ds.target_idx]
+    return AnalysisContext.of(source).victim_org_type_counts()
+
+
+def _victim_org_types(ctx: AnalysisContext) -> dict[str, int]:
+    orgs = ctx.target_org_idx()
     out: dict[str, int] = {}
     uniq, counts = np.unique(orgs, return_counts=True)
     for org_index, count in zip(uniq, counts):
-        org_type = ds.world.organizations[int(org_index)].org_type
+        org_type = ctx.dataset.world.organizations[int(org_index)].org_type
         out[org_type] = out.get(org_type, 0) + int(count)
     return out

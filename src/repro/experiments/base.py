@@ -1,9 +1,12 @@
 """Experiment framework: paper-vs-measured rows for every table/figure.
 
 Each experiment module exposes an :data:`EXPERIMENT` instance whose
-``run(ds)`` returns an :class:`ExperimentResult` — a list of rows, each a
-``(label, paper value, measured value)`` triple (paper value may be
-``None`` when the paper reports no number for that row).  The benchmark
+``run(source)`` returns an :class:`ExperimentResult` — a list of rows,
+each a ``(label, paper value, measured value)`` triple (paper value may
+be ``None`` when the paper reports no number for that row).  ``source``
+is an :class:`~repro.core.context.AnalysisContext` or a raw dataset;
+calling the experiment coerces to the shared context so a battery of
+experiments reuses one set of memoized derived views.  The benchmark
 harness times ``run`` and prints the rows; ``EXPERIMENTS.md`` is the
 curated record of one full-scale run.
 """
@@ -13,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 
 __all__ = ["Row", "ExperimentResult", "Experiment"]
 
@@ -66,7 +69,7 @@ class Experiment:
     id: str
     title: str
     section: str
-    run: Callable[[AttackDataset], ExperimentResult]
+    run: Callable[[AnalysisSource], ExperimentResult]
 
-    def __call__(self, ds: AttackDataset) -> ExperimentResult:
-        return self.run(ds)
+    def __call__(self, source: AnalysisSource) -> ExperimentResult:
+        return self.run(AnalysisContext.of(source))

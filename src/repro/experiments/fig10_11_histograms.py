@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.geolocation import dispersion_histogram, dispersion_profile
 from .base import Experiment, ExperimentResult
 
@@ -14,12 +14,14 @@ PAPER = {
 }
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig10_11_histograms")
     for family, paper in PAPER.items():
-        if family not in ds.active_families or ds.attacks_of(family).size < 10:
+        if family not in ds.active_families or ctx.family_attacks(family).size < 10:
             continue
-        profile = dispersion_profile(ds, family)
+        profile = dispersion_profile(ctx, family)
         result.add(
             f"{family}: symmetric fraction",
             f"{paper['symmetric']:.3f}",
@@ -30,13 +32,13 @@ def run(ds: AttackDataset) -> ExperimentResult:
             f"{paper['asym_mean']:.0f}",
             f"{profile.asymmetric_mean_km:.0f}",
         )
-        edges, counts = dispersion_histogram(ds, family)
+        edges, counts = dispersion_histogram(ctx, family)
         if counts.size:
             mode_bin = float(edges[int(np.argmax(counts))])
             result.add(f"{family}: histogram mode bin (km)", None, f"{mode_bin:.0f}")
     if "pandora" in ds.active_families and "blackenergy" in ds.active_families:
-        p = dispersion_profile(ds, "pandora").asymmetric_mean_km
-        b = dispersion_profile(ds, "blackenergy").asymmetric_mean_km
+        p = dispersion_profile(ctx, "pandora").asymmetric_mean_km
+        b = dispersion_profile(ctx, "blackenergy").asymmetric_mean_km
         result.add("blackenergy mean >> pandora mean", "4304 vs 566", f"{b:.0f} vs {p:.0f}")
     return result
 

@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.targets import organization_affinity, victim_org_types
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("fig14_orgs")
-    spots = organization_affinity(ds, "pandora", year=2013, month=2)
+    spots = organization_affinity(ctx, "pandora", year=2013, month=2)
     result.add("pandora Feb-2013 organizations hit", None, len(spots))
     if spots:
         hotspot = spots[0]
@@ -20,7 +21,7 @@ def run(ds: AttackDataset) -> ExperimentResult:
         )
         hot_countries = {s.country_code for s in spots[:5]}
         result.add("hotspots include RU", "true", str("RU" in hot_countries).lower())
-    types = victim_org_types(ds)
+    types = victim_org_types(ctx)
     total = sum(types.values())
     infra = sum(
         types.get(t, 0) for t in ("hosting", "cloud", "datacenter", "registrar", "backbone")

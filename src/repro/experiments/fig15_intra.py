@@ -3,14 +3,15 @@
 from __future__ import annotations
 
 from ..core.collaboration import detect_collaborations, intra_family_stats
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("fig15_intra")
-    events = detect_collaborations(ds)
-    stats = intra_family_stats(ds, "dirtjumper", events)
+    events = detect_collaborations(ctx)
+    stats = intra_family_stats(ctx, "dirtjumper", events)
     result.add("dirtjumper intra-family events", 756, stats.n_events)
     result.add(
         "mean botnets per collaboration", "2.19", f"{stats.mean_botnets_per_event:.2f}"

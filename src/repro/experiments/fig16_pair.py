@@ -5,14 +5,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.collaboration import detect_collaborations, pair_analysis
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("fig16_pair")
-    events = detect_collaborations(ds)
-    pa = pair_analysis(ds, "dirtjumper", "pandora", events)
+    events = detect_collaborations(ctx)
+    pa = pair_analysis(ctx, "dirtjumper", "pandora", events)
     result.add("collaboration events", 118, pa.n_events)
     result.add("unique targets", 96, pa.n_targets)
     result.add("target countries", 16, pa.n_countries)

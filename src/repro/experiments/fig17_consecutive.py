@@ -3,17 +3,18 @@
 from __future__ import annotations
 
 from ..core.consecutive import chain_summary, detect_chains
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("fig17_consecutive")
-    chains = detect_chains(ds)
+    chains = detect_chains(ctx)
     if not chains:
         result.add("chains detected", ">0", 0)
         return result
-    summary = chain_summary(ds, chains)
+    summary = chain_summary(ctx, chains)
     result.add("chains detected", None, summary.n_chains)
     result.add("intra-family only", "true", str(summary.intra_family_only).lower())
     result.add(

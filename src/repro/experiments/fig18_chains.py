@@ -5,18 +5,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.consecutive import chain_summary, chain_timeline, detect_chains
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..simulation.clock import to_datetime
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig18_chains")
-    chains = detect_chains(ds)
+    chains = detect_chains(ctx)
     if not chains:
         result.add("chains detected", ">0", 0)
         return result
-    summary = chain_summary(ds, chains)
+    summary = chain_summary(ctx, chains)
     longest = max(chains, key=lambda c: c.length)
     result.add("longest chain length", 22, summary.longest_chain_length)
     result.add("longest chain family", "ddoser", summary.longest_chain_family)
@@ -28,7 +30,7 @@ def run(ds: AttackDataset) -> ExperimentResult:
         "2012-08-30",
         to_datetime(longest.start).strftime("%Y-%m-%d"),
     )
-    dots = chain_timeline(ds, chains)
+    dots = chain_timeline(ctx, chains)
     result.add("timeline dots", None, len(dots))
     # Magnitude stability within chains (except Dirtjumper's outliers).
     stable = 0

@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.overview import daily_attack_counts
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("fig2_daily")
-    daily = daily_attack_counts(ds)
+    daily = daily_attack_counts(ctx)
     result.add("mean attacks per day", 243, f"{daily.mean_per_day:.0f}")
     result.add("max attacks in one day", 983, daily.max_per_day)
     result.add("max day", "2012-08-30", daily.max_day_label)

@@ -4,21 +4,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.intervals import attack_intervals, interval_summary, simultaneous_attacks
 from ..core.stats import ecdf_at
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig3_intervals")
-    gaps = attack_intervals(ds)
+    gaps = attack_intervals(ctx)
     all_zero = float(np.mean(gaps == 0)) if gaps.size else 0.0
     result.add("simultaneous fraction (all families)", ">0.55", f"{all_zero:.2f}")
 
     fam_fracs = []
     for family in ds.active_families:
-        idx = ds.attacks_of(family)
+        idx = ctx.family_attacks(family)
         if idx.size < 2:
             continue
         fam_gaps = np.diff(np.sort(ds.start[idx]))
@@ -28,14 +30,14 @@ def run(ds: AttackDataset) -> ExperimentResult:
         ">0.50",
         f"{max(fam_fracs):.2f}" if fam_fracs else "n/a",
     )
-    summary = interval_summary(ds, family="dirtjumper")
+    summary = interval_summary(ctx, family="dirtjumper")
     result.add("dirtjumper mean interval (s)", None, f"{summary.stats.mean:.0f}")
     result.add("dirtjumper p80 interval (s)", None, f"{summary.p80_seconds:.0f}")
     result.add(
         "CDF at 1081 s (all attacks)", "0.80 (family-based)",
         f"{float(ecdf_at(gaps, [1081.0])[0]):.2f}",
     )
-    sim = simultaneous_attacks(ds)
+    sim = simultaneous_attacks(ctx)
     result.add("single-family simultaneous events", 3692, sim.single_family_events)
     result.add("multi-family simultaneous events", 956, sim.multi_family_events)
     if sim.pair_counts:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.intervals import interval_clusters
 from .base import Experiment, ExperimentResult
 
@@ -12,12 +12,14 @@ MODE_BUCKETS = ("6-7 min", "20-40 min", "2-3 h")
 CONTROL_BUCKETS = {"6-7 min": "7-20 min", "20-40 min": "40 min-2 h", "2-3 h": "3-24 h"}
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig4_interval_clusters")
     families_with_modes = 0
     n_families = 0
     for family in ds.active_families:
-        clusters = interval_clusters(ds, family)
+        clusters = interval_clusters(ctx, family)
         total = sum(clusters.values())
         if total < 20:
             continue

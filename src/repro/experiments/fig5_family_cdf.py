@@ -4,15 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.intervals import family_intervals
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig5_family_cdf")
     for family in ds.active_families:
-        gaps = family_intervals(ds, family, include_simultaneous=True)
+        gaps = family_intervals(ctx, family, include_simultaneous=True)
         if gaps.size == 0:
             continue
         zero = float(np.mean(gaps == 0))
@@ -21,7 +23,7 @@ def run(ds: AttackDataset) -> ExperimentResult:
     for family in ("aldibot", "optima"):
         if family not in ds.active_families:
             continue
-        gaps = family_intervals(ds, family, include_simultaneous=True)
+        gaps = family_intervals(ctx, family, include_simultaneous=True)
         if gaps.size == 0:
             continue
         result.add(

@@ -4,21 +4,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.durations import duration_summary, duration_timeline
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("fig7_durations")
-    s = duration_summary(ds)
+    s = duration_summary(ctx)
     result.add("mean duration (s)", 10308, f"{s.stats.mean:.0f}")
     result.add("median duration (s)", 1766, f"{s.stats.median:.0f}")
     result.add("std of duration (s)", 18475, f"{s.stats.std:.0f}")
     result.add("p80 duration (h)", "3.86 (13882 s)", f"{s.p80_hours:.2f}")
     result.add("share under 60 s", "<0.10", f"{s.under_60s_fraction:.2f}")
     result.add("share under 4 h", "~0.80", f"{s.under_4h_fraction:.2f}")
-    days, durations, _fams = duration_timeline(ds)
+    days, durations, _fams = duration_timeline(ctx)
     in_band = float(np.mean((durations >= 100.0) & (durations <= 10000.0)))
     result.add("Fig 6 band 100-10000 s share", "majority", f"{in_band:.2f}")
     result.add("timeline days covered", None, int(np.unique(days).size))

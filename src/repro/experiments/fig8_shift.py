@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.shift import aggregate_shift, weekly_shift
 from .base import Experiment, ExperimentResult
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig8_shift")
-    total = aggregate_shift(ds)
+    total = aggregate_shift(ctx)
     result.add("weeks with activity", None, total.weeks.size)
     result.add("bots from existing countries (total)", "~10^4 scale", total.total_existing)
     result.add("bots from new countries (total)", "~10^3 scale", total.total_new)
@@ -20,9 +22,9 @@ def run(ds: AttackDataset) -> ExperimentResult:
         f"{ratio:.1f}" if ratio != float("inf") else "inf",
     )
     for family in ds.active_families:
-        if ds.attacks_of(family).size < 10:
+        if ctx.family_attacks(family).size < 10:
             continue
-        shift = weekly_shift(ds, family)
+        shift = weekly_shift(ctx, family)
         result.add(
             f"{family}: existing/new bots",
             None,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.geolocation import dispersion_profile
 from .base import Experiment, ExperimentResult
 
@@ -10,12 +10,14 @@ from .base import Experiment, ExperimentResult
 PAPER_SYMMETRIC_AT_ZERO = {"dirtjumper": 0.40, "pandora": 0.40}
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("fig9_geo_cdf")
     for family in ds.active_families:
-        if ds.attacks_of(family).size < 10:
+        if ctx.family_attacks(family).size < 10:
             continue
-        profile = dispersion_profile(ds, family)
+        profile = dispersion_profile(ctx, family)
         paper = PAPER_SYMMETRIC_AT_ZERO.get(family)
         result.add(
             f"{family}: fraction at ~0 km",

@@ -1,8 +1,19 @@
-"""Registry of every reproduced table and figure."""
+"""Registry of every reproduced table and figure.
+
+:func:`run_all` is the battery entry point.  It coerces the source to
+one shared :class:`~repro.core.context.AnalysisContext` so derived views
+(grouped attack indices, dispersion series, collaboration/chain scans)
+are computed once across the whole battery, and can fan the experiments
+out over a thread pool with ``jobs > 1``.  Results always come back in
+paper order regardless of completion order, so the rendered output is
+identical for any job count.
+"""
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.context import AnalysisContext, AnalysisSource
 from .base import Experiment, ExperimentResult
 from .fig2_daily import EXPERIMENT as FIG2
 from .fig3_intervals import EXPERIMENT as FIG3
@@ -56,6 +67,17 @@ def get_experiment(experiment_id: str) -> Experiment:
     raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
 
 
-def run_all(ds: AttackDataset) -> list[ExperimentResult]:
-    """Run every experiment against a dataset, in paper order."""
-    return [experiment.run(ds) for experiment in ALL_EXPERIMENTS]
+def run_all(source: AnalysisSource, jobs: int = 1) -> list[ExperimentResult]:
+    """Run every experiment against one shared context, in paper order.
+
+    ``jobs > 1`` spreads the experiments over a thread pool (the heavy
+    lifting is numpy, which releases the GIL); the context's per-view
+    locks guarantee each derived view is still computed exactly once.
+    Output order — and, because the views are deterministic, the values
+    themselves — do not depend on ``jobs``.
+    """
+    ctx = AnalysisContext.of(source)
+    if jobs <= 1:
+        return [experiment.run(ctx) for experiment in ALL_EXPERIMENTS]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(lambda e: e.run(ctx), ALL_EXPERIMENTS))

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.overview import protocol_breakdown, protocol_popularity
 from ..monitor.schemas import Protocol
 from .base import Experiment, ExperimentResult
@@ -31,9 +31,10 @@ PAPER_TABLE2 = {
 }
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("table2_protocols")
-    measured = {(p, f): c for p, f, c in protocol_breakdown(ds)}
+    measured = {(p, f): c for p, f, c in protocol_breakdown(ctx)}
     for (proto, family), paper_count in sorted(
         PAPER_TABLE2.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
     ):
@@ -44,7 +45,7 @@ def run(ds: AttackDataset) -> ExperimentResult:
         )
     for (proto, family), count in sorted(measured.items()):
         result.add(f"{proto.name}/{family} (extra)", 0, count)
-    popularity = protocol_popularity(ds)
+    popularity = protocol_popularity(ctx)
     top = max(popularity, key=lambda p: popularity[p])
     result.add("dominant protocol (Fig 1)", "HTTP", top.name)
     result.notes = "exact at scale=1.0 by construction; shape (HTTP dominant) at any scale"

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.overview import workload_summary
 from .base import Experiment, ExperimentResult
 
@@ -22,9 +22,10 @@ PAPER_VICTIMS = {
 }
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
     result = ExperimentResult("table3_summary")
-    s = workload_summary(ds)
+    s = workload_summary(ctx)
     result.add("attackers / bot_ips", PAPER_ATTACKERS["bot_ips"], s.attackers.n_ips)
     result.add("attackers / cities", PAPER_ATTACKERS["cities"], s.attackers.n_cities)
     result.add("attackers / countries", PAPER_ATTACKERS["countries"], s.attackers.n_countries)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.prediction import predict_family_dispersion
 from .base import Experiment, ExperimentResult
 
@@ -18,13 +18,15 @@ PAPER_TABLE4 = {
 }
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("table4_prediction")
     for family, (paper_mean, paper_std, paper_sim) in PAPER_TABLE4.items():
         if family not in ds.active_families:
             continue
         try:
-            forecast = predict_family_dispersion(ds, family)
+            forecast = predict_family_dispersion(ctx, family)
         except ValueError as exc:
             result.add(f"{family}: skipped", None, str(exc))
             continue

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from ..core.targets import country_breakdown, top_target_countries
 from .base import Experiment, ExperimentResult
 
@@ -24,12 +24,14 @@ PAPER_TABLE5 = {
 PAPER_GLOBAL_TOP5 = [("US", 13738), ("RU", 11451), ("DE", 5048), ("UA", 4078), ("NL", 2816)]
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("table5_countries")
     for family, (paper_n, paper_top) in PAPER_TABLE5.items():
-        if family not in ds.active_families or ds.attacks_of(family).size == 0:
+        if family not in ds.active_families or ctx.family_attacks(family).size == 0:
             continue
-        breakdown = country_breakdown(ds, family)
+        breakdown = country_breakdown(ctx, family)
         result.add(f"{family}: # target countries", paper_n, breakdown.n_countries)
         result.add(
             f"{family}: top country",
@@ -40,7 +42,7 @@ def run(ds: AttackDataset) -> ExperimentResult:
         paper_codes = [cc for cc, _n in paper_top]
         overlap = len(set(measured_codes) & set(paper_codes))
         result.add(f"{family}: top-5 overlap with paper", "5", overlap)
-    top = top_target_countries(ds)
+    top = top_target_countries(ctx)
     result.add(
         "global top-5",
         ", ".join(f"{cc}:{n}" for cc, n in PAPER_GLOBAL_TOP5),

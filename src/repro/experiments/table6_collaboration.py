@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..core.collaboration import collaboration_table, detect_collaborations
-from ..core.dataset import AttackDataset
+from ..core.context import AnalysisContext, AnalysisSource
 from .base import Experiment, ExperimentResult
 
 PAPER_TABLE6 = {
@@ -19,9 +19,11 @@ PAPER_TABLE6 = {
 }
 
 
-def run(ds: AttackDataset) -> ExperimentResult:
+def run(source: AnalysisSource) -> ExperimentResult:
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
     result = ExperimentResult("table6_collaboration")
-    events = detect_collaborations(ds)
+    events = detect_collaborations(ctx)
     table = collaboration_table(ds, events)
     for family, (paper_intra, paper_inter) in PAPER_TABLE6.items():
         if family not in table:

@@ -3,22 +3,47 @@
 Full-scale generation takes on the order of a minute (the closed-loop
 dispersion sampler dominates); the benchmark harness and examples cache
 the result on disk, keyed by a stable hash of the configuration.
+
+Two artifacts live in the cache directory per configuration:
+
+* ``dataset-<key>.pkl.gz`` — the generated :class:`AttackDataset`;
+* ``views-<key>.pkl.gz`` — a snapshot of the derived views memoized on
+  the dataset's :class:`~repro.core.context.AnalysisContext`, written
+  after an experiment battery so the next process starts warm.
+
+Both are keyed by the same config hash, so a config change invalidates
+them together.  The cache directory defaults to the ``REPRO_CACHE_DIR``
+environment variable, falling back to ``.repro-cache``.
 """
 
 from __future__ import annotations
 
 import gzip
 import hashlib
+import os
 import pickle
 from pathlib import Path
 
+from ..core.context import AnalysisContext
 from ..core.dataset import AttackDataset
 from ..datagen.config import DatasetConfig
 from ..datagen.generator import generate_dataset
 
-__all__ = ["config_key", "save_dataset", "load_dataset", "load_or_generate"]
+__all__ = [
+    "config_key",
+    "resolve_cache_dir",
+    "save_dataset",
+    "load_dataset",
+    "load_or_generate",
+    "save_context_views",
+    "load_context_views",
+    "load_or_generate_context",
+]
 
 _FORMAT_VERSION = 1
+#: Version of the derived-view snapshot format.  Bump when the set or
+#: shape of :class:`AnalysisContext` views changes incompatibly.
+_VIEWS_FORMAT_VERSION = 1
 
 
 def config_key(config: DatasetConfig) -> str:
@@ -39,6 +64,19 @@ def config_key(config: DatasetConfig) -> str:
         )
     ).encode()
     return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def resolve_cache_dir(cache_dir: str | Path | None = None) -> Path:
+    """The effective cache directory.
+
+    An explicit argument wins; otherwise the ``REPRO_CACHE_DIR``
+    environment variable; otherwise ``.repro-cache`` under the current
+    directory.
+    """
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path(".repro-cache")
 
 
 def save_dataset(ds: AttackDataset, path: str | Path) -> Path:
@@ -72,12 +110,11 @@ def load_or_generate(
 ) -> AttackDataset:
     """Return the dataset for ``config``, generating and caching on miss.
 
-    ``cache_dir`` defaults to ``.repro-cache`` under the current
-    directory.  Because a dataset is a pure function of its config, the
-    cache key is just the config hash.
+    ``cache_dir`` resolves via :func:`resolve_cache_dir`.  Because a
+    dataset is a pure function of its config, the cache key is just the
+    config hash.
     """
-    cache_dir = Path(cache_dir) if cache_dir is not None else Path(".repro-cache")
-    path = cache_dir / f"dataset-{config_key(config)}.pkl.gz"
+    path = resolve_cache_dir(cache_dir) / f"dataset-{config_key(config)}.pkl.gz"
     if path.exists():
         try:
             return load_dataset(path)
@@ -86,3 +123,62 @@ def load_or_generate(
     ds = generate_dataset(config)
     save_dataset(ds, path)
     return ds
+
+
+def _views_path(config: DatasetConfig, cache_dir: str | Path | None) -> Path:
+    return resolve_cache_dir(cache_dir) / f"views-{config_key(config)}.pkl.gz"
+
+
+def save_context_views(
+    ctx: AnalysisContext, config: DatasetConfig, cache_dir: str | Path | None = None
+) -> Path:
+    """Snapshot the context's picklable derived views next to the dataset.
+
+    The file records the views format version and the config key, so a
+    stale or mismatched snapshot is rejected on load rather than served.
+    """
+    path = _views_path(config, cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = (_VIEWS_FORMAT_VERSION, config_key(config), ctx.export_views())
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with gzip.open(tmp, "wb", compresslevel=4) as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+    return path
+
+
+def load_context_views(path: str | Path, expected_key: str) -> dict:
+    """Load a view snapshot written by :func:`save_context_views`.
+
+    Raises ``ValueError`` on version or config-key mismatch.  Only load
+    files you created yourself — this is a pickle.
+    """
+    with gzip.open(Path(path), "rb") as fh:
+        version, key, views = pickle.load(fh)
+    if version != _VIEWS_FORMAT_VERSION:
+        raise ValueError(f"view snapshot {path} has format v{version}, expected v{_VIEWS_FORMAT_VERSION}")
+    if key != expected_key:
+        raise ValueError(f"view snapshot {path} was built for config {key}, expected {expected_key}")
+    if not isinstance(views, dict):
+        raise TypeError(f"view snapshot {path} does not contain a view dict")
+    return views
+
+
+def load_or_generate_context(
+    config: DatasetConfig, cache_dir: str | Path | None = None
+) -> AnalysisContext:
+    """The dataset for ``config`` wrapped in its shared analysis context.
+
+    On top of :func:`load_or_generate`, restores any derived-view
+    snapshot a previous battery saved for this exact config, so repeat
+    invocations skip the collaboration/chain/dispersion scans entirely.
+    A corrupt or mismatched snapshot is discarded, never served.
+    """
+    ctx = AnalysisContext.of(load_or_generate(config, cache_dir))
+    path = _views_path(config, cache_dir)
+    if path.exists():
+        try:
+            ctx.import_views(load_context_views(path, config_key(config)))
+        except (OSError, ValueError, TypeError, pickle.UnpicklingError):
+            path.unlink(missing_ok=True)
+    return ctx

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy import optimize
+from scipy import optimize, signal
 
 from .differencing import difference, integrate_forecast
 from .hannan_rissanen import hannan_rissanen
@@ -33,21 +33,26 @@ def _css_residuals(y: np.ndarray, const: float, phi: np.ndarray, theta: np.ndarr
 
     The recursion starts at ``t = p`` with pre-sample innovations fixed at
     zero (the "conditional" in CSS).
+
+    This sits inside the CSS optimiser's objective, so it is fully
+    vectorised: the AR part is a handful of shifted-slice updates, and
+    the MA recursion ``eps[t] = z[t] - theta · eps[t-1..t-q]`` is exactly
+    an IIR filter with denominator ``[1, theta]``, evaluated in C by
+    :func:`scipy.signal.lfilter` (zero initial conditions match the
+    conditional pre-sample convention).
     """
     p = phi.size
     q = theta.size
     n = y.size
-    eps = np.zeros(n)
-    for t in range(p, n):
-        pred = const
-        if p:
-            pred += float(np.dot(phi, y[t - p : t][::-1]))
-        if q:
-            lo = max(0, t - q)
-            window = eps[lo:t][::-1]
-            pred += float(np.dot(theta[: window.size], window))
-        eps[t] = y[t] - pred
-    return eps
+    # z[t] = y[t] - const - sum_i phi[i] * y[t-1-i] for t >= p; the first
+    # p entries are pinned to zero so the innovations there stay zero.
+    z = y - const
+    for i in range(p):
+        z[p:] -= phi[i] * y[p - 1 - i : n - 1 - i]
+    z[:p] = 0.0
+    if q == 0:
+        return z
+    return signal.lfilter([1.0], np.concatenate(([1.0], theta)), z)
 
 
 def _instability(coeffs: np.ndarray) -> float:

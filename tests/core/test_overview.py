@@ -1,6 +1,5 @@
 """Tests for the overview analyses (Tables II-III, Figs 1-2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.overview import (

@@ -1,6 +1,5 @@
 """Tests for target analyses (Table V, Fig 14)."""
 
-import numpy as np
 import pytest
 
 from repro.core.targets import (

@@ -1,7 +1,6 @@
 """End-to-end generator invariants on the tiny dataset."""
 
 import numpy as np
-import pytest
 
 from repro.datagen.config import DatasetConfig
 from repro.datagen.generator import generate_dataset

@@ -1,6 +1,5 @@
 """Tests for blacklist defenses."""
 
-import numpy as np
 import pytest
 
 from repro.defense.blacklist import CountryBlacklist, IPBlacklist

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geo.ipam import IPAllocator, SequentialAssigner
+from repro.geo.ipam import IPAllocator
 from repro.geo.mapping import GeoIPService, ip_jitter_many
 from repro.geo.world import World
 from repro.simulation.rng import SeededStreams

@@ -1,10 +1,21 @@
 """Tests for dataset caching."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.datagen.config import DatasetConfig
-from repro.io.cache import config_key, load_dataset, load_or_generate, save_dataset
+from repro.io.cache import (
+    config_key,
+    load_context_views,
+    load_dataset,
+    load_or_generate,
+    load_or_generate_context,
+    resolve_cache_dir,
+    save_context_views,
+    save_dataset,
+)
 
 
 class TestConfigKey:
@@ -47,3 +58,56 @@ class TestLoadOrGenerate:
         path.write_bytes(b"garbage")
         ds = load_or_generate(config, tmp_path)
         assert ds.n_attacks > 0
+
+
+class TestCacheDirResolution:
+    def test_explicit_dir_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(tmp_path / "explicit") == tmp_path / "explicit"
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir() == tmp_path / "env"
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir() == Path(".repro-cache")
+
+    def test_load_or_generate_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        config = DatasetConfig.tiny(seed=47)
+        load_or_generate(config)
+        assert list((tmp_path / "env").glob("dataset-*.pkl.gz"))
+
+
+class TestContextViewSnapshots:
+    def test_roundtrip(self, tmp_path):
+        config = DatasetConfig.tiny(seed=48)
+        ctx = load_or_generate_context(config, tmp_path)
+        ctx.attack_intervals()
+        ctx.collaborations()
+        save_context_views(ctx, config, tmp_path)
+
+        warm = load_or_generate_context(config, tmp_path)
+        assert warm is not ctx  # separate object, same dataset bytes
+        assert warm.n_views >= 2
+        assert np.array_equal(warm.attack_intervals(), ctx.attack_intervals())
+        assert warm.collaborations() == ctx.collaborations()
+
+    def test_wrong_key_rejected(self, tmp_path):
+        config = DatasetConfig.tiny(seed=48)
+        ctx = load_or_generate_context(config, tmp_path)
+        ctx.attack_intervals()
+        path = save_context_views(ctx, config, tmp_path)
+        with pytest.raises(ValueError):
+            load_context_views(path, "deadbeefdeadbeef")
+
+    def test_corrupt_snapshot_discarded(self, tmp_path):
+        config = DatasetConfig.tiny(seed=48)
+        ctx = load_or_generate_context(config, tmp_path)
+        ctx.attack_intervals()
+        path = save_context_views(ctx, config, tmp_path)
+        path.write_bytes(b"garbage")
+        warm = load_or_generate_context(config, tmp_path)
+        assert warm.n_views == 0
+        assert not path.exists()
