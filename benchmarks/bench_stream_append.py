@@ -1,0 +1,78 @@
+"""Incremental append vs the cold rebuild it replaces.
+
+The acceptance bar for the streaming layer's performance: appending a
+1% batch to a warm full-scale :class:`StreamingDataset` — validation,
+column append, and O(batch) carry of the incremental views — must be at
+least 10× faster than the cold rebuild a user without the streaming
+layer would run on every new batch: re-ingest the accumulated log
+(``dataset_from_records``) and derive the views from scratch.  The
+append does work proportional to the batch; the rebuild re-interns all
+records and re-scans every column, so the gap widens with dataset size
+(the assertion is therefore only enforced at full scale, where the
+ratio is unambiguous; the CI smoke run at ``REPRO_BENCH_SCALE = 0.02``
+just checks the path executes).
+"""
+
+import time
+
+from repro.core.context import AnalysisContext
+from repro.io.ingest import dataset_from_records
+from repro.stream import StreamingDataset
+
+#: Below this size the constant factors of a context rebuild dominate
+#: and the 10× ratio is noise, not signal.
+_ASSERT_MIN_ATTACKS = 20_000
+
+
+def _touch_incremental_views(ctx: AnalysisContext) -> None:
+    """Materialize the views the carry path maintains in O(batch)."""
+    for family in ctx.dataset.families:
+        ctx.family_attacks(family)
+        ctx.family_starts(family)
+        ctx.family_intervals(family)
+        ctx.family_intervals(family, include_simultaneous=False)
+        ctx.durations(family)
+        ctx.family_target_country_counts(family)
+        ctx.daily_distribution(family)
+    ctx.attack_intervals()
+    ctx.durations()
+    ctx.target_country_idx()
+    ctx.target_org_idx()
+    ctx.target_country_counts()
+    ctx.daily_distribution()
+    ctx.protocol_popularity()
+    ctx.protocol_breakdown()
+
+
+def bench_stream_append(benchmark, full_ds):
+    records = list(full_ds.iter_attacks())
+    split = max(1, len(records) - len(records) // 100)  # last 1% is the batch
+    warm, batch = records[:split], records[split:]
+
+    def one_append():
+        stream = StreamingDataset(window=full_ds.window)
+        stream.append_batch(warm)
+        _touch_incremental_views(stream.context())  # warm the snapshot
+
+        t0 = time.perf_counter()
+        stream.append_batch(batch)
+        _touch_incremental_views(stream.context())
+        incremental = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        rebuilt = dataset_from_records(records, window=full_ds.window)
+        cold_ctx = AnalysisContext(rebuilt)  # unshared: derives everything
+        _touch_incremental_views(cold_ctx)
+        cold = time.perf_counter() - t0
+        return rebuilt.n_attacks, incremental, cold
+
+    n_attacks, incremental, cold = benchmark.pedantic(
+        one_append, rounds=1, iterations=1
+    )
+    speedup = cold / incremental if incremental > 0 else float("inf")
+    print(f"\n{n_attacks} attacks; 1% append: {incremental * 1000:.1f}ms  "
+          f"cold rebuild: {cold * 1000:.1f}ms  speedup: {speedup:.1f}x")
+    if n_attacks >= _ASSERT_MIN_ATTACKS:
+        assert speedup >= 10, (
+            f"incremental append only {speedup:.1f}x faster than cold rebuild"
+        )

@@ -10,6 +10,8 @@ record.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datagen.config import DatasetConfig
@@ -18,8 +20,18 @@ from repro.io.cache import load_or_generate
 
 @pytest.fixture(scope="session")
 def full_ds():
-    """The paper-scale dataset (cached on disk)."""
-    return load_or_generate(DatasetConfig.full(seed=7))
+    """The paper-scale dataset (cached on disk).
+
+    ``REPRO_BENCH_SCALE`` overrides the scale — the CI bench-smoke step
+    sets it to 0.02 so the append/reuse paths run on every push without
+    paying full-scale generation.
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE")
+    if scale:
+        config = DatasetConfig(seed=7, scale=float(scale))
+    else:
+        config = DatasetConfig.full(seed=7)
+    return load_or_generate(config)
 
 
 @pytest.fixture(scope="session")

@@ -4,21 +4,26 @@ botnet-ecosystem substrate standing in for the paper's proprietary logs.
 
 Quickstart::
 
-    from repro import DatasetConfig, generate_dataset
-    from repro.core import overview
+    from repro import api
 
-    ds = generate_dataset(DatasetConfig.small())
-    print(overview.workload_summary(ds))
+    ctx = api.context(api.generate(scale=0.02))
+    for result in api.run_all(ctx):
+        print(result.render())
+
+The :mod:`repro.api` facade is the stable entry point; the submodules
+remain importable directly for anything it does not cover.
 """
 
+from . import api
 from .core.dataset import AttackDataset, BotRegistry, VictimRegistry
 from .datagen.config import DatasetConfig
 from .datagen.generator import generate_dataset
 from .monitor.schemas import Protocol
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "AttackDataset",
     "BotRegistry",
     "VictimRegistry",

@@ -1,0 +1,144 @@
+"""The stable public facade: ``from repro import api``.
+
+Everything the library does is reachable through deep module paths
+(``repro.core.context``, ``repro.io.cache``, ``repro.stream`` …), but
+those paths move as the codebase grows.  This module is the documented,
+compatibility-kept entry point:
+
+>>> from repro import api
+>>> ctx = api.context(api.generate(scale=0.02))
+>>> for result in api.run_all(ctx):
+...     print(result.render())
+
+The facade is intentionally thin — each function is a dispatch or a
+re-export, never new behaviour — so the underlying modules stay usable
+directly and the facade stays trivially correct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from .core.context import AnalysisContext
+from .core.dataset import AttackDataset
+from .datagen.config import DatasetConfig
+from .monitor.schemas import DDoSAttackRecord
+from .simulation.clock import ObservationWindow
+from .stream import IngestError, StreamingDataset, WatchSession
+
+__all__ = [
+    "generate",
+    "load",
+    "ingest",
+    "stream",
+    "watch",
+    "context",
+    "run_all",
+    "AnalysisContext",
+    "AttackDataset",
+    "DatasetConfig",
+    "IngestError",
+    "StreamingDataset",
+    "WatchSession",
+]
+
+
+def generate(
+    scale: float = 0.02,
+    seed: int = 7,
+    *,
+    config: DatasetConfig | None = None,
+    cache: bool = True,
+    cache_dir: str | Path | None = None,
+) -> AttackDataset:
+    """Generate (or load from cache) the synthetic dataset.
+
+    Pass ``config`` for full control; otherwise a default
+    :class:`DatasetConfig` is built from ``scale`` and ``seed``.  With
+    ``cache`` (the default) the result is cached on disk keyed by the
+    config hash — see :func:`repro.io.cache.load_or_generate`.
+    """
+    from .datagen.generator import generate_dataset
+    from .io.cache import load_or_generate
+
+    if config is None:
+        config = DatasetConfig(seed=seed, scale=scale)
+    if cache:
+        return load_or_generate(config, cache_dir)
+    return generate_dataset(config)
+
+
+def load(path: str | Path) -> AttackDataset:
+    """Load a dataset from a file, dispatching on the extension.
+
+    * ``.jsonl`` — attack log in the Table I schema, one JSON object per
+      line (as written by :func:`repro.io.jsonlio.export_attacks_jsonl`);
+    * ``.csv`` — attack table export
+      (:func:`repro.io.csvio.export_attacks_csv`);
+    * ``.pkl.gz`` — a pickled dataset
+      (:func:`repro.io.cache.save_dataset`; only load your own files).
+
+    JSONL/CSV logs rebuild an attack-table-only dataset via
+    :func:`ingest`; the pickle round-trips the full dataset including
+    the Botlist side.
+    """
+    path = Path(path)
+    name = path.name
+    if name.endswith(".jsonl"):
+        from .io.jsonlio import iter_attacks_jsonl
+
+        return ingest(iter_attacks_jsonl(path))
+    if name.endswith(".csv"):
+        from .io.csvio import read_attacks_csv
+
+        return ingest(read_attacks_csv(path))
+    if name.endswith(".pkl.gz"):
+        from .io.cache import load_dataset
+
+        return load_dataset(path)
+    raise ValueError(
+        f"cannot infer format of {path}: expected .jsonl, .csv or .pkl.gz"
+    )
+
+
+def ingest(
+    records: Iterable[DDoSAttackRecord],
+    window: ObservationWindow | None = None,
+    *,
+    strict: bool = True,
+) -> AttackDataset:
+    """Build an attack-table-only dataset from Table I records.
+
+    See :func:`repro.io.ingest.dataset_from_records`; malformed input
+    raises :class:`IngestError` (``strict=False`` drops instead).
+    """
+    from .io.ingest import dataset_from_records
+
+    return dataset_from_records(records, window, strict=strict)
+
+
+def stream(window: ObservationWindow | None = None) -> StreamingDataset:
+    """A fresh append-oriented dataset builder (the streaming path)."""
+    return StreamingDataset(window=window)
+
+
+def watch(path: str | Path, window: ObservationWindow | None = None) -> WatchSession:
+    """A poll-driven session tailing a JSONL attack log.
+
+    Each ``poll()`` ingests newly appended records and returns the
+    re-rendered headline report, or ``None`` when nothing changed.
+    """
+    return WatchSession(path, window=window)
+
+
+def context(ds: AttackDataset) -> AnalysisContext:
+    """The dataset's shared memoized analysis context."""
+    return AnalysisContext.of(ds)
+
+
+def run_all(ctx: AnalysisContext, *, jobs: int = 1):
+    """Run the full experiment battery; yields results in registry order."""
+    from .experiments.registry import run_all as _run_all
+
+    return _run_all(ctx, jobs=jobs)

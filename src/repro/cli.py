@@ -6,6 +6,7 @@ Subcommands::
     ddos-repro report    --scale 0.02                        # headline + tables
     ddos-repro experiments [--jobs 4] [--only table4_prediction]
     ddos-repro predict   --family pandora                    # ARIMA forecast
+    ddos-repro watch     --path attacks.jsonl                # live report
 
 All subcommands share ``--scale``, ``--seed`` and ``--cache-dir``; the
 dataset is generated once per (scale, seed) and cached on disk (the
@@ -30,6 +31,17 @@ from .io.cache import load_or_generate, load_or_generate_context, save_context_v
 from .io.csvio import export_attacks_csv, export_botlist_csv, export_botnetlist_csv
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for options that must be >= 1 (e.g. ``--jobs``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,8 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--list", action="store_true", help="list experiment ids and exit")
     exp.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker threads for the battery (output is identical for any value)",
+        "--jobs", type=_positive_int, default=1,
+        help="worker threads for the battery, >= 1 (output is identical for any value)",
     )
 
     pred = sub.add_parser("predict", help="ARIMA dispersion forecast for one family")
@@ -81,6 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
     defense.add_argument(
         "--train-fraction", type=float, default=0.5,
         help="history fraction used to train blacklists / predictions",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="tail a JSONL attack log and re-render the report on change"
+    )
+    watch.add_argument("--path", required=True, help="JSONL attack log to tail")
+    watch.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls of the log file",
+    )
+    watch.add_argument(
+        "--max-polls", type=_positive_int, default=None,
+        help="stop after this many polls (default: run until interrupted)",
     )
     return parser
 
@@ -186,6 +211,29 @@ def _cmd_defense(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from .stream import WatchSession
+
+    session = WatchSession(args.path)
+    polls = 0
+    try:
+        while args.max_polls is None or polls < args.max_polls:
+            update = session.poll()
+            polls += 1
+            if update is not None:
+                print(update)
+                print(f"-- {session.n_attacks} attacks (epoch {session.epoch}) --")
+                sys.stdout.flush()
+            if args.max_polls is not None and polls >= args.max_polls:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -195,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "predict": _cmd_predict,
         "defense": _cmd_defense,
+        "watch": _cmd_watch,
     }
     try:
         return commands[args.command](args)

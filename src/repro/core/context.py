@@ -58,12 +58,21 @@ _ATTACH_LOCK = threading.Lock()
 
 
 class AnalysisContext:
-    """Lazily-computed, memoized derived views over one dataset."""
+    """Lazily-computed, memoized derived views over one dataset.
 
-    def __init__(self, ds: AttackDataset) -> None:
+    ``epoch`` tags the context with the revision of the data it was built
+    from.  Batch datasets are epoch 0; the streaming layer
+    (:mod:`repro.stream`) bumps the epoch on every append and hands out a
+    fresh context per snapshot, so consumers holding an older context
+    keep a coherent (if stale) set of views while new consumers see the
+    incrementally-updated ones.
+    """
+
+    def __init__(self, ds: AttackDataset, *, epoch: int = 0) -> None:
         if not isinstance(ds, AttackDataset):
             raise TypeError(f"AnalysisContext wraps an AttackDataset, got {type(ds).__name__}")
         self._ds = ds
+        self.epoch = int(epoch)
         self._views: dict[Hashable, Any] = {}
         self._meta_lock = threading.Lock()
         self._key_locks: dict[Hashable, threading.Lock] = {}
@@ -92,6 +101,21 @@ class AnalysisContext:
                 if ctx is None:
                     ctx = cls(source)
                     source.__dict__[_CONTEXT_ATTR] = ctx
+        return ctx
+
+    @classmethod
+    def attach(cls, ds: AttackDataset, *, epoch: int = 0) -> "AnalysisContext":
+        """Create a context and install it as the dataset's shared one.
+
+        Unlike :meth:`of`, the caller controls the epoch tag; used by the
+        streaming layer when it materialises a snapshot.  Raises if the
+        dataset already carries a context.
+        """
+        ctx = cls(ds, epoch=epoch)
+        with _ATTACH_LOCK:
+            if ds.__dict__.get(_CONTEXT_ATTR) is not None:
+                raise ValueError("dataset already has an attached AnalysisContext")
+            ds.__dict__[_CONTEXT_ATTR] = ctx
         return ctx
 
     @property
@@ -128,6 +152,29 @@ class AnalysisContext:
     def view_keys(self) -> list[Hashable]:
         """Keys of the materialised views, in creation order."""
         return list(self._views)
+
+    def materialized(self) -> dict[Hashable, Any]:
+        """Shallow copy of the materialised views (no pickling check).
+
+        The streaming layer walks this to carry cheap views forward
+        across an append; :meth:`export_views` stays the picklable
+        variant for on-disk snapshots.
+        """
+        return dict(self._views)
+
+    def seed_view(self, key: Hashable, value: Any) -> bool:
+        """Install a precomputed value for ``key`` if it is not built yet.
+
+        Returns True when the value was installed.  The caller guarantees
+        the value equals what the builder would produce — the streaming
+        layer's incremental updaters derive it from the previous epoch's
+        view plus the appended rows.
+        """
+        with self._meta_lock:
+            if key in self._views:
+                return False
+            self._views[key] = value
+            return True
 
     # -- attack groupings --------------------------------------------------
 

@@ -237,6 +237,29 @@ class AttackDataset:
         idx = self.participants_of(attack_index)
         return self.bots.lat[idx], self.bots.lon[idx]
 
+    def attack_columns_equal(self, other: "AttackDataset") -> bool:
+        """Exact equality of the joined attack table against ``other``.
+
+        Compares the observation window, the family index space, every
+        per-attack column (including the CSR participant layout) and the
+        victim registry.  Registries built by different code paths (e.g.
+        a streaming build vs a scratch batch build) must agree cell for
+        cell for this to hold — the streaming parity tests rely on it.
+        """
+        if (self.window.start, self.window.end) != (other.window.start, other.window.end):
+            return False
+        if self.families != other.families or self.active_families != other.active_families:
+            return False
+        attack_cols = ("start", "end", "family_idx", "botnet_id", "protocol",
+                       "target_idx", "magnitude", "part_offsets", "participants")
+        if any(not np.array_equal(getattr(self, c), getattr(other, c)) for c in attack_cols):
+            return False
+        victim_cols = ("ip", "lat", "lon", "country_idx", "city_idx", "org_idx", "asn")
+        return all(
+            np.array_equal(getattr(self.victims, c), getattr(other.victims, c))
+            for c in victim_cols
+        )
+
     def subset(self, attack_indices: np.ndarray) -> "AttackDataset":
         """A new dataset restricted to the given attacks (sorted copy).
 

@@ -9,8 +9,15 @@ from .csvio import (
     read_attacks_csv,
 )
 from .figures import FIGURE_EXPORTERS, export_figure_data
-from .ingest import dataset_from_records
-from .jsonlio import export_attacks_jsonl, read_attacks_jsonl
+from .ingest import IngestError, dataset_from_records
+from .jsonlio import (
+    append_attacks_jsonl,
+    export_attacks_jsonl,
+    iter_attacks_jsonl,
+    read_attacks_jsonl,
+    record_from_json,
+    record_to_json,
+)
 
 __all__ = [
     "config_key",
@@ -23,8 +30,13 @@ __all__ = [
     "export_botnetlist_csv",
     "read_attacks_csv",
     "FIGURE_EXPORTERS",
+    "IngestError",
     "dataset_from_records",
     "export_figure_data",
+    "append_attacks_jsonl",
     "export_attacks_jsonl",
+    "iter_attacks_jsonl",
     "read_attacks_jsonl",
+    "record_from_json",
+    "record_to_json",
 ]

@@ -15,176 +15,46 @@ The world model is reconstructed from the records themselves: one
 country per distinct ISO code (coordinates from the built-in country
 table when known, otherwise from the records), one city per distinct
 city string, one organization per distinct organization string.
+
+Since the streaming subsystem landed, the batch build *is* a one-batch
+stream: :func:`dataset_from_records` folds the records into a
+:class:`~repro.stream.builder.StreamingDataset` and materialises the
+snapshot, so batch and incremental builds can never drift apart.
+Malformed input raises :class:`~repro.stream.builder.IngestError`
+(a ``ValueError``) carrying the offending record's index; pass
+``strict=False`` to drop malformed records instead.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-import numpy as np
-
-from ..core.dataset import AttackDataset, BotRegistry, VictimRegistry
-from ..geo.world import COUNTRY_TABLE, City, Country, Organization, World
-from ..monitor.schemas import BotnetRecord, DDoSAttackRecord
+from ..core.dataset import AttackDataset
+from ..monitor.schemas import DDoSAttackRecord
 from ..simulation.clock import ObservationWindow
+from ..stream.builder import IngestError, StreamingDataset
 
-__all__ = ["dataset_from_records"]
-
-_KNOWN_CENTROIDS = {code: (lat, lon) for code, _n, lat, lon, _w in COUNTRY_TABLE}
-
-
-def _build_world(records: list[DDoSAttackRecord]) -> tuple[World, dict, dict, dict]:
-    """A minimal world covering exactly what the records mention."""
-    world = World()
-    country_of: dict[str, int] = {}
-    city_of: dict[str, int] = {}
-    org_of: dict[str, int] = {}
-
-    for rec in records:
-        if rec.country_code not in country_of:
-            lat, lon = _KNOWN_CENTROIDS.get(rec.country_code, (rec.lat, rec.lon))
-            country = Country(
-                index=len(world.countries),
-                code=rec.country_code,
-                name=rec.country_code,
-                lat=lat,
-                lon=lon,
-                weight=1.0,
-            )
-            world.countries.append(country)
-            world._country_by_code[rec.country_code] = country.index
-            world._cities_by_country[country.index] = []
-            world._orgs_by_country[country.index] = []
-            country_of[rec.country_code] = country.index
-    for rec in records:
-        c_idx = country_of[rec.country_code]
-        if rec.city not in city_of:
-            city = City(
-                index=len(world.cities),
-                name=rec.city,
-                country_index=c_idx,
-                lat=rec.lat,
-                lon=rec.lon,
-                weight=1.0,
-            )
-            world.cities.append(city)
-            world._cities_by_country[c_idx].append(city.index)
-            city_of[rec.city] = city.index
-        if rec.organization not in org_of:
-            org = Organization(
-                index=len(world.organizations),
-                name=rec.organization,
-                org_type="unknown",
-                country_index=c_idx,
-                city_index=city_of[rec.city],
-                asn=rec.asn,
-                weight=1.0,
-            )
-            world.organizations.append(org)
-            world._orgs_by_country[c_idx].append(org.index)
-            org_of[rec.organization] = org.index
-    return world, country_of, city_of, org_of
+__all__ = ["dataset_from_records", "IngestError"]
 
 
 def dataset_from_records(
     records: Iterable[DDoSAttackRecord],
     window: ObservationWindow | None = None,
+    *,
+    strict: bool = True,
 ) -> AttackDataset:
     """Build an attack-table-only dataset from Table I records.
 
-    ``window`` defaults to the records' own time span (padded to whole
-    days).  Raises ``ValueError`` for empty input or records with
-    negative durations.
+    ``records`` may be any iterable, including a generator (it is
+    consumed exactly once).  ``window`` defaults to the records' own
+    time span (padded to whole days).  With ``strict`` (the default) a
+    malformed record — wrong type, negative duration — raises
+    :class:`IngestError` with its position in the input; with
+    ``strict=False`` malformed records are dropped.  Empty input (or
+    input left empty after dropping) raises :class:`IngestError`.
     """
-    records = sorted(records, key=lambda r: (r.timestamp, r.botnet_id))
-    if not records:
-        raise ValueError("no records to ingest")
-    for rec in records:
-        if rec.end_time < rec.timestamp:
-            raise ValueError(f"record {rec.ddos_id} ends before it starts")
-
-    if window is None:
-        start = int(min(r.timestamp for r in records))
-        end = int(max(r.end_time for r in records)) + 1
-        span = max(end - start, 86400)
-        window = ObservationWindow(start=start, end=start + ((span + 86399) // 86400) * 86400)
-
-    world, country_of, city_of, org_of = _build_world(records)
-    families = sorted({r.family for r in records})
-    family_of = {name: i for i, name in enumerate(families)}
-
-    # Victim registry: one row per distinct target IP.
-    target_of: dict[int, int] = {}
-    v_ip, v_lat, v_lon, v_cc, v_city, v_org, v_asn = [], [], [], [], [], [], []
-    for rec in records:
-        if rec.target_ip not in target_of:
-            target_of[rec.target_ip] = len(v_ip)
-            v_ip.append(rec.target_ip)
-            v_lat.append(rec.lat)
-            v_lon.append(rec.lon)
-            v_cc.append(country_of[rec.country_code])
-            v_city.append(city_of[rec.city])
-            v_org.append(org_of[rec.organization])
-            v_asn.append(rec.asn)
-    victims = VictimRegistry(
-        ip=np.asarray(v_ip, dtype=np.uint64),
-        lat=np.asarray(v_lat, dtype=float),
-        lon=np.asarray(v_lon, dtype=float),
-        country_idx=np.asarray(v_cc, dtype=np.int16),
-        city_idx=np.asarray(v_city, dtype=np.int32),
-        org_idx=np.asarray(v_org, dtype=np.int32),
-        asn=np.asarray(v_asn, dtype=np.int32),
-        owner_family_idx=np.full(len(v_ip), -1, dtype=np.int16),
-    )
-
-    empty = np.zeros(0)
-    bots = BotRegistry(
-        ip=np.zeros(0, dtype=np.uint64),
-        lat=empty,
-        lon=empty,
-        country_idx=np.zeros(0, dtype=np.int16),
-        city_idx=np.zeros(0, dtype=np.int32),
-        org_idx=np.zeros(0, dtype=np.int32),
-        asn=np.zeros(0, dtype=np.int32),
-        family_idx=np.zeros(0, dtype=np.int16),
-        botnet_id=np.zeros(0, dtype=np.int32),
-        recruit_ts=empty,
-    )
-
-    # Botnet roster: one record per distinct id, span = observed activity.
-    seen: dict[int, list] = {}
-    for rec in records:
-        entry = seen.setdefault(rec.botnet_id, [rec.family, rec.timestamp, rec.end_time])
-        entry[1] = min(entry[1], rec.timestamp)
-        entry[2] = max(entry[2], rec.end_time)
-    botnets = [
-        BotnetRecord(
-            botnet_id=bid, family=fam, controller_ip=0, first_seen=lo, last_seen=hi
-        )
-        for bid, (fam, lo, hi) in sorted(seen.items())
-    ]
-
-    n = len(records)
-    return AttackDataset(
-        window=window,
-        world=world,
-        families=families,
-        active_families=families,
-        bots=bots,
-        victims=victims,
-        botnets=botnets,
-        start=np.asarray([r.timestamp for r in records], dtype=float),
-        end=np.asarray([r.end_time for r in records], dtype=float),
-        family_idx=np.asarray([family_of[r.family] for r in records], dtype=np.int16),
-        botnet_id=np.asarray([r.botnet_id for r in records], dtype=np.int32),
-        protocol=np.asarray([int(r.category) for r in records], dtype=np.int8),
-        target_idx=np.asarray([target_of[r.target_ip] for r in records], dtype=np.int32),
-        magnitude=np.asarray([r.magnitude for r in records], dtype=np.int32),
-        part_offsets=np.zeros(n + 1, dtype=np.int64),
-        participants=np.zeros(0, dtype=np.int64),
-        truth_collab_group=np.full(n, -1, dtype=np.int32),
-        truth_collab_kind=np.zeros(n, dtype=np.int8),
-        truth_chain_id=np.full(n, -1, dtype=np.int32),
-        truth_symmetric=np.zeros(n, dtype=bool),
-        truth_residual_km=np.zeros(n, dtype=np.float64),
-    )
+    stream = StreamingDataset(window=window)
+    stream.append_batch(records, strict=strict)
+    if stream.n_attacks == 0:
+        raise IngestError("no records to ingest")
+    return stream.dataset()

@@ -1,19 +1,69 @@
 """JSONL export of the attack schema (one JSON object per attack).
 
 A line-oriented sibling of :mod:`repro.io.csvio` for pipelines that
-prefer structured rows (e.g. jq / log processors).
+prefer structured rows (e.g. jq / log processors).  The row codec is
+shared with the streaming tailer (:class:`repro.stream.watch.JsonlTail`),
+which re-parses only the lines appended since its last poll.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Iterator
 from pathlib import Path
 
 from ..core.dataset import AttackDataset
 from ..geo.ipam import str_to_ip
 from ..monitor.schemas import DDoSAttackRecord, Protocol
 
-__all__ = ["export_attacks_jsonl", "read_attacks_jsonl"]
+__all__ = [
+    "export_attacks_jsonl",
+    "append_attacks_jsonl",
+    "read_attacks_jsonl",
+    "iter_attacks_jsonl",
+    "record_from_json",
+    "record_to_json",
+]
+
+
+def record_to_json(rec: DDoSAttackRecord) -> dict:
+    """The JSONL row for one attack record."""
+    return {
+        "ddos_id": rec.ddos_id,
+        "botnet_id": rec.botnet_id,
+        "family": rec.family,
+        "category": rec.category.name,
+        "target_ip": rec.target_ip_str,
+        "timestamp": rec.timestamp,
+        "end_time": rec.end_time,
+        "asn": rec.asn,
+        "cc": rec.country_code,
+        "city": rec.city,
+        "organization": rec.organization,
+        "latitude": rec.lat,
+        "longitude": rec.lon,
+        "magnitude": rec.magnitude,
+    }
+
+
+def record_from_json(row: dict) -> DDoSAttackRecord:
+    """Decode one JSONL row back into an attack record."""
+    return DDoSAttackRecord(
+        ddos_id=int(row["ddos_id"]),
+        botnet_id=int(row["botnet_id"]),
+        family=row["family"],
+        category=Protocol.from_name(row["category"]),
+        target_ip=str_to_ip(row["target_ip"]),
+        timestamp=float(row["timestamp"]),
+        end_time=float(row["end_time"]),
+        asn=int(row["asn"]),
+        country_code=row["cc"],
+        city=row["city"],
+        organization=row["organization"],
+        lat=float(row["latitude"]),
+        lon=float(row["longitude"]),
+        magnitude=int(row["magnitude"]),
+    )
 
 
 def export_attacks_jsonl(ds: AttackDataset, path: str | Path) -> int:
@@ -22,36 +72,25 @@ def export_attacks_jsonl(ds: AttackDataset, path: str | Path) -> int:
     n = 0
     with path.open("w") as fh:
         for rec in ds.iter_attacks():
-            fh.write(
-                json.dumps(
-                    {
-                        "ddos_id": rec.ddos_id,
-                        "botnet_id": rec.botnet_id,
-                        "family": rec.family,
-                        "category": rec.category.name,
-                        "target_ip": rec.target_ip_str,
-                        "timestamp": rec.timestamp,
-                        "end_time": rec.end_time,
-                        "asn": rec.asn,
-                        "cc": rec.country_code,
-                        "city": rec.city,
-                        "organization": rec.organization,
-                        "latitude": rec.lat,
-                        "longitude": rec.lon,
-                        "magnitude": rec.magnitude,
-                    },
-                    separators=(",", ":"),
-                )
-                + "\n"
-            )
+            fh.write(json.dumps(record_to_json(rec), separators=(",", ":")) + "\n")
             n += 1
     return n
 
 
-def read_attacks_jsonl(path: str | Path) -> list[DDoSAttackRecord]:
-    """Read attack records from a JSONL file written by the exporter."""
+def append_attacks_jsonl(records, path: str | Path) -> int:
+    """Append records to a JSONL log (the producer side of ``watch``)."""
     path = Path(path)
-    records: list[DDoSAttackRecord] = []
+    n = 0
+    with path.open("a") as fh:
+        for rec in records:
+            fh.write(json.dumps(record_to_json(rec), separators=(",", ":")) + "\n")
+            n += 1
+    return n
+
+
+def iter_attacks_jsonl(path: str | Path) -> Iterator[DDoSAttackRecord]:
+    """Lazily yield attack records from a JSONL file (blank lines skipped)."""
+    path = Path(path)
     with path.open() as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -61,22 +100,9 @@ def read_attacks_jsonl(path: str | Path) -> list[DDoSAttackRecord]:
                 row = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
-            records.append(
-                DDoSAttackRecord(
-                    ddos_id=int(row["ddos_id"]),
-                    botnet_id=int(row["botnet_id"]),
-                    family=row["family"],
-                    category=Protocol.from_name(row["category"]),
-                    target_ip=str_to_ip(row["target_ip"]),
-                    timestamp=float(row["timestamp"]),
-                    end_time=float(row["end_time"]),
-                    asn=int(row["asn"]),
-                    country_code=row["cc"],
-                    city=row["city"],
-                    organization=row["organization"],
-                    lat=float(row["latitude"]),
-                    lon=float(row["longitude"]),
-                    magnitude=int(row["magnitude"]),
-                )
-            )
-    return records
+            yield record_from_json(row)
+
+
+def read_attacks_jsonl(path: str | Path) -> list[DDoSAttackRecord]:
+    """Read attack records from a JSONL file written by the exporter."""
+    return list(iter_attacks_jsonl(path))

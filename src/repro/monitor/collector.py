@@ -12,7 +12,12 @@ from ..simulation.engine import SimulationEngine
 from ..simulation.events import Event, EventKind
 from .labeling import FamilyLabeler
 from .schemas import AttackPulse
-from .segmentation import DEFAULT_GAP_SECONDS, SegmentedAttack, segment_pulses
+from .segmentation import (
+    DEFAULT_GAP_SECONDS,
+    SegmentedAttack,
+    segment_pulses,
+    segment_with_members,
+)
 
 __all__ = ["Collector"]
 
@@ -79,3 +84,30 @@ class Collector:
     def segment(self) -> list[SegmentedAttack]:
         """Run the 60-second segmentation over everything collected."""
         return segment_pulses(self._pulses, self._gap_seconds)
+
+    def drain_segments(self, up_to: float | None = None) -> list[SegmentedAttack]:
+        """Hand off the attacks that are certainly finished by ``up_to``.
+
+        This is the incremental counterpart of :meth:`segment`, meant for
+        feeding a :class:`~repro.stream.builder.StreamingDataset` while a
+        run is still in progress.  An attack is *closed* iff
+        ``attack.end + gap_seconds < up_to``: no pulse observed at or
+        after ``up_to`` could still extend it under the 60-second rule.
+        Closed attacks are returned (in ``segment()`` order) and their
+        pulses leave the buffer; every pulse of a still-open attack is
+        retained so a later drain re-segments it with its continuation.
+        ``up_to=None`` flushes everything.
+
+        Draining in any sequence of cut points yields exactly the attacks
+        ``segment()`` would have produced over the full pulse log.
+        """
+        pairs = segment_with_members(self._pulses, self._gap_seconds)
+        closed: list[SegmentedAttack] = []
+        retained: list[AttackPulse] = []
+        for attack, members in pairs:
+            if up_to is None or attack.end + self._gap_seconds < up_to:
+                closed.append(attack)
+            else:
+                retained.extend(members)
+        self._pulses = retained
+        return closed

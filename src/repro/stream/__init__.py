@@ -1,0 +1,16 @@
+"""Streaming ingestion: the append path of the reproduction pipeline.
+
+* :class:`~repro.stream.builder.StreamingDataset` — append-oriented
+  dataset builder with amortized sorted columns and epoch-tagged
+  snapshots;
+* :mod:`repro.stream.incremental` — O(batch) maintenance of the cheap
+  :class:`~repro.core.context.AnalysisContext` views across appends;
+* :class:`~repro.stream.watch.WatchSession` /
+  :class:`~repro.stream.watch.JsonlTail` — tail a JSONL attack log and
+  keep the rendered report live (the ``ddos-repro watch`` command).
+"""
+
+from .builder import IngestError, StreamingDataset
+from .watch import JsonlTail, WatchSession
+
+__all__ = ["IngestError", "StreamingDataset", "JsonlTail", "WatchSession"]

@@ -1,0 +1,456 @@
+"""StreamingDataset: the append path of the reproduction.
+
+The paper's vendor pipeline is a *continuous* monitoring service —
+attacks accumulate over 207 days — while the batch builders
+(:func:`repro.io.ingest.dataset_from_records`,
+:func:`repro.datagen.generator.generate_dataset`) rebuild everything
+from scratch.  :class:`StreamingDataset` closes that gap: it accepts
+batches of :class:`~repro.monitor.schemas.DDoSAttackRecord`\\ s, keeps
+the per-attack columns sorted by start time with amortized merges, and
+materialises :class:`~repro.core.dataset.AttackDataset` snapshots whose
+:class:`~repro.core.context.AnalysisContext` views are maintained
+*incrementally* (see :mod:`repro.stream.incremental`).
+
+Equivalence contract: after any sequence of ``append_batch`` calls, the
+materialised dataset equals ``dataset_from_records`` over the same
+records in the same arrival order — the batch builder is in fact a
+one-batch stream.  When batches arrive in chronological order (each
+batch's first record not earlier than the previous batch's last), the
+appends take the in-place fast path and snapshot views are carried
+forward in O(batch); an out-of-order batch triggers a stable merge and
+a cold (lazy) view rebuild for the next snapshot.
+
+Entity interning (world countries/cities/organizations, victims,
+botnets) happens in arrival order.  For in-order streams that is the
+same first-appearance order the scratch build uses, so snapshots are
+cell-for-cell identical; out-of-order streams keep the same joined
+*content* but may number entities differently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..core.context import AnalysisContext
+from ..core.dataset import AttackDataset, BotRegistry, VictimRegistry
+from ..geo.world import COUNTRY_TABLE, City, Country, Organization, World
+from ..monitor.schemas import BotnetRecord, DDoSAttackRecord
+from ..simulation.clock import ObservationWindow
+from .columns import GrowableColumn
+
+__all__ = ["IngestError", "StreamingDataset"]
+
+_KNOWN_CENTROIDS = {code: (lat, lon) for code, _n, lat, lon, _w in COUNTRY_TABLE}
+
+_SECONDS_PER_DAY = 86400
+
+
+class IngestError(ValueError):
+    """A malformed record (or record stream) was handed to the ingest path.
+
+    ``index`` is the position of the offending record in the input
+    iterable (None when the whole stream is at fault, e.g. empty input).
+    """
+
+    def __init__(self, message: str, index: int | None = None) -> None:
+        super().__init__(message if index is None else f"record #{index}: {message}")
+        self.index = index
+
+
+def _validated(records: Iterable[DDoSAttackRecord], strict: bool) -> list[DDoSAttackRecord]:
+    """Materialise and validate an input iterable.
+
+    With ``strict`` (the default) a malformed record raises
+    :class:`IngestError` carrying its position; otherwise malformed
+    records are dropped.
+    """
+    out: list[DDoSAttackRecord] = []
+    for index, rec in enumerate(records):
+        if not isinstance(rec, DDoSAttackRecord):
+            if strict:
+                raise IngestError(
+                    f"expected DDoSAttackRecord, got {type(rec).__name__}", index
+                )
+            continue
+        if rec.end_time < rec.timestamp:
+            if strict:
+                raise IngestError(
+                    f"ends before it starts (ddos_id={rec.ddos_id})", index
+                )
+            continue
+        out.append(rec)
+    return out
+
+
+class StreamingDataset:
+    """Builds an attack-table-only dataset incrementally from records.
+
+    >>> stream = StreamingDataset()
+    >>> stream.append_batch(batch_of_records)
+    >>> ctx = stream.context()          # snapshot, views updated in O(batch)
+    >>> print(report.render_headline(ctx))
+
+    Like ingested datasets, streamed datasets have no Botlist side: the
+    participant arrays are empty, so bot-geolocation analyses degrade as
+    documented in :mod:`repro.io.ingest`.
+    """
+
+    def __init__(self, window: ObservationWindow | None = None) -> None:
+        self._window_fixed = window
+        self._min_start: float | None = None
+        self._max_end: float | None = None
+
+        self._world = World()
+        self._country_of: dict[str, int] = {}
+        self._city_of: dict[str, int] = {}
+        self._org_of: dict[str, int] = {}
+
+        self._families: list[str] = []
+        self._family_of: dict[str, int] = {}
+
+        self._target_of: dict[int, int] = {}
+        self._v_ip = GrowableColumn(np.uint64)
+        self._v_lat = GrowableColumn(float)
+        self._v_lon = GrowableColumn(float)
+        self._v_cc = GrowableColumn(np.int16)
+        self._v_city = GrowableColumn(np.int32)
+        self._v_org = GrowableColumn(np.int32)
+        self._v_asn = GrowableColumn(np.int32)
+
+        #: botnet_id -> [family, first_seen, last_seen]; family is the
+        #: first arrival's, matching the batch builder's setdefault.
+        self._botnet_seen: dict[int, list] = {}
+        self._botnets_cache: list[BotnetRecord] | None = None
+        self._botnet_pos: dict[int, int] = {}
+        self._botnets_dirty: set[int] = set()
+
+        self._start = GrowableColumn(float)
+        self._end = GrowableColumn(float)
+        self._family_idx = GrowableColumn(np.int16)
+        self._botnet_id = GrowableColumn(np.int32)
+        self._protocol = GrowableColumn(np.int8)
+        self._target_idx = GrowableColumn(np.int32)
+        self._magnitude = GrowableColumn(np.int32)
+
+        self._epoch = 0
+        #: Snapshot state: the context served at `_snapshot_epoch`, the
+        #: attack count it covered, and whether rows since then were
+        #: appended strictly in order (carry is only sound if so).
+        self._snapshot_ctx: AnalysisContext | None = None
+        self._snapshot_epoch = -1
+        self._carry_ok = True
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_attacks(self) -> int:
+        return len(self._start)
+
+    @property
+    def epoch(self) -> int:
+        """Revision counter: bumped once per non-empty ``append_batch``."""
+        return self._epoch
+
+    @property
+    def families(self) -> list[str]:
+        """Families seen so far, sorted (the snapshot index space)."""
+        return list(self._families)
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern_family(self, name: str) -> int:
+        idx = self._family_of.get(name)
+        if idx is not None:
+            return idx
+        # Families stay alphabetically sorted (the batch builder's
+        # contract), so a new family can land mid-list and shift the
+        # indices after it.  The committed column is rewritten through
+        # replace() so snapshots taken earlier keep their own indexing.
+        import bisect
+
+        pos = bisect.bisect_left(self._families, name)
+        self._families.insert(pos, name)
+        self._family_of = {fam: i for i, fam in enumerate(self._families)}
+        if pos < len(self._families) - 1 and self.n_attacks:
+            col = self._family_idx.view()
+            remapped = np.where(col >= pos, col + 1, col).astype(np.int16)
+            self._family_idx.replace(remapped)
+        return pos
+
+    def _intern_country(self, rec: DDoSAttackRecord) -> int:
+        idx = self._country_of.get(rec.country_code)
+        if idx is not None:
+            return idx
+        lat, lon = _KNOWN_CENTROIDS.get(rec.country_code, (rec.lat, rec.lon))
+        country = Country(
+            index=len(self._world.countries),
+            code=rec.country_code,
+            name=rec.country_code,
+            lat=lat,
+            lon=lon,
+            weight=1.0,
+        )
+        self._world.countries.append(country)
+        self._world._country_by_code[rec.country_code] = country.index
+        self._world._cities_by_country[country.index] = []
+        self._world._orgs_by_country[country.index] = []
+        self._country_of[rec.country_code] = country.index
+        return country.index
+
+    def _intern_city(self, rec: DDoSAttackRecord, country_idx: int) -> int:
+        idx = self._city_of.get(rec.city)
+        if idx is not None:
+            return idx
+        city = City(
+            index=len(self._world.cities),
+            name=rec.city,
+            country_index=country_idx,
+            lat=rec.lat,
+            lon=rec.lon,
+            weight=1.0,
+        )
+        self._world.cities.append(city)
+        self._world._cities_by_country[country_idx].append(city.index)
+        self._city_of[rec.city] = city.index
+        return city.index
+
+    def _intern_org(self, rec: DDoSAttackRecord, country_idx: int, city_idx: int) -> int:
+        idx = self._org_of.get(rec.organization)
+        if idx is not None:
+            return idx
+        org = Organization(
+            index=len(self._world.organizations),
+            name=rec.organization,
+            org_type="unknown",
+            country_index=country_idx,
+            city_index=city_idx,
+            asn=rec.asn,
+            weight=1.0,
+        )
+        self._world.organizations.append(org)
+        self._world._orgs_by_country[country_idx].append(org.index)
+        self._org_of[rec.organization] = org.index
+        return org.index
+
+    def _intern_victim(self, rec: DDoSAttackRecord, c_idx: int, city_idx: int, org_idx: int) -> int:
+        idx = self._target_of.get(rec.target_ip)
+        if idx is not None:
+            return idx
+        idx = len(self._v_ip)
+        self._target_of[rec.target_ip] = idx
+        self._v_ip.append([rec.target_ip])
+        self._v_lat.append([rec.lat])
+        self._v_lon.append([rec.lon])
+        self._v_cc.append([c_idx])
+        self._v_city.append([city_idx])
+        self._v_org.append([org_idx])
+        self._v_asn.append([rec.asn])
+        return idx
+
+    # -- the append path ---------------------------------------------------
+
+    def append_batch(
+        self, records: Iterable[DDoSAttackRecord], *, strict: bool = True
+    ) -> int:
+        """Fold a batch of records into the stream; returns the count added.
+
+        The batch may be any iterable (a generator is consumed once).
+        An empty batch is a no-op and does not bump the epoch.  Records
+        may arrive in any order; chronologically non-decreasing batches
+        take the O(batch) fast path, others trigger a stable merge of
+        the sorted columns.
+        """
+        batch = _validated(records, strict)
+        if not batch:
+            return 0
+        batch.sort(key=lambda r: (r.timestamp, r.botnet_id))
+
+        n_before = self.n_attacks
+        last_key = (
+            (float(self._start.view()[-1]), int(self._botnet_id.view()[-1]))
+            if n_before
+            else None
+        )
+
+        for rec in batch:
+            c_idx = self._intern_country(rec)
+            city_idx = self._intern_city(rec, c_idx)
+            org_idx = self._intern_org(rec, c_idx, city_idx)
+            self._intern_victim(rec, c_idx, city_idx, org_idx)
+            self._intern_family(rec.family)
+            entry = self._botnet_seen.setdefault(
+                rec.botnet_id, [rec.family, rec.timestamp, rec.end_time]
+            )
+            entry[1] = min(entry[1], rec.timestamp)
+            entry[2] = max(entry[2], rec.end_time)
+            self._botnets_dirty.add(rec.botnet_id)
+            if self._min_start is None or rec.timestamp < self._min_start:
+                self._min_start = rec.timestamp
+            if self._max_end is None or rec.end_time > self._max_end:
+                self._max_end = rec.end_time
+
+        # Family indices are resolved after the whole batch is interned:
+        # a new family landing mid-alphabet shifts indices assigned to
+        # earlier rows of this very batch.
+        family_col = np.asarray(
+            [self._family_of[r.family] for r in batch], dtype=np.int16
+        )
+
+        start = np.asarray([r.timestamp for r in batch], dtype=float)
+        end = np.asarray([r.end_time for r in batch], dtype=float)
+        botnet = np.asarray([r.botnet_id for r in batch], dtype=np.int32)
+        proto = np.asarray([int(r.category) for r in batch], dtype=np.int8)
+        target = np.asarray(
+            [self._target_of[r.target_ip] for r in batch], dtype=np.int32
+        )
+        magnitude = np.asarray([r.magnitude for r in batch], dtype=np.int32)
+
+        in_order = last_key is None or (start[0], int(botnet[0])) >= last_key
+        self._start.append(start)
+        self._end.append(end)
+        self._family_idx.append(family_col)
+        self._botnet_id.append(botnet)
+        self._protocol.append(proto)
+        self._target_idx.append(target)
+        self._magnitude.append(magnitude)
+
+        if not in_order:
+            # Stable merge: equivalent to stable-sorting the records in
+            # arrival order by (start, botnet_id) — exactly what the
+            # scratch batch build does.
+            order = np.lexsort((self._botnet_id.view(), self._start.view()))
+            for col in (self._start, self._end, self._family_idx,
+                        self._botnet_id, self._protocol, self._target_idx,
+                        self._magnitude):
+                col.replace(col.view()[order])
+            self._carry_ok = False
+
+        self._epoch += 1
+        return len(batch)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _window(self) -> ObservationWindow:
+        if self._window_fixed is not None:
+            return self._window_fixed
+        if self._min_start is None:
+            return ObservationWindow()
+        start = int(self._min_start)
+        end = int(self._max_end) + 1
+        span = max(end - start, _SECONDS_PER_DAY)
+        n_days = (span + _SECONDS_PER_DAY - 1) // _SECONDS_PER_DAY
+        return ObservationWindow(start=start, end=start + n_days * _SECONDS_PER_DAY)
+
+    def _botnets(self) -> list[BotnetRecord]:
+        if self._botnets_cache is None:
+            self._botnets_cache = [
+                BotnetRecord(
+                    botnet_id=bid, family=fam, controller_ip=0, first_seen=lo, last_seen=hi
+                )
+                for bid, (fam, lo, hi) in sorted(self._botnet_seen.items())
+            ]
+            self._botnet_pos = {
+                rec.botnet_id: i for i, rec in enumerate(self._botnets_cache)
+            }
+            self._botnets_dirty.clear()
+        elif self._botnets_dirty:
+            # Patch only the botnets the batch touched.  The list is
+            # copied first: snapshots materialised earlier hold the old
+            # one and must keep their first/last_seen values.
+            cache = list(self._botnets_cache)
+            new_ids = False
+            for bid in self._botnets_dirty:
+                fam, lo, hi = self._botnet_seen[bid]
+                rec = BotnetRecord(
+                    botnet_id=bid, family=fam, controller_ip=0, first_seen=lo, last_seen=hi
+                )
+                pos = self._botnet_pos.get(bid)
+                if pos is None:
+                    cache.append(rec)
+                    new_ids = True
+                else:
+                    cache[pos] = rec
+            if new_ids:
+                cache.sort(key=lambda rec: rec.botnet_id)
+                self._botnet_pos = {rec.botnet_id: i for i, rec in enumerate(cache)}
+            self._botnets_cache = cache
+            self._botnets_dirty.clear()
+        return self._botnets_cache
+
+    def _materialize(self) -> AttackDataset:
+        n = self.n_attacks
+        families = list(self._families)
+        victims = VictimRegistry(
+            ip=self._v_ip.view(),
+            lat=self._v_lat.view(),
+            lon=self._v_lon.view(),
+            country_idx=self._v_cc.view(),
+            city_idx=self._v_city.view(),
+            org_idx=self._v_org.view(),
+            asn=self._v_asn.view(),
+            owner_family_idx=np.full(len(self._v_ip), -1, dtype=np.int16),
+        )
+        empty = np.zeros(0)
+        bots = BotRegistry(
+            ip=np.zeros(0, dtype=np.uint64),
+            lat=empty,
+            lon=empty,
+            country_idx=np.zeros(0, dtype=np.int16),
+            city_idx=np.zeros(0, dtype=np.int32),
+            org_idx=np.zeros(0, dtype=np.int32),
+            asn=np.zeros(0, dtype=np.int32),
+            family_idx=np.zeros(0, dtype=np.int16),
+            botnet_id=np.zeros(0, dtype=np.int32),
+            recruit_ts=empty,
+        )
+        return AttackDataset(
+            window=self._window(),
+            world=self._world,
+            families=families,
+            active_families=list(families),
+            bots=bots,
+            victims=victims,
+            botnets=self._botnets(),
+            start=self._start.view(),
+            end=self._end.view(),
+            family_idx=self._family_idx.view(),
+            botnet_id=self._botnet_id.view(),
+            protocol=self._protocol.view(),
+            target_idx=self._target_idx.view(),
+            magnitude=self._magnitude.view(),
+            part_offsets=np.zeros(n + 1, dtype=np.int64),
+            participants=np.zeros(0, dtype=np.int64),
+            truth_collab_group=np.full(n, -1, dtype=np.int32),
+            truth_collab_kind=np.zeros(n, dtype=np.int8),
+            truth_chain_id=np.full(n, -1, dtype=np.int32),
+            truth_symmetric=np.zeros(n, dtype=bool),
+            truth_residual_km=np.zeros(n, dtype=np.float64),
+        )
+
+    def context(self) -> AnalysisContext:
+        """The current snapshot's shared analysis context.
+
+        Cached per epoch: repeated calls between appends return the same
+        context (and the same dataset instance).  After an append, a new
+        snapshot is materialised and the previous snapshot's cheap views
+        are carried forward incrementally; expensive views (collaboration
+        scans, chains, forecasts) are left to rebuild lazily under the
+        new epoch tag.
+        """
+        if self._snapshot_ctx is not None and self._snapshot_epoch == self._epoch:
+            return self._snapshot_ctx
+        from .incremental import carry_views  # late: keeps module import light
+
+        ctx = AnalysisContext.attach(self._materialize(), epoch=self._epoch)
+        if self._snapshot_ctx is not None and self._carry_ok:
+            carry_views(self._snapshot_ctx, ctx)
+        self._snapshot_ctx = ctx
+        self._snapshot_epoch = self._epoch
+        self._carry_ok = True
+        return ctx
+
+    def dataset(self) -> AttackDataset:
+        """The current snapshot dataset (see :meth:`context`)."""
+        return self.context().dataset

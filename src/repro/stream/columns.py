@@ -1,0 +1,68 @@
+"""Append-oriented numpy columns for the streaming builder.
+
+A :class:`GrowableColumn` is a capacity-doubling buffer whose committed
+prefix is handed out as a read-only view.  Snapshots taken at epoch *e*
+alias the buffer's first ``n_e`` elements; later appends only ever write
+*past* that prefix, so old snapshots stay valid without copying.  The
+one operation that rewrites committed rows — an out-of-order merge —
+goes through :meth:`replace`, which allocates a fresh buffer and leaves
+every previously handed-out view untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GrowableColumn"]
+
+_MIN_CAPACITY = 64
+
+
+class GrowableColumn:
+    """An append-only numpy column with amortized O(1) appends."""
+
+    def __init__(self, dtype, capacity: int = _MIN_CAPACITY) -> None:
+        self._buf = np.empty(max(int(capacity), _MIN_CAPACITY), dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def dtype(self):
+        return self._buf.dtype
+
+    def append(self, values) -> None:
+        """Append a batch of values (list or array) to the column."""
+        values = np.asarray(values, dtype=self._buf.dtype)
+        need = self._n + values.size
+        if need > self._buf.size:
+            capacity = self._buf.size
+            while capacity < need:
+                capacity *= 2
+            # Old snapshots alias the old buffer; they keep it alive.
+            grown = np.empty(capacity, dtype=self._buf.dtype)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : need] = values
+        self._n = need
+
+    def replace(self, values: np.ndarray) -> None:
+        """Swap in a rewritten column (out-of-order merge, remap).
+
+        Always allocates a new buffer so views handed out earlier keep
+        their old contents.
+        """
+        values = np.asarray(values, dtype=self._buf.dtype)
+        capacity = self._buf.size
+        while capacity < values.size:
+            capacity *= 2
+        self._buf = np.empty(capacity, dtype=self._buf.dtype)
+        self._buf[: values.size] = values
+        self._n = values.size
+
+    def view(self) -> np.ndarray:
+        """Read-only view of the committed prefix (zero copy)."""
+        out = self._buf[: self._n]
+        out.flags.writeable = False
+        return out

@@ -1,0 +1,138 @@
+"""Tail a growing JSONL attack log and keep the analysis live.
+
+:class:`JsonlTail` is the transport: it remembers a byte offset into the
+file and, on each poll, parses only the *complete* lines written since
+the last poll (a partially-written trailing line is left for the next
+round, so a concurrent writer never produces a torn read).  Records are
+therefore processed exactly once.
+
+:class:`WatchSession` is the policy: tail + :class:`StreamingDataset` +
+report rendering.  Each poll that finds new records appends them (an
+O(batch) incremental update for in-order logs) and re-renders the
+headline report from the snapshot context; polls that find nothing
+return ``None`` without touching the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..monitor.schemas import DDoSAttackRecord
+from ..simulation.clock import ObservationWindow
+from .builder import StreamingDataset
+
+__all__ = ["JsonlTail", "WatchSession"]
+
+
+class JsonlTail:
+    """Incremental reader of a growing JSONL attack log."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._offset = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the first unconsumed byte."""
+        return self._offset
+
+    def poll(self) -> list[DDoSAttackRecord]:
+        """Parse the complete lines appended since the last poll.
+
+        A missing file yields no records (the log may not exist yet);
+        a truncated file (size below the consumed offset, e.g. log
+        rotation) restarts from the beginning.
+        """
+        from ..io.jsonlio import record_from_json  # late: avoids an import cycle
+
+        try:
+            with self._path.open("rb") as fh:
+                fh.seek(0, 2)
+                size = fh.tell()
+                if size < self._offset:
+                    self._offset = 0  # rotated/truncated: start over
+                fh.seek(self._offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return []
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            return []
+        consumed = data[: cut + 1]
+        records: list[DDoSAttackRecord] = []
+        for lineno, line in enumerate(consumed.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{self._path}: invalid JSON on appended line {lineno}: {exc}"
+                ) from exc
+            records.append(record_from_json(row))
+        self._offset += len(consumed)
+        return records
+
+
+class WatchSession:
+    """A long-running view over a JSONL attack log.
+
+    >>> session = WatchSession("attacks.jsonl")
+    >>> while True:
+    ...     update = session.poll()
+    ...     if update is not None:
+    ...         print(update)
+    ...     time.sleep(2)
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        window: ObservationWindow | None = None,
+        renderer=None,
+    ) -> None:
+        self._tail = JsonlTail(path)
+        self._stream = StreamingDataset(window=window)
+        self._renderer = renderer
+
+    @property
+    def stream(self) -> StreamingDataset:
+        return self._stream
+
+    @property
+    def n_attacks(self) -> int:
+        return self._stream.n_attacks
+
+    @property
+    def epoch(self) -> int:
+        return self._stream.epoch
+
+    def poll(self) -> str | None:
+        """Ingest newly-landed records; render iff something changed."""
+        records = self._tail.poll()
+        if not records:
+            return None
+        appended = self._stream.append_batch(records)
+        if not appended:
+            return None
+        return self.render()
+
+    def render(self) -> str:
+        """The report for the current snapshot (headline + protocol mix)."""
+        if self._stream.n_attacks == 0:
+            return "(no attacks ingested yet)"
+        ctx = self._stream.context()
+        if self._renderer is not None:
+            return self._renderer(ctx)
+        from ..core import report
+
+        return "\n\n".join(
+            [report.render_headline(ctx), report.render_protocol_table(ctx)]
+        )

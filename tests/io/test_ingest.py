@@ -9,7 +9,7 @@ from repro.core.durations import duration_summary
 from repro.core.intervals import interval_summary
 from repro.core.overview import daily_attack_counts, protocol_breakdown
 from repro.core.targets import country_breakdown
-from repro.io.ingest import dataset_from_records
+from repro.io.ingest import IngestError, dataset_from_records
 
 
 @pytest.fixture(scope="module")
@@ -93,3 +93,39 @@ class TestStructure:
             dataset_from_records(
                 [dataclasses.replace(bad, end_time=bad.timestamp - 10)]
             )
+
+    def test_generator_input(self, small_ds):
+        ds = dataset_from_records(
+            (r for r in small_ds.iter_attacks()), window=small_ds.window
+        )
+        assert ds.n_attacks == small_ds.n_attacks
+
+    def test_ingest_error_carries_index(self, small_ds):
+        import dataclasses
+
+        records = list(small_ds.iter_attacks())[:10]
+        records[7] = dataclasses.replace(
+            records[7], end_time=records[7].timestamp - 10
+        )
+        with pytest.raises(IngestError) as exc_info:
+            dataset_from_records(records)
+        assert exc_info.value.index == 7
+        assert "record #7" in str(exc_info.value)
+
+    def test_non_strict_drops_malformed(self, small_ds):
+        import dataclasses
+
+        records = list(small_ds.iter_attacks())[:10]
+        records[2] = dataclasses.replace(
+            records[2], end_time=records[2].timestamp - 10
+        )
+        ds = dataset_from_records(records, strict=False)
+        assert ds.n_attacks == 9
+
+    def test_non_strict_all_dropped_still_rejected(self, small_ds):
+        import dataclasses
+
+        rec = small_ds.attack(0)
+        bad = dataclasses.replace(rec, end_time=rec.timestamp - 10)
+        with pytest.raises(IngestError, match="no records"):
+            dataset_from_records([bad], strict=False)

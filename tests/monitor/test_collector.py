@@ -49,3 +49,57 @@ class TestCollector:
         attacks = collector.segment()
         assert len(attacks) == 1
         assert attacks[0].pulse_count == 2
+
+
+class TestDrainSegments:
+    def test_drain_none_flushes_everything(self):
+        collector = make_collector()
+        collector.ingest([pulse(start=0, end=10), pulse(start=500, end=510)])
+        drained = collector.drain_segments()
+        assert len(drained) == 2
+        assert collector.n_pulses == 0
+        assert collector.segment() == []
+
+    def test_open_attack_retained(self):
+        # end=100, gap=60: a pulse at t < 160 could still extend it, so
+        # draining at up_to=150 must keep it buffered.
+        collector = make_collector()
+        collector.ingest([pulse(start=0, end=100)])
+        assert collector.drain_segments(up_to=150) == []
+        assert collector.n_pulses == 1
+        closed = collector.drain_segments(up_to=161)
+        assert len(closed) == 1
+
+    def test_retained_attack_extends_on_later_pulse(self):
+        collector = make_collector()
+        collector.ingest([pulse(start=0, end=100, tag=1)])
+        collector.drain_segments(up_to=150)  # still open, stays buffered
+        collector.ingest([pulse(start=140, end=200, tag=1)])
+        [attack] = collector.drain_segments()
+        assert attack.start == 0
+        assert attack.end == 200
+        assert attack.pulse_count == 2
+
+    def test_incremental_drains_match_batch_segment(self):
+        pulses = [
+            pulse(start=0, end=10, tag=1),
+            pulse(start=40, end=55, tag=1),     # merges with the first
+            pulse(start=400, end=420, tag=2),   # separate attack
+            pulse(botnet=2, family="dirtjumper", start=30, end=90, tag=3),
+            pulse(start=900, end=950, tag=4),
+        ]
+        batch = make_collector()
+        batch.ingest(pulses)
+        expected = batch.segment()
+
+        inc = make_collector()
+        drained = []
+        for lo, hi in [(0, 100), (100, 300), (300, 600), (600, None)]:
+            inc.ingest(
+                [p for p in pulses if p.start >= lo and (hi is None or p.start < hi)]
+            )
+            drained.extend(inc.drain_segments(up_to=hi))
+        drained.sort(key=lambda a: (a.start, a.botnet_id, a.target_index))
+        got = [(a.botnet_id, a.target_index, a.start, a.end, a.pulse_count) for a in drained]
+        want = [(a.botnet_id, a.target_index, a.start, a.end, a.pulse_count) for a in expected]
+        assert got == want

@@ -1,0 +1,124 @@
+"""Tests for the append-oriented dataset builder."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.stream import IngestError, StreamingDataset
+
+
+@pytest.fixture(scope="module")
+def records(small_ds):
+    return list(small_ds.iter_attacks())
+
+
+class TestAppend:
+    def test_empty_append_is_noop(self):
+        stream = StreamingDataset()
+        assert stream.append_batch([]) == 0
+        assert stream.epoch == 0
+        assert stream.n_attacks == 0
+
+    def test_epoch_bumps_per_batch(self, records):
+        stream = StreamingDataset()
+        stream.append_batch(records[:10])
+        assert stream.epoch == 1
+        stream.append_batch(records[10:20])
+        assert stream.epoch == 2
+        stream.append_batch([])  # no records, no epoch
+        assert stream.epoch == 2
+
+    def test_accepts_generator(self, records):
+        stream = StreamingDataset()
+        n = stream.append_batch(r for r in records[:25])
+        assert n == 25
+        assert stream.n_attacks == 25
+
+    def test_strict_raises_with_index(self, records):
+        bad = dataclasses.replace(records[3], end_time=records[3].timestamp - 5)
+        stream = StreamingDataset()
+        with pytest.raises(IngestError) as exc_info:
+            stream.append_batch(records[:3] + [bad])
+        assert exc_info.value.index == 3
+        assert "record #3" in str(exc_info.value)
+
+    def test_strict_raises_on_wrong_type(self):
+        stream = StreamingDataset()
+        with pytest.raises(IngestError) as exc_info:
+            stream.append_batch(["not a record"])
+        assert exc_info.value.index == 0
+
+    def test_non_strict_drops(self, records):
+        bad = dataclasses.replace(records[0], end_time=records[0].timestamp - 5)
+        stream = StreamingDataset()
+        n = stream.append_batch([bad] + records[:4], strict=False)
+        assert n == 4
+        assert stream.n_attacks == 4
+
+    def test_strict_failure_leaves_stream_unchanged(self, records):
+        stream = StreamingDataset()
+        stream.append_batch(records[:5])
+        bad = dataclasses.replace(records[9], end_time=records[9].timestamp - 5)
+        with pytest.raises(IngestError):
+            stream.append_batch(records[5:9] + [bad])
+        assert stream.n_attacks == 5
+        assert stream.epoch == 1
+
+
+class TestSnapshots:
+    def test_context_cached_per_epoch(self, records):
+        stream = StreamingDataset()
+        stream.append_batch(records[:50])
+        ctx1 = stream.context()
+        assert stream.context() is ctx1
+        assert ctx1.epoch == 1
+        stream.append_batch(records[50:60])
+        ctx2 = stream.context()
+        assert ctx2 is not ctx1
+        assert ctx2.epoch == 2
+
+    def test_old_snapshot_survives_append(self, records):
+        stream = StreamingDataset()
+        stream.append_batch(records[:50])
+        old = stream.dataset()
+        old_starts = old.start.copy()
+        stream.append_batch(records[50:200])
+        assert old.n_attacks == 50
+        assert np.array_equal(old.start, old_starts)
+
+    def test_snapshot_columns_readonly(self, records):
+        stream = StreamingDataset()
+        stream.append_batch(records[:10])
+        ds = stream.dataset()
+        with pytest.raises(ValueError):
+            ds.start[0] = 0.0
+
+    def test_new_family_mid_alphabet_remaps(self, records):
+        # Feed families in an order that forces a mid-list insertion and
+        # check the committed family indices stay consistent.
+        by_family: dict[str, list] = {}
+        for rec in records:
+            by_family.setdefault(rec.family, []).append(rec)
+        fams = sorted(by_family)
+        assert len(fams) >= 3
+        stream = StreamingDataset()
+        stream.append_batch(by_family[fams[0]] + by_family[fams[-1]])
+        stream.append_batch(by_family[fams[1]])  # inserts between them
+        ds = stream.dataset()
+        for i in range(ds.n_attacks):
+            assert ds.attack(i).family == ds.families[ds.family_idx[i]]
+
+    def test_out_of_order_append_resorts(self, records):
+        # Reversed chronological batches: content equal to the scratch
+        # build, column order still sorted by start.
+        stream = StreamingDataset(window=None)
+        half = len(records) // 2
+        stream.append_batch(records[half:])
+        stream.append_batch(records[:half])
+        ds = stream.dataset()
+        assert ds.n_attacks == len(records)
+        assert np.all(np.diff(ds.start) >= 0)
+        assert np.array_equal(
+            np.sort(ds.start), np.sort(np.asarray([r.timestamp for r in records]))
+        )

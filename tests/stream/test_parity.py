@@ -1,0 +1,142 @@
+"""Streaming parity: K-batch appends equal the scratch batch build.
+
+The acceptance bar for the streaming layer: after ANY sequence of
+``append_batch`` calls, the snapshot dataset and every materialized
+AnalysisContext view must be array-equal to a scratch
+``dataset_from_records`` build over the same records.  Views are
+touched after EACH append so the incremental carry path (not just the
+lazy rebuild) is what gets verified.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.io.ingest import dataset_from_records
+from repro.stream import StreamingDataset
+
+
+@pytest.fixture(scope="module")
+def records(small_ds):
+    return list(small_ds.iter_attacks())
+
+
+@pytest.fixture(scope="module")
+def scratch(records, small_ds):
+    return dataset_from_records(records, window=small_ds.window)
+
+
+def touch_views(ctx: AnalysisContext) -> None:
+    """Materialize every incrementally-maintained view."""
+    for family in ctx.dataset.families:
+        ctx.family_attacks(family)
+        ctx.family_starts(family)
+        ctx.family_intervals(family)
+        ctx.family_intervals(family, include_simultaneous=False)
+        ctx.durations(family)
+        ctx.family_target_country_counts(family)
+        ctx.daily_distribution(family)
+    ctx.attack_intervals()
+    ctx.durations()
+    ctx.target_country_idx()
+    ctx.target_org_idx()
+    ctx.target_country_counts()
+    ctx.daily_distribution()
+    ctx.protocol_popularity()
+    ctx.protocol_breakdown()
+    ctx.target_attacks(0)
+    if ctx.dataset.n_attacks:
+        ctx.botnet_attacks(int(ctx.dataset.botnet_id[0]))
+
+
+def views_equal(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, np.ndarray):
+        return np.array_equal(a, b)
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        return all(
+            views_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(views_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(views_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def assert_context_parity(stream_ctx: AnalysisContext, scratch_ds) -> None:
+    reference = AnalysisContext(scratch_ds)
+    touch_views(reference)
+    materialized = stream_ctx.materialized()
+    for key, expected in reference.materialized().items():
+        assert key in materialized, f"view {key} missing from streamed context"
+        assert views_equal(expected, materialized[key]), f"view {key} differs"
+
+
+@pytest.mark.parametrize("k", [1, 3, 17])
+def test_k_batch_parity(k, records, scratch, small_ds):
+    stream = StreamingDataset(window=small_ds.window)
+    chunk = (len(records) + k - 1) // k
+    for i in range(0, len(records), chunk):
+        stream.append_batch(records[i : i + chunk])
+        touch_views(stream.context())  # exercise the carry on every epoch
+    assert stream.dataset().attack_columns_equal(scratch)
+    assert_context_parity(stream.context(), scratch)
+
+
+def test_single_record_appends(records, small_ds):
+    # The pathological K = n case on a prefix: every append is one record.
+    subset = records[:60]
+    scratch = dataset_from_records(subset, window=small_ds.window)
+    stream = StreamingDataset(window=small_ds.window)
+    for rec in subset:
+        stream.append_batch([rec])
+        touch_views(stream.context())
+    assert stream.dataset().attack_columns_equal(scratch)
+    assert_context_parity(stream.context(), scratch)
+
+
+def test_parity_without_touching_views(records, scratch, small_ds):
+    # Lazy path: never materialize mid-stream, everything rebuilds cold.
+    stream = StreamingDataset(window=small_ds.window)
+    chunk = (len(records) + 2) // 3
+    for i in range(0, len(records), chunk):
+        stream.append_batch(records[i : i + chunk])
+    assert stream.dataset().attack_columns_equal(scratch)
+    ctx = stream.context()
+    touch_views(ctx)
+    assert_context_parity(ctx, scratch)
+
+
+def test_inferred_window_parity(records):
+    # No fixed window: both sides must infer the identical padded span.
+    stream = StreamingDataset()
+    chunk = (len(records) + 4) // 5
+    for i in range(0, len(records), chunk):
+        stream.append_batch(records[i : i + chunk])
+        touch_views(stream.context())
+    scratch = dataset_from_records(records)
+    assert stream.dataset().window == scratch.window
+    assert stream.dataset().attack_columns_equal(scratch)
+    assert_context_parity(stream.context(), scratch)
+
+
+def test_expensive_views_invalidate_lazily(records, small_ds):
+    stream = StreamingDataset(window=small_ds.window)
+    stream.append_batch(records[:400])
+    ctx1 = stream.context()
+    collabs1 = ctx1.collaborations()
+    stream.append_batch(records[400:])
+    ctx2 = stream.context()
+    # The new epoch's context does not inherit the expensive scan ...
+    assert ("collaborations",) not in ctx2.materialized()
+    # ... the old epoch's context still holds it ...
+    assert ctx1.collaborations() is collabs1
+    # ... and a fresh scan on the new snapshot matches scratch.
+    scratch = dataset_from_records(records, window=small_ds.window)
+    expected = AnalysisContext(scratch).collaborations()
+    assert len(ctx2.collaborations()) == len(expected)

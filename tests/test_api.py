@@ -1,0 +1,76 @@
+"""Tests for the stable ``repro.api`` facade."""
+
+import numpy as np
+import pytest
+
+from repro import api
+
+
+class TestFacade:
+    def test_reexported_from_package_root(self):
+        import repro
+
+        assert repro.api is api
+
+    def test_generate_without_cache(self, tiny_config):
+        ds = api.generate(config=tiny_config, cache=False)
+        assert ds.n_attacks > 0
+
+    def test_generate_uses_cache(self, tiny_config, tmp_path):
+        ds1 = api.generate(config=tiny_config, cache_dir=tmp_path)
+        ds2 = api.generate(config=tiny_config, cache_dir=tmp_path)
+        assert np.array_equal(ds1.start, ds2.start)
+        assert any(p.name.startswith("dataset-") for p in tmp_path.iterdir())
+
+    def test_context_is_shared(self, tiny_ds):
+        assert api.context(tiny_ds) is api.context(tiny_ds)
+
+    def test_ingest_roundtrip(self, tiny_ds):
+        ds = api.ingest(tiny_ds.iter_attacks(), window=tiny_ds.window)
+        assert ds.attack_columns_equal is not None
+        assert ds.n_attacks == tiny_ds.n_attacks
+
+    def test_stream_builder(self, tiny_ds):
+        stream = api.stream(window=tiny_ds.window)
+        stream.append_batch(list(tiny_ds.iter_attacks()))
+        assert stream.n_attacks == tiny_ds.n_attacks
+
+    def test_run_all_smoke(self, tiny_ds):
+        results = list(api.run_all(api.context(tiny_ds)))
+        assert len(results) > 0
+        assert all(hasattr(r, "render") for r in results)
+
+
+class TestLoad:
+    def test_load_jsonl(self, tiny_ds, tmp_path):
+        from repro.io.jsonlio import export_attacks_jsonl
+
+        path = tmp_path / "attacks.jsonl"
+        export_attacks_jsonl(tiny_ds, path)
+        ds = api.load(path)
+        assert ds.n_attacks == tiny_ds.n_attacks
+
+    def test_load_csv(self, tiny_ds, tmp_path):
+        from repro.io.csvio import export_attacks_csv
+
+        path = tmp_path / "attacks.csv"
+        export_attacks_csv(tiny_ds, path)
+        ds = api.load(path)
+        assert ds.n_attacks == tiny_ds.n_attacks
+
+    def test_load_pickle(self, tiny_ds, tmp_path):
+        from repro.io.cache import save_dataset
+
+        path = tmp_path / "ds.pkl.gz"
+        save_dataset(tiny_ds, path)
+        ds = api.load(path)
+        assert ds.n_attacks == tiny_ds.n_attacks
+        assert ds.bots.n_bots == tiny_ds.bots.n_bots  # full round-trip
+
+    def test_load_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot infer format"):
+            api.load(tmp_path / "data.xml")
+
+    def test_watch_factory(self, tmp_path):
+        session = api.watch(tmp_path / "log.jsonl")
+        assert session.poll() is None

@@ -83,3 +83,38 @@ class TestCli:
             "predict", "--family", "dirtjumper", "--order", "abc",
         )
         assert code == 2
+
+    def test_experiments_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([*BASE, "experiments", "--jobs", "0"])
+        assert exc_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_experiments_jobs_not_an_int(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([*BASE, "experiments", "--jobs", "two"])
+        assert exc_info.value.code == 2
+
+    def test_watch_with_max_polls(self, capsys, cache_dir, tmp_path):
+        from repro.datagen.config import DatasetConfig
+        from repro.io.cache import load_or_generate
+        from repro.io.jsonlio import append_attacks_jsonl
+
+        ds = load_or_generate(DatasetConfig(seed=7, scale=0.005), cache_dir)
+        log = tmp_path / "attacks.jsonl"
+        append_attacks_jsonl(list(ds.iter_attacks())[:50], log)
+        code, out = run_cli(
+            capsys, "watch", "--path", str(log), "--interval", "0.01",
+            "--max-polls", "2",
+        )
+        assert code == 0
+        assert "attacks: 50" in out
+        assert "epoch 1" in out
+
+    def test_watch_missing_log_exits_cleanly(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "watch", "--path", str(tmp_path / "absent.jsonl"),
+            "--interval", "0.01", "--max-polls", "1",
+        )
+        assert code == 0
+        assert out == ""
