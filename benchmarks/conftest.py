@@ -18,6 +18,26 @@ from repro.datagen.config import DatasetConfig
 from repro.io.cache import load_or_generate
 
 
+@pytest.fixture(scope="session", autouse=True)
+def obs_populated():
+    """Fail the session if the benchmarked paths stopped emitting metrics.
+
+    Every benchmark exercises instrumented code (cache loads, view
+    builds, experiment spans), so an empty registry at teardown means
+    the observability hooks were silently lost — exactly the regression
+    the overhead budget makes tempting.
+    """
+    from repro import obs
+
+    yield
+    reg = obs.registry()
+    assert reg.names(), "benchmarks emitted no metrics: instrumentation lost?"
+    assert any(
+        name.startswith("cache.") or name.startswith("generate.")
+        for name in reg.names()
+    ), "dataset fixtures bypassed the instrumented cache/generate paths"
+
+
 @pytest.fixture(scope="session")
 def full_ds():
     """The paper-scale dataset (cached on disk).

@@ -19,7 +19,7 @@ import argparse
 
 import numpy as np
 
-from repro import DatasetConfig, generate_dataset
+from repro import api
 from repro.core.collaboration import (
     collaboration_table,
     detect_collaborations,
@@ -36,7 +36,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"Generating dataset (scale={args.scale}) ...")
-    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+    ds = api.generate(scale=args.scale, seed=args.seed)
 
     print()
     print("=== Concurrent collaborations (Table VI) ===")

@@ -22,7 +22,7 @@ import argparse
 
 import numpy as np
 
-from repro import DatasetConfig, generate_dataset
+from repro import api
 from repro.core.durations import duration_summary
 from repro.core.prediction import predict_next_attack_time
 from repro.core.shift import weekly_shift
@@ -36,7 +36,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"Generating dataset (scale={args.scale}) ...")
-    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+    ds = api.generate(scale=args.scale, seed=args.seed)
 
     print()
     print("=== 1. Detection window (Fig 7) ===")

@@ -6,41 +6,41 @@ demonstrates the full loop:
 
 1. write a CSV in the DDoSattack schema (here: exported from a small
    synthetic dataset, standing in for a real monitoring export);
-2. read it back with :func:`repro.io.csvio.read_attacks_csv`;
-3. build an attack-table-only dataset via
-   :func:`repro.io.ingest.dataset_from_records`;
-4. run the attack-level analyses: intervals, durations, campaigns,
+2. load it back with :func:`repro.api.load`, which sniffs the format and
+   builds an attack-table-only dataset;
+3. run the attack-level analyses: intervals, durations, campaigns,
    collaborations, chains.
 
 Run::
 
-    python examples/ingest_external_logs.py [--csv path/to/your.csv]
+    python examples/ingest_external_logs.py [--csv path/to/your.csv] [--scale 0.02]
 """
 
 import argparse
 import tempfile
 from pathlib import Path
 
-from repro import DatasetConfig, generate_dataset
+from repro import api
 from repro.core.campaigns import campaign_summary, detect_campaigns
 from repro.core.collaboration import detect_collaborations
 from repro.core.consecutive import detect_chains
 from repro.core.durations import duration_summary
 from repro.core.intervals import interval_summary
 from repro.core.sanity import check_no_spoofing
-from repro.io.csvio import export_attacks_csv, read_attacks_csv
-from repro.io.ingest import dataset_from_records
+from repro.io.csvio import export_attacks_csv
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--csv", default=None, help="a DDoSattack-schema CSV to analyze")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="scale of the synthetic log when no --csv is given")
     args = parser.parse_args()
 
     if args.csv is None:
         # No log supplied: fabricate one so the example is self-contained.
         print("No --csv given; exporting a synthetic log to analyze ...")
-        source = generate_dataset(DatasetConfig(seed=11, scale=0.02))
+        source = api.generate(scale=args.scale, seed=11)
         tmp = Path(tempfile.mkdtemp()) / "attacks.csv"
         export_attacks_csv(source, tmp)
         csv_path = tmp
@@ -48,8 +48,7 @@ def main() -> None:
         csv_path = Path(args.csv)
 
     print(f"Reading {csv_path} ...")
-    records = read_attacks_csv(csv_path)
-    ds = dataset_from_records(records)
+    ds = api.load(csv_path)
     print(f"ingested {ds.n_attacks} attacks, {ds.victims.n_targets} targets, "
           f"{len(ds.botnets)} botnets, {len(ds.families)} families")
 

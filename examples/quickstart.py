@@ -13,7 +13,7 @@ into ``./quickstart-data``.
 import argparse
 from pathlib import Path
 
-from repro import DatasetConfig, generate_dataset
+from repro import api
 from repro.core import report
 from repro.io.csvio import export_attacks_csv, export_botlist_csv, export_botnetlist_csv
 
@@ -26,20 +26,21 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"Generating dataset (scale={args.scale}, seed={args.seed}) ...")
-    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+    ds = api.generate(scale=args.scale, seed=args.seed)
+    ctx = api.context(ds)
 
     print()
     print("=== Headline (abstract numbers) ===")
-    print(report.render_headline(ds))
+    print(report.render_headline(ctx))
     print()
     print("=== Protocol preferences (Table II / Fig 1) ===")
-    print(report.render_protocol_table(ds))
+    print(report.render_protocol_table(ctx))
     print()
     print("=== Victim countries (Table V) ===")
-    print(report.render_country_table(ds))
+    print(report.render_country_table(ctx))
     print()
     print("=== Collaborations (Table VI) ===")
-    print(report.render_collaboration_table(ds))
+    print(report.render_collaboration_table(ctx))
 
     out = Path(args.out)
     out.mkdir(exist_ok=True)

@@ -18,7 +18,7 @@ import argparse
 
 import numpy as np
 
-from repro import DatasetConfig, generate_dataset
+from repro import api
 from repro.core.geolocation import dispersion_profile
 from repro.core.prediction import predict_family_dispersion
 from repro.core.shift import weekly_shift
@@ -32,7 +32,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"Generating dataset (scale={args.scale}) ...")
-    ds = generate_dataset(DatasetConfig(seed=args.seed, scale=args.scale))
+    ds = api.generate(scale=args.scale, seed=args.seed)
 
     family = args.family
     profile = dispersion_profile(ds, family)

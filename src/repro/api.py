@@ -6,9 +6,10 @@ those paths move as the codebase grows.  This module is the documented,
 compatibility-kept entry point:
 
 >>> from repro import api
->>> ctx = api.context(api.generate(scale=0.02))
->>> for result in api.run_all(ctx):
-...     print(result.render())
+>>> ctx = api.context(api.generate(scale=0.005))
+>>> results = api.run_all(ctx)
+>>> len(results)
+18
 
 The facade is intentionally thin — each function is a dispatch or a
 re-export, never new behaviour — so the underlying modules stay usable
@@ -58,6 +59,11 @@ def generate(
     :class:`DatasetConfig` is built from ``scale`` and ``seed``.  With
     ``cache`` (the default) the result is cached on disk keyed by the
     config hash — see :func:`repro.io.cache.load_or_generate`.
+
+    >>> from repro import api
+    >>> ds = api.generate(scale=0.005)      # cached after the first call
+    >>> ds.n_attacks > 0
+    True
     """
     from .datagen.generator import generate_dataset
     from .io.cache import load_or_generate
@@ -82,6 +88,11 @@ def load(path: str | Path) -> AttackDataset:
     JSONL/CSV logs rebuild an attack-table-only dataset via
     :func:`ingest`; the pickle round-trips the full dataset including
     the Botlist side.
+
+    >>> from repro import api
+    >>> api.load("attacks.xyz")
+    Traceback (most recent call last):
+    ValueError: cannot infer format of attacks.xyz: expected .jsonl, .csv or .pkl.gz
     """
     path = Path(path)
     name = path.name
@@ -112,6 +123,12 @@ def ingest(
 
     See :func:`repro.io.ingest.dataset_from_records`; malformed input
     raises :class:`IngestError` (``strict=False`` drops instead).
+
+    >>> from repro import api
+    >>> ds = api.generate(scale=0.005)
+    >>> streamed = api.ingest(ds.iter_attacks(), window=ds.window)
+    >>> streamed.n_attacks == ds.n_attacks
+    True
     """
     from .io.ingest import dataset_from_records
 
@@ -119,7 +136,13 @@ def ingest(
 
 
 def stream(window: ObservationWindow | None = None) -> StreamingDataset:
-    """A fresh append-oriented dataset builder (the streaming path)."""
+    """A fresh append-oriented dataset builder (the streaming path).
+
+    >>> from repro import api
+    >>> s = api.stream()
+    >>> (s.n_attacks, s.epoch)
+    (0, 0)
+    """
     return StreamingDataset(window=window)
 
 
@@ -128,17 +151,53 @@ def watch(path: str | Path, window: ObservationWindow | None = None) -> WatchSes
 
     Each ``poll()`` ingests newly appended records and returns the
     re-rendered headline report, or ``None`` when nothing changed.
+
+    >>> from repro import api
+    >>> session = api.watch("not-written-yet.jsonl")
+    >>> session.poll() is None              # log file does not exist yet
+    True
     """
     return WatchSession(path, window=window)
 
 
 def context(ds: AttackDataset) -> AnalysisContext:
-    """The dataset's shared memoized analysis context."""
+    """The dataset's shared memoized analysis context.
+
+    >>> from repro import api
+    >>> ds = api.generate(scale=0.005)
+    >>> api.context(ds) is api.context(ds)  # one shared context per dataset
+    True
+    """
     return AnalysisContext.of(ds)
 
 
-def run_all(ctx: AnalysisContext, *, jobs: int = 1):
-    """Run the full experiment battery; yields results in registry order."""
+def run_all(
+    ctx: AnalysisContext,
+    *,
+    jobs: int = 1,
+    manifest: str | Path | None = None,
+):
+    """Run the full experiment battery; results come in registry order.
+
+    ``jobs > 1`` fans the experiments out over threads without changing
+    the output.  Pass ``manifest`` to write a
+    :class:`~repro.obs.RunManifest` JSON — stage timings, cache hit/miss
+    counters, per-experiment wall times — after the battery finishes
+    (see ``docs/OBSERVABILITY.md``).
+
+    >>> import os, tempfile
+    >>> from repro import api
+    >>> ctx = api.context(api.generate(scale=0.005))
+    >>> path = os.path.join(tempfile.mkdtemp(), "manifest.json")
+    >>> results = api.run_all(ctx, jobs=2, manifest=path)
+    >>> len(results), os.path.exists(path)
+    (18, True)
+    """
     from .experiments.registry import run_all as _run_all
 
-    return _run_all(ctx, jobs=jobs)
+    results = _run_all(ctx, jobs=jobs)
+    if manifest is not None:
+        from .obs import RunManifest, registry as _obs_registry
+
+        RunManifest.collect(_obs_registry(), dataset=ctx.dataset).write(manifest)
+    return results

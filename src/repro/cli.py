@@ -6,7 +6,9 @@ Subcommands::
     ddos-repro report    --scale 0.02                        # headline + tables
     ddos-repro experiments [--jobs 4] [--only table4_prediction]
     ddos-repro predict   --family pandora                    # ARIMA forecast
+    ddos-repro defense   --train-fraction 0.5                # policy backtests
     ddos-repro watch     --path attacks.jsonl                # live report
+    ddos-repro profile                                       # full battery, timed
 
 All subcommands share ``--scale``, ``--seed`` and ``--cache-dir``; the
 dataset is generated once per (scale, seed) and cached on disk (the
@@ -15,6 +17,13 @@ cache directory falls back to ``$REPRO_CACHE_DIR``, then
 the derived analysis views, so a repeat invocation skips the heavy
 scans, and ``--jobs N`` fans the experiments out over a thread pool
 without changing the output.
+
+Every subcommand accepts ``--metrics PATH``: after the command runs,
+the observability registry (stage spans, counters, histograms — see
+``docs/OBSERVABILITY.md``) is serialised as a :class:`RunManifest`
+JSON to that path.  ``profile`` goes further: it exercises the whole
+pipeline — generation, ingest round-trip, view builds, a cold and a
+warm experiment battery — and prints the sorted stage tree.
 """
 
 from __future__ import annotations
@@ -27,8 +36,16 @@ from .core import report
 from .core.prediction import predict_family_dispersion
 from .datagen.config import DatasetConfig
 from .experiments.registry import ALL_EXPERIMENTS, get_experiment, run_all
-from .io.cache import load_or_generate, load_or_generate_context, save_context_views
+from .io.cache import (
+    config_key,
+    load_or_generate,
+    load_or_generate_context,
+    resolve_cache_dir,
+    save_context_views,
+)
 from .io.csvio import export_attacks_csv, export_botlist_csv, export_botnetlist_csv
+from .obs import RunManifest, registry as obs_registry
+from .obs.report import render_metrics_summary, render_stage_tree
 
 __all__ = ["main", "build_parser"]
 
@@ -44,11 +61,33 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_command(sub, name: str, *, help: str, description: str, epilog: str):
+    """Register a subcommand with the audit-mandated help fields.
+
+    Every subcommand carries a one-paragraph ``description`` and an
+    ``epilog`` showing a worked invocation; the raw formatter keeps the
+    example's indentation intact in ``--help`` output.
+    """
+    return sub.add_parser(
+        name,
+        help=help,
+        description=description,
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``ddos-repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="ddos-repro",
-        description="Botnet DDoS characterization (DSN 2015 reproduction)",
+        description=(
+            "Botnet DDoS characterization (DSN 2015 reproduction). Generates a "
+            "scaled synthetic attack/botlist dataset, caches it on disk, and "
+            "reproduces the paper's tables and figures against it."
+        ),
+        epilog="example:\n  ddos-repro --scale 0.02 report",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--scale", type=float, default=0.02, help="dataset scale (1.0 = paper size)")
     parser.add_argument("--seed", type=int, default=7, help="master seed")
@@ -57,9 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dataset cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a RunManifest JSON (stage timings, counters, cache hits) here after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate the dataset and export the schemas")
+    gen = _add_command(
+        sub,
+        "generate",
+        help="generate the dataset and export the schemas",
+        description=(
+            "Generate (or load from cache) the synthetic dataset for this "
+            "scale/seed and export the paper's three schemas — DDoSattack, "
+            "Botlist and Botnetlist — as CSV files. With --figures, the "
+            "per-figure data series are exported alongside them."
+        ),
+        epilog="example:\n  ddos-repro --scale 0.02 generate --out data/ --figures",
+    )
     gen.add_argument("--out", default="data", help="output directory for CSVs")
     gen.add_argument(
         "--botlist-limit", type=int, default=None, help="cap botlist rows (full list is large)"
@@ -69,9 +125,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export the per-figure data series as CSVs",
     )
 
-    sub.add_parser("report", help="print the headline numbers and the main tables")
+    _add_command(
+        sub,
+        "report",
+        help="print the headline numbers and the main tables",
+        description=(
+            "Print the headline summary (attack counts, families, window) "
+            "followed by the protocol, victim-country and collaboration "
+            "tables for the current scale/seed dataset."
+        ),
+        epilog="example:\n  ddos-repro --scale 0.02 report",
+    )
 
-    exp = sub.add_parser("experiments", help="run the table/figure reproductions")
+    exp = _add_command(
+        sub,
+        "experiments",
+        help="run the table/figure reproductions",
+        description=(
+            "Run the full battery of table and figure reproductions (Tables "
+            "II-VI, Figures 2-18) against one shared analysis context, and "
+            "snapshot the derived views so the next run starts warm. Use "
+            "--only to run a single experiment, --list to see the ids, and "
+            "--jobs to fan out over threads without changing the output."
+        ),
+        epilog="example:\n  ddos-repro experiments --jobs 4 --only table4_prediction",
+    )
     exp.add_argument(
         "--only",
         default=None,
@@ -83,20 +161,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the battery, >= 1 (output is identical for any value)",
     )
 
-    pred = sub.add_parser("predict", help="ARIMA dispersion forecast for one family")
+    pred = _add_command(
+        sub,
+        "predict",
+        help="ARIMA dispersion forecast for one family",
+        description=(
+            "Fit an ARIMA model to one family's geolocation-dispersion "
+            "series (the paper's Section V-C prediction) and report the "
+            "forecast accuracy against held-out truth: cosine similarity, "
+            "MAE and RMSE."
+        ),
+        epilog="example:\n  ddos-repro predict --family pandora --order 2,1,2",
+    )
     pred.add_argument("--family", required=True)
     pred.add_argument("--order", default="2,1,2", help="ARIMA order p,d,q or 'auto'")
 
-    defense = sub.add_parser(
-        "defense", help="evaluate the defense policies derived from the findings"
+    defense = _add_command(
+        sub,
+        "defense",
+        help="evaluate the defense policies derived from the findings",
+        description=(
+            "Backtest the defense policies the paper's findings motivate: "
+            "country/IP blacklists trained on the first part of the window "
+            "and scored on the rest, detection-window sweeps around Fig 7's "
+            "four-hour knee, and provisioning driven by next-attack "
+            "predictions."
+        ),
+        epilog="example:\n  ddos-repro defense --train-fraction 0.5",
     )
     defense.add_argument(
         "--train-fraction", type=float, default=0.5,
         help="history fraction used to train blacklists / predictions",
     )
 
-    watch = sub.add_parser(
-        "watch", help="tail a JSONL attack log and re-render the report on change"
+    watch = _add_command(
+        sub,
+        "watch",
+        help="tail a JSONL attack log and re-render the report on change",
+        description=(
+            "Tail a growing JSONL attack log and keep the headline report "
+            "live: each poll ingests only the newly appended complete lines "
+            "(an O(batch) incremental update for in-order logs) and "
+            "re-renders when something changed. The status line shows the "
+            "attack count, the stream epoch and the ingest lag in seconds."
+        ),
+        epilog="example:\n  ddos-repro watch --path attacks.jsonl --interval 2",
     )
     watch.add_argument("--path", required=True, help="JSONL attack log to tail")
     watch.add_argument(
@@ -107,6 +216,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-polls", type=_positive_int, default=None,
         help="stop after this many polls (default: run until interrupted)",
     )
+
+    prof = _add_command(
+        sub,
+        "profile",
+        help="time the whole pipeline and write a RunManifest",
+        description=(
+            "Exercise the full pipeline under the observability layer: "
+            "generate the dataset (uncached, so generation is timed), round-"
+            "trip it through the ingest path, build the analysis views, then "
+            "run the experiment battery twice — cold and warm — so cache "
+            "hit/miss counters are populated. Prints the sorted stage tree "
+            "and a metrics summary, and writes the RunManifest JSON next to "
+            "the cache directory (or to --metrics PATH)."
+        ),
+        epilog="example:\n  ddos-repro --scale 0.02 profile --jobs 4",
+    )
+    prof.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker threads for the experiment batteries",
+    )
+    prof.add_argument(
+        "--min-seconds", type=float, default=0.0,
+        help="hide stages faster than this from the printed tree",
+    )
     return parser
 
 
@@ -115,7 +248,7 @@ def _config(args: argparse.Namespace) -> DatasetConfig:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    ds = load_or_generate(_config(args), args.cache_dir)
+    ds = args._manifest_dataset = load_or_generate(_config(args), args.cache_dir)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     n_attacks = export_attacks_csv(ds, out / "ddos_attacks.csv")
@@ -132,6 +265,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     ctx = load_or_generate_context(_config(args), args.cache_dir)
+    args._manifest_dataset = ctx.dataset
     print(report.render_headline(ctx))
     print()
     print(report.render_protocol_table(ctx))
@@ -149,6 +283,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 0
     config = _config(args)
     ctx = load_or_generate_context(config, args.cache_dir)
+    args._manifest_dataset = ctx.dataset
     if args.only:
         print(get_experiment(args.only).run(ctx).render())
         print()
@@ -162,6 +297,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     ctx = load_or_generate_context(_config(args), args.cache_dir)
+    args._manifest_dataset = ctx.dataset
     if args.order == "auto":
         order = None
     else:
@@ -189,6 +325,7 @@ def _cmd_defense(args: argparse.Namespace) -> int:
     from .defense.provisioning import backtest_provisioning
 
     ds = load_or_generate_context(_config(args), args.cache_dir).dataset
+    args._manifest_dataset = ds
     cutoff = ds.window.start + args.train_fraction * ds.window.duration
 
     print("== blacklists (train on history, score on the future) ==")
@@ -224,7 +361,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             polls += 1
             if update is not None:
                 print(update)
-                print(f"-- {session.n_attacks} attacks (epoch {session.epoch}) --")
+                print(
+                    f"-- {session.n_attacks} attacks (epoch {session.epoch}, "
+                    f"lag {session.lag_seconds:.1f}s) --"
+                )
                 sys.stdout.flush()
             if args.max_polls is not None and polls >= args.max_polls:
                 break
@@ -234,9 +374,56 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .datagen.generator import generate_dataset
+    from .io.ingest import dataset_from_records
+    from .core.context import AnalysisContext
+
+    config = _config(args)
+    reg = obs_registry()
+
+    ds = generate_dataset(config)
+    args._manifest_dataset = ds
+
+    streamed = dataset_from_records(ds.iter_attacks(), window=ds.window)
+    print(f"generated {ds.n_attacks} attacks; ingest round-trip kept "
+          f"{streamed.n_attacks}")
+
+    ctx = AnalysisContext.of(ds)
+    with reg.span("context.views"):
+        report.render_headline(ctx)
+
+    for label in ("battery (cold)", "battery (warm)"):
+        results = run_all(ctx, jobs=args.jobs)
+        print(f"{label}: {len(results)} experiments")
+
+    manifest = RunManifest.collect(
+        reg,
+        seed=args.seed,
+        scale=args.scale,
+        config_key=config_key(config),
+        dataset=ds,
+        argv=args._argv,
+    )
+    out = Path(args.metrics) if args.metrics else (
+        resolve_cache_dir(args.cache_dir) / f"manifest-{config_key(config)}.json"
+    )
+    manifest.write(out)
+
+    print()
+    print(render_stage_tree(reg.stage_tree(), min_seconds=args.min_seconds))
+    print()
+    print(render_metrics_summary(reg))
+    print()
+    print(f"manifest written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    args._manifest_dataset = None
+    args._argv = ["ddos-repro", *(argv if argv is not None else sys.argv[1:])]
     commands = {
         "generate": _cmd_generate,
         "report": _cmd_report,
@@ -244,12 +431,24 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "defense": _cmd_defense,
         "watch": _cmd_watch,
+        "profile": _cmd_profile,
     }
     try:
-        return commands[args.command](args)
+        code = commands[args.command](args)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.metrics and args.command != "profile":
+        config = _config(args)
+        RunManifest.collect(
+            obs_registry(),
+            seed=args.seed,
+            scale=args.scale,
+            config_key=config_key(config),
+            dataset=args._manifest_dataset,
+            argv=args._argv,
+        ).write(args.metrics)
+    return code
 
 
 if __name__ == "__main__":

@@ -33,10 +33,12 @@ shares one context per dataset.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Union
 
 import numpy as np
 
+from ..obs import registry as _obs_registry
 from .dataset import AttackDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -66,6 +68,13 @@ class AnalysisContext:
     fresh context per snapshot, so consumers holding an older context
     keep a coherent (if stale) set of views while new consumers see the
     incrementally-updated ones.
+
+    >>> from repro import api
+    >>> ctx = api.context(api.generate(scale=0.005))
+    >>> ctx.epoch
+    0
+    >>> ctx.view(("durations",), lambda: ctx.dataset.end - ctx.dataset.start).size
+    258
     """
 
     def __init__(self, ds: AttackDataset, *, epoch: int = 0) -> None:
@@ -76,6 +85,10 @@ class AnalysisContext:
         self._views: dict[Hashable, Any] = {}
         self._meta_lock = threading.Lock()
         self._key_locks: dict[Hashable, threading.Lock] = {}
+        #: Per-view-kind (hit counter, miss counter, build histogram),
+        #: resolved from the default registry once per kind and cached so
+        #: the hot hit path costs one dict lookup + one counter add.
+        self._view_obs: dict[str, tuple] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -124,6 +137,18 @@ class AnalysisContext:
 
     # -- memoization core --------------------------------------------------
 
+    def _view_instruments(self, kind: str) -> tuple:
+        """The (hit, miss, build-time) instruments for one view kind."""
+        entry = self._view_obs.get(kind)
+        if entry is None:
+            reg = _obs_registry()
+            entry = self._view_obs[kind] = (
+                reg.counter("context.view.hit", view=kind),
+                reg.counter("context.view.miss", view=kind),
+                reg.histogram("context.view.build_seconds", view=kind),
+            )
+        return entry
+
     def view(self, key: Hashable, build: Callable[[], Any]) -> Any:
         """Return the memoized view for ``key``, building it at most once.
 
@@ -131,17 +156,34 @@ class AnalysisContext:
         view serialise on that view's lock only, so two experiments can
         build *different* views in parallel while never building the
         *same* view twice.
+
+        Every call records a ``context.view.hit`` / ``context.view.miss``
+        counter tick (labelled by the key's first element — the view
+        kind), and each build's latency lands in the
+        ``context.view.build_seconds`` histogram under a ``view:<kind>``
+        stage span.
         """
+        kind = key[0] if isinstance(key, tuple) and key else str(key)
         views = self._views
         try:
-            return views[key]
+            value = views[key]
         except KeyError:
             pass
+        else:
+            self._view_instruments(kind)[0].inc()
+            return value
         with self._meta_lock:
             lock = self._key_locks.setdefault(key, threading.Lock())
         with lock:
-            if key not in views:
-                views[key] = build()
+            if key in views:
+                self._view_instruments(kind)[0].inc()  # lost the build race
+            else:
+                _hit, miss, build_hist = self._view_instruments(kind)
+                miss.inc()
+                started = time.perf_counter()
+                with _obs_registry().span(f"view:{kind}"):
+                    views[key] = build()
+                build_hist.observe(time.perf_counter() - started)
         return views[key]
 
     @property

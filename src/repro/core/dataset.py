@@ -32,7 +32,13 @@ __all__ = ["BotRegistry", "VictimRegistry", "AttackDataset"]
 
 @dataclass
 class BotRegistry:
-    """All bots across all families, columnar (the joined Botlist)."""
+    """All bots across all families, columnar (the joined Botlist).
+
+    >>> from repro import api
+    >>> bots = api.generate(scale=0.005).bots
+    >>> bots.n_bots == bots.ip.size
+    True
+    """
 
     ip: np.ndarray
     lat: np.ndarray
@@ -59,7 +65,13 @@ class BotRegistry:
 
 @dataclass
 class VictimRegistry:
-    """All victim IPs, columnar."""
+    """All victim IPs, columnar.
+
+    >>> from repro import api
+    >>> victims = api.generate(scale=0.005).victims
+    >>> victims.n_targets == victims.ip.size
+    True
+    """
 
     ip: np.ndarray
     lat: np.ndarray
@@ -84,7 +96,13 @@ class VictimRegistry:
 
 @dataclass
 class AttackDataset:
-    """The full joined dataset over one observation window."""
+    """The full joined dataset over one observation window.
+
+    >>> from repro import api
+    >>> ds = api.generate(scale=0.005)
+    >>> ds.n_attacks == ds.start.size == ds.end.size
+    True
+    """
 
     window: ObservationWindow
     world: World

@@ -26,7 +26,14 @@ __all__ = ["DatasetConfig"]
 
 @dataclass(frozen=True)
 class DatasetConfig:
-    """Everything the generator needs; see module docstring."""
+    """Everything the generator needs; see module docstring.
+
+    >>> from repro import DatasetConfig
+    >>> DatasetConfig.tiny().scale
+    0.005
+    >>> DatasetConfig(seed=11, scale=0.02).with_seed(12).seed
+    12
+    """
 
     seed: int = 7
     #: Proportional size of the dataset (1.0 = the paper's exact totals).

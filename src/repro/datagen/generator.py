@@ -35,6 +35,7 @@ from ..geo.world import World
 from ..monitor.collector import Collector
 from ..monitor.labeling import FamilyLabeler
 from ..monitor.schemas import AttackPulse, BotnetRecord, Protocol
+from ..obs import registry as _obs_registry
 from ..simulation.clock import ObservationWindow
 from ..simulation.engine import SimulationEngine
 from ..simulation.events import EventKind
@@ -284,9 +285,31 @@ def _emit_pulses(
 
 
 def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
-    """Generate the full synthetic dataset for ``config`` (see module docs)."""
+    """Generate the full synthetic dataset for ``config`` (see module docs).
+
+    The run is observable: the whole build times under a ``generate``
+    stage span with one child phase per pipeline step (``world``,
+    ``rosters``, ``victims``, ``bot_pools``, ``planning``, ``monitor``,
+    ``participants``, ``assemble``), and the attack count lands in the
+    ``generate.attacks`` counter.
+
+    >>> from repro import DatasetConfig, generate_dataset
+    >>> ds = generate_dataset(DatasetConfig.tiny())
+    >>> ds.n_attacks > 0
+    True
+    """
+    reg = _obs_registry()
+    with reg.span("generate"), reg.phases() as phase:
+        ds = _generate(config, phase)
+    reg.counter("generate.attacks").inc(ds.n_attacks)
+    return ds
+
+
+def _generate(config: DatasetConfig | None, phase) -> AttackDataset:
+    """The generation pipeline (``phase(name)`` marks the stage spans)."""
     if config is None:
         config = DatasetConfig()
+    phase("world")
     streams = SeededStreams(config.seed)
     window = config.window
     profiles = config.resolved_profiles()
@@ -301,6 +324,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
     attacker_idx, attacker_w = _attacker_country_pool(world, config.n_attacker_countries)
 
     # --- rosters -----------------------------------------------------------
+    phase("rosters")
     rosters: dict[str, BotnetRoster] = {}
     next_botnet_id = 1
     for name in family_names:
@@ -312,6 +336,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
         next_botnet_id += roster.n_botnets
 
     # --- victims -----------------------------------------------------------
+    phase("victims")
     mega = config.resolved_mega()
     victims, target_pools = build_victims(
         profiles, world, assigner, geoip, streams.stream("victims"),
@@ -323,6 +348,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
     victims.owner_family_idx[owned] = active_to_global[victims.owner_family_idx[owned]]
 
     # --- bot pools ----------------------------------------------------------
+    phase("bot_pools")
     pools: dict[str, BotPool] = {}
     for name in family_names:
         pools[name] = BotPool.build(
@@ -333,6 +359,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
         )
 
     # --- planning ------------------------------------------------------------
+    phase("planning")
     inter = config.resolved_inter_collabs()
     reserve: dict[str, int] = {}
     for fam_a, fam_b, count in inter:
@@ -367,6 +394,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
     _resolve_conflicts(all_attacks, window, streams.stream("conflicts"))
 
     # --- monitoring pipeline ---------------------------------------------------
+    phase("monitor")
     botnet_to_family = {
         int(bid): name for name in family_names for bid in rosters[name].ids
     }
@@ -392,6 +420,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
         raise GenerationError("segmentation lost attacks")
 
     # --- participants -------------------------------------------------------
+    phase("participants")
     pool_offset: dict[str, int] = {}
     offset = 0
     for name in family_names:
@@ -442,6 +471,7 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
     )
 
     # --- registries ------------------------------------------------------------
+    phase("assemble")
     bots = BotRegistry(
         ip=np.concatenate([pools[n].ip for n in family_names]),
         lat=np.concatenate([pools[n].lat for n in family_names]),

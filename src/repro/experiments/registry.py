@@ -14,6 +14,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.context import AnalysisContext, AnalysisSource
+from ..obs import registry as _obs_registry
 from .base import Experiment, ExperimentResult
 from .fig2_daily import EXPERIMENT as FIG2
 from .fig3_intervals import EXPERIMENT as FIG3
@@ -72,12 +73,29 @@ def run_all(source: AnalysisSource, jobs: int = 1) -> list[ExperimentResult]:
 
     ``jobs > 1`` spreads the experiments over a thread pool (the heavy
     lifting is numpy, which releases the GIL); the context's per-view
-    locks guarantee each derived view is still computed exactly once.
+    locks guarantee each shared view is still computed exactly once.
     Output order — and, because the views are deterministic, the values
     themselves — do not depend on ``jobs``.
+
+    The battery is observable: every experiment runs under its own stage
+    span nested in an ``experiments`` stage (even on pool threads), the
+    ``experiments.jobs`` gauge records the fan-out, and
+    ``experiments.completed`` counts finished experiments — see
+    ``docs/OBSERVABILITY.md``.
     """
     ctx = AnalysisContext.of(source)
-    if jobs <= 1:
-        return [experiment.run(ctx) for experiment in ALL_EXPERIMENTS]
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(lambda e: e.run(ctx), ALL_EXPERIMENTS))
+    reg = _obs_registry()
+    reg.gauge("experiments.jobs").set(jobs)
+    completed = reg.counter("experiments.completed")
+    with reg.span("experiments") as battery:
+
+        def run_one(experiment: Experiment) -> ExperimentResult:
+            with reg.span(experiment.id, parent=battery):
+                result = experiment.run(ctx)
+            completed.inc()
+            return result
+
+        if jobs <= 1:
+            return [run_one(experiment) for experiment in ALL_EXPERIMENTS]
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(run_one, ALL_EXPERIMENTS))

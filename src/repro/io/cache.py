@@ -28,6 +28,7 @@ from ..core.context import AnalysisContext
 from ..core.dataset import AttackDataset
 from ..datagen.config import DatasetConfig
 from ..datagen.generator import generate_dataset
+from ..obs import registry as _obs_registry
 
 __all__ = [
     "config_key",
@@ -112,14 +113,19 @@ def load_or_generate(
 
     ``cache_dir`` resolves via :func:`resolve_cache_dir`.  Because a
     dataset is a pure function of its config, the cache key is just the
-    config hash.
+    config hash.  Outcomes are counted into ``cache.dataset.hit`` /
+    ``cache.dataset.miss`` (a corrupt entry counts as a miss).
     """
     path = resolve_cache_dir(cache_dir) / f"dataset-{config_key(config)}.pkl.gz"
     if path.exists():
         try:
-            return load_dataset(path)
+            ds = load_dataset(path)
         except (OSError, ValueError, TypeError, pickle.UnpicklingError):
             path.unlink(missing_ok=True)  # corrupt cache entry: regenerate
+        else:
+            _obs_registry().counter("cache.dataset.hit").inc()
+            return ds
+    _obs_registry().counter("cache.dataset.miss").inc()
     ds = generate_dataset(config)
     save_dataset(ds, path)
     return ds
@@ -173,12 +179,16 @@ def load_or_generate_context(
     snapshot a previous battery saved for this exact config, so repeat
     invocations skip the collaboration/chain/dispersion scans entirely.
     A corrupt or mismatched snapshot is discarded, never served.
+    Outcomes are counted into ``cache.views.hit`` / ``cache.views.miss``.
     """
     ctx = AnalysisContext.of(load_or_generate(config, cache_dir))
     path = _views_path(config, cache_dir)
+    restored = False
     if path.exists():
         try:
             ctx.import_views(load_context_views(path, config_key(config)))
+            restored = True
         except (OSError, ValueError, TypeError, pickle.UnpicklingError):
             path.unlink(missing_ok=True)
+    _obs_registry().counter("cache.views.hit" if restored else "cache.views.miss").inc()
     return ctx

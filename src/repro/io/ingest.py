@@ -31,6 +31,7 @@ from collections.abc import Iterable
 
 from ..core.dataset import AttackDataset
 from ..monitor.schemas import DDoSAttackRecord
+from ..obs import registry as _obs_registry
 from ..simulation.clock import ObservationWindow
 from ..stream.builder import IngestError, StreamingDataset
 
@@ -52,9 +53,15 @@ def dataset_from_records(
     :class:`IngestError` with its position in the input; with
     ``strict=False`` malformed records are dropped.  Empty input (or
     input left empty after dropping) raises :class:`IngestError`.
+
+    The build runs under an ``ingest`` stage span and counts accepted
+    records into ``ingest.records``.
     """
-    stream = StreamingDataset(window=window)
-    stream.append_batch(records, strict=strict)
-    if stream.n_attacks == 0:
-        raise IngestError("no records to ingest")
-    return stream.dataset()
+    reg = _obs_registry()
+    with reg.span("ingest"):
+        stream = StreamingDataset(window=window)
+        accepted = stream.append_batch(records, strict=strict)
+        if stream.n_attacks == 0:
+            raise IngestError("no records to ingest")
+        reg.counter("ingest.records").inc(accepted)
+        return stream.dataset()

@@ -23,6 +23,12 @@ class Protocol(enum.IntEnum):
     ``UNDETERMINED`` means the attack used multiple protocols and no single
     one could be assigned; ``UNKNOWN`` means the traffic type could not be
     established at all.
+
+    >>> from repro import Protocol
+    >>> Protocol.from_name("udp")
+    <Protocol.UDP: 2>
+    >>> int(Protocol.HTTP)
+    0
     """
 
     HTTP = 0

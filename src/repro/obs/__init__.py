@@ -1,0 +1,108 @@
+"""repro.obs: dependency-free observability for the pipeline.
+
+Three pieces, all process-local and import-cycle-free (nothing in here
+imports the rest of ``repro``):
+
+* **metrics** — :class:`MetricsRegistry` with counters, gauges and
+  fixed-bucket histograms, optionally labelled;
+* **spans** — ``span(name)`` context-manager timers that accumulate a
+  nested *stage tree* (wall + per-thread CPU time per stage);
+* **manifests** — :class:`RunManifest`, the JSON record of one run:
+  config hash, seed, dataset shape, stage tree, peak RSS, every metric
+  (cache hit/miss counts included) and per-experiment timings.
+
+The instrumented layers report to the default registry
+(:func:`registry`); ``ddos-repro profile`` and the ``--metrics`` flag
+surface it from the CLI.  The metric name catalogue lives in
+``docs/OBSERVABILITY.md`` and is enforced by a test.
+
+>>> import repro.obs as obs
+>>> obs.reset()
+>>> with obs.span("demo"):
+...     obs.counter("demo.items").inc(3)
+>>> obs.registry().counter("demo.items").value
+3
+>>> obs.registry().stage_tree().find("demo").n_calls
+1
+>>> obs.reset()
+"""
+
+from __future__ import annotations
+
+from .manifest import RunManifest, peak_rss_bytes
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .registry import ObsRegistry, registry, reset
+from .report import render_metrics_summary, render_stage_tree
+from .spans import SpanNode, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsRegistry",
+    "SpanNode",
+    "SpanRecorder",
+    "RunManifest",
+    "DEFAULT_BUCKETS",
+    "registry",
+    "reset",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "peak_rss_bytes",
+    "render_stage_tree",
+    "render_metrics_summary",
+]
+
+
+def span(name: str, parent: SpanNode | None = None):
+    """Open a stage span on the default registry.
+
+    >>> import repro.obs as obs
+    >>> obs.reset()
+    >>> with obs.span("load"):
+    ...     pass
+    >>> obs.registry().stage_tree().find("load").n_calls
+    1
+    >>> obs.reset()
+    """
+    return registry().span(name, parent=parent)
+
+
+def counter(name: str, **labels: str) -> Counter:
+    """The default registry's counter for ``(name, labels)``.
+
+    >>> import repro.obs as obs
+    >>> obs.reset()
+    >>> obs.counter("demo.count").inc()
+    >>> obs.counter("demo.count").value
+    1
+    >>> obs.reset()
+    """
+    return registry().counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    """The default registry's gauge for ``(name, labels)``.
+
+    >>> import repro.obs as obs
+    >>> obs.gauge("demo.level").set(2.5)
+    >>> obs.gauge("demo.level").value
+    2.5
+    >>> obs.reset()
+    """
+    return registry().gauge(name, **labels)
+
+
+def histogram(name: str, buckets: tuple[float, ...] | None = None, **labels: str) -> Histogram:
+    """The default registry's histogram for ``(name, labels)``.
+
+    >>> import repro.obs as obs
+    >>> obs.histogram("demo.seconds").observe(0.2)
+    >>> obs.histogram("demo.seconds").count
+    1
+    >>> obs.reset()
+    """
+    return registry().histogram(name, buckets, **labels)

@@ -1,0 +1,201 @@
+"""RunManifest: the machine-readable record of one pipeline run.
+
+A manifest captures everything needed to interpret — and re-run — a
+pipeline invocation: the config hash and seed, the dataset shape, the
+stage tree (per-stage wall/CPU time), peak RSS, every metric the run
+emitted (cache hit/miss counts included) and the per-experiment wall
+times.  ``ddos-repro --metrics PATH`` writes one after any subcommand,
+``ddos-repro profile`` writes one next to the cache directory, and
+:func:`repro.api.run_all` accepts ``manifest=PATH``.
+
+The JSON schema is documented (and version-pinned) in
+``docs/OBSERVABILITY.md``; ``schema_version`` bumps on incompatible
+changes so downstream dashboards can reject manifests they don't
+understand.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from .spans import SpanNode
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .registry import ObsRegistry
+
+__all__ = ["RunManifest", "peak_rss_bytes"]
+
+#: Bump on incompatible manifest layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def peak_rss_bytes() -> int | None:
+    """The process's peak resident set size in bytes (None if unknown).
+
+    Uses ``resource.getrusage``; on Linux ``ru_maxrss`` is in KiB, on
+    macOS in bytes.  Platforms without the ``resource`` module (Windows)
+    return None rather than a guess.
+
+    >>> from repro.obs import peak_rss_bytes
+    >>> rss = peak_rss_bytes()
+    >>> rss is None or rss > 0
+    True
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass
+class RunManifest:
+    """Everything observable about one run, ready to serialise.
+
+    Build one from the live registry with :meth:`collect`:
+
+    >>> import repro.obs as obs
+    >>> reg = obs.ObsRegistry()
+    >>> with reg.span("demo"):
+    ...     reg.counter("ingest.records").inc(3)
+    >>> m = obs.RunManifest.collect(reg, seed=7, scale=0.02)
+    >>> m.seed, "demo" in m.stages.get("children", {})
+    (7, True)
+    >>> sorted(m.metrics) == ['ingest.records']
+    True
+    """
+
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    created_unix: float = 0.0
+    argv: list[str] = field(default_factory=list)
+    seed: int | None = None
+    scale: float | None = None
+    config_key: str | None = None
+    dataset_shape: dict[str, int] = field(default_factory=dict)
+    peak_rss_bytes: int | None = None
+    stages: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    experiments: list[dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def collect(
+        cls,
+        registry: "ObsRegistry",
+        *,
+        seed: int | None = None,
+        scale: float | None = None,
+        config_key: str | None = None,
+        dataset: Any = None,
+        argv: list[str] | None = None,
+    ) -> "RunManifest":
+        """Snapshot the registry (metrics + stage tree) into a manifest.
+
+        ``dataset`` may be an :class:`~repro.core.dataset.AttackDataset`
+        (or anything exposing the same shape attributes); its row counts
+        become ``dataset_shape``.  Per-experiment timings are read from
+        the ``experiments`` stage's children, as recorded by
+        :func:`repro.experiments.registry.run_all`.
+        """
+        tree = registry.stage_tree()
+        experiments = []
+        exp_node = tree.find("experiments")
+        if exp_node is not None:
+            for child in sorted(exp_node.children.values(), key=lambda c: -c.wall_seconds):
+                experiments.append(
+                    {
+                        "id": child.name,
+                        "n_runs": child.n_calls,
+                        "wall_seconds": child.wall_seconds,
+                        "cpu_seconds": child.cpu_seconds,
+                    }
+                )
+        return cls(
+            created_unix=time.time(),
+            argv=list(sys.argv if argv is None else argv),
+            seed=seed,
+            scale=scale,
+            config_key=config_key,
+            dataset_shape=_dataset_shape(dataset),
+            peak_rss_bytes=peak_rss_bytes(),
+            stages=tree.to_dict(),
+            metrics=registry.snapshot(),
+            experiments=experiments,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The manifest as a plain JSON-able dict."""
+        return {
+            "schema_version": self.schema_version,
+            "created_unix": self.created_unix,
+            "argv": self.argv,
+            "seed": self.seed,
+            "scale": self.scale,
+            "config_key": self.config_key,
+            "dataset_shape": self.dataset_shape,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "stages": self.stages,
+            "metrics": self.metrics,
+            "experiments": self.experiments,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The manifest serialised as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest JSON to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def stage_tree(self) -> SpanNode:
+        """Rehydrate :attr:`stages` into :class:`SpanNode` form."""
+        return _node_from_dict("run", self.stages)
+
+
+def _dataset_shape(dataset: Any) -> dict[str, int]:
+    if dataset is None:
+        return {}
+    shape: dict[str, int] = {}
+    for label, attr in (
+        ("n_attacks", "n_attacks"),
+        ("n_bots", None),
+        ("n_victims", None),
+        ("n_botnets", None),
+        ("n_families", None),
+    ):
+        try:
+            if attr is not None:
+                shape[label] = int(getattr(dataset, attr))
+            elif label == "n_bots":
+                shape[label] = int(dataset.bots.n_bots)
+            elif label == "n_victims":
+                shape[label] = int(dataset.victims.n_targets)
+            elif label == "n_botnets":
+                shape[label] = len(dataset.botnets)
+            elif label == "n_families":
+                shape[label] = len(dataset.families)
+        except (AttributeError, TypeError):
+            continue
+    return shape
+
+
+def _node_from_dict(name: str, data: dict[str, Any]) -> SpanNode:
+    node = SpanNode(
+        name=name,
+        n_calls=int(data.get("n_calls", 0)),
+        wall_seconds=float(data.get("wall_seconds", 0.0)),
+        cpu_seconds=float(data.get("cpu_seconds", 0.0)),
+    )
+    for child_name, child_data in data.get("children", {}).items():
+        node.children[child_name] = _node_from_dict(child_name, child_data)
+    return node

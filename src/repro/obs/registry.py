@@ -1,0 +1,81 @@
+"""ObsRegistry: one object holding a run's metrics *and* its stage tree.
+
+The instrumented layers (``datagen``, ``io``, ``core.context``,
+``stream``, ``experiments``) all talk to the process-local default
+registry via :func:`repro.obs.registry`, so a CLI invocation, a test, or
+an embedding application sees one coherent picture without threading a
+handle through every call.  Code that wants isolation (tests, nested
+profiling runs) instantiates its own :class:`ObsRegistry` — every
+instrument and span method lives on the instance.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .spans import SpanNode, SpanRecorder
+
+__all__ = ["ObsRegistry", "registry", "reset"]
+
+
+class ObsRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` that also records a stage tree.
+
+    >>> from repro.obs import ObsRegistry
+    >>> reg = ObsRegistry()
+    >>> with reg.span("ingest"):
+    ...     reg.counter("ingest.records").inc(10)
+    >>> reg.stage_tree().find("ingest").n_calls
+    1
+    >>> reg.counter("ingest.records").value
+    10
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._spans = SpanRecorder()
+
+    def span(self, name: str, parent: SpanNode | None = None):
+        """Open a stage span (see :meth:`SpanRecorder.span`)."""
+        return self._spans.span(name, parent=parent)
+
+    def current_span(self) -> SpanNode | None:
+        """The innermost open span on the calling thread."""
+        return self._spans.current()
+
+    def phases(self):
+        """Sequential sibling spans (see :meth:`SpanRecorder.phases`)."""
+        return self._spans.phases()
+
+    def stage_tree(self) -> SpanNode:
+        """Root of the accumulated stage tree."""
+        return self._spans.tree()
+
+    def reset(self) -> None:
+        """Drop all instruments and the stage tree."""
+        super().reset()
+        self._spans.reset()
+
+
+_DEFAULT = ObsRegistry()
+
+
+def registry() -> ObsRegistry:
+    """The process-local default registry all instrumentation reports to.
+
+    >>> import repro.obs as obs
+    >>> obs.registry() is obs.registry()
+    True
+    """
+    return _DEFAULT
+
+
+def reset() -> None:
+    """Clear the default registry (metrics and stage tree).
+
+    >>> import repro.obs as obs
+    >>> obs.registry().counter("demo.count").inc()
+    >>> obs.reset()
+    >>> "demo.count" in obs.registry().names()
+    False
+    """
+    _DEFAULT.reset()

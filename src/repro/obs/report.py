@@ -1,0 +1,82 @@
+"""Plain-text rendering of a profiling run: stage tree + hot metrics.
+
+``ddos-repro profile`` prints this report after running the full
+battery; the same renderers work on a :class:`~repro.obs.RunManifest`
+loaded back from JSON (``RunManifest.stage_tree()``), so a saved
+manifest can be re-rendered later.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .spans import SpanNode
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .registry import ObsRegistry
+
+__all__ = ["render_stage_tree", "render_metrics_summary"]
+
+
+def render_stage_tree(root: SpanNode, *, min_seconds: float = 0.0) -> str:
+    """The stage tree as indented text, siblings sorted by wall time.
+
+    ``min_seconds`` prunes stages (and their subtrees) below the
+    threshold — useful when a warm run leaves hundreds of sub-millisecond
+    view builds.
+
+    >>> from repro.obs import ObsRegistry, render_stage_tree
+    >>> reg = ObsRegistry()
+    >>> with reg.span("generate"):
+    ...     with reg.span("world"):
+    ...         pass
+    >>> print(render_stage_tree(reg.stage_tree()))  # doctest: +ELLIPSIS
+    stage                                         wall      cpu  calls
+    generate                                   ...s  ...s      1
+      world                                    ...s  ...s      1
+    """
+    lines = [f"{'stage':<40s}  {'wall':>8s}  {'cpu':>7s}  {'calls':>5s}"]
+
+    def walk(node: SpanNode, depth: int) -> None:
+        label = ("  " * depth + node.name)[:40]
+        lines.append(
+            f"{label:<40s}  {node.wall_seconds:>7.3f}s  {node.cpu_seconds:>6.3f}s  {node.n_calls:>5d}"
+        )
+        for child in sorted(node.children.values(), key=lambda c: -c.wall_seconds):
+            if child.wall_seconds >= min_seconds:
+                walk(child, depth + 1)
+
+    for top in sorted(root.children.values(), key=lambda c: -c.wall_seconds):
+        if top.wall_seconds >= min_seconds:
+            walk(top, 0)
+    return "\n".join(lines)
+
+
+def render_metrics_summary(registry: "ObsRegistry") -> str:
+    """One line per metric series: counters, gauges, histogram means.
+
+    >>> from repro.obs import ObsRegistry, render_metrics_summary
+    >>> reg = ObsRegistry()
+    >>> reg.counter("ingest.records").inc(42)
+    >>> print(render_metrics_summary(reg))
+    ingest.records                                       42
+    """
+    lines = []
+    for name, labels, inst in sorted(
+        registry.items(), key=lambda item: (item[0], sorted(item[1].items()))
+    ):
+        label_text = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        data = inst.to_dict()
+        if data["type"] == "histogram":
+            mean = data["sum"] / data["count"] if data["count"] else 0.0
+            value = f"n={data['count']} mean={mean * 1000:.2f}ms"
+        elif data["type"] == "gauge":
+            value = f"{data['value']:g}"
+        else:
+            value = f"{data['value']}"
+        lines.append(f"{name + label_text:<45s}  {value:>9s}")
+    return "\n".join(lines)

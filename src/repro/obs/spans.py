@@ -1,0 +1,178 @@
+"""Stage-tree timers: nested ``span(name)`` context managers.
+
+A span measures one stage of the pipeline — wall time via
+``time.perf_counter`` and CPU time via ``time.thread_time`` (per-thread,
+so concurrently running spans never double-count each other's CPU).
+Spans nest: opening a span inside another attaches it as a child, and
+re-entering the same stage name merges into one node (``n_calls`` keeps
+the multiplicity), so the recorder accumulates a stable *stage tree*
+rather than a trace of individual invocations.
+
+Nesting is tracked per thread.  A span opened on a worker thread with no
+enclosing span attaches to the recorder's root — unless the caller
+passes an explicit ``parent`` node, which is how
+:func:`repro.experiments.registry.run_all` keeps per-experiment spans
+under its ``experiments`` stage even when they run on pool threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["SpanNode", "SpanRecorder"]
+
+
+@dataclass
+class SpanNode:
+    """One accumulated stage of the tree.
+
+    >>> from repro.obs import SpanRecorder
+    >>> rec = SpanRecorder()
+    >>> with rec.span("outer"):
+    ...     with rec.span("inner"):
+    ...         pass
+    >>> node = rec.tree().children["outer"]
+    >>> node.n_calls, sorted(node.children)
+    (1, ['inner'])
+    """
+
+    name: str
+    n_calls: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    children: dict[str, "SpanNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "SpanNode":
+        """The named child node, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def find(self, *path: str) -> "SpanNode | None":
+        """Descend ``path`` from this node; None when any hop is missing."""
+        node: SpanNode | None = self
+        for name in path:
+            if node is None:
+                return None
+            node = node.children.get(name)
+        return node
+
+    def self_seconds(self) -> float:
+        """Wall time not accounted for by this node's children."""
+        return max(0.0, self.wall_seconds - sum(c.wall_seconds for c in self.children.values()))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able stage subtree (children sorted by wall time, desc)."""
+        out: dict[str, Any] = {
+            "n_calls": self.n_calls,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.children:
+            out["children"] = {
+                child.name: child.to_dict()
+                for child in sorted(
+                    self.children.values(), key=lambda c: -c.wall_seconds
+                )
+            }
+        return out
+
+
+class SpanRecorder:
+    """Accumulates spans into one stage tree per process.
+
+    >>> rec = SpanRecorder()
+    >>> with rec.span("generate"):
+    ...     with rec.span("world"):
+    ...         pass
+    >>> rec.tree().find("generate", "world").n_calls
+    1
+    """
+
+    def __init__(self) -> None:
+        self._root = SpanNode("run")
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> SpanNode | None:
+        """The innermost open span on this thread (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, parent: SpanNode | None = None) -> Iterator[SpanNode]:
+        """Time a stage; nests under this thread's open span (or ``parent``).
+
+        The yielded node is the merged stage node — handing it to another
+        thread as ``parent`` stitches that thread's spans into this one's
+        subtree.
+        """
+        stack = self._stack()
+        if parent is None:
+            parent = stack[-1] if stack else self._root
+        with self._lock:
+            node = parent.child(name)
+        stack.append(node)
+        wall0 = time.perf_counter()
+        cpu0 = time.thread_time()
+        try:
+            yield node
+        finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.thread_time() - cpu0
+            stack.pop()
+            with self._lock:
+                node.n_calls += 1
+                node.wall_seconds += wall
+                node.cpu_seconds += cpu
+
+    @contextmanager
+    def phases(self) -> Iterator[Any]:
+        """Sequential sibling spans: each ``phase(name)`` closes the last.
+
+        For straight-line pipelines (the dataset generator) where wrapping
+        every block in its own ``with`` would reindent half the module:
+
+        >>> rec = SpanRecorder()
+        >>> with rec.span("generate"), rec.phases() as phase:
+        ...     phase("world")
+        ...     phase("rosters")
+        >>> sorted(rec.tree().find("generate").children)
+        ['rosters', 'world']
+        """
+        active: list[Any] = []
+
+        def _close() -> None:
+            if active:
+                active.pop().__exit__(None, None, None)
+
+        def phase(name: str) -> None:
+            _close()
+            cm = self.span(name)
+            cm.__enter__()
+            active.append(cm)
+
+        try:
+            yield phase
+        finally:
+            _close()
+
+    def tree(self) -> SpanNode:
+        """The root of the accumulated stage tree (name ``"run"``)."""
+        return self._root
+
+    def reset(self) -> None:
+        """Drop the accumulated tree (open spans keep their nodes alive)."""
+        with self._lock:
+            self._root = SpanNode("run")

@@ -29,6 +29,7 @@ cell-for-cell identical; out-of-order streams keep the same joined
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 
 import numpy as np
@@ -37,6 +38,7 @@ from ..core.context import AnalysisContext
 from ..core.dataset import AttackDataset, BotRegistry, VictimRegistry
 from ..geo.world import COUNTRY_TABLE, City, Country, Organization, World
 from ..monitor.schemas import BotnetRecord, DDoSAttackRecord
+from ..obs import registry as _obs_registry
 from ..simulation.clock import ObservationWindow
 from .columns import GrowableColumn
 
@@ -52,6 +54,11 @@ class IngestError(ValueError):
 
     ``index`` is the position of the offending record in the input
     iterable (None when the whole stream is at fault, e.g. empty input).
+
+    >>> from repro import api
+    >>> api.ingest([])
+    Traceback (most recent call last):
+    repro.stream.builder.IngestError: no records to ingest
     """
 
     def __init__(self, message: str, index: int | None = None) -> None:
@@ -87,10 +94,14 @@ def _validated(records: Iterable[DDoSAttackRecord], strict: bool) -> list[DDoSAt
 class StreamingDataset:
     """Builds an attack-table-only dataset incrementally from records.
 
+    >>> from repro import api
+    >>> from repro.stream import StreamingDataset
+    >>> records = list(api.generate(scale=0.005).iter_attacks())
     >>> stream = StreamingDataset()
-    >>> stream.append_batch(batch_of_records)
-    >>> ctx = stream.context()          # snapshot, views updated in O(batch)
-    >>> print(report.render_headline(ctx))
+    >>> stream.append_batch(records[:100])
+    100
+    >>> stream.context().dataset.n_attacks  # snapshot, views carried in O(batch)
+    100
 
     Like ingested datasets, streamed datasets have no Botlist side: the
     participant arrays are empty, so bot-geolocation analyses degrade as
@@ -261,7 +272,13 @@ class StreamingDataset:
         may arrive in any order; chronologically non-decreasing batches
         take the O(batch) fast path, others trigger a stable merge of
         the sorted columns.
+
+        Each non-empty fold counts into ``stream.records_appended`` and
+        ``stream.batches`` (labelled by whether it took the in-order
+        fast path), observes its latency into ``stream.append_seconds``,
+        and updates the ``stream.epoch`` gauge.
         """
+        t0 = time.perf_counter()
         batch = _validated(records, strict)
         if not batch:
             return 0
@@ -328,6 +345,11 @@ class StreamingDataset:
             self._carry_ok = False
 
         self._epoch += 1
+        reg = _obs_registry()
+        reg.counter("stream.records_appended").inc(len(batch))
+        reg.counter("stream.batches", in_order="true" if in_order else "false").inc()
+        reg.gauge("stream.epoch").set(self._epoch)
+        reg.histogram("stream.append_seconds").observe(time.perf_counter() - t0)
         return len(batch)
 
     # -- snapshots ---------------------------------------------------------
@@ -438,6 +460,10 @@ class StreamingDataset:
         are carried forward incrementally; expensive views (collaboration
         scans, chains, forecasts) are left to rebuild lazily under the
         new epoch tag.
+
+        A carry counts the views it seeded into ``stream.views_carried``
+        and the ones it had to drop into ``stream.views_invalidated``,
+        and observes its latency into ``stream.carry_seconds``.
         """
         if self._snapshot_ctx is not None and self._snapshot_epoch == self._epoch:
             return self._snapshot_ctx
@@ -445,7 +471,13 @@ class StreamingDataset:
 
         ctx = AnalysisContext.attach(self._materialize(), epoch=self._epoch)
         if self._snapshot_ctx is not None and self._carry_ok:
-            carry_views(self._snapshot_ctx, ctx)
+            t0 = time.perf_counter()
+            n_old = self._snapshot_ctx.n_views
+            seeded = carry_views(self._snapshot_ctx, ctx)
+            reg = _obs_registry()
+            reg.counter("stream.views_carried").inc(seeded)
+            reg.counter("stream.views_invalidated").inc(n_old - seeded)
+            reg.histogram("stream.carry_seconds").observe(time.perf_counter() - t0)
         self._snapshot_ctx = ctx
         self._snapshot_epoch = self._epoch
         self._carry_ok = True

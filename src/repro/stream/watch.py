@@ -16,9 +16,11 @@ return ``None`` without touching the stream.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from ..monitor.schemas import DDoSAttackRecord
+from ..obs import registry as _obs_registry
 from ..simulation.clock import ObservationWindow
 from .builder import StreamingDataset
 
@@ -83,12 +85,15 @@ class JsonlTail:
 class WatchSession:
     """A long-running view over a JSONL attack log.
 
+    Poll in a loop (the CLI's ``watch`` subcommand sleeps between
+    polls); each poll returns the re-rendered report or ``None``:
+
+    >>> from repro.stream import WatchSession
     >>> session = WatchSession("attacks.jsonl")
-    >>> while True:
-    ...     update = session.poll()
-    ...     if update is not None:
-    ...         print(update)
-    ...     time.sleep(2)
+    >>> session.poll() is None          # nothing appended yet
+    True
+    >>> (session.n_attacks, session.epoch)
+    (0, 0)
     """
 
     def __init__(
@@ -114,15 +119,42 @@ class WatchSession:
     def epoch(self) -> int:
         return self._stream.epoch
 
+    @property
+    def lag_seconds(self) -> float:
+        """Seconds between now and the log file's last modification.
+
+        A proxy for how far the session trails the writer: near zero
+        while the log is being appended to, growing while it is quiet.
+        Missing file reads as 0.0 (nothing to lag behind).  The latest
+        value observed by :meth:`poll` is exported as the
+        ``watch.lag_seconds`` gauge.
+        """
+        try:
+            mtime = self._tail.path.stat().st_mtime
+        except OSError:
+            return 0.0
+        return max(0.0, time.time() - mtime)
+
     def poll(self) -> str | None:
-        """Ingest newly-landed records; render iff something changed."""
+        """Ingest newly-landed records; render iff something changed.
+
+        Each poll refreshes the ``watch.lag_seconds`` gauge; a poll that
+        appends counts its records into ``watch.lines_ingested`` and
+        observes the re-render latency into ``watch.render_seconds``.
+        """
+        reg = _obs_registry()
+        reg.gauge("watch.lag_seconds").set(self.lag_seconds)
         records = self._tail.poll()
         if not records:
             return None
         appended = self._stream.append_batch(records)
         if not appended:
             return None
-        return self.render()
+        reg.counter("watch.lines_ingested").inc(appended)
+        t0 = time.perf_counter()
+        rendered = self.render()
+        reg.histogram("watch.render_seconds").observe(time.perf_counter() - t0)
+        return rendered
 
     def render(self) -> str:
         """The report for the current snapshot (headline + protocol mix)."""

@@ -1,0 +1,92 @@
+"""Unit tests for the metrics primitives (Counter/Gauge/Histogram/Registry)."""
+
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.counter("x") is c  # same instrument on re-request
+
+
+def test_gauge_set_and_inc():
+    g = MetricsRegistry().gauge("g")
+    g.set(2.5)
+    g.inc(0.5)
+    assert g.value == 3.0
+
+
+def test_histogram_bucket_edges():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 10.0))
+    for v in (0.5, 1.0, 5.0, 10.0, 100.0):
+        h.observe(v)
+    # value <= edge lands in that bucket; above the last edge overflows.
+    assert h.bucket_counts == [2, 2, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(116.5)
+
+
+def test_histogram_default_buckets():
+    h = MetricsRegistry().histogram("h")
+    assert h.edges == DEFAULT_BUCKETS
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+def test_labels_create_distinct_series():
+    reg = MetricsRegistry()
+    a = reg.counter("views", kind="a")
+    b = reg.counter("views", kind="b")
+    assert a is not b
+    a.inc(3)
+    assert reg.counter("views", kind="a").value == 3
+    assert reg.counter("views", kind="b").value == 0
+
+
+def test_type_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+
+
+def test_snapshot_shape_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("c", k="v").inc(2)
+    reg.gauge("g").set(1.0)
+    reg.histogram("h").observe(0.002)
+    snap = reg.snapshot()
+    assert set(snap) == {"c", "g", "h"}
+    assert snap["c"][0] == {"labels": {"k": "v"}, "type": "counter", "value": 2}
+    assert snap["g"][0]["type"] == "gauge"
+    hseries = snap["h"][0]
+    assert hseries["count"] == 1 and len(hseries["counts"]) == len(hseries["edges"]) + 1
+    reg.reset()
+    assert reg.snapshot() == {}
+
+
+def test_counter_thread_safety():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+
+    def bump():
+        for _ in range(10_000):
+            c.inc()
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 40_000

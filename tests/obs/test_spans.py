@@ -1,0 +1,94 @@
+"""Unit tests for the span recorder and stage tree."""
+
+import threading
+
+from repro.obs import SpanRecorder
+
+
+def test_spans_nest_and_merge():
+    rec = SpanRecorder()
+    for _ in range(3):
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+    outer = rec.tree().find("outer")
+    assert outer.n_calls == 3
+    assert outer.children["inner"].n_calls == 3
+    assert outer.wall_seconds >= outer.children["inner"].wall_seconds
+
+
+def test_sibling_spans_are_distinct_nodes():
+    rec = SpanRecorder()
+    with rec.span("run_x"):
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+    node = rec.tree().find("run_x")
+    assert sorted(node.children) == ["a", "b"]
+
+
+def test_explicit_parent_stitches_worker_threads():
+    rec = SpanRecorder()
+    with rec.span("battery") as battery:
+
+        def work(i):
+            with rec.span(f"exp{i}", parent=battery):
+                pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    node = rec.tree().find("battery")
+    assert sorted(node.children) == ["exp0", "exp1", "exp2", "exp3"]
+
+
+def test_worker_without_parent_attaches_to_root():
+    rec = SpanRecorder()
+    done = threading.Event()
+
+    def work():
+        with rec.span("orphan"):
+            pass
+        done.set()
+
+    with rec.span("main_stage"):
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+    assert done.is_set()
+    assert "orphan" in rec.tree().children
+    assert "orphan" not in rec.tree().find("main_stage").children
+
+
+def test_phases_close_each_other():
+    rec = SpanRecorder()
+    with rec.span("generate"), rec.phases() as phase:
+        phase("world")
+        phase("rosters")
+        phase("victims")
+    gen = rec.tree().find("generate")
+    assert sorted(gen.children) == ["rosters", "victims", "world"]
+    assert all(child.n_calls == 1 for child in gen.children.values())
+
+
+def test_self_seconds_and_to_dict():
+    rec = SpanRecorder()
+    with rec.span("outer"):
+        with rec.span("inner"):
+            pass
+    outer = rec.tree().find("outer")
+    assert outer.self_seconds() >= 0.0
+    data = outer.to_dict()
+    assert data["n_calls"] == 1
+    assert "inner" in data["children"]
+
+
+def test_reset_drops_tree():
+    rec = SpanRecorder()
+    with rec.span("stage"):
+        pass
+    rec.reset()
+    assert rec.tree().children == {}

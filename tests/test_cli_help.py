@@ -1,0 +1,52 @@
+"""Snapshot tests for ``ddos-repro`` help output.
+
+Every subcommand's ``--help`` text (and the top-level one) is a reviewed
+golden file under ``tests/snapshots/cli_help/``.  After an intentional
+CLI change, regenerate them with::
+
+    REPRO_UPDATE_SNAPSHOTS=1 PYTHONPATH=src python -m pytest tests/test_cli_help.py
+
+and review the diff like any other code change.
+"""
+
+import argparse
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots" / "cli_help"
+
+
+def _parsers() -> dict[str, argparse.ArgumentParser]:
+    """The top-level parser plus one entry per subcommand."""
+    parser = build_parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return {"ddos-repro": parser, **action.choices}
+
+
+@pytest.mark.parametrize("name", sorted(_parsers()))
+def test_help_matches_snapshot(name, monkeypatch):
+    monkeypatch.setenv("COLUMNS", "80")  # argparse wraps to the terminal width
+    rendered = _parsers()[name].format_help()
+    snap = SNAPSHOT_DIR / f"{name}.txt"
+    if os.environ.get("REPRO_UPDATE_SNAPSHOTS"):
+        snap.parent.mkdir(parents=True, exist_ok=True)
+        snap.write_text(rendered)
+    assert snap.exists(), f"missing snapshot {snap}; run with REPRO_UPDATE_SNAPSHOTS=1"
+    assert rendered == snap.read_text(), (
+        f"--help for {name!r} drifted from its snapshot; review the change and "
+        "regenerate with REPRO_UPDATE_SNAPSHOTS=1"
+    )
+
+
+@pytest.mark.parametrize("name", [n for n in sorted(_parsers()) if n != "ddos-repro"])
+def test_subcommand_has_description_and_epilog(name):
+    sub = _parsers()[name]
+    assert sub.description and len(sub.description.split()) >= 10, name
+    assert sub.epilog and sub.epilog.startswith("example:"), name
+    assert "ddos-repro" in sub.epilog, name

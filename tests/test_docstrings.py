@@ -1,5 +1,13 @@
-"""Quality gate: every public module, class and function is documented."""
+"""Quality gate: every public module, class and function is documented.
 
+On top of the repo-wide docstring checks, the *facade* modules —
+``repro``, ``repro.api`` and ``repro.obs`` — are held to a higher bar:
+every export carries a runnable ``>>>`` example, and those examples are
+executed (at tiny scale, against a throwaway cache) so they can never
+rot.
+"""
+
+import doctest
 import importlib
 import inspect
 import pkgutil
@@ -39,3 +47,63 @@ def test_public_items_documented(module_name):
                     if inspect.isfunction(attr) and not inspect.getdoc(attr):
                         undocumented.append(f"{name}.{attr_name}")
     assert not undocumented, f"{module_name}: undocumented public items: {undocumented}"
+
+
+FACADE_MODULES = ("repro", "repro.api", "repro.obs")
+
+DOCTEST_FLAGS = (
+    doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE | doctest.IGNORE_EXCEPTION_DETAIL
+)
+
+
+def _facade_exports(module):
+    """The classes and functions a facade module exports via ``__all__``."""
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("module_name", FACADE_MODULES)
+def test_facade_exports_have_examples(module_name):
+    module = importlib.import_module(module_name)
+    missing = [
+        name
+        for name, obj in _facade_exports(module)
+        if ">>>" not in (inspect.getdoc(obj) or "")
+    ]
+    assert not missing, f"{module_name} exports without >>> examples: {missing}"
+
+
+@pytest.mark.parametrize("module_name", ("repro.api", "repro.obs"))
+def test_facade_module_docstring_has_example(module_name):
+    module = importlib.import_module(module_name)
+    assert ">>>" in (module.__doc__ or ""), f"{module_name} module docstring lacks a >>> example"
+
+
+def test_facade_doctests_execute(tmp_path, monkeypatch):
+    """Run every facade example for real (tiny scale, throwaway cache)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.chdir(tmp_path)
+    import repro.obs
+
+    repro.obs.reset()  # examples assert on counters; start from zero
+    runner = doctest.DocTestRunner(optionflags=DOCTEST_FLAGS)
+    finder = doctest.DocTestFinder()
+    module_only = doctest.DocTestFinder(recurse=False)
+    attempted = 0
+    seen: set[int] = set()
+    for module_name in FACADE_MODULES:
+        module = importlib.import_module(module_name)
+        for test in module_only.find(module):
+            if test.examples:
+                attempted += runner.run(test).attempted
+        for name, obj in _facade_exports(module):
+            if id(obj) in seen:  # re-exports: run each object's examples once
+                continue
+            seen.add(id(obj))
+            for test in finder.find(obj, name=f"{module_name}.{name}"):
+                if test.examples:
+                    attempted += runner.run(test).attempted
+    assert runner.failures == 0, f"{runner.failures} facade doctest failures (see output)"
+    assert attempted > 0, "no facade doctests were collected"
