@@ -1,0 +1,209 @@
+"""Record or check the cold-path benchmark baseline (``BENCH_coldpath.json``).
+
+The cold path is everything that runs before the first analysis result:
+dataset generation, the on-disk round trip, and the first experiment
+battery.  This script times each leg at one or more scales and either
+
+* writes the measurements (plus a machine manifest) as a committed
+  baseline::
+
+      python benchmarks/record.py --out BENCH_coldpath.json
+
+* or re-measures and compares against a committed baseline, failing
+  when any timing regressed beyond the tolerance factor (the CI
+  bench-smoke step; machine variance is what the generous default
+  tolerance absorbs)::
+
+      python benchmarks/record.py --scales small \
+          --check BENCH_coldpath.json --tolerance 3
+
+Timed legs per scale:
+
+* ``generate_jobs1`` / ``generate_jobs{N}`` — cold generation, serial
+  vs the process-parallel shards (``repro.par``); the two datasets are
+  asserted array-identical before either number is accepted;
+* ``colstore_save`` / ``colstore_load_mmap`` / ``colstore_load_buffered``
+  — the columnar binary store round trip (mmap opens lazily, the
+  buffered load reads every byte and is the conservative comparison);
+* ``jsonl_export`` / ``jsonl_ingest`` — the text round trip the
+  colstore replaces on the cold path;
+* ``table4_cold`` — the ARIMA prediction experiment on a fresh context;
+* ``run_all_cold`` — the full battery on a fresh context.
+
+Derived ratios (``generate_speedup``, ``load_speedup``) are stored next
+to the raw timings; ``docs/PERFORMANCE.md`` quotes them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed package)
+except ImportError:  # running from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.context import AnalysisContext
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+from repro.experiments.registry import run_all
+from repro.experiments.table4_prediction import EXPERIMENT as TABLE4
+from repro.io import colstore
+from repro.io.ingest import dataset_from_records
+from repro.io.jsonlio import export_attacks_jsonl, iter_attacks_jsonl
+
+SCHEMA_VERSION = 1
+SCALES = {"small": 0.02, "full": 1.0}
+PARALLEL_JOBS = 4
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return round(time.perf_counter() - t0, 4), out
+
+
+def machine_manifest() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def measure_scale(name: str, scale: float, workdir: Path) -> dict:
+    config = DatasetConfig(seed=7, scale=scale)
+    print(f"[{name}] generate jobs=1 ...", flush=True)
+    t_gen1, ds = _timed(lambda: generate_dataset(config, jobs=1))
+    print(f"[{name}] generate jobs={PARALLEL_JOBS} ...", flush=True)
+    t_genN, ds_par = _timed(lambda: generate_dataset(config, jobs=PARALLEL_JOBS))
+    assert ds.attack_columns_equal(ds_par), "parallel generation diverged"
+
+    npz = workdir / f"{name}.npz"
+    t_save, _ = _timed(lambda: colstore.save_dataset_npz(ds, npz))
+    t_mmap, _ = _timed(lambda: colstore.load_dataset_npz(npz))
+    t_buffered, _ = _timed(lambda: colstore.load_dataset_npz(npz, mmap=False))
+
+    jsonl = workdir / f"{name}.jsonl"
+    t_export, _ = _timed(lambda: export_attacks_jsonl(ds, jsonl))
+    t_ingest, ingested = _timed(
+        lambda: dataset_from_records(iter_attacks_jsonl(jsonl), window=ds.window)
+    )
+    assert ingested.n_attacks == ds.n_attacks
+
+    print(f"[{name}] experiments ...", flush=True)
+    t_table4, _ = _timed(lambda: TABLE4.run(AnalysisContext(ds)))
+    t_run_all, results = _timed(lambda: run_all(AnalysisContext(ds), jobs=1))
+
+    timings = {
+        "generate_jobs1": t_gen1,
+        f"generate_jobs{PARALLEL_JOBS}": t_genN,
+        "colstore_save": t_save,
+        "colstore_load_mmap": t_mmap,
+        "colstore_load_buffered": t_buffered,
+        "jsonl_export": t_export,
+        "jsonl_ingest": t_ingest,
+        "table4_cold": t_table4,
+        "run_all_cold": t_run_all,
+    }
+    derived = {
+        "generate_speedup": round(t_gen1 / max(t_genN, 1e-9), 2),
+        "load_speedup": round(t_ingest / max(t_buffered, 1e-9), 2),
+    }
+    entry = {
+        "scale": scale,
+        "n_attacks": int(ds.n_attacks),
+        "n_experiments": len(results),
+        "archive_bytes": npz.stat().st_size,
+        "timings": timings,
+        "derived": derived,
+    }
+    print(f"[{name}] {json.dumps(timings)}")
+    print(f"[{name}] speedups: {json.dumps(derived)}")
+    return entry
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Timings that regressed beyond ``tolerance``x the baseline."""
+    failures = []
+    for name, entry in current.items():
+        base = baseline.get("scales", {}).get(name)
+        if base is None:
+            continue
+        for leg, seconds in entry["timings"].items():
+            ref = base["timings"].get(leg)
+            if ref is not None and seconds > ref * tolerance:
+                failures.append(
+                    f"{name}.{leg}: {seconds:.3f}s > {tolerance:.1f}x "
+                    f"baseline {ref:.3f}s"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", nargs="+", choices=sorted(SCALES), default=sorted(SCALES),
+        help="which scales to measure",
+    )
+    parser.add_argument("--out", default=None, help="write the baseline JSON here")
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against this committed baseline instead of recording",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=3.0,
+        help="allowed slowdown factor in --check mode (absorbs machine variance)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the observability RunManifest here after measuring",
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in args.scales:
+            results[name] = measure_scale(name, SCALES[name], Path(tmp))
+
+    if args.metrics:
+        from repro.obs import RunManifest, registry
+
+        RunManifest.collect(registry(), argv=["benchmarks/record.py", *sys.argv[1:]]).write(
+            args.metrics
+        )
+        print(f"manifest written to {args.metrics}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check(baseline, results, args.tolerance)
+        if failures:
+            print("cold-path regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"cold path within {args.tolerance:.1f}x of {args.check}")
+        return 0
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_manifest(),
+        "parallel_jobs": PARALLEL_JOBS,
+        "scales": results,
+    }
+    out = Path(args.out or "BENCH_coldpath.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,7 @@ def generate(
     config: DatasetConfig | None = None,
     cache: bool = True,
     cache_dir: str | Path | None = None,
+    jobs: int = 1,
 ) -> AttackDataset:
     """Generate (or load from cache) the synthetic dataset.
 
@@ -59,6 +60,8 @@ def generate(
     :class:`DatasetConfig` is built from ``scale`` and ``seed``.  With
     ``cache`` (the default) the result is cached on disk keyed by the
     config hash — see :func:`repro.io.cache.load_or_generate`.
+    ``jobs > 1`` generates across worker processes; the dataset is
+    array-identical for every ``jobs`` value (see ``docs/PERFORMANCE.md``).
 
     >>> from repro import api
     >>> ds = api.generate(scale=0.005)      # cached after the first call
@@ -71,8 +74,8 @@ def generate(
     if config is None:
         config = DatasetConfig(seed=seed, scale=scale)
     if cache:
-        return load_or_generate(config, cache_dir)
-    return generate_dataset(config)
+        return load_or_generate(config, cache_dir, jobs=jobs)
+    return generate_dataset(config, jobs=jobs)
 
 
 def load(path: str | Path) -> AttackDataset:
@@ -82,17 +85,20 @@ def load(path: str | Path) -> AttackDataset:
       line (as written by :func:`repro.io.jsonlio.export_attacks_jsonl`);
     * ``.csv`` — attack table export
       (:func:`repro.io.csvio.export_attacks_csv`);
+    * ``.npz`` — the columnar binary store
+      (:func:`repro.io.colstore.save_dataset_npz`; memory-mapped, the
+      fastest cold load — create one with ``ddos-repro convert``);
     * ``.pkl.gz`` — a pickled dataset
       (:func:`repro.io.cache.save_dataset`; only load your own files).
 
     JSONL/CSV logs rebuild an attack-table-only dataset via
-    :func:`ingest`; the pickle round-trips the full dataset including
-    the Botlist side.
+    :func:`ingest`; the colstore archive and the pickle round-trip the
+    full dataset including the Botlist side.
 
     >>> from repro import api
     >>> api.load("attacks.xyz")
     Traceback (most recent call last):
-    ValueError: cannot infer format of attacks.xyz: expected .jsonl, .csv or .pkl.gz
+    ValueError: cannot infer format of attacks.xyz: expected .jsonl, .csv, .npz or .pkl.gz
     """
     path = Path(path)
     name = path.name
@@ -104,12 +110,16 @@ def load(path: str | Path) -> AttackDataset:
         from .io.csvio import read_attacks_csv
 
         return ingest(read_attacks_csv(path))
+    if name.endswith(".npz"):
+        from .io.colstore import load_dataset_npz
+
+        return load_dataset_npz(path)
     if name.endswith(".pkl.gz"):
         from .io.cache import load_dataset
 
         return load_dataset(path)
     raise ValueError(
-        f"cannot infer format of {path}: expected .jsonl, .csv or .pkl.gz"
+        f"cannot infer format of {path}: expected .jsonl, .csv, .npz or .pkl.gz"
     )
 
 

@@ -39,7 +39,7 @@ from ..geo.world import World
 from ..simulation.clock import ObservationWindow
 from .family import FamilyProfile
 
-__all__ = ["BotPool"]
+__all__ = ["BotPool", "BotPoolPlan"]
 
 #: Fraction of the pool recruited after the window start (growth), and
 #: fraction of the window over which that growth is spread.
@@ -59,6 +59,28 @@ _FEEDBACK_TOL_KM = 40.0
 #: ``gain * s`` (the sample centre shifts toward the new bot).  Refined
 #: adaptively from observed effects.
 _FEEDBACK_GAIN0 = 0.45
+
+
+@dataclass
+class BotPoolPlan:
+    """The parent-process half of a :class:`BotPool` build.
+
+    Captures every draw that touches shared mutable state — the
+    country/org multinomials and the :class:`SequentialAssigner` IP
+    takes — as a list of placement batches plus the mid-state generator,
+    so :meth:`BotPool.finish` can complete the pool in a worker process
+    without coordinating address space across families.
+    """
+
+    family: str
+    #: ``(org_index, country_index, city_index, asn, ips, expansion_flag)``
+    #: in placement order.
+    batches: list[tuple[int, int, int, int, np.ndarray, bool]]
+    #: expansion-country index -> bot count (drives the recruit bursts).
+    exp_counts: dict[int, int]
+    #: The family's ``bots.<name>`` stream, mid-state; ``finish``
+    #: continues it so plan+finish draws exactly match a one-shot build.
+    rng: np.random.Generator
 
 
 @dataclass
@@ -116,7 +138,32 @@ class BotPool:
         ``attacker_country_indices/weights`` define the global tail pool
         (Table III: bots across all families span 186 countries); each
         family draws ``1 - home_share`` of its bots from it.
+
+        Implemented as :meth:`plan` (parent-only: multinomials + shared
+        IP assigner) followed by :meth:`finish` (world-local: coords,
+        recruitment, sampling structures) so generation shards can run
+        the second half in worker processes; the split is draw-for-draw
+        identical to the historical one-shot build.
         """
+        plan = cls.plan(
+            profile, world, assigner, rng,
+            attacker_country_indices, attacker_country_weights,
+            home_share=home_share,
+        )
+        return cls.finish(plan, profile, world, geoip, window, botnet_ids)
+
+    @classmethod
+    def plan(
+        cls,
+        profile: FamilyProfile,
+        world: World,
+        assigner: SequentialAssigner,
+        rng: np.random.Generator,
+        attacker_country_indices: np.ndarray,
+        attacker_country_weights: np.ndarray,
+        home_share: float = 0.90,
+    ) -> BotPoolPlan:
+        """Draw the country/org placement and take the IP batches (parent-side)."""
         n_total = profile.n_bots
         expansion = list(profile.expansion_countries)
         n_expansion = 0
@@ -155,14 +202,7 @@ class BotPool:
                 exp_counts[c_idx] = per + (1 if j < leftover else 0)
 
         # --- materialise bots country by country, org by org -----------
-        ips: list[np.ndarray] = []
-        lats: list[np.ndarray] = []
-        lons: list[np.ndarray] = []
-        country_col: list[np.ndarray] = []
-        city_col: list[np.ndarray] = []
-        org_col: list[np.ndarray] = []
-        asn_col: list[np.ndarray] = []
-        is_expansion: list[np.ndarray] = []
+        batches: list[tuple[int, int, int, int, np.ndarray, bool]] = []
 
         def place(country_index: int, n: int, expansion_flag: bool) -> None:
             org_ids, org_w = world.org_weights_of(country_index)
@@ -185,15 +225,9 @@ class BotPool:
                     continue
                 batch = assigner.take(org_index, got)
                 org = world.organizations[org_index]
-                blats, blons = geoip.coords_for_city(org.city_index, batch)
-                ips.append(batch)
-                lats.append(blats)
-                lons.append(blons)
-                country_col.append(np.full(got, country_index, dtype=np.int16))
-                city_col.append(np.full(got, org.city_index, dtype=np.int32))
-                org_col.append(np.full(got, org_index, dtype=np.int32))
-                asn_col.append(np.full(got, org.asn, dtype=np.int32))
-                is_expansion.append(np.full(got, expansion_flag, dtype=bool))
+                batches.append(
+                    (org_index, country_index, org.city_index, org.asn, batch, expansion_flag)
+                )
             if remainder:
                 raise RuntimeError(
                     f"{profile.name}: country {country_index} address space "
@@ -204,6 +238,48 @@ class BotPool:
             place(c_idx, counts[c_idx], expansion_flag=False)
         for c_idx in sorted(exp_counts):
             place(c_idx, exp_counts[c_idx], expansion_flag=True)
+
+        return BotPoolPlan(
+            family=profile.name, batches=batches, exp_counts=exp_counts, rng=rng
+        )
+
+    @classmethod
+    def finish(
+        cls,
+        plan: BotPoolPlan,
+        profile: FamilyProfile,
+        world: World,
+        geoip: GeoIPService,
+        window: ObservationWindow,
+        botnet_ids: np.ndarray,
+    ) -> "BotPool":
+        """Complete a planned pool: coords, recruitment, sampling structures.
+
+        Continues ``plan.rng`` exactly where :meth:`plan` stopped; safe
+        to run in a forked worker because nothing here touches shared
+        state (``coords_for_city`` is a pure function of the IP).
+        """
+        rng = plan.rng
+        exp_counts = plan.exp_counts
+        ips: list[np.ndarray] = []
+        lats: list[np.ndarray] = []
+        lons: list[np.ndarray] = []
+        country_col: list[np.ndarray] = []
+        city_col: list[np.ndarray] = []
+        org_col: list[np.ndarray] = []
+        asn_col: list[np.ndarray] = []
+        is_expansion: list[np.ndarray] = []
+        for org_index, country_index, city_index, asn, batch, expansion_flag in plan.batches:
+            got = batch.size
+            blats, blons = geoip.coords_for_city(city_index, batch)
+            ips.append(batch)
+            lats.append(blats)
+            lons.append(blons)
+            country_col.append(np.full(got, country_index, dtype=np.int16))
+            city_col.append(np.full(got, city_index, dtype=np.int32))
+            org_col.append(np.full(got, org_index, dtype=np.int32))
+            asn_col.append(np.full(got, asn, dtype=np.int32))
+            is_expansion.append(np.full(got, expansion_flag, dtype=bool))
 
         pool = cls(family=profile.name)
         pool.ip = np.concatenate(ips)

@@ -3,6 +3,7 @@
 Subcommands::
 
     ddos-repro generate  --scale 0.02 --seed 7 --out data/   # export schemas
+    ddos-repro convert   attacks.jsonl attacks.npz           # re-store a dataset
     ddos-repro report    --scale 0.02                        # headline + tables
     ddos-repro experiments [--jobs 4] [--only table4_prediction]
     ddos-repro predict   --family pandora                    # ARIMA forecast
@@ -124,6 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures", action="store_true",
         help="also export the per-figure data series as CSVs",
     )
+    gen.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes for generation on a cache miss "
+             "(default: cpu count capped at 8; output is identical for any value)",
+    )
+
+    conv = _add_command(
+        sub,
+        "convert",
+        help="convert a dataset file between storage formats",
+        description=(
+            "Load a dataset file in any supported format (.jsonl, .csv, .npz "
+            "or .pkl.gz) and rewrite it in the format implied by the output "
+            "extension. Converting to .npz produces the memory-mapped "
+            "columnar store — the fastest format to load cold (see "
+            "docs/PERFORMANCE.md)."
+        ),
+        epilog="example:\n  ddos-repro convert attacks.jsonl attacks.npz",
+    )
+    conv.add_argument("src", help="input dataset file (.jsonl, .csv, .npz or .pkl.gz)")
+    conv.add_argument("dst", help="output file; the extension picks the format")
 
     _add_command(
         sub,
@@ -224,17 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Exercise the full pipeline under the observability layer: "
             "generate the dataset (uncached, so generation is timed), round-"
-            "trip it through the ingest path, build the analysis views, then "
-            "run the experiment battery twice — cold and warm — so cache "
-            "hit/miss counters are populated. Prints the sorted stage tree "
-            "and a metrics summary, and writes the RunManifest JSON next to "
-            "the cache directory (or to --metrics PATH)."
+            "trip it through the ingest path and the columnar binary store, "
+            "build the analysis views, fan the per-family ARIMA forecasts "
+            "across worker processes, then run the experiment battery twice "
+            "— cold and warm — so cache hit/miss counters are populated. "
+            "Prints the sorted stage tree and a metrics summary, and writes "
+            "the RunManifest JSON next to the cache directory (or to "
+            "--metrics PATH)."
         ),
         epilog="example:\n  ddos-repro --scale 0.02 profile --jobs 4",
     )
     prof.add_argument(
-        "--jobs", type=_positive_int, default=1,
-        help="worker threads for the experiment batteries",
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes for generation and the ARIMA fan-out, and "
+             "worker threads for the experiment batteries "
+             "(default: cpu count capped at 8)",
     )
     prof.add_argument(
         "--min-seconds", type=float, default=0.0,
@@ -248,7 +274,11 @@ def _config(args: argparse.Namespace) -> DatasetConfig:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    ds = args._manifest_dataset = load_or_generate(_config(args), args.cache_dir)
+    from . import par
+
+    ds = args._manifest_dataset = load_or_generate(
+        _config(args), args.cache_dir, jobs=par.resolve_jobs(args.jobs)
+    )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     n_attacks = export_attacks_csv(ds, out / "ddos_attacks.csv")
@@ -260,6 +290,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
         counts = export_figure_data(ds, out / "figures")
         print(f"wrote {len(counts)} figure series to {out}/figures/")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from . import api
+
+    if not Path(args.src).exists():
+        print(f"error: no such file: {args.src}", file=sys.stderr)
+        return 1
+    ds = api.load(args.src)
+    args._manifest_dataset = ds
+    dst = Path(args.dst)
+    name = dst.name
+    if name.endswith(".npz"):
+        from .io.colstore import save_dataset_npz
+
+        save_dataset_npz(ds, dst)
+    elif name.endswith(".jsonl"):
+        from .io.jsonlio import export_attacks_jsonl
+
+        export_attacks_jsonl(ds, dst)
+    elif name.endswith(".csv"):
+        export_attacks_csv(ds, dst)
+    elif name.endswith(".pkl.gz"):
+        from .io.cache import save_dataset
+
+        save_dataset(ds, dst)
+    else:
+        print(
+            f"cannot infer format of {dst}: expected .jsonl, .csv, .npz or .pkl.gz",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"converted {args.src} -> {dst} ({ds.n_attacks} attacks)")
     return 0
 
 
@@ -375,26 +439,43 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from . import par
+    from .core.context import AnalysisContext
+    from .core.prediction import predict_all_families
     from .datagen.generator import generate_dataset
     from .io.ingest import dataset_from_records
-    from .core.context import AnalysisContext
 
     config = _config(args)
     reg = obs_registry()
+    jobs = par.resolve_jobs(args.jobs)
 
-    ds = generate_dataset(config)
+    ds = generate_dataset(config, jobs=jobs)
     args._manifest_dataset = ds
 
     streamed = dataset_from_records(ds.iter_attacks(), window=ds.window)
     print(f"generated {ds.n_attacks} attacks; ingest round-trip kept "
           f"{streamed.n_attacks}")
 
+    import tempfile
+
+    from .io import colstore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        npz = colstore.save_dataset_npz(ds, Path(tmp) / "profile.npz")
+        size = npz.stat().st_size
+        colstore.load_dataset_npz(npz)
+    print(f"colstore round-trip: {size / 1e6:.1f} MB archive")
+
     ctx = AnalysisContext.of(ds)
     with reg.span("context.views"):
         report.render_headline(ctx)
 
+    with reg.span("par.forecast"):
+        forecasts = predict_all_families(ctx, jobs=jobs)
+    print(f"forecast fan-out: {len(forecasts)} families")
+
     for label in ("battery (cold)", "battery (warm)"):
-        results = run_all(ctx, jobs=args.jobs)
+        results = run_all(ctx, jobs=jobs)
         print(f"{label}: {len(results)} experiments")
 
     manifest = RunManifest.collect(
@@ -426,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
     args._argv = ["ddos-repro", *(argv if argv is not None else sys.argv[1:])]
     commands = {
         "generate": _cmd_generate,
+        "convert": _cmd_convert,
         "report": _cmd_report,
         "experiments": _cmd_experiments,
         "predict": _cmd_predict,

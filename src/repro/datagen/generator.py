@@ -1,31 +1,40 @@
 """End-to-end dataset generation.
 
-``generate_dataset(config)`` runs the whole pipeline:
+``generate_dataset(config, jobs=N)`` runs the whole pipeline:
 
 1. build the world, the IPv4 plan and the GeoIP service;
-2. build botnet rosters (674 generations) and per-family bot pools
-   (310,950 bots at full scale);
+2. build botnet rosters (674 generations) and plan per-family bot pools
+   (310,950 bots at full scale) against the shared address space;
 3. build the victim registry (9,026 targets) and per-family target pools;
-4. plan every family's attacks (waves/sessions, staged collaborations,
-   chains, the 2012-08-30 surge) plus the inter-family collaborations;
-5. assign protocols (exact Table II multisets) and targets (Table V
-   country weights, full coverage of the victim registry);
-6. resolve (botnet, target) timing conflicts so the 60 s segmentation
-   rule cannot merge distinct attacks;
-7. sample per-attack participants from the bot pools;
-8. emit raw pulses through the discrete-event engine into the monitoring
-   collector, segment them with the 60 s rule, and verify the round trip;
-9. assemble the columnar :class:`~repro.core.dataset.AttackDataset`.
+4. plan the inter-family collaborations, then fan one *shard* per family
+   across the worker pool: each shard finishes its bot pool, plans the
+   family's attacks (waves/sessions, staged collaborations, chains, the
+   2012-08-30 surge), assigns protocols (exact Table II multisets) and
+   targets (Table V country weights, full coverage of the victim
+   registry), resolves (botnet, target) timing conflicts, and replays
+   its attacks through the discrete-event monitor with the 60 s
+   segmentation rule;
+5. merge the shards deterministically (concatenate in family order,
+   stable sort by start, renumber collaboration groups);
+6. sample per-attack participants from the bot pools, fanned across the
+   pool in index chunks;
+7. assemble the columnar :class:`~repro.core.dataset.AttackDataset`.
 
-Everything is driven by named seed streams, so a dataset is a pure
-function of its :class:`~repro.datagen.config.DatasetConfig`.
+Everything is driven by named seed streams — per-family streams for
+planning and monitoring, a per-attack stream for participant sampling —
+so a dataset is a pure function of its
+:class:`~repro.datagen.config.DatasetConfig`: ``jobs`` only chooses how
+the work is executed, never what is generated.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
-from ..botnet.bots import BotPool
+from .. import par
+from ..botnet.bots import BotPool, BotPoolPlan
 from ..botnet.cnc import BotnetRoster
 from ..botnet.scheduler import CollabKind, FamilyScheduler, PlannedAttack
 from ..core.dataset import AttackDataset, BotRegistry
@@ -39,7 +48,7 @@ from ..obs import registry as _obs_registry
 from ..simulation.clock import ObservationWindow
 from ..simulation.engine import SimulationEngine
 from ..simulation.events import EventKind
-from ..simulation.rng import SeededStreams
+from ..simulation.rng import SeededStreams, derive_seed
 from .config import DatasetConfig
 from .victims import TargetPool, build_victims
 
@@ -72,6 +81,8 @@ def _plan_inter_family(
     Dirtjumper×Pandora ran from October to December 2012 against 96
     unique targets; each event pairs one attack from each family with
     near-identical magnitudes and durations differing by 10-28 minutes.
+    Group ids are numbered locally from ``next_group``; the shard merge
+    renumbers them after the total intra-family group count is known.
     """
     attacks: list[PlannedAttack] = []
     # Oct 1 / Dec 31 2012 as fractions of the paper window.
@@ -124,22 +135,22 @@ def _plan_inter_family(
     return attacks, next_group
 
 
-def _assign_protocols(per_family: dict[str, list[PlannedAttack]], profiles, streams) -> None:
+def _assign_protocols(
+    name: str, attacks: list[PlannedAttack], profile, rng: np.random.Generator
+) -> None:
     """Give every attack a protocol; exact Table II multiset per family."""
-    for name, attacks in per_family.items():
-        counts = profiles[name].protocol_counts
-        multiset: list[Protocol] = []
-        for proto in sorted(counts, key=lambda p: p.value):
-            multiset.extend([proto] * counts[proto])
-        if len(multiset) != len(attacks):
-            raise GenerationError(
-                f"{name}: planned {len(attacks)} attacks but protocol "
-                f"multiset holds {len(multiset)}"
-            )
-        rng = streams.stream(f"protocols.{name}")
-        order = rng.permutation(len(multiset))
-        for attack, pos in zip(attacks, order):
-            attack.protocol = multiset[pos]
+    counts = profile.protocol_counts
+    multiset: list[Protocol] = []
+    for proto in sorted(counts, key=lambda p: p.value):
+        multiset.extend([proto] * counts[proto])
+    if len(multiset) != len(attacks):
+        raise GenerationError(
+            f"{name}: planned {len(attacks)} attacks but protocol "
+            f"multiset holds {len(multiset)}"
+        )
+    order = rng.permutation(len(multiset))
+    for attack, pos in zip(attacks, order):
+        attack.protocol = multiset[pos]
 
 
 def _assign_targets(
@@ -215,7 +226,9 @@ def _resolve_conflicts(
 
     The segmentation stage merges same-botnet-same-target activity with
     gaps <= 60 s; planned attacks that would merge are pushed apart, so
-    the verified-attack count stays exact.
+    the verified-attack count stays exact.  Botnet ids are unique to one
+    family, so per-family resolution partitions exactly like a global
+    pass would.
     """
     groups: dict[tuple[int, int], list[PlannedAttack]] = {}
     for attack in attacks:
@@ -284,14 +297,206 @@ def _emit_pulses(
             engine.schedule(lo, EventKind.ATTACK_PULSE, pulse)
 
 
-def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
+# ---------------------------------------------------------------------------
+# family shards (phase A): pool finish + planning + monitoring, per family
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ShardPayload:
+    """Read-only state every family shard needs (fork-inherited)."""
+
+    seed: int
+    window: ObservationWindow
+    profiles: dict
+    world: World
+    geoip: GeoIPService
+    rosters: dict[str, BotnetRoster]
+    target_pools: dict[str, TargetPool]
+    plans: dict[str, BotPoolPlan]
+    inter_by_family: dict[str, list[PlannedAttack]]
+    reserve: dict[str, int]
+    mega: dict
+    active: frozenset[str]
+    pulse_split_prob: float
+    gap_seconds: float
+
+
+@dataclass
+class _ShardResult:
+    """One family's contribution: its finished pool and attack columns."""
+
+    pool: BotPool
+    n_groups: int = 0
+    columns: dict[str, np.ndarray] | None = None
+
+
+def _segment_columns(
+    attacks: list[PlannedAttack], segments
+) -> dict[str, np.ndarray]:
+    """Per-family attack columns in segment (start-sorted) order.
+
+    ``planned_magnitude`` is transient — participant sampling consumes
+    it and replaces it with the realised sample size.  ``group`` holds
+    family-local collaboration ids; the merge renumbers them.
+    """
+    n = len(segments)
+    cols = {
+        "start": np.empty(n),
+        "end": np.empty(n),
+        "botnet": np.empty(n, dtype=np.int32),
+        "protocol": np.empty(n, dtype=np.int8),
+        "target": np.empty(n, dtype=np.int32),
+        "planned_magnitude": np.empty(n, dtype=np.int64),
+        "group": np.empty(n, dtype=np.int32),
+        "kind": np.empty(n, dtype=np.int8),
+        "chain": np.empty(n, dtype=np.int32),
+        "sym": np.empty(n, dtype=bool),
+        "residual": np.empty(n, dtype=np.float64),
+    }
+    for i, seg in enumerate(segments):
+        planned = attacks[seg.tags[0]]
+        cols["start"][i] = seg.start
+        cols["end"][i] = seg.end
+        cols["botnet"][i] = seg.botnet_id
+        cols["protocol"][i] = int(planned.protocol)
+        cols["target"][i] = planned.target_index
+        cols["planned_magnitude"][i] = planned.magnitude
+        cols["group"][i] = planned.collab_group
+        cols["kind"][i] = planned.collab_kind
+        cols["chain"][i] = planned.chain_id if planned.chain_id >= 0 else -1
+        cols["sym"][i] = planned.symmetric
+        cols["residual"][i] = planned.residual_km
+    return cols
+
+
+def _family_shard(payload: _ShardPayload, name: str) -> _ShardResult:
+    """Finish one family's bot pool and, if active, plan + monitor its attacks.
+
+    All randomness comes from streams named after the family
+    (``schedule.<name>``, ``protocols.<name>``, ``targets.<name>``,
+    ``conflicts.<name>``, ``pulses.<name>``) plus the mid-state pool
+    stream captured in the plan, so the result is independent of which
+    process runs the shard or in what order.
+    """
+    profile = payload.profiles[name]
+    window = payload.window
+    streams = SeededStreams(payload.seed)
+    roster = payload.rosters[name]
+    pool = BotPool.finish(
+        payload.plans[name], profile, payload.world, payload.geoip, window, roster.ids
+    )
+    if name not in payload.active:
+        return _ShardResult(pool=pool)
+
+    scheduler = FamilyScheduler(
+        profile, window, roster,
+        streams.stream(f"schedule.{name}"),
+        reserve_for_inter=payload.reserve.get(name, 0),
+        mega_extra=payload.mega["extra_attacks"] if name == payload.mega["family"] else 0,
+    )
+    plan, n_groups = scheduler.plan(0)
+    attacks = plan.attacks
+    attacks.extend(payload.inter_by_family.get(name, ()))
+
+    _assign_protocols(name, attacks, profile, streams.stream(f"protocols.{name}"))
+    _assign_targets(attacks, payload.target_pools[name], streams.stream(f"targets.{name}"))
+    _clamp_to_window(attacks, window)
+    _resolve_conflicts(attacks, window, streams.stream(f"conflicts.{name}"))
+
+    # Monitoring round trip.  Segmentation groups by (botnet, target) and
+    # botnets belong to exactly one family, so per-family replay produces
+    # the same segments a global replay would.
+    labeler = FamilyLabeler({int(bid): name for bid in roster.ids})
+    engine = SimulationEngine(start_time=window.start)
+    collector = Collector(labeler, gap_seconds=payload.gap_seconds)
+    collector.attach(engine)
+    _emit_pulses(attacks, engine, streams.stream(f"pulses.{name}"), payload.pulse_split_prob)
+    engine.run()
+    segments = collector.segment()
+
+    if len(segments) != len(attacks):
+        raise GenerationError(
+            f"{name}: segmentation produced {len(segments)} attacks from "
+            f"{len(attacks)} planned (conflict resolution failed)"
+        )
+    seen_tags: set[int] = set()
+    for seg in segments:
+        if len(seg.tags) != 1:
+            raise GenerationError(f"{name}: segment merged distinct attacks: tags={seg.tags}")
+        seen_tags.add(seg.tags[0])
+    if len(seen_tags) != len(attacks):
+        raise GenerationError(f"{name}: segmentation lost attacks")
+
+    return _ShardResult(
+        pool=pool, n_groups=n_groups, columns=_segment_columns(attacks, segments)
+    )
+
+
+# ---------------------------------------------------------------------------
+# participant sampling (phase B): per-attack streams, chunked by index
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ParticipantPayload:
+    """Merged attack columns + finished pools (fork-inherited)."""
+
+    seed: int
+    pools: dict[str, BotPool]
+    family_names: list[str]
+    pool_offset: np.ndarray = field(repr=False, default=None)  # by global family idx
+    family_idx: np.ndarray = field(repr=False, default=None)
+    start: np.ndarray = field(repr=False, default=None)
+    magnitude: np.ndarray = field(repr=False, default=None)
+    symmetric: np.ndarray = field(repr=False, default=None)
+    residual: np.ndarray = field(repr=False, default=None)
+
+
+def _participant_chunk(
+    payload: _ParticipantPayload, bounds: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample participants for attacks ``[lo, hi)`` of the merged order.
+
+    Each attack gets its own generator derived from the config seed and
+    its merged index, so the result is invariant to chunking and worker
+    count.
+    """
+    lo, hi = bounds
+    sizes = np.empty(hi - lo, dtype=np.int64)
+    parts: list[np.ndarray] = []
+    for i in range(lo, hi):
+        fam = int(payload.family_idx[i])
+        pool = payload.pools[payload.family_names[fam]]
+        rng = np.random.default_rng(derive_seed(payload.seed, f"participants.{i}"))
+        local = pool.sample_participants(
+            rng, float(payload.start[i]), int(payload.magnitude[i]),
+            bool(payload.symmetric[i]), float(payload.residual[i]),
+        )
+        parts.append(local + payload.pool_offset[fam])
+        sizes[i - lo] = local.size
+    merged = (
+        np.concatenate(parts).astype(np.int64) if parts else np.zeros(0, dtype=np.int64)
+    )
+    return sizes, merged
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+
+def generate_dataset(config: DatasetConfig | None = None, jobs: int = 1) -> AttackDataset:
     """Generate the full synthetic dataset for ``config`` (see module docs).
 
-    The run is observable: the whole build times under a ``generate``
-    stage span with one child phase per pipeline step (``world``,
-    ``rosters``, ``victims``, ``bot_pools``, ``planning``, ``monitor``,
-    ``participants``, ``assemble``), and the attack count lands in the
-    ``generate.attacks`` counter.
+    ``jobs`` controls how many worker processes run the family shards
+    and participant chunks; the output is array-identical for every
+    value (randomness is keyed by stream name and attack index, never by
+    worker).  The run is observable: the whole build times under a
+    ``generate`` stage span with one child phase per pipeline step
+    (``world``, ``rosters``, ``victims``, ``pool_plans``, ``inter``,
+    ``par.shards``, ``merge``, ``par.participants``, ``assemble``), and
+    the attack count lands in the ``generate.attacks`` counter.
 
     >>> from repro import DatasetConfig, generate_dataset
     >>> ds = generate_dataset(DatasetConfig.tiny())
@@ -300,15 +505,16 @@ def generate_dataset(config: DatasetConfig | None = None) -> AttackDataset:
     """
     reg = _obs_registry()
     with reg.span("generate"), reg.phases() as phase:
-        ds = _generate(config, phase)
+        ds = _generate(config, phase, jobs)
     reg.counter("generate.attacks").inc(ds.n_attacks)
     return ds
 
 
-def _generate(config: DatasetConfig | None, phase) -> AttackDataset:
+def _generate(config: DatasetConfig | None, phase, jobs: int = 1) -> AttackDataset:
     """The generation pipeline (``phase(name)`` marks the stage spans)."""
     if config is None:
         config = DatasetConfig()
+    jobs = par.resolve_jobs(jobs)
     phase("world")
     streams = SeededStreams(config.seed)
     window = config.window
@@ -347,128 +553,108 @@ def _generate(config: DatasetConfig | None, phase) -> AttackDataset:
     owned = victims.owner_family_idx >= 0
     victims.owner_family_idx[owned] = active_to_global[victims.owner_family_idx[owned]]
 
-    # --- bot pools ----------------------------------------------------------
-    phase("bot_pools")
-    pools: dict[str, BotPool] = {}
+    # --- bot pool plans (shared address space stays parent-side) -----------
+    phase("pool_plans")
+    plans: dict[str, BotPoolPlan] = {}
     for name in family_names:
-        pools[name] = BotPool.build(
-            profiles[name], world, assigner, geoip,
-            streams.stream(f"bots.{name}"), window,
-            attacker_idx, attacker_w, rosters[name].ids,
-            home_share=config.home_share,
+        plans[name] = BotPool.plan(
+            profiles[name], world, assigner,
+            streams.stream(f"bots.{name}"),
+            attacker_idx, attacker_w, home_share=config.home_share,
         )
 
-    # --- planning ------------------------------------------------------------
-    phase("planning")
+    # --- inter-family collaborations ---------------------------------------
+    phase("inter")
     inter = config.resolved_inter_collabs()
     reserve: dict[str, int] = {}
     for fam_a, fam_b, count in inter:
         reserve[fam_a] = reserve.get(fam_a, 0) + count
         reserve[fam_b] = reserve.get(fam_b, 0) + count
-
-    per_family: dict[str, list[PlannedAttack]] = {}
-    next_group = 0
-    for name in active_names:
-        scheduler = FamilyScheduler(
-            profiles[name], window, rosters[name],
-            streams.stream(f"schedule.{name}"),
-            reserve_for_inter=reserve.get(name, 0),
-            mega_extra=mega["extra_attacks"] if name == mega["family"] else 0,
-        )
-        plan, next_group = scheduler.plan(next_group)
-        per_family[name] = plan.attacks
-
-    inter_attacks, next_group = _plan_inter_family(
-        inter, profiles, target_pools, rosters, window,
-        streams.stream("inter"), next_group,
+    inter_attacks, _ = _plan_inter_family(
+        inter, profiles, target_pools, rosters, window, streams.stream("inter"), 0
     )
+    inter_by_family: dict[str, list[PlannedAttack]] = {}
     for attack in inter_attacks:
-        per_family[attack.family].append(attack)
+        inter_by_family.setdefault(attack.family, []).append(attack)
 
-    _assign_protocols(per_family, profiles, streams)
-    for name in active_names:
-        _assign_targets(per_family[name], target_pools[name], streams.stream(f"targets.{name}"))
-
-    all_attacks = [a for name in active_names for a in per_family[name]]
-    _clamp_to_window(all_attacks, window)
-    _resolve_conflicts(all_attacks, window, streams.stream("conflicts"))
-
-    # --- monitoring pipeline ---------------------------------------------------
-    phase("monitor")
-    botnet_to_family = {
-        int(bid): name for name in family_names for bid in rosters[name].ids
-    }
-    labeler = FamilyLabeler(botnet_to_family)
-    engine = SimulationEngine(start_time=window.start)
-    collector = Collector(labeler, gap_seconds=config.gap_seconds)
-    collector.attach(engine)
-    _emit_pulses(all_attacks, engine, streams.stream("pulses"), config.pulse_split_prob)
-    engine.run()
-    segments = collector.segment()
-
-    if len(segments) != len(all_attacks):
-        raise GenerationError(
-            f"segmentation produced {len(segments)} attacks from "
-            f"{len(all_attacks)} planned (conflict resolution failed)"
-        )
-    seen_tags: set[int] = set()
-    for seg in segments:
-        if len(seg.tags) != 1:
-            raise GenerationError(f"segment merged distinct attacks: tags={seg.tags}")
-        seen_tags.add(seg.tags[0])
-    if len(seen_tags) != len(all_attacks):
-        raise GenerationError("segmentation lost attacks")
-
-    # --- participants -------------------------------------------------------
-    phase("participants")
-    pool_offset: dict[str, int] = {}
-    offset = 0
-    for name in family_names:
-        pool_offset[name] = offset
-        offset += pools[name].n_bots
-
-    n = len(segments)
-    start = np.empty(n)
-    end = np.empty(n)
-    family_col = np.empty(n, dtype=np.int16)
-    botnet_col = np.empty(n, dtype=np.int32)
-    protocol_col = np.empty(n, dtype=np.int8)
-    target_col = np.empty(n, dtype=np.int32)
-    magnitude_col = np.empty(n, dtype=np.int32)
-    group_col = np.empty(n, dtype=np.int32)
-    kind_col = np.empty(n, dtype=np.int8)
-    chain_col = np.empty(n, dtype=np.int32)
-    sym_col = np.empty(n, dtype=bool)
-    residual_col = np.empty(n, dtype=np.float64)
-    parts: list[np.ndarray] = []
-    offsets = np.zeros(n + 1, dtype=np.int64)
-
-    part_rngs = {name: streams.stream(f"participants.{name}") for name in active_names}
-    for i, seg in enumerate(segments):
-        planned = all_attacks[seg.tags[0]]
-        name = planned.family
-        start[i] = seg.start
-        end[i] = seg.end
-        family_col[i] = family_index[name]
-        botnet_col[i] = seg.botnet_id
-        protocol_col[i] = int(planned.protocol)
-        target_col[i] = planned.target_index
-        group_col[i] = planned.collab_group
-        kind_col[i] = planned.collab_kind
-        chain_col[i] = planned.chain_id if planned.chain_id >= 0 else -1
-        sym_col[i] = planned.symmetric
-        residual_col[i] = planned.residual_km
-        local = pools[name].sample_participants(
-            part_rngs[name], seg.start, planned.magnitude,
-            planned.symmetric, planned.residual_km,
-        )
-        parts.append(local + pool_offset[name])
-        magnitude_col[i] = local.size
-        offsets[i + 1] = offsets[i] + local.size
-
-    participants = (
-        np.concatenate(parts).astype(np.int64) if parts else np.zeros(0, dtype=np.int64)
+    # --- family shards -------------------------------------------------------
+    phase("par.shards")
+    shard_payload = _ShardPayload(
+        seed=config.seed, window=window, profiles=profiles, world=world,
+        geoip=geoip, rosters=rosters, target_pools=target_pools, plans=plans,
+        inter_by_family=inter_by_family, reserve=reserve, mega=mega,
+        active=frozenset(active_names), pulse_split_prob=config.pulse_split_prob,
+        gap_seconds=config.gap_seconds,
     )
+    shards = dict(zip(
+        family_names,
+        par.parallel_map(
+            _family_shard, family_names, jobs=jobs,
+            payload=shard_payload, label="shards",
+        ),
+    ))
+    pools = {name: shards[name].pool for name in family_names}
+
+    # --- merge ---------------------------------------------------------------
+    phase("merge")
+    # Intra-family collaboration groups are numbered locally from 0 in
+    # each shard; lay them out family after family (in active order),
+    # then the inter-family groups after all of them.
+    total_intra = sum(shards[name].n_groups for name in active_names)
+    merged: dict[str, list[np.ndarray]] = {}
+    family_parts: list[np.ndarray] = []
+    group_offset = 0
+    for name in active_names:
+        cols = shards[name].columns
+        intra = cols["kind"] == int(CollabKind.INTRA)
+        cols["group"][intra] += group_offset
+        inter_mask = cols["kind"] == int(CollabKind.INTER)
+        cols["group"][inter_mask] += total_intra
+        group_offset += shards[name].n_groups
+        for key, arr in cols.items():
+            merged.setdefault(key, []).append(arr)
+        family_parts.append(
+            np.full(cols["start"].size, family_index[name], dtype=np.int16)
+        )
+    cols = {key: np.concatenate(arrs) for key, arrs in merged.items()}
+    family_col = np.concatenate(family_parts)
+    order = np.argsort(cols["start"], kind="stable")
+    cols = {key: arr[order] for key, arr in cols.items()}
+    family_col = family_col[order]
+    n = family_col.size
+
+    # --- participants --------------------------------------------------------
+    phase("par.participants")
+    pool_offset = np.zeros(len(family_names), dtype=np.int64)
+    offset = 0
+    for i, name in enumerate(family_names):
+        pool_offset[i] = offset
+        offset += pools[name].n_bots
+    part_payload = _ParticipantPayload(
+        seed=config.seed, pools=pools, family_names=family_names,
+        pool_offset=pool_offset, family_idx=family_col, start=cols["start"],
+        magnitude=cols["planned_magnitude"], symmetric=cols["sym"],
+        residual=cols["residual"],
+    )
+    # Several chunks per worker even out the skew between heavyweight
+    # and lightweight families; chunk boundaries never affect output.
+    n_chunks = 1 if jobs == 1 else max(1, min(n, jobs * 4))
+    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    chunk_results = par.parallel_map(
+        _participant_chunk,
+        list(zip(bounds[:-1].tolist(), bounds[1:].tolist())),
+        jobs=jobs, payload=part_payload, label="participants",
+    )
+    magnitude_col = (
+        np.concatenate([sizes for sizes, _p in chunk_results])
+        if chunk_results else np.zeros(0, dtype=np.int64)
+    ).astype(np.int32)
+    participants = (
+        np.concatenate([p for _s, p in chunk_results])
+        if chunk_results else np.zeros(0, dtype=np.int64)
+    )
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(magnitude_col, out=offsets[1:])
 
     # --- registries ------------------------------------------------------------
     phase("assemble")
@@ -506,18 +692,18 @@ def _generate(config: DatasetConfig | None, phase) -> AttackDataset:
         bots=bots,
         victims=victims,
         botnets=botnet_records,
-        start=start,
-        end=end,
+        start=cols["start"],
+        end=cols["end"],
         family_idx=family_col,
-        botnet_id=botnet_col,
-        protocol=protocol_col,
-        target_idx=target_col,
+        botnet_id=cols["botnet"],
+        protocol=cols["protocol"],
+        target_idx=cols["target"],
         magnitude=magnitude_col,
         part_offsets=offsets,
         participants=participants,
-        truth_collab_group=group_col,
-        truth_collab_kind=kind_col,
-        truth_chain_id=chain_col,
-        truth_symmetric=sym_col,
-        truth_residual_km=residual_col,
+        truth_collab_group=cols["group"],
+        truth_collab_kind=cols["kind"],
+        truth_chain_id=cols["chain"],
+        truth_symmetric=cols["sym"],
+        truth_residual_km=cols["residual"],
     )

@@ -6,7 +6,9 @@ the result on disk, keyed by a stable hash of the configuration.
 
 Two artifacts live in the cache directory per configuration:
 
-* ``dataset-<key>.pkl.gz`` — the generated :class:`AttackDataset`;
+* ``dataset-<key>.npz`` — the generated :class:`AttackDataset` in the
+  columnar binary store (:mod:`repro.io.colstore`), memory-mapped on
+  load so repeat processes start in milliseconds;
 * ``views-<key>.pkl.gz`` — a snapshot of the derived views memoized on
   the dataset's :class:`~repro.core.context.AnalysisContext`, written
   after an experiment battery so the next process starts warm.
@@ -29,6 +31,7 @@ from ..core.dataset import AttackDataset
 from ..datagen.config import DatasetConfig
 from ..datagen.generator import generate_dataset
 from ..obs import registry as _obs_registry
+from . import colstore
 
 __all__ = [
     "config_key",
@@ -41,7 +44,10 @@ __all__ = [
     "load_or_generate_context",
 ]
 
-_FORMAT_VERSION = 1
+#: v2: generation pipeline re-keyed its seed streams per family/attack
+#: (process-parallel shards), and the dataset cache moved from gzip
+#: pickle to the colstore ``.npz`` archive.
+_FORMAT_VERSION = 2
 #: Version of the derived-view snapshot format.  Bump when the set or
 #: shape of :class:`AnalysisContext` views changes incompatibly.
 _VIEWS_FORMAT_VERSION = 1
@@ -107,27 +113,33 @@ def load_dataset(path: str | Path) -> AttackDataset:
 
 
 def load_or_generate(
-    config: DatasetConfig, cache_dir: str | Path | None = None
+    config: DatasetConfig,
+    cache_dir: str | Path | None = None,
+    *,
+    jobs: int = 1,
 ) -> AttackDataset:
     """Return the dataset for ``config``, generating and caching on miss.
 
     ``cache_dir`` resolves via :func:`resolve_cache_dir`.  Because a
     dataset is a pure function of its config, the cache key is just the
-    config hash.  Outcomes are counted into ``cache.dataset.hit`` /
-    ``cache.dataset.miss`` (a corrupt entry counts as a miss).
+    config hash — ``jobs`` only parallelises the regeneration, it never
+    changes the result.  Cache entries are colstore ``.npz`` archives,
+    memory-mapped on load.  Outcomes are counted into
+    ``cache.dataset.hit`` / ``cache.dataset.miss`` (a corrupt or
+    stale-version entry counts as a miss).
     """
-    path = resolve_cache_dir(cache_dir) / f"dataset-{config_key(config)}.pkl.gz"
+    path = resolve_cache_dir(cache_dir) / f"dataset-{config_key(config)}.npz"
     if path.exists():
         try:
-            ds = load_dataset(path)
-        except (OSError, ValueError, TypeError, pickle.UnpicklingError):
+            ds = colstore.load_dataset_npz(path)
+        except (OSError, ValueError, TypeError):
             path.unlink(missing_ok=True)  # corrupt cache entry: regenerate
         else:
             _obs_registry().counter("cache.dataset.hit").inc()
             return ds
     _obs_registry().counter("cache.dataset.miss").inc()
-    ds = generate_dataset(config)
-    save_dataset(ds, path)
+    ds = generate_dataset(config, jobs=jobs)
+    colstore.save_dataset_npz(ds, path)
     return ds
 
 

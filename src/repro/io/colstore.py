@@ -1,0 +1,253 @@
+"""Columnar binary dataset store: versioned ``.npz`` save/load with mmap reads.
+
+The cold-load path.  A dataset is stored as one *uncompressed* ``.npz``
+archive: every numpy column as its own member (``attacks.start``,
+``bots.ip``, ``victims.lat``, …) plus a ``__meta__`` member holding the
+JSON-encoded scalar state (format version, window, family lists, the
+synthetic world, the Botnetlist).  Uncompressed members are raw ``.npy``
+bytes at a fixed offset inside the zip, so :func:`load_dataset_npz` can
+memory-map every column directly from the file — no text parsing, no
+buffer copies, columns page in lazily as analyses touch them.  (Plain
+``np.load(..., mmap_mode=...)`` silently ignores the mmap request for
+zip archives, which is why the member offsets are resolved by hand.)
+
+Version policy: ``COLSTORE_VERSION`` is embedded in ``__meta__`` and
+bumps on any layout change; a mismatch raises :class:`ColstoreError`
+rather than guessing.  The dataset cache treats that like any other
+corrupt entry (drop and regenerate); explicit `api.load` calls surface
+the error to the caller.
+
+Instrumented: saves time under a ``colstore.save`` span and count bytes
+in ``colstore.bytes_written``; loads time under ``colstore.load`` and
+count in ``colstore.loads{mmap}``.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from ..core.dataset import AttackDataset, BotRegistry, VictimRegistry
+from ..geo.world import City, Country, Organization, World
+from ..monitor.schemas import BotnetRecord
+from ..obs import registry as _obs_registry
+from ..simulation.clock import ObservationWindow
+
+__all__ = ["COLSTORE_VERSION", "ColstoreError", "load_dataset_npz", "save_dataset_npz"]
+
+#: Bumped on any incompatible layout change of the archive.
+COLSTORE_VERSION = 1
+
+_ATTACK_COLS = (
+    "start", "end", "family_idx", "botnet_id", "protocol", "target_idx",
+    "magnitude", "part_offsets", "participants", "truth_collab_group",
+    "truth_collab_kind", "truth_chain_id", "truth_symmetric",
+    "truth_residual_km",
+)
+_BOT_COLS = (
+    "ip", "lat", "lon", "country_idx", "city_idx", "org_idx", "asn",
+    "family_idx", "botnet_id", "recruit_ts",
+)
+_VICTIM_COLS = (
+    "ip", "lat", "lon", "country_idx", "city_idx", "org_idx", "asn",
+    "owner_family_idx",
+)
+
+
+class ColstoreError(ValueError):
+    """The file is not a valid colstore archive (or a newer version)."""
+
+
+# ---------------------------------------------------------------------------
+# metadata codec (everything that is not a numpy column)
+# ---------------------------------------------------------------------------
+
+
+def _world_payload(world: World) -> dict:
+    return {
+        "countries": [
+            [c.index, c.code, c.name, c.lat, c.lon, c.weight] for c in world.countries
+        ],
+        "cities": [
+            [c.index, c.name, c.country_index, c.lat, c.lon, c.weight]
+            for c in world.cities
+        ],
+        "organizations": [
+            [o.index, o.name, o.org_type, o.country_index, o.city_index, o.asn, o.weight]
+            for o in world.organizations
+        ],
+    }
+
+
+def _world_restore(payload: dict) -> World:
+    world = World()
+    for index, code, name, lat, lon, weight in payload["countries"]:
+        world.countries.append(Country(index, code, name, lat, lon, weight))
+        world._country_by_code[code] = index
+    for index, name, country_index, lat, lon, weight in payload["cities"]:
+        world.cities.append(City(index, name, country_index, lat, lon, weight))
+        world._cities_by_country.setdefault(country_index, []).append(index)
+    for index, name, org_type, country_index, city_index, asn, weight in payload[
+        "organizations"
+    ]:
+        world.organizations.append(
+            Organization(index, name, org_type, country_index, city_index, asn, weight)
+        )
+        world._orgs_by_country.setdefault(country_index, []).append(index)
+    return world
+
+
+def _meta_payload(ds: AttackDataset) -> dict:
+    return {
+        "colstore_version": COLSTORE_VERSION,
+        "window": {"start": int(ds.window.start), "end": int(ds.window.end)},
+        "families": list(ds.families),
+        "active_families": list(ds.active_families),
+        "world": _world_payload(ds.world),
+        "botnets": [
+            [b.botnet_id, b.family, b.controller_ip, b.first_seen, b.last_seen]
+            for b in ds.botnets
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+
+def save_dataset_npz(ds: AttackDataset, path: str | Path) -> Path:
+    """Write ``ds`` to ``path`` as an uncompressed columnar ``.npz``.
+
+    Atomic: writes to a sibling temp file and renames over the target.
+    """
+    path = Path(path)
+    reg = _obs_registry()
+    with reg.span("colstore.save"):
+        arrays: dict[str, np.ndarray] = {}
+        for name in _ATTACK_COLS:
+            arrays[f"attacks.{name}"] = getattr(ds, name)
+        for name in _BOT_COLS:
+            arrays[f"bots.{name}"] = getattr(ds.bots, name)
+        for name in _VICTIM_COLS:
+            arrays[f"victims.{name}"] = getattr(ds.victims, name)
+        meta = json.dumps(_meta_payload(ds)).encode()
+        arrays["__meta__"] = np.frombuffer(meta, dtype=np.uint8)
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+        tmp.replace(path)
+        reg.counter("colstore.bytes_written").inc(path.stat().st_size)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# load
+# ---------------------------------------------------------------------------
+
+
+def _mmap_member(path: Path, fh, info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one uncompressed ``.npy`` member at its file offset."""
+    fh.seek(info.header_offset)
+    local = fh.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ColstoreError(f"{path}: bad local header for {info.filename}")
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    fh.seek(info.header_offset + 30 + name_len + extra_len)
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    else:
+        raise ColstoreError(f"{path}: unsupported npy format {version}")
+    if dtype.hasobject:
+        raise ColstoreError(f"{path}: member {info.filename} has object dtype")
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(
+        path, mode="r", dtype=dtype, shape=shape, offset=fh.tell(),
+        order="F" if fortran else "C",
+    )
+
+
+def _read_members(path: Path, mmap: bool) -> tuple[dict[str, np.ndarray], bool]:
+    """All archive members as arrays; returns (arrays, used_mmap)."""
+    if mmap:
+        try:
+            out: dict[str, np.ndarray] = {}
+            with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+                for info in zf.infolist():
+                    if info.compress_type != zipfile.ZIP_STORED:
+                        raise ColstoreError(
+                            f"{path}: compressed member {info.filename}"
+                        )
+                    name = info.filename.removesuffix(".npy")
+                    out[name] = _mmap_member(path, fh, info)
+            return out, True
+        except ColstoreError:
+            pass  # readable zip, unexpected layout: fall back to buffered
+    with np.load(path) as npz:
+        return {name: npz[name] for name in npz.files}, False
+
+
+def load_dataset_npz(path: str | Path, *, mmap: bool = True) -> AttackDataset:
+    """Load a dataset written by :func:`save_dataset_npz`.
+
+    With ``mmap=True`` (the default) columns are memory-mapped read-only
+    and page in on first touch; pass ``mmap=False`` to read everything
+    into process memory (e.g. before deleting the file).
+    """
+    path = Path(path)
+    reg = _obs_registry()
+    with reg.span("colstore.load"):
+        try:
+            arrays, used_mmap = _read_members(path, mmap)
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            if isinstance(exc, ColstoreError):
+                raise
+            raise ColstoreError(f"{path}: not a colstore archive ({exc})") from exc
+        if "__meta__" not in arrays:
+            raise ColstoreError(f"{path}: missing __meta__ member")
+        meta = json.loads(bytes(np.asarray(arrays.pop("__meta__"))).decode())
+        version = meta.get("colstore_version")
+        if version != COLSTORE_VERSION:
+            raise ColstoreError(
+                f"{path}: colstore version {version} != {COLSTORE_VERSION}"
+            )
+
+        def group(prefix: str, names: tuple[str, ...]) -> dict[str, np.ndarray]:
+            cols = {}
+            for name in names:
+                key = f"{prefix}.{name}"
+                if key not in arrays:
+                    raise ColstoreError(f"{path}: missing column {key}")
+                cols[name] = arrays[key]
+            return cols
+
+        ds = AttackDataset(
+            window=ObservationWindow(
+                start=meta["window"]["start"], end=meta["window"]["end"]
+            ),
+            world=_world_restore(meta["world"]),
+            families=list(meta["families"]),
+            active_families=list(meta["active_families"]),
+            bots=BotRegistry(**group("bots", _BOT_COLS)),
+            victims=VictimRegistry(**group("victims", _VICTIM_COLS)),
+            botnets=[
+                BotnetRecord(
+                    botnet_id=int(b[0]), family=b[1], controller_ip=int(b[2]),
+                    first_seen=float(b[3]), last_seen=float(b[4]),
+                )
+                for b in meta["botnets"]
+            ],
+            **group("attacks", _ATTACK_COLS),
+        )
+        reg.counter("colstore.loads", mmap="true" if used_mmap else "false").inc()
+    return ds

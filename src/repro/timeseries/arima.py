@@ -131,20 +131,14 @@ class ARIMAFit:
         upper)`` arrays.  Bands assume Gaussian innovations.
         """
         point = self.forecast(steps)
-        p = self.phi.size
-        q = self.theta.size
-        psi = np.zeros(steps)
-        for h in range(steps):
-            value = 0.0
-            if h == 0:
-                value = 1.0
-            else:
-                if h - 1 < q:
-                    value += float(self.theta[h - 1])
-                for i in range(min(p, h)):
-                    prev = psi[h - 1 - i]
-                    value += float(self.phi[i]) * prev
-            psi[h] = value
+        # psi-weights are the impulse response of theta(B)/phi(B).
+        impulse = np.zeros(steps)
+        impulse[0] = 1.0
+        psi = signal.lfilter(
+            np.concatenate(([1.0], self.theta)),
+            np.concatenate(([1.0], -self.phi)),
+            impulse,
+        )
         var = self.sigma2 * np.cumsum(psi**2)
         d = self.order[1]
         if d:
@@ -156,26 +150,33 @@ class ARIMAFit:
         return point, point - half, point + half
 
     def forecast(self, steps: int) -> np.ndarray:
-        """``steps``-ahead point forecast on the original scale."""
+        """``steps``-ahead point forecast on the original scale.
+
+        The recursion ``pred[h] = const + phi·pred[h-1..] + theta·eps``
+        (future innovations zero) is a linear IIR filter: the MA side
+        only ever touches the ``q`` stored training innovations, so it
+        collapses to a short input vector, and the AR side runs in C via
+        :func:`scipy.signal.lfilter` seeded from the training tail.
+        """
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
         p, d, q = self.order
-        y_hist = list(self.train_tail[-max(p, 1) :]) if p else []
-        eps_hist = list(self.eps_tail[-q:]) if q else []
-        preds = np.empty(steps)
-        for h in range(steps):
-            pred = self.const
-            if p:
-                lags = y_hist[-p:][::-1]
-                pred += float(np.dot(self.phi[: len(lags)], lags))
-            if q:
-                lags_e = eps_hist[-q:][::-1]
-                pred += float(np.dot(self.theta[: len(lags_e)], lags_e))
-            preds[h] = pred
-            if p:
-                y_hist.append(pred)
-            if q:
-                eps_hist.append(0.0)  # expected future innovation
+        # MA contribution: at step h only training innovations with
+        # index h-1-j < 0 survive (future ones are their zero mean).
+        drive = np.full(steps, self.const)
+        for j in range(q):
+            reach = min(j + 1, steps)  # steps h = 0 .. j see eps_tail[h-1-j]
+            drive[:reach] += self.theta[j] * self.eps_tail[np.arange(reach) - 1 - j]
+        if p:
+            zi = signal.lfiltic(
+                [1.0], np.concatenate(([1.0], -self.phi)),
+                self.train_tail[::-1][:p],
+            )
+            preds, _ = signal.lfilter(
+                [1.0], np.concatenate(([1.0], -self.phi)), drive, zi=zi
+            )
+        else:
+            preds = drive
         if d:
             preds = integrate_forecast(preds, self.diff_tail)
         return preds
@@ -191,46 +192,41 @@ class ARIMAFit:
         """
         cont = np.asarray(series, dtype=float)
         p, d, q = self.order
-        if cont.size == 0:
+        n = cont.size
+        if n == 0:
             return np.zeros(0)
-        # Work on the differenced scale: maintain the last original
-        # values so each incoming truth can be differenced on the fly.
-        orig_hist = list(self.diff_tail[:1]) if d else []
-        # diff_tail[0] is the last original value; rebuild per-level tails.
-        level_tails = list(self.diff_tail) if d else []
-        y_hist = list(self.train_tail)
-        eps_hist = list(self.eps_tail)
-        preds = np.empty(cont.size)
-        for t, truth in enumerate(cont):
-            pred_diff = self.const
-            if p and y_hist:
-                lags = y_hist[-p:][::-1]
-                pred_diff += float(np.dot(self.phi[: len(lags)], lags))
-            if q and eps_hist:
-                lags_e = eps_hist[-q:][::-1]
-                pred_diff += float(np.dot(self.theta[: len(lags_e)], lags_e))
-            # Re-integrate the one-step prediction.
-            pred = pred_diff
-            for level in range(d - 1, -1, -1):
-                pred = level_tails[level] + pred
-            preds[t] = pred
-            # Feed the truth back: compute its differenced value, update tails.
-            truth_diff = truth
-            new_tails = list(level_tails)
-            for level in range(d):
-                prev = level_tails[level]
-                stepped = truth_diff - prev
-                new_tails[level] = truth_diff
-                truth_diff = stepped
-            level_tails = new_tails
-            y_hist.append(truth_diff)
-            if len(y_hist) > max(p, 1) + 1:
-                y_hist = y_hist[-(max(p, 1) + 1) :]
-            if q:
-                eps_hist.append(truth_diff - pred_diff)
-                eps_hist = eps_hist[-q:]
-        _ = orig_hist
-        return preds
+        # Truth feedback makes every quantity a known function of the
+        # observed continuation, so the whole walk vectorises:
+        #   w[t]        the truth differenced d times (using diff_tail as
+        #               the pre-history at each level);
+        #   tails[t]    the sum over levels of the previous value at that
+        #               level — the re-integration constant for step t;
+        #   eps[t]      = w[t] - pred_diff[t], an IIR filter in w.
+        tails_sum = np.zeros(n)
+        w = cont
+        for level in range(d):
+            with_prev = np.concatenate(([self.diff_tail[level]], w))
+            tails_sum += with_prev[:n]
+            w = np.diff(with_prev)
+        # One-step ARMA prediction of w[t] from the (known) past.
+        pred_diff = np.full(n, self.const)
+        if p:
+            wext = np.concatenate((self.train_tail[-p:], w))
+            for i in range(p):
+                pred_diff += self.phi[i] * wext[p - 1 - i : p - 1 - i + n]
+        if q:
+            # eps[t] = (w[t] - const - AR[t]) - theta · eps[t-1..t-q]:
+            # an IIR filter seeded with the training innovations.
+            z = w - pred_diff
+            zi = signal.lfiltic(
+                [1.0], np.concatenate(([1.0], self.theta)),
+                self.eps_tail[::-1][:q],
+            )
+            eps, _ = signal.lfilter(
+                [1.0], np.concatenate(([1.0], self.theta)), z, zi=zi
+            )
+            pred_diff = w - eps
+        return pred_diff + tails_sum if d else pred_diff.copy()
 
 
 class ARIMA:
@@ -252,14 +248,39 @@ class ARIMA:
     def fit(self, series, maxiter: int = 500) -> ARIMAFit:
         """Fit by conditional sum of squares; returns an :class:`ARIMAFit`."""
         y_orig = np.asarray(series, dtype=float)
+        d = self.order[1]
+        self._check_length(y_orig.size)
+        y = difference(y_orig, d) if d else y_orig.copy()
+        return self._fit_differenced(y, y_orig, maxiter)
+
+    def fit_differenced(self, diffed, original, maxiter: int = 500) -> ARIMAFit:
+        """Fit when the caller already differenced ``original`` ``d`` times.
+
+        ``diffed`` must equal ``difference(original, d)`` for this
+        model's ``d``; the order search differences each candidate ``d``
+        once and reuses it across every ``(p, q)`` pair, instead of
+        re-differencing inside each fit.  Produces the same
+        :class:`ARIMAFit` as ``fit(original)``.
+        """
+        y_orig = np.asarray(original, dtype=float)
+        d = self.order[1]
+        self._check_length(y_orig.size)
+        y = np.asarray(diffed, dtype=float)
+        if y.size != y_orig.size - d:
+            raise ValueError(
+                f"differenced series of length {y.size} does not match "
+                f"original of length {y_orig.size} at d={d}"
+            )
+        return self._fit_differenced(y.copy(), y_orig, maxiter)
+
+    def _check_length(self, n: int) -> None:
         p, d, q = self.order
         min_len = p + q + d + 3
-        if y_orig.size < min_len:
-            raise ValueError(
-                f"series of length {y_orig.size} too short for ARIMA{self.order}"
-            )
-        y = difference(y_orig, d) if d else y_orig.copy()
+        if n < min_len:
+            raise ValueError(f"series of length {n} too short for ARIMA{self.order}")
 
+    def _fit_differenced(self, y: np.ndarray, y_orig: np.ndarray, maxiter: int) -> ARIMAFit:
+        p, d, q = self.order
         phi0, theta0 = hannan_rissanen(y - y.mean(), p, q)
         const0 = float(y.mean()) * (1.0 - float(np.sum(phi0)))
         x0 = np.concatenate(([const0], phi0, theta0))

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .arima import ARIMA, ARIMAFit
+from .differencing import difference
 
 __all__ = ["OrderSearchResult", "select_order"]
 
@@ -40,11 +41,14 @@ def select_order(
     scores: dict[tuple[int, int, int], float] = {}
     best: tuple[float, tuple[int, int, int], ARIMAFit] | None = None
     for d in range(max_d + 1):
+        # Difference once per d; every (p, q) candidate at this d shares
+        # the result instead of re-differencing inside fit().
+        diffed = difference(y, d) if d else y
         for p in range(max_p + 1):
             for q in range(max_q + 1):
                 order = (p, d, q)
                 try:
-                    fit = ARIMA(order).fit(y)
+                    fit = ARIMA(order).fit_differenced(diffed, y)
                 except (ValueError, np.linalg.LinAlgError):
                     continue
                 score = fit.aic if criterion == "aic" else fit.bic

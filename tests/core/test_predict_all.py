@@ -1,0 +1,51 @@
+"""The per-family forecast fan-out: parallel == serial, and it seeds views."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import AnalysisContext
+from repro.core.prediction import (
+    MIN_SERIES_POINTS,
+    predict_all_families,
+    predict_family_dispersion,
+)
+
+
+def test_predict_all_matches_per_family(small_ds):
+    ctx = AnalysisContext(small_ds)  # unshared: keep session fixtures clean
+    out = predict_all_families(ctx, jobs=1)
+    assert out  # at least one family has enough points at this scale
+    for family, forecast in out.items():
+        direct = predict_family_dispersion(ctx, family)
+        np.testing.assert_array_equal(forecast.prediction, direct.prediction)
+        assert forecast.comparison == direct.comparison
+
+
+def test_predict_all_parallel_matches_serial(small_ds):
+    serial = predict_all_families(AnalysisContext(small_ds), jobs=1)
+    parallel = predict_all_families(AnalysisContext(small_ds), jobs=2)
+    assert set(serial) == set(parallel)
+    for family in serial:
+        np.testing.assert_array_equal(
+            serial[family].prediction, parallel[family].prediction
+        )
+        assert serial[family].comparison == parallel[family].comparison
+
+
+def test_predict_all_seeds_context_views(small_ds):
+    ctx = AnalysisContext(small_ds)
+    out = predict_all_families(ctx, jobs=2)
+    for family, forecast in out.items():
+        # Table IV's memoized accessor must reuse the fan-out's result.
+        assert ctx.dispersion_forecast(family) is forecast
+
+
+def test_predict_all_skips_short_series(small_ds):
+    ctx = AnalysisContext(small_ds)
+    out = predict_all_families(ctx, jobs=1)
+    from repro.core.prediction import _dispersion_series
+
+    for family in small_ds.active_families:
+        eligible = _dispersion_series(ctx, family, True).size >= MIN_SERIES_POINTS
+        assert (family in out) == eligible

@@ -46,7 +46,7 @@ class TestLoadOrGenerate:
     def test_generates_then_caches(self, tmp_path):
         config = DatasetConfig.tiny(seed=41)
         first = load_or_generate(config, tmp_path)
-        files = list(tmp_path.glob("dataset-*.pkl.gz"))
+        files = list(tmp_path.glob("dataset-*.npz"))
         assert len(files) == 1
         second = load_or_generate(config, tmp_path)
         assert np.array_equal(first.start, second.start)
@@ -54,7 +54,7 @@ class TestLoadOrGenerate:
     def test_corrupt_cache_regenerated(self, tmp_path):
         config = DatasetConfig.tiny(seed=43)
         load_or_generate(config, tmp_path)
-        path = next(tmp_path.glob("dataset-*.pkl.gz"))
+        path = next(tmp_path.glob("dataset-*.npz"))
         path.write_bytes(b"garbage")
         ds = load_or_generate(config, tmp_path)
         assert ds.n_attacks > 0
@@ -77,7 +77,7 @@ class TestCacheDirResolution:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
         config = DatasetConfig.tiny(seed=47)
         load_or_generate(config)
-        assert list((tmp_path / "env").glob("dataset-*.pkl.gz"))
+        assert list((tmp_path / "env").glob("dataset-*.npz"))
 
 
 class TestContextViewSnapshots:

@@ -25,9 +25,12 @@ def test_generation_emits_phase_spans():
     gen = reg.stage_tree().find("generate")
     assert gen is not None and gen.n_calls == 1
     assert set(gen.children) == {
-        "world", "rosters", "victims", "bot_pools",
-        "planning", "monitor", "participants", "assemble",
+        "world", "rosters", "victims", "pool_plans", "inter",
+        "par.shards", "merge", "par.participants", "assemble",
     }
+    assert reg.counter("par.tasks", phase="shards").value == len(ds.families)
+    assert reg.counter("par.tasks", phase="participants").value >= 1
+    assert reg.gauge("par.jobs").value == 1.0  # serial fallback still reports
     # phases are sequential slices of the generate span
     assert sum(c.wall_seconds for c in gen.children.values()) <= gen.wall_seconds * 1.01
 

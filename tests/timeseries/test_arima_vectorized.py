@@ -1,0 +1,172 @@
+"""The vectorized forecasting paths match the defining recursions.
+
+``ARIMAFit.forecast`` / ``rolling_forecast`` / ``forecast_interval`` are
+implemented with :func:`scipy.signal.lfilter`; these tests pin them
+against straightforward per-step reference loops (the textbook
+recursions) across the whole order grid, and pin the order search's
+shared-differencing fast path against fitting each candidate from
+scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries.arima import ARIMA, ARIMAFit
+from repro.timeseries.differencing import integrate_forecast
+from repro.timeseries.order_selection import select_order
+
+ORDERS = [
+    (p, d, q) for p in range(4) for d in range(3) for q in range(4)
+]
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(3)
+    return np.cumsum(rng.normal(0.2, 1.0, 240)) + 50.0
+
+
+def reference_forecast(fit: ARIMAFit, steps: int) -> np.ndarray:
+    """Per-step recursion: future innovations at their zero mean."""
+    p, d, q = fit.order
+    y_hist = list(fit.train_tail[-max(p, 1):]) if p else []
+    eps_hist = list(fit.eps_tail[-q:]) if q else []
+    preds = np.empty(steps)
+    for h in range(steps):
+        pred = fit.const
+        if p:
+            lags = y_hist[-p:][::-1]
+            pred += float(np.dot(fit.phi[: len(lags)], lags))
+        if q:
+            lags_e = eps_hist[-q:][::-1]
+            pred += float(np.dot(fit.theta[: len(lags_e)], lags_e))
+        preds[h] = pred
+        if p:
+            y_hist.append(pred)
+        if q:
+            eps_hist.append(0.0)
+    return integrate_forecast(preds, fit.diff_tail) if d else preds
+
+
+def reference_rolling(fit: ARIMAFit, series) -> np.ndarray:
+    """Per-step walk with truth feedback on the differenced scale."""
+    cont = np.asarray(series, dtype=float)
+    p, d, q = fit.order
+    level_tails = list(fit.diff_tail) if d else []
+    y_hist = list(fit.train_tail)
+    eps_hist = list(fit.eps_tail)
+    preds = np.empty(cont.size)
+    for t, truth in enumerate(cont):
+        pred_diff = fit.const
+        if p:
+            lags = y_hist[-p:][::-1]
+            pred_diff += float(np.dot(fit.phi[: len(lags)], lags))
+        if q and eps_hist:
+            lags_e = eps_hist[-q:][::-1]
+            pred_diff += float(np.dot(fit.theta[: len(lags_e)], lags_e))
+        preds[t] = sum(level_tails) + pred_diff
+        truth_diff = truth
+        for level in range(d):
+            stepped = truth_diff - level_tails[level]
+            level_tails[level] = truth_diff
+            truth_diff = stepped
+        y_hist.append(truth_diff)
+        y_hist = y_hist[-(max(p, 1) + 1):]
+        if q:
+            eps_hist.append(truth_diff - pred_diff)
+            eps_hist = eps_hist[-q:]
+    return preds
+
+
+def reference_psi(fit: ARIMAFit, steps: int) -> np.ndarray:
+    """psi-weight recursion of the MA(inf) representation."""
+    p, q = fit.phi.size, fit.theta.size
+    psi = np.zeros(steps)
+    for h in range(steps):
+        if h == 0:
+            value = 1.0
+        else:
+            value = float(fit.theta[h - 1]) if h - 1 < q else 0.0
+            for i in range(min(p, h)):
+                value += float(fit.phi[i]) * psi[h - 1 - i]
+        psi[h] = value
+    return psi
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_forecast_matches_reference(series, order):
+    fit = ARIMA(order).fit(series[:160])
+    np.testing.assert_allclose(fit.forecast(12), reference_forecast(fit, 12),
+                               rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_rolling_forecast_matches_reference(series, order):
+    fit = ARIMA(order).fit(series[:160])
+    np.testing.assert_allclose(
+        fit.rolling_forecast(series[160:]), reference_rolling(fit, series[160:]),
+        rtol=1e-9, atol=1e-9,
+    )
+
+
+@pytest.mark.parametrize("order", [(2, 1, 2), (3, 0, 1), (0, 2, 3), (1, 0, 0)])
+def test_interval_psi_matches_reference(series, order):
+    fit = ARIMA(order).fit(series[:160])
+    point, lower, upper = fit.forecast_interval(10)
+    psi = reference_psi(fit, 10)
+    var = fit.sigma2 * np.cumsum(psi**2)
+    if fit.order[1]:
+        var = fit.sigma2 * np.cumsum(np.cumsum(psi) ** 2)
+    half = 1.96 * np.sqrt(var)
+    np.testing.assert_allclose(upper - point, half, rtol=1e-9)
+    np.testing.assert_allclose(point - lower, half, rtol=1e-9)
+
+
+def test_rolling_forecast_empty(series):
+    fit = ARIMA((1, 1, 1)).fit(series[:60])
+    assert fit.rolling_forecast([]).shape == (0,)
+
+
+# -- the shared-differencing order search -------------------------------
+
+
+def test_fit_differenced_equals_fit(series):
+    from repro.timeseries.differencing import difference
+
+    y = series[:120]
+    for order in [(2, 1, 2), (0, 2, 1), (3, 0, 0)]:
+        d = order[1]
+        a = ARIMA(order).fit(y)
+        b = ARIMA(order).fit_differenced(difference(y, d) if d else y, y)
+        assert a.aic == b.aic
+        assert a.const == b.const
+        np.testing.assert_array_equal(a.phi, b.phi)
+        np.testing.assert_array_equal(a.theta, b.theta)
+        np.testing.assert_array_equal(a.train_tail, b.train_tail)
+        np.testing.assert_array_equal(a.diff_tail, b.diff_tail)
+        np.testing.assert_array_equal(a.eps_tail, b.eps_tail)
+
+
+def test_fit_differenced_rejects_wrong_length(series):
+    with pytest.raises(ValueError, match="does not match"):
+        ARIMA((1, 1, 0)).fit_differenced(series[:50], series[:60])
+
+
+def test_select_order_scores_identical_to_naive(series):
+    """Differencing once per d must not move a single score."""
+    y = series[:150]
+    naive = {}
+    for d in range(2):
+        for p in range(3):
+            for q in range(3):
+                try:
+                    fit = ARIMA((p, d, q)).fit(y)
+                except (ValueError, np.linalg.LinAlgError):
+                    continue
+                if np.isfinite(fit.aic):
+                    naive[(p, d, q)] = float(fit.aic)
+    result = select_order(y, max_p=2, max_d=1, max_q=2)
+    assert result.scores == naive
+    assert result.best_order == min(naive, key=naive.get)
