@@ -1,13 +1,18 @@
-"""Record or check the cold-path benchmark baseline (``BENCH_coldpath.json``).
+"""Record or check a benchmark baseline (cold path or warm path).
 
-The cold path is everything that runs before the first analysis result:
-dataset generation, the on-disk round trip, and the first experiment
-battery.  This script times each leg at one or more scales and either
+The **cold path** (``--section cold``, baseline ``BENCH_coldpath.json``)
+is everything that runs before the first analysis result: dataset
+generation, the on-disk round trip, and the first experiment battery.
+The **warm path** (``--section warm``, baseline ``BENCH_warmpath.json``)
+is everything downstream of a loaded dataset: the derived-view builds,
+the sweep-line scan kernels, and the experiment battery cold vs warm.
+This script times each leg at one or more scales and either
 
 * writes the measurements (plus a machine manifest) as a committed
   baseline::
 
       python benchmarks/record.py --out BENCH_coldpath.json
+      python benchmarks/record.py --section warm --out BENCH_warmpath.json
 
 * or re-measures and compares against a committed baseline, failing
   when any timing regressed beyond the tolerance factor (the CI
@@ -17,7 +22,7 @@ battery.  This script times each leg at one or more scales and either
       python benchmarks/record.py --scales small \
           --check BENCH_coldpath.json --tolerance 3
 
-Timed legs per scale:
+Cold-path legs per scale:
 
 * ``generate_jobs1`` / ``generate_jobs{N}`` — cold generation, serial
   vs the process-parallel shards (``repro.par``); the two datasets are
@@ -30,8 +35,23 @@ Timed legs per scale:
 * ``table4_cold`` — the ARIMA prediction experiment on a fresh context;
 * ``run_all_cold`` — the full battery on a fresh context.
 
-Derived ratios (``generate_speedup``, ``load_speedup``) are stored next
-to the raw timings; ``docs/PERFORMANCE.md`` quotes them.
+Warm-path legs per scale (generation is untimed setup here):
+
+* ``context_build`` — a fresh :class:`AnalysisContext` plus the
+  participant CSR gather for every active family;
+* ``collab_scan`` / ``chain_scan`` — the sweep-line collaboration and
+  consecutive-chain kernels over the raw dataset;
+* ``snapshot_dispersions`` — the batched hourly-snapshot dispersion
+  kernel on the busiest family;
+* ``prewarm_jobs1`` / ``prewarm_jobs{N}`` — :meth:`AnalysisContext.prewarm`
+  on fresh contexts, serial vs the process pool; the seeded-view count
+  is asserted identical before either number is accepted;
+* ``run_all_cold`` / ``run_all_warm`` — the battery on a fresh context,
+  then again on the now-warm one; the rendered outputs are asserted
+  byte-identical.
+
+Derived ratios (``generate_speedup``, ``load_speedup``, ``warm_speedup``)
+are stored next to the raw timings; ``docs/PERFORMANCE.md`` quotes them.
 """
 
 from __future__ import annotations
@@ -62,6 +82,8 @@ from repro.io.jsonlio import export_attacks_jsonl, iter_attacks_jsonl
 SCHEMA_VERSION = 1
 SCALES = {"small": 0.02, "full": 1.0}
 PARALLEL_JOBS = 4
+PREWARM_JOBS = (1, 4)
+DEFAULT_OUT = {"cold": "BENCH_coldpath.json", "warm": "BENCH_warmpath.json"}
 
 
 def _timed(fn):
@@ -131,6 +153,76 @@ def measure_scale(name: str, scale: float, workdir: Path) -> dict:
     return entry
 
 
+def measure_warm_scale(name: str, scale: float) -> dict:
+    from repro.core.collaboration import (
+        DURATION_WINDOW_SECONDS,
+        START_WINDOW_SECONDS,
+        _detect_collaborations,
+    )
+    from repro.core.consecutive import CHAIN_MARGIN_SECONDS, _detect_chains
+    from repro.core.geolocation import snapshot_dispersions
+
+    config = DatasetConfig(seed=7, scale=scale)
+    print(f"[{name}] generate (untimed setup) ...", flush=True)
+    ds = generate_dataset(config, jobs=1)
+
+    def build_context() -> AnalysisContext:
+        ctx = AnalysisContext(ds)
+        for family in ds.active_families:
+            ctx.family_participants(family)
+        return ctx
+
+    print(f"[{name}] warm-path kernels ...", flush=True)
+    t_ctx, ctx = _timed(build_context)
+    t_collab, events = _timed(
+        lambda: _detect_collaborations(ds, START_WINDOW_SECONDS, DURATION_WINDOW_SECONDS)
+    )
+    t_chains, chains = _timed(lambda: _detect_chains(ds, CHAIN_MARGIN_SECONDS, 2))
+    busiest = max(ds.active_families, key=lambda f: ctx.family_attacks(f).size)
+    t_snap, _ = _timed(lambda: snapshot_dispersions(ctx, busiest))
+
+    timings = {
+        "context_build": t_ctx,
+        "collab_scan": t_collab,
+        "chain_scan": t_chains,
+        "snapshot_dispersions": t_snap,
+    }
+    seeded: dict[int, int] = {}
+    for n in PREWARM_JOBS:
+        print(f"[{name}] prewarm jobs={n} ...", flush=True)
+        timings[f"prewarm_jobs{n}"], seeded[n] = _timed(
+            lambda n=n: AnalysisContext(ds).prewarm(jobs=n)
+        )
+    assert len(set(seeded.values())) == 1, "prewarm seeded count varies with jobs"
+
+    print(f"[{name}] battery cold/warm ...", flush=True)
+    battery_ctx = AnalysisContext(ds)
+    timings["run_all_cold"], results = _timed(lambda: run_all(battery_ctx, jobs=1))
+    timings["run_all_warm"], rerun = _timed(lambda: run_all(battery_ctx, jobs=1))
+    assert [r.render() for r in results] == [r.render() for r in rerun], (
+        "warm battery output diverged from cold"
+    )
+
+    derived = {
+        "warm_speedup": round(
+            timings["run_all_cold"] / max(timings["run_all_warm"], 1e-9), 2
+        ),
+        "prewarm_seeded_views": seeded[PREWARM_JOBS[0]],
+    }
+    entry = {
+        "scale": scale,
+        "n_attacks": int(ds.n_attacks),
+        "n_experiments": len(results),
+        "n_collaborations": len(events),
+        "n_chains": len(chains),
+        "timings": timings,
+        "derived": derived,
+    }
+    print(f"[{name}] {json.dumps(timings)}")
+    print(f"[{name}] derived: {json.dumps(derived)}")
+    return entry
+
+
 def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Timings that regressed beyond ``tolerance``x the baseline."""
     failures = []
@@ -154,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
         "--scales", nargs="+", choices=sorted(SCALES), default=sorted(SCALES),
         help="which scales to measure",
     )
+    parser.add_argument(
+        "--section", choices=sorted(DEFAULT_OUT), default="cold",
+        help="which benchmark section to measure (cold or warm path)",
+    )
     parser.add_argument("--out", default=None, help="write the baseline JSON here")
     parser.add_argument(
         "--check", default=None, metavar="BASELINE",
@@ -172,7 +268,10 @@ def main(argv: list[str] | None = None) -> int:
     results = {}
     with tempfile.TemporaryDirectory() as tmp:
         for name in args.scales:
-            results[name] = measure_scale(name, SCALES[name], Path(tmp))
+            if args.section == "warm":
+                results[name] = measure_warm_scale(name, SCALES[name])
+            else:
+                results[name] = measure_scale(name, SCALES[name], Path(tmp))
 
     if args.metrics:
         from repro.obs import RunManifest, registry
@@ -186,20 +285,21 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.loads(Path(args.check).read_text())
         failures = check(baseline, results, args.tolerance)
         if failures:
-            print("cold-path regressions:", file=sys.stderr)
+            print(f"{args.section}-path regressions:", file=sys.stderr)
             for line in failures:
                 print(f"  {line}", file=sys.stderr)
             return 1
-        print(f"cold path within {args.tolerance:.1f}x of {args.check}")
+        print(f"{args.section} path within {args.tolerance:.1f}x of {args.check}")
         return 0
 
     payload = {
         "schema": SCHEMA_VERSION,
+        "section": args.section,
         "machine": machine_manifest(),
         "parallel_jobs": PARALLEL_JOBS,
         "scales": results,
     }
-    out = Path(args.out or "BENCH_coldpath.json")
+    out = Path(args.out or DEFAULT_OUT[args.section])
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"baseline written to {out}")
     return 0

@@ -189,8 +189,12 @@ def run_all(
 ):
     """Run the full experiment battery; results come in registry order.
 
-    ``jobs > 1`` fans the experiments out over threads without changing
-    the output.  Pass ``manifest`` to write a
+    ``jobs > 1`` first prewarms the shared context —
+    :meth:`AnalysisContext.prewarm` fans the independent view builds
+    (per-family participants/dispersions/intervals, the Table IV
+    forecasts, the collaboration/chain scans) across worker processes —
+    then fans the experiments out over threads.  Neither stage changes
+    the output for any ``jobs``.  Pass ``manifest`` to write a
     :class:`~repro.obs.RunManifest` JSON — stage timings, cache hit/miss
     counters, per-experiment wall times — after the battery finishes
     (see ``docs/OBSERVABILITY.md``).
@@ -205,6 +209,8 @@ def run_all(
     """
     from .experiments.registry import run_all as _run_all
 
+    if jobs > 1:
+        ctx.prewarm(jobs=jobs)
     results = _run_all(ctx, jobs=jobs)
     if manifest is not None:
         from .obs import RunManifest, registry as _obs_registry

@@ -352,6 +352,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(get_experiment(args.only).run(ctx).render())
         print()
     else:
+        if args.jobs > 1:
+            # Build the shared views across the worker pool first; the
+            # thread fan-out below then runs against a warm context.
+            ctx.prewarm(jobs=args.jobs)
         for result in run_all(ctx, jobs=args.jobs):
             print(result.render())
             print()
@@ -474,8 +478,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         forecasts = predict_all_families(ctx, jobs=jobs)
     print(f"forecast fan-out: {len(forecasts)} families")
 
-    for label in ("battery (cold)", "battery (warm)"):
-        results = run_all(ctx, jobs=jobs)
+    # A fresh (unshared) context so the prewarm leg measures real view
+    # builds; its per-view ``view:<kind>`` spans land under ``prewarm``
+    # in the stage tree below.
+    warm_ctx = AnalysisContext(ds)
+    seeded = warm_ctx.prewarm(jobs=jobs)
+    print(f"prewarm: {seeded} views seeded (jobs={jobs})")
+
+    for label, battery_ctx in (("battery (prewarmed)", warm_ctx), ("battery (warm)", ctx)):
+        results = run_all(battery_ctx, jobs=jobs)
         print(f"{label}: {len(results)} experiments")
 
     manifest = RunManifest.collect(

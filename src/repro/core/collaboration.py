@@ -79,7 +79,97 @@ def detect_collaborations(
 def _detect_collaborations(
     ds, start_window: float, duration_window: float
 ) -> list[CollabEvent]:
-    """The raw scan behind :func:`detect_collaborations`."""
+    """The raw scan behind :func:`detect_collaborations`.
+
+    A sweep-line kernel over the ``(target, start)``-sorted attack
+    columns: one boundary mask splits the sweep into candidate runs
+    (target change *or* start gap beyond the window), the per-run
+    botnet dedupe is a second lexsort plus a first-occurrence mask,
+    and the duration filter broadcasts each run's first-member duration
+    with ``np.repeat``.  Only surviving events (a few hundred at full
+    scale) are materialised in Python.  Pinned equal to
+    :func:`_reference_detect_collaborations` by the parity tests.
+    """
+    n = ds.n_attacks
+    if n == 0:
+        return []
+    order = np.lexsort((ds.start, ds.target_idx))
+    targets = ds.target_idx[order]
+    starts = ds.start[order]
+    durations = (ds.end - ds.start)[order]
+    botnets = ds.botnet_id[order]
+
+    # Candidate runs: maximal stretches on one target whose successive
+    # starts are within the window.
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (targets[1:] != targets[:-1]) | (
+        starts[1:] - starts[:-1] > start_window
+    )
+    run_id = np.cumsum(new_run) - 1
+    n_runs = int(run_id[-1]) + 1
+    run_first = np.flatnonzero(new_run)
+    run_sizes = np.diff(np.append(run_first, n))
+
+    # Duration filter: within a run, members stray at most
+    # ``duration_window`` from the *first* member's duration.  It runs
+    # before the dedupe — a botnet whose earliest attack fails the
+    # filter may still contribute a later, conforming attack.
+    base = np.repeat(durations[run_first], run_sizes)
+    dur_ok = np.abs(durations - base) <= duration_window
+    ok_pos = np.flatnonzero(dur_ok)
+
+    # Botnet dedupe among the survivors: a botnet cannot collaborate
+    # with itself, so only its first conforming attack per run counts.
+    # lexsort is stable, so the first position within each
+    # (run, botnet) block is the earliest.
+    keep = np.zeros(n, dtype=bool)
+    if ok_pos.size:
+        ok_runs = run_id[ok_pos]
+        ok_bots = botnets[ok_pos]
+        dd = np.lexsort((ok_bots, ok_runs))
+        first = np.empty(ok_pos.size, dtype=bool)
+        first[0] = True
+        first[1:] = (ok_runs[dd][1:] != ok_runs[dd][:-1]) | (
+            ok_bots[dd][1:] != ok_bots[dd][:-1]
+        )
+        keep[ok_pos[dd[first]]] = True
+
+    kept_per_run = np.bincount(run_id[keep], minlength=n_runs)
+    good = kept_per_run >= 2
+    if not np.any(good):
+        return []
+
+    kept_pos = np.flatnonzero(keep)
+    kept_run = run_id[kept_pos]
+    run_offsets = np.concatenate(([0], np.cumsum(kept_per_run)))
+
+    family_names = np.asarray(
+        [ds.family_name(k) for k in range(ds.family_idx.max() + 1)], dtype=object
+    )
+    events: list[CollabEvent] = []
+    for r in np.flatnonzero(good):
+        pos = kept_pos[run_offsets[r] : run_offsets[r + 1]]
+        idx = order[pos]
+        families = tuple(sorted(set(family_names[np.unique(ds.family_idx[idx])])))
+        events.append(
+            CollabEvent(
+                attack_indices=tuple(int(i) for i in idx),
+                target_index=int(targets[pos[0]]),
+                families=families,
+                botnet_ids=tuple(int(b) for b in botnets[pos]),
+                start=float(starts[pos[0]]),
+                is_inter_family=len(families) > 1,
+            )
+        )
+    events.sort(key=lambda e: e.start)
+    return events
+
+
+def _reference_detect_collaborations(
+    ds, start_window: float, duration_window: float
+) -> list[CollabEvent]:
+    """Reference implementation (pre-vectorization); kept for parity tests."""
     events: list[CollabEvent] = []
     order = np.lexsort((ds.start, ds.target_idx))
     targets = ds.target_idx[order]

@@ -319,9 +319,15 @@ class AnalysisContext:
             counts = (ds.part_offsets[idx + 1] - ds.part_offsets[idx]).astype(np.int64)
             offsets = np.zeros(idx.size + 1, dtype=np.int64)
             np.cumsum(counts, out=offsets[1:])
-            flat = np.empty(int(offsets[-1]), dtype=ds.participants.dtype)
-            for k, i in enumerate(idx):
-                flat[offsets[k] : offsets[k + 1]] = ds.participants_of(int(i))
+            # One gather instead of a per-attack slice loop: element j of
+            # segment k lives at ``part_offsets[idx[k]] + j`` in the
+            # dataset-wide CSR, so the source positions are the segment
+            # bases repeated per element plus each element's within-
+            # segment rank.
+            total = int(offsets[-1])
+            base = np.repeat(ds.part_offsets[idx].astype(np.int64), counts)
+            rank = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+            flat = np.asarray(ds.participants)[base + rank]
             return offsets, flat
 
         return self.view(("family_participants", family), build)
@@ -477,6 +483,92 @@ class AnalysisContext:
 
         return self.view(("dispersion_forecast", family), build)
 
+    # -- prewarm -----------------------------------------------------------
+
+    def _prewarm_specs(self, families: list[str]) -> list[tuple]:
+        """Independent prewarm tasks, skipping already-materialised work.
+
+        A family task is emitted when any of its views is missing; the
+        global scans are emitted individually.  On a warm (streaming)
+        context the carried views therefore suppress their tasks and
+        only the invalidated keys are rebuilt.
+        """
+        views = self._views
+        specs: list[tuple] = []
+        for kind in ("collaborations", "chains", "attack_intervals", "globals"):
+            key_probe = {
+                "collaborations": ("collaborations",),
+                "chains": ("chains",),
+                "attack_intervals": ("attack_intervals",),
+                "globals": ("workload_summary",),
+            }[kind]
+            if key_probe not in views:
+                specs.append((kind,))
+        for family in families:
+            family_keys = (
+                ("family_participants", family),
+                ("attack_dispersions", family),
+                ("family_starts", family),
+                ("family_intervals", family, True),
+                ("durations", family),
+                ("weekly_shift", family),
+            )
+            if any(key not in views for key in family_keys):
+                specs.append(("family", family))
+        from ..experiments.table4_prediction import PAPER_TABLE4
+
+        for family in PAPER_TABLE4:
+            if family in families and ("dispersion_forecast", family) not in views:
+                specs.append(("forecast", family))
+        return specs
+
+    def prewarm(self, jobs: int | None = 1, families: list[str] | None = None) -> int:
+        """Build the battery's independent views ahead of time.
+
+        Fans per-family view builds (participants, dispersions, starts,
+        intervals, durations, weekly shift), the Table IV forecasts and
+        the collaboration/chain scans across the :mod:`repro.par` pool
+        (``jobs=None`` picks the default worker count; on platforms
+        without ``fork``, or with fewer CPUs than workers, the same
+        tasks run serially).  Results are installed via
+        :meth:`seed_view`, so a view that is already materialised — for
+        example carried across a streaming epoch — is neither rebuilt
+        nor overwritten.  Returns the number of views that became
+        materialised; the result set is identical for every ``jobs``.
+
+        Observability: the whole pass runs under a ``prewarm`` stage
+        span; ``prewarm.tasks`` counts the tasks dispatched and
+        ``prewarm.seeded`` the views newly installed.
+        """
+        from .. import par
+
+        reg = _obs_registry()
+        with reg.span("prewarm"):
+            if families is None:
+                families = list(self._ds.active_families)
+            # Cheap shared dependencies built in the parent so forked
+            # workers inherit them instead of rebuilding per task.
+            self._groups_by("family_attack_index", self._ds.family_idx)
+            self.bot_coords_radians()
+            self.durations()
+            specs = self._prewarm_specs(families)
+            reg.counter("prewarm.tasks").inc(len(specs))
+            before = set(self._views)
+            if specs:
+                results = par.parallel_map(
+                    _prewarm_worker,
+                    specs,
+                    jobs=par.resolve_jobs(jobs),
+                    payload=self,
+                    label="prewarm",
+                )
+                for pairs in results:
+                    for key, value in pairs:
+                        self.seed_view(key, value)
+            seeded = len(set(self._views) - before)
+            reg.counter("prewarm.seeded").inc(seeded)
+        return seeded
+
     # -- snapshotting ------------------------------------------------------
 
     def export_views(self) -> dict[Hashable, Any]:
@@ -510,3 +602,51 @@ class AnalysisContext:
                     self._views[key] = value
                     restored += 1
         return restored
+
+
+def _prewarm_worker(ctx: "AnalysisContext", spec: tuple) -> list[tuple[Hashable, Any]]:
+    """One prewarm task: build a related view group, return the delta.
+
+    Runs in-process (serial mode) or in a forked worker; either way it
+    builds through the context's own accessors, so the views memoize and
+    instrument exactly as a lazy build would.  The return value is the
+    set of views this task materialised — the only pickle a forked
+    fan-out pays for.  Forecasts mirror the paper's Darkshell call:
+    families with too few points are skipped, not raised.
+    """
+    before = set(ctx._views)
+    kind = spec[0]
+    if kind == "family":
+        family = spec[1]
+        ctx.family_participants(family)
+        ctx.attack_dispersions(family)
+        ctx.family_starts(family)
+        ctx.family_intervals(family)
+        ctx.durations(family)
+        ctx.weekly_shift(family)
+    elif kind == "forecast":
+        try:
+            ctx.dispersion_forecast(spec[1])
+        except ValueError:
+            pass
+    elif kind == "collaborations":
+        ctx.collaborations()
+    elif kind == "chains":
+        ctx.chains()
+    elif kind == "attack_intervals":
+        ctx.attack_intervals()
+    elif kind == "globals":
+        from . import intervals as _intervals
+
+        ctx.workload_summary()
+        ctx.protocol_breakdown()
+        ctx.protocol_popularity()
+        ctx.daily_distribution(None)
+        ctx.target_country_idx()
+        ctx.target_org_idx()
+        ctx.target_country_counts()
+        ctx.victim_org_type_counts()
+        _intervals.simultaneous_attacks(ctx)
+    else:  # pragma: no cover - spec list and worker evolve together
+        raise ValueError(f"unknown prewarm spec {spec!r}")
+    return [(k, v) for k, v in ctx.materialized().items() if k not in before]

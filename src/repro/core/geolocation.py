@@ -47,15 +47,52 @@ def _segment_centers(
     x = np.cos(lats_r) * np.cos(lons_r)
     y = np.cos(lats_r) * np.sin(lons_r)
     z = np.sin(lats_r)
-    starts = offsets[:-1]
-    sx = np.add.reduceat(x, starts) / counts
-    sy = np.add.reduceat(y, starts) / counts
-    sz = np.add.reduceat(z, starts) / counts
+    # Zero-count segments (attacks with no recorded participants, e.g.
+    # on ingested attack-table-only datasets) would index ``reduceat``
+    # out of range and divide by zero.  The clamps keep the kernel total
+    # — positive-count segments are untouched, clamped ones produce
+    # meaningless centres that every caller masks via ``counts < 2``.
+    starts = np.minimum(offsets[:-1], lats_r.size - 1)
+    denom = np.maximum(counts, 1)
+    sx = np.add.reduceat(x, starts) / denom
+    sy = np.add.reduceat(y, starts) / denom
+    sz = np.add.reduceat(z, starts) / denom
     norm = np.sqrt(sx * sx + sy * sy + sz * sz)
     norm = np.maximum(norm, 1e-12)
     lat_c = np.arcsin(np.clip(sz / norm, -1.0, 1.0))
     lon_c = np.arctan2(sy, sx)
     return lat_c, lon_c
+
+
+def _segment_dispersions(
+    lats_r: np.ndarray, lons_r: np.ndarray, offsets: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Geolocation-distribution value per CSR segment (radian coords).
+
+    The shared kernel behind the per-attack and per-snapshot dispersion
+    analyses: segment centres via the 3-D unit-vector mean, a broadcast
+    signed haversine from every point to its segment's centre, and one
+    ``np.add.reduceat`` rollup of the signed sums.
+    """
+    if counts.size == 0 or lats_r.size == 0:
+        return np.zeros(counts.size)
+    lat_c, lon_c = _segment_centers(lats_r, lons_r, offsets, counts)
+
+    # Broadcast each segment's centre back onto its participants.
+    seg = np.repeat(np.arange(counts.size), counts)
+    clat = lat_c[seg]
+    clon = lon_c[seg]
+    dlat = lats_r - clat
+    dlon = lons_r - clon
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(clat) * np.cos(lats_r) * np.sin(dlon / 2.0) ** 2
+    dist = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    # Paper's sign convention: east positive, west negative; ties by north/south.
+    wrapped = np.mod(dlon + np.pi, 2.0 * np.pi) - np.pi
+    sign = np.sign(wrapped)
+    sign = np.where(sign == 0, np.sign(dlat), sign)
+    # Same zero-count clamp as in the centre kernel (see above).
+    sums = np.add.reduceat(sign * dist, np.minimum(offsets[:-1], lats_r.size - 1))
+    return np.abs(sums)
 
 
 def attack_dispersions(
@@ -82,24 +119,7 @@ def _attack_dispersions(
     counts = np.diff(offsets)
 
     all_lats_r, all_lons_r = ctx.bot_coords_radians()
-    lats_r = all_lats_r[flat]
-    lons_r = all_lons_r[flat]
-    lat_c, lon_c = _segment_centers(lats_r, lons_r, offsets, counts)
-
-    # Broadcast each segment's centre back onto its participants.
-    seg = np.repeat(np.arange(idx.size), counts)
-    clat = lat_c[seg]
-    clon = lon_c[seg]
-    dlat = lats_r - clat
-    dlon = lons_r - clon
-    a = np.sin(dlat / 2.0) ** 2 + np.cos(clat) * np.cos(lats_r) * np.sin(dlon / 2.0) ** 2
-    dist = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
-    # Paper's sign convention: east positive, west negative; ties by north/south.
-    wrapped = np.mod(dlon + np.pi, 2.0 * np.pi) - np.pi
-    sign = np.sign(wrapped)
-    sign = np.where(sign == 0, np.sign(dlat), sign)
-    sums = np.add.reduceat(sign * dist, offsets[:-1])
-    values = np.abs(sums)
+    values = _segment_dispersions(all_lats_r[flat], all_lons_r[flat], offsets, counts)
     # Single-bot attacks have no dispersion by definition.
     values[counts < 2] = 0.0
     return ds.start[idx], values
@@ -115,6 +135,85 @@ def snapshot_dispersions(
     value of each such snapshot instead of each attack.  Returns aligned
     ``(snapshot timestamps, dispersion values)`` for snapshots with at
     least two bots.
+    """
+    from ..monitor.snapshots import LOOKBACK_SECONDS
+    from ..simulation.clock import SECONDS_PER_HOUR
+
+    ctx = AnalysisContext.of(source)
+    ds = ctx.dataset
+    idx = ctx.family_attacks(family)
+    if idx.size == 0:
+        raise ValueError(f"family {family!r} launched no attacks")
+    offsets, flat = ctx.family_participants(family)
+    starts = ds.start[idx]
+    window = ds.window
+
+    # All snapshot windows at once: attacks starting in (t - 24h, t].
+    ts = window.start + np.arange(1, window.n_hours + 1, dtype=float) * SECONDS_PER_HOUR
+    lo = np.searchsorted(starts, ts - LOOKBACK_SECONDS, side="right")
+    hi = np.searchsorted(starts, ts, side="right")
+    nonempty = hi > lo
+    ts, lo, hi = ts[nonempty], lo[nonempty], hi[nonempty]
+    if ts.size == 0:
+        return np.zeros(0), np.zeros(0)
+
+    all_lats_r, all_lons_r = ctx.bot_coords_radians()
+    out_times: list[np.ndarray] = []
+    out_values: list[np.ndarray] = []
+    # Every attack participation lands in up to 24 hourly snapshots, so
+    # the expanded (snapshot, bot) pair table is ~24x the family's
+    # participation count; chunking over snapshots bounds the peak.
+    chunk = 256
+    for c0 in range(0, ts.size, chunk):
+        c1 = min(c0 + chunk, ts.size)
+        plo = offsets[lo[c0:c1]]
+        phi = offsets[hi[c0:c1]]
+        sizes = phi - plo
+        total = int(sizes.sum())
+        if total == 0:
+            # Attacks with zero recorded participants (e.g. ingested
+            # attack-table-only datasets) contribute no snapshot sets.
+            continue
+        snap = np.repeat(np.arange(c1 - c0), sizes)
+        seg_starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        pos = np.repeat(plo, sizes) + (np.arange(total) - np.repeat(seg_starts, sizes))
+        bots = np.asarray(flat)[pos]
+
+        # Per-snapshot unique bot sets (the 24-hour reports are sets).
+        o = np.lexsort((bots, snap))
+        s_sorted = snap[o]
+        b_sorted = bots[o]
+        first = np.empty(total, dtype=bool)
+        first[0] = True
+        first[1:] = (s_sorted[1:] != s_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])
+        u_snap = s_sorted[first]
+        u_bot = b_sorted[first]
+        u_counts = np.bincount(u_snap, minlength=c1 - c0)
+        good = u_counts >= 2
+        sel = good[u_snap]
+        counts_sel = u_counts[good]
+        if counts_sel.size == 0:
+            continue
+        u_offsets = np.concatenate(([0], np.cumsum(counts_sel)))
+        bot_sel = u_bot[sel]
+        vals = _segment_dispersions(
+            all_lats_r[bot_sel], all_lons_r[bot_sel], u_offsets, counts_sel
+        )
+        out_times.append(ts[c0:c1][good])
+        out_values.append(vals)
+    if not out_times:
+        return np.zeros(0), np.zeros(0)
+    return np.concatenate(out_times), np.concatenate(out_values)
+
+
+def _reference_snapshot_dispersions(
+    source: AnalysisSource, family: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference per-snapshot loop (pre-vectorization); kept for parity tests.
+
+    The batched kernel and this loop sum floating-point terms in
+    different orders, so parity is asserted with ``np.allclose`` rather
+    than bitwise equality.
     """
     from ..geo.haversine import dispersion_km
     from ..monitor.snapshots import iter_hourly_snapshots

@@ -116,33 +116,50 @@ def simultaneous_attacks(
 def _simultaneous_attacks(ds, tolerance: float) -> SimultaneousReport:
     if ds.n_attacks == 0:
         return SimultaneousReport(0, 0, [], [])
+    n = ds.n_attacks
     starts = ds.start
     order = np.argsort(starts, kind="stable")
     sorted_starts = starts[order]
-    # Event boundaries: a new event wherever the gap exceeds tolerance.
-    boundary = np.flatnonzero(np.diff(sorted_starts) > tolerance) + 1
-    groups = np.split(order, boundary)
+    # Sweep-line event labelling: a new event wherever the gap exceeds
+    # the tolerance; per-event distinct families via one (event, family)
+    # dedupe pass.  Only multi-family events (a handful) reach Python.
+    new_event = np.empty(n, dtype=bool)
+    new_event[0] = True
+    new_event[1:] = np.diff(sorted_starts) > tolerance
+    event_id = np.cumsum(new_event) - 1
+    n_events = int(event_id[-1]) + 1
+    event_sizes = np.bincount(event_id, minlength=n_events)
 
-    single = 0
-    multi = 0
-    single_families: set[str] = set()
+    fams = ds.family_idx[order]
+    o = np.lexsort((fams, event_id))
+    e_sorted = event_id[o]
+    f_sorted = fams[o]
+    first = np.empty(n, dtype=bool)
+    first[0] = True
+    first[1:] = (e_sorted[1:] != e_sorted[:-1]) | (f_sorted[1:] != f_sorted[:-1])
+    u_event = e_sorted[first]
+    u_fam = f_sorted[first]
+    fams_per_event = np.bincount(u_event, minlength=n_events)
+
+    eligible = event_sizes >= 2
+    single_mask = eligible & (fams_per_event == 1)
+    multi_mask = eligible & (fams_per_event >= 2)
+
+    single_families = {
+        ds.family_name(int(f)) for f in np.unique(u_fam[single_mask[u_event]])
+    }
     pair_counts: dict[tuple[str, str], int] = {}
-    for group in groups:
-        if group.size < 2:
-            continue
-        fams = np.unique(ds.family_idx[group])
-        if fams.size == 1:
-            single += 1
-            single_families.add(ds.family_name(int(fams[0])))
-        else:
-            multi += 1
-            names = sorted(ds.family_name(int(f)) for f in fams)
-            for a, b in combinations(names, 2):
-                pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+    u_offsets = np.concatenate(([0], np.cumsum(fams_per_event)))
+    for e in np.flatnonzero(multi_mask):
+        names = sorted(
+            ds.family_name(int(f)) for f in u_fam[u_offsets[e] : u_offsets[e + 1]]
+        )
+        for a, b in combinations(names, 2):
+            pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
     ranked = sorted(pair_counts.items(), key=lambda kv: (-kv[1], kv[0]))
     return SimultaneousReport(
-        single_family_events=single,
-        multi_family_events=multi,
+        single_family_events=int(np.sum(single_mask)),
+        multi_family_events=int(np.sum(multi_mask)),
         single_family_names=sorted(single_families),
         pair_counts=ranked,
     )

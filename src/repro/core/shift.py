@@ -57,6 +57,71 @@ def weekly_shift(source: AnalysisSource, family: str) -> WeeklyShift:
 
 
 def _weekly_shift(ctx: AnalysisContext, family: str) -> WeeklyShift:
+    """Sweep-line form of the weekly shift: one pass over (week, bot) pairs.
+
+    The per-week loop with an accumulating ``seen`` set is equivalent to
+    labelling every country with the week it first appears: a unique
+    (week, bot) participation counts as "existing" when its country's
+    first week is strictly earlier (or the week is the family's baseline
+    week), "new" otherwise.  Counts are integers, so this is exactly
+    equal to :func:`_reference_weekly_shift` (pinned by the parity
+    tests).
+    """
+    ds = ctx.dataset
+    idx = ctx.family_attacks(family)
+    if idx.size == 0:
+        raise ValueError(f"family {family!r} launched no attacks")
+    weeks_of_attack = ((ds.start[idx] - ds.window.start) // (7 * 86400)).astype(np.int64)
+
+    offsets, flat = ctx.family_participants(family)
+    counts = np.diff(offsets)
+    week_rep = np.repeat(weeks_of_attack, counts)
+
+    # Unique (week, bot) pairs: a bot counts once per active week.
+    o = np.lexsort((flat, week_rep))
+    w_sorted = week_rep[o]
+    b_sorted = flat[o]
+    first = np.empty(w_sorted.size, dtype=bool)
+    if first.size:
+        first[0] = True
+        first[1:] = (w_sorted[1:] != w_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])
+    u_week = w_sorted[first]
+    u_bot = b_sorted[first]
+    u_country = ds.bots.country_idx[u_bot]
+
+    weeks_u = np.unique(weeks_of_attack)
+    # The baseline is the first week with any participants: the loop
+    # form's ``seen`` set stays empty across participant-less weeks.
+    baseline = u_week[0] if u_week.size else weeks_u[0]
+    n_weeks = weeks_u.size
+
+    # First week each present country appears in.
+    n_countries = int(u_country.max()) + 1 if u_country.size else 0
+    first_week = np.full(n_countries, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first_week, u_country, u_week)
+
+    known = (u_week == baseline) | (first_week[u_country] < u_week)
+    wpos = np.searchsorted(weeks_u, u_week)
+    bots_existing = np.bincount(wpos[known], minlength=n_weeks)
+    bots_new = np.bincount(wpos[~known], minlength=n_weeks)
+
+    present = np.flatnonzero(first_week < np.iinfo(np.int64).max)
+    fresh_weeks = first_week[present]
+    fresh_weeks = fresh_weeks[fresh_weeks > baseline]
+    new_countries = np.bincount(
+        np.searchsorted(weeks_u, fresh_weeks), minlength=n_weeks
+    )
+    return WeeklyShift(
+        family=family,
+        weeks=weeks_u.astype(np.int64),
+        bots_existing=bots_existing.astype(np.int64),
+        bots_new=bots_new.astype(np.int64),
+        new_countries=new_countries.astype(np.int64),
+    )
+
+
+def _reference_weekly_shift(ctx: AnalysisContext, family: str) -> WeeklyShift:
+    """Reference per-week loop (pre-vectorization); kept for parity tests."""
     ds = ctx.dataset
     idx = ctx.family_attacks(family)
     if idx.size == 0:

@@ -451,7 +451,7 @@ class StreamingDataset:
             truth_residual_km=np.zeros(n, dtype=np.float64),
         )
 
-    def context(self) -> AnalysisContext:
+    def context(self, *, prewarm_jobs: int | None = None) -> AnalysisContext:
         """The current snapshot's shared analysis context.
 
         Cached per epoch: repeated calls between appends return the same
@@ -460,6 +460,13 @@ class StreamingDataset:
         are carried forward incrementally; expensive views (collaboration
         scans, chains, forecasts) are left to rebuild lazily under the
         new epoch tag.
+
+        ``prewarm_jobs`` rebuilds those invalidated views eagerly via
+        :meth:`AnalysisContext.prewarm` when a *new* snapshot is
+        materialised: the prewarm seeds via ``seed_view``, so carried
+        views are untouched and only the dropped keys are recomputed
+        (pass 1 for serial, N for the worker-pool fan-out).  A cached
+        snapshot is returned as-is — its views are already warm.
 
         A carry counts the views it seeded into ``stream.views_carried``
         and the ones it had to drop into ``stream.views_invalidated``,
@@ -481,6 +488,8 @@ class StreamingDataset:
         self._snapshot_ctx = ctx
         self._snapshot_epoch = self._epoch
         self._carry_ok = True
+        if prewarm_jobs is not None:
+            ctx.prewarm(jobs=prewarm_jobs)
         return ctx
 
     def dataset(self) -> AttackDataset:

@@ -28,6 +28,35 @@ from .hannan_rissanen import hannan_rissanen
 __all__ = ["ARIMA", "ARIMAFit"]
 
 
+def _make_iir_all_pole():
+    """Fast all-pole IIR filter ``1 / a(B)`` with zero initial conditions.
+
+    ``scipy.signal.lfilter(b, a, x)`` with ``zi=None`` dispatches straight
+    to ``_sigtools._linear_filter`` after argument validation, so calling
+    the C routine directly is bitwise-identical and skips ~30 µs of Python
+    overhead per call — which matters inside the CSS optimiser, where the
+    filter runs thousands of times per fit.  The private entry point is
+    probed once at import; any surprise falls back to the public API.
+    """
+    b = np.array([1.0])
+    try:
+        from scipy.signal import _sigtools
+
+        probe_a = np.array([1.0, 0.5, -0.25])
+        probe_x = np.array([1.0, -2.0, 3.0, 0.5])
+        if np.array_equal(
+            _sigtools._linear_filter(b, probe_a, probe_x, -1),
+            signal.lfilter(b, probe_a, probe_x),
+        ):
+            return lambda a, x: _sigtools._linear_filter(b, a, x, -1)
+    except Exception:
+        pass
+    return lambda a, x: signal.lfilter(b, a, x)
+
+
+_iir_all_pole = _make_iir_all_pole()
+
+
 def _css_residuals(y: np.ndarray, const: float, phi: np.ndarray, theta: np.ndarray) -> np.ndarray:
     """One-step-ahead innovations of an ARMA model, conditional on zeros.
 
@@ -52,7 +81,47 @@ def _css_residuals(y: np.ndarray, const: float, phi: np.ndarray, theta: np.ndarr
     z[:p] = 0.0
     if q == 0:
         return z
-    return signal.lfilter([1.0], np.concatenate(([1.0], theta)), z)
+    return _iir_all_pole(np.concatenate(([1.0], theta)), z)
+
+
+def _min_root_modulus(coeffs: np.ndarray) -> float:
+    """Smallest ``|z|`` over the roots of ``1 - c1 z - ... - cp z^p``.
+
+    Degree ≤ 2 (every order the pipeline searches) is solved in closed
+    form — the quadratic uses the numerically stable ``q``-formula plus
+    the root product ``|z1 z2| = 1/|c2|``, so neither root loses digits
+    to cancellation.  Higher degrees fall back to the companion-matrix
+    eigenvalues (``np.roots``), exactly the original path.  Returns
+    ``inf`` when the polynomial has no roots (all coefficients zero),
+    matching ``np.roots`` returning an empty array.
+    """
+    # np.roots trims leading zeros of the reversed polynomial, i.e. the
+    # highest-order coefficients here; mirror that so the degenerate
+    # cases (c2 == 0, all zeros) agree exactly.
+    m = coeffs.size
+    while m and coeffs[m - 1] == 0.0:
+        m -= 1
+    if m == 0:
+        return float("inf")
+    if m == 1:
+        # Single root 1/c1 — identical to the 1x1 companion eigenvalue.
+        return abs(1.0 / float(coeffs[0]))
+    if m == 2:
+        # Roots of c2 z^2 + c1 z - 1 = 0.
+        c1 = float(coeffs[0])
+        c2 = float(coeffs[1])
+        disc = c1 * c1 + 4.0 * c2
+        if disc < 0.0:
+            # Conjugate pair: |z|^2 = |product| = 1/|c2|.
+            return float(np.sqrt(1.0 / abs(c2)))
+        sq = float(np.sqrt(disc))
+        qq = -0.5 * (c1 + (sq if c1 >= 0.0 else -sq))
+        # qq == 0 requires c1 == 0 and disc == 0, i.e. c2 == 0 — already
+        # reduced to the linear case above.
+        return min(abs(qq / c2), abs(1.0 / qq))
+    poly = np.concatenate(([1.0], -coeffs[:m]))
+    roots = np.roots(poly[::-1])
+    return float(np.min(np.abs(roots)))
 
 
 def _instability(coeffs: np.ndarray) -> float:
@@ -66,11 +135,7 @@ def _instability(coeffs: np.ndarray) -> float:
     """
     if coeffs.size == 0:
         return 0.0
-    poly = np.concatenate(([1.0], -coeffs))
-    roots = np.roots(poly[::-1])
-    if roots.size == 0:
-        return 0.0
-    min_mod = float(np.min(np.abs(roots)))
+    min_mod = _min_root_modulus(coeffs)
     if min_mod >= 1.02:
         return 0.0
     return (1.02 - min_mod) ** 2
@@ -285,12 +350,31 @@ class ARIMA:
         const0 = float(y.mean()) * (1.0 - float(np.sum(phi0)))
         x0 = np.concatenate(([const0], phi0, theta0))
 
+        # The optimiser calls the objective thousands of times, so it works
+        # on the tail ``t >= p`` only: ``_css_residuals`` pins ``z[:p]`` to
+        # zero and the filter's zero initial conditions make the leading
+        # ``p`` innovations zero, so dropping them before the arithmetic
+        # (instead of after) produces bitwise-identical residuals while
+        # skipping the dead prefix.  The lag views are precomputed once.
+        n = y.size
+        y_tail = y[p:]
+        lags = [y[p - 1 - i : n - 1 - i] for i in range(p)]
+        a_full = np.empty(q + 1)
+        a_full[0] = 1.0
+
         def objective(x: np.ndarray) -> float:
             const = x[0]
             phi = x[1 : 1 + p]
             theta = x[1 + p :]
-            eps = _css_residuals(y, const, phi, theta)
-            css = float(np.dot(eps[p:], eps[p:]))
+            z = y_tail - const
+            for i in range(p):
+                z -= phi[i] * lags[i]
+            if q:
+                a_full[1:] = theta
+                eps = _iir_all_pole(a_full, z)
+            else:
+                eps = z
+            css = float(np.dot(eps, eps))
             violation = _instability(phi) + _instability(-theta)
             return css * (1.0 + 1e4 * violation)
 

@@ -1,0 +1,265 @@
+"""Parity tests pinning the sweep-line kernels to their reference scans.
+
+The vectorized kernels in ``core.collaboration``, ``core.consecutive``,
+``core.shift`` and ``core.geolocation`` replaced straightforward Python
+loops; the originals are kept as ``_reference_*`` functions and these
+tests pin the two implementations equal — exactly for the integer/tuple
+kernels, allclose for the dispersion kernel (its float summation order
+differs) — across randomized datasets and the boundary cases the window
+arithmetic is most likely to get wrong.
+
+The full-scale sweep (marked ``slow``) only runs when
+``REPRO_BENCH_SCALE`` names a scale, as in the CI parity step.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import geolocation as geo
+from repro.core.collaboration import (
+    DURATION_WINDOW_SECONDS,
+    START_WINDOW_SECONDS,
+    _detect_collaborations,
+    _reference_detect_collaborations,
+)
+from repro.core.consecutive import (
+    CHAIN_MARGIN_SECONDS,
+    _detect_chains,
+    _reference_detect_chains,
+)
+from repro.core.context import AnalysisContext
+from repro.core.shift import _reference_weekly_shift, _weekly_shift
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+from repro.io.ingest import dataset_from_records
+from repro.monitor.schemas import DDoSAttackRecord, Protocol
+
+RANDOM_SEEDS = [11, 23, 47, 101]
+
+
+def _record(
+    i: int,
+    *,
+    botnet: int,
+    family: str,
+    target: int,
+    start: float,
+    duration: float,
+) -> DDoSAttackRecord:
+    return DDoSAttackRecord(
+        ddos_id=i,
+        botnet_id=botnet,
+        family=family,
+        category=Protocol.TCP,
+        target_ip=target,
+        timestamp=start,
+        end_time=start + duration,
+        asn=64500 + target % 7,
+        country_code="US",
+        city="Testville",
+        organization="org",
+        lat=0.0,
+        lon=0.0,
+        magnitude=3,
+    )
+
+
+def _random_attack_table(seed: int):
+    """A dense random attack table: few targets, clustered starts.
+
+    Small target and botnet pools plus exponential start gaps around the
+    60 s windows make candidate runs, duplicate botnets, and margin-edge
+    gaps all common, so the kernels' branchy paths are actually hit.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(40, 160))
+    t = 0.0
+    records = []
+    for i in range(n):
+        t += float(rng.exponential(45.0))
+        records.append(
+            _record(
+                i,
+                botnet=int(rng.integers(1, 6)),
+                family=str(rng.choice(["alpha", "beta", "gamma"])),
+                target=int(rng.integers(1, 5)),
+                start=t,
+                duration=float(rng.exponential(1200.0)) + 1.0,
+            )
+        )
+    return dataset_from_records(records)
+
+
+def _assert_shift_equal(got, ref):
+    assert got.family == ref.family
+    np.testing.assert_array_equal(got.weeks, ref.weeks)
+    np.testing.assert_array_equal(got.bots_existing, ref.bots_existing)
+    np.testing.assert_array_equal(got.bots_new, ref.bots_new)
+    np.testing.assert_array_equal(got.new_countries, ref.new_countries)
+
+
+def _assert_dataset_parity(ds):
+    """Exact collaboration/chain parity on one dataset."""
+    assert _detect_collaborations(
+        ds, START_WINDOW_SECONDS, DURATION_WINDOW_SECONDS
+    ) == _reference_detect_collaborations(
+        ds, START_WINDOW_SECONDS, DURATION_WINDOW_SECONDS
+    )
+    assert _detect_chains(ds, CHAIN_MARGIN_SECONDS, 2) == _reference_detect_chains(
+        ds, CHAIN_MARGIN_SECONDS, 2
+    )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_scan_kernels(self, seed):
+        _assert_dataset_parity(_random_attack_table(seed))
+
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_nondefault_windows(self, seed):
+        ds = _random_attack_table(seed)
+        assert _detect_collaborations(ds, 120.0, 300.0) == (
+            _reference_detect_collaborations(ds, 120.0, 300.0)
+        )
+        assert _detect_chains(ds, 15.0, 3) == _reference_detect_chains(ds, 15.0, 3)
+
+    def test_generated_dataset(self, tiny_ds):
+        """The generated tiny dataset exercises the full Botlist side."""
+        _assert_dataset_parity(tiny_ds)
+        ctx = AnalysisContext(tiny_ds)
+        for family in tiny_ds.active_families:
+            _assert_shift_equal(
+                _weekly_shift(ctx, family), _reference_weekly_shift(ctx, family)
+            )
+            ts, values = geo.snapshot_dispersions(ctx, family)
+            ref_ts, ref_values = geo._reference_snapshot_dispersions(ctx, family)
+            np.testing.assert_array_equal(ts, ref_ts)
+            np.testing.assert_allclose(values, ref_values, rtol=1e-9, atol=1e-6)
+
+
+class TestEdgeCases:
+    def test_single_attack(self):
+        ds = dataset_from_records(
+            [_record(0, botnet=1, family="alpha", target=1, start=30.0, duration=60.0)]
+        )
+        assert _detect_collaborations(ds, 60.0, 1800.0) == []
+        assert _detect_chains(ds, 60.0, 2) == []
+        _assert_dataset_parity(ds)
+
+    def test_all_simultaneous_starts(self):
+        """Identical starts collaborate but never chain (no >1 s stagger)."""
+        ds = dataset_from_records(
+            [
+                _record(i, botnet=i + 1, family="alpha", target=1, start=100.0, duration=600.0)
+                for i in range(6)
+            ]
+        )
+        events = _detect_collaborations(ds, 60.0, 1800.0)
+        assert len(events) == 1 and len(events[0].attack_indices) == 6
+        assert _detect_chains(ds, 60.0, 2) == []
+        _assert_dataset_parity(ds)
+
+    def test_chain_margin_boundaries(self):
+        """Gaps exactly at the margin link; one past it break the chain."""
+        base = [
+            # end-to-start gap exactly +60 s: links.
+            _record(0, botnet=1, family="alpha", target=1, start=0.0, duration=100.0),
+            _record(1, botnet=2, family="alpha", target=1, start=160.0, duration=100.0),
+            # gap 60.5 s: breaks.
+            _record(2, botnet=3, family="alpha", target=1, start=320.5, duration=100.0),
+            # overlap with gap exactly -60 s and start stagger > 1 s: links.
+            _record(3, botnet=4, family="alpha", target=1, start=360.5, duration=100.0),
+            # start stagger exactly 1 s: simultaneous, never links.
+            _record(4, botnet=5, family="alpha", target=1, start=361.5, duration=100.0),
+        ]
+        ds = dataset_from_records(base)
+        chains = _detect_chains(ds, 60.0, 2)
+        assert [c.attack_indices for c in chains] == [(0, 1), (2, 3)]
+        _assert_dataset_parity(ds)
+
+    def test_duration_window_boundary(self):
+        """Durations exactly 1800 s from the first member stay; beyond drop."""
+        ds = dataset_from_records(
+            [
+                _record(0, botnet=1, family="alpha", target=1, start=0.0, duration=600.0),
+                _record(1, botnet=2, family="alpha", target=1, start=10.0, duration=2400.0),
+                _record(2, botnet=3, family="alpha", target=1, start=20.0, duration=2400.5),
+            ]
+        )
+        events = _detect_collaborations(ds, 60.0, 1800.0)
+        assert [e.attack_indices for e in events] == [(0, 1)]
+        _assert_dataset_parity(ds)
+
+    def test_botnet_retry_after_duration_miss(self):
+        """A botnet whose first attack fails the duration filter may still
+        contribute a later conforming attack (dedupe runs after the filter)."""
+        ds = dataset_from_records(
+            [
+                _record(0, botnet=1, family="alpha", target=1, start=0.0, duration=600.0),
+                _record(1, botnet=2, family="alpha", target=1, start=10.0, duration=9000.0),
+                _record(2, botnet=2, family="alpha", target=1, start=20.0, duration=700.0),
+            ]
+        )
+        events = _detect_collaborations(ds, 60.0, 1800.0)
+        assert [e.attack_indices for e in events] == [(0, 2)]
+        _assert_dataset_parity(ds)
+
+    def test_family_without_participants(self):
+        """Ingested datasets carry no Botlist: shift and snapshots agree on
+        the degenerate zero-participant family."""
+        ds = _random_attack_table(RANDOM_SEEDS[0])
+        ctx = AnalysisContext(ds)
+        family = ds.active_families[0]
+        _assert_shift_equal(
+            _weekly_shift(ctx, family), _reference_weekly_shift(ctx, family)
+        )
+        ts, values = geo.snapshot_dispersions(ctx, family)
+        ref_ts, ref_values = geo._reference_snapshot_dispersions(ctx, family)
+        np.testing.assert_array_equal(ts, ref_ts)
+        np.testing.assert_array_equal(values, ref_values)
+        assert values.size == 0
+
+
+class TestPrewarmIdentity:
+    def test_result_identical_for_any_jobs(self, tiny_ds):
+        from repro.experiments.registry import run_all
+
+        baseline_ctx = AnalysisContext(tiny_ds)
+        baseline = [r.render() for r in run_all(baseline_ctx, jobs=1)]
+        seeded = {}
+        for jobs in (1, 4):
+            ctx = AnalysisContext(tiny_ds)
+            seeded[jobs] = ctx.prewarm(jobs=jobs)
+            assert [r.render() for r in run_all(ctx, jobs=1)] == baseline
+        assert seeded[1] == seeded[4]
+
+    def test_prewarm_skips_materialized_views(self, tiny_ds):
+        ctx = AnalysisContext(tiny_ds)
+        ctx.prewarm(jobs=1)
+        keys = set(ctx.view_keys())
+        assert ctx.prewarm(jobs=1) == 0
+        assert set(ctx.view_keys()) == keys
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_SCALE"),
+    reason="set REPRO_BENCH_SCALE to run the full-scale parity sweep",
+)
+def test_full_scale_parity():
+    scale = float(os.environ["REPRO_BENCH_SCALE"])
+    ds = generate_dataset(DatasetConfig(seed=7, scale=scale))
+    _assert_dataset_parity(ds)
+    ctx = AnalysisContext(ds)
+    busiest = max(ds.active_families, key=lambda f: ctx.family_attacks(f).size)
+    _assert_shift_equal(
+        _weekly_shift(ctx, busiest), _reference_weekly_shift(ctx, busiest)
+    )
+    ts, values = geo.snapshot_dispersions(ctx, busiest)
+    ref_ts, ref_values = geo._reference_snapshot_dispersions(ctx, busiest)
+    np.testing.assert_array_equal(ts, ref_ts)
+    np.testing.assert_allclose(values, ref_values, rtol=1e-9, atol=1e-6)

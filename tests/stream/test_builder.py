@@ -78,6 +78,33 @@ class TestSnapshots:
         assert ctx2 is not ctx1
         assert ctx2.epoch == 2
 
+    def test_context_prewarm_jobs(self, records):
+        """A prewarmed epoch snapshot matches an unwarmed one, and a warm
+        epoch only prewarms what the carry invalidated."""
+        stream = StreamingDataset()
+        stream.append_batch(records[:60])
+        plain = stream.context()
+        plain_keys = set(plain.view_keys())
+
+        warmed_stream = StreamingDataset()
+        warmed_stream.append_batch(records[:60])
+        warmed = warmed_stream.context(prewarm_jobs=1)
+        assert set(warmed.view_keys()) >= plain_keys
+        assert warmed.collaborations() == plain.collaborations()
+
+        # Next epoch: carried views are already materialised, so the
+        # prewarm only fills the invalidated keys; results still match a
+        # scratch build over the same records.
+        warmed_stream.append_batch(records[60:80])
+        ctx2 = warmed_stream.context(prewarm_jobs=1)
+        assert ctx2.epoch == 2
+        scratch = StreamingDataset()
+        scratch.append_batch(records[:80])
+        assert ctx2.chains() == scratch.context().chains()
+        assert ctx2.collaborations() == scratch.context().collaborations()
+        # cached-epoch call returns the same, already-warm context
+        assert warmed_stream.context(prewarm_jobs=1) is ctx2
+
     def test_old_snapshot_survives_append(self, records):
         stream = StreamingDataset()
         stream.append_batch(records[:50])
