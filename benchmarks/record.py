@@ -50,8 +50,33 @@ Warm-path legs per scale (generation is untimed setup here):
   then again on the now-warm one; the rendered outputs are asserted
   byte-identical.
 
-Derived ratios (``generate_speedup``, ``load_speedup``, ``warm_speedup``)
-are stored next to the raw timings; ``docs/PERFORMANCE.md`` quotes them.
+The **scale-out path** (``--section scaleout``, baseline
+``BENCH_scaleout.json``) measures the sharded map-reduce stack at 10x
+the paper's volume: a synthetic attack table (5M rows at ``full``,
+riding on a real generated world/registry base) is partitioned into
+time shards on disk, every shard's mergeable views are built and timed
+individually, and the merge that seeds the global context is timed as
+the reduce leg.  At ``small`` scale the merged battery is additionally
+asserted byte-identical to the unsharded one before any number is
+accepted.  Scale-out legs per scale:
+
+* ``synthesize`` — building the synthetic attack table (untimed base
+  generation aside, this is array work);
+* ``partition_save`` / ``store_open`` — writing the sharded store and
+  reopening it from the manifest;
+* ``shard_build_total`` / ``shard_build_max`` — the map phase: the sum
+  and the slowest of the per-shard view builds (their ratio is the
+  scale-out headroom on a multi-core box; the full per-shard list is
+  stored next to the timings);
+* ``merge_views`` — the reduce phase: combining every per-shard view
+  and stitching the boundary scans;
+* ``run_all_merged`` / ``run_all_flat`` — (small scale only) the
+  battery on the merged context vs a fresh unsharded context, asserted
+  byte-identical.
+
+Derived ratios (``generate_speedup``, ``load_speedup``, ``warm_speedup``,
+``map_parallel_potential``) are stored next to the raw timings;
+``docs/PERFORMANCE.md`` quotes them.
 """
 
 from __future__ import annotations
@@ -83,7 +108,15 @@ SCHEMA_VERSION = 1
 SCALES = {"small": 0.02, "full": 1.0}
 PARALLEL_JOBS = 4
 PREWARM_JOBS = (1, 4)
-DEFAULT_OUT = {"cold": "BENCH_coldpath.json", "warm": "BENCH_warmpath.json"}
+DEFAULT_OUT = {
+    "cold": "BENCH_coldpath.json",
+    "warm": "BENCH_warmpath.json",
+    "scaleout": "BENCH_scaleout.json",
+}
+#: The scale-out section's ``full`` volume: ~10x the paper's 50,704
+#: attacks, partitioned into SCALEOUT_SHARDS time shards.
+SCALEOUT_ATTACKS = 5_000_000
+SCALEOUT_SHARDS = 8
 
 
 def _timed(fn):
@@ -223,6 +256,123 @@ def measure_warm_scale(name: str, scale: float) -> dict:
     return entry
 
 
+def _synthetic_scaleout_dataset(n_attacks: int):
+    """A synthetic attack table at scale-out volume on a real tiny base.
+
+    The world, registries, families and botnets come from a generated
+    tiny dataset (so every joined view has real entities to resolve);
+    the attack rows are synthesized directly as sorted columns — start
+    times uniform over the observation window, families/botnets/targets
+    drawn from the base's active sets, two participants per attack.
+    Generating 5M attacks through the full simulation pipeline would
+    dominate the benchmark; the map-reduce stack under test only sees
+    columns either way.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    base = generate_dataset(DatasetConfig.tiny(seed=7))
+    rng = np.random.default_rng(1207)
+    w = base.window
+
+    start = np.sort(rng.uniform(float(w.start), float(w.end), n_attacks))
+    duration = rng.exponential(1800.0, n_attacks) + 1.0
+    family_ids = np.array(
+        sorted(base.families.index(f) for f in base.active_families), dtype=np.int16
+    )
+    family_idx = rng.choice(family_ids, n_attacks)
+    botnet_id = rng.choice(
+        np.array([b.botnet_id for b in base.botnets], dtype=np.int32), n_attacks
+    )
+    order = np.lexsort((botnet_id, start))
+    start, family_idx, botnet_id = start[order], family_idx[order], botnet_id[order]
+
+    n_bots = base.bots.ip.size
+    return dataclasses.replace(
+        base,
+        start=start,
+        end=start + duration,
+        family_idx=family_idx,
+        botnet_id=botnet_id,
+        protocol=rng.choice(np.unique(base.protocol), n_attacks),
+        target_idx=rng.integers(
+            0, base.victims.ip.size, n_attacks, dtype=np.int32
+        ),
+        magnitude=rng.integers(1, 10, n_attacks, dtype=np.int32),
+        part_offsets=np.arange(0, 2 * n_attacks + 1, 2, dtype=np.int64),
+        participants=rng.integers(0, n_bots, 2 * n_attacks, dtype=np.int64),
+        truth_collab_group=np.full(n_attacks, -1, dtype=np.int32),
+        truth_collab_kind=np.zeros(n_attacks, dtype=np.int8),
+        truth_chain_id=np.full(n_attacks, -1, dtype=np.int32),
+        truth_symmetric=np.zeros(n_attacks, dtype=bool),
+        truth_residual_km=np.zeros(n_attacks, dtype=np.float64),
+    )
+
+
+def measure_scaleout_scale(name: str, scale: float, workdir: Path) -> dict:
+    from repro.core.context import ShardedAnalysisContext
+
+    n_rows = int(SCALEOUT_ATTACKS * scale)
+    print(f"[{name}] synthesize {n_rows} attacks ...", flush=True)
+    t_synth, ds = _timed(lambda: _synthetic_scaleout_dataset(n_rows))
+
+    store_dir = workdir / f"{name}-store"
+    print(f"[{name}] partition into {SCALEOUT_SHARDS} shards ...", flush=True)
+    t_save, _ = _timed(
+        lambda: colstore.save_sharded_npz(ds, store_dir, shards=SCALEOUT_SHARDS)
+    )
+    t_open, store = _timed(lambda: colstore.ShardedDatasetStore(store_dir))
+
+    sctx = ShardedAnalysisContext(store)
+    per_shard = []
+    for k in range(store.n_shards):
+        t_k, _ = _timed(lambda k=k: sctx.build_shard(k))
+        per_shard.append(t_k)
+        print(f"[{name}] shard {k}: {t_k:.3f}s", flush=True)
+    print(f"[{name}] merge ...", flush=True)
+    t_merge, merged = _timed(sctx.merged)
+
+    timings = {
+        "synthesize": t_synth,
+        "partition_save": t_save,
+        "store_open": t_open,
+        "shard_build_total": round(sum(per_shard), 4),
+        "shard_build_max": round(max(per_shard), 4),
+        "merge_views": t_merge,
+    }
+    if scale < 1.0:
+        # Parity gate: the merged battery must render byte-identical to
+        # the unsharded one before any timing is accepted.
+        from repro.core.context import AnalysisContext
+
+        print(f"[{name}] parity battery (merged vs flat) ...", flush=True)
+        timings["run_all_merged"], sharded_results = _timed(
+            lambda: [r.render() for r in run_all(merged, jobs=1)]
+        )
+        timings["run_all_flat"], flat_results = _timed(
+            lambda: [r.render() for r in run_all(AnalysisContext(ds), jobs=1)]
+        )
+        assert sharded_results == flat_results, "sharded battery output diverged"
+
+    derived = {
+        "map_parallel_potential": round(
+            timings["shard_build_total"] / max(timings["shard_build_max"], 1e-9), 2
+        ),
+    }
+    entry = {
+        "scale": scale,
+        "n_attacks": int(ds.n_attacks),
+        "n_shards": store.n_shards,
+        "per_shard_build_seconds": per_shard,
+        "timings": timings,
+        "derived": derived,
+    }
+    print(f"[{name}] {json.dumps(timings)}")
+    print(f"[{name}] derived: {json.dumps(derived)}")
+    return entry
+
+
 def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Timings that regressed beyond ``tolerance``x the baseline."""
     failures = []
@@ -270,6 +420,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in args.scales:
             if args.section == "warm":
                 results[name] = measure_warm_scale(name, SCALES[name])
+            elif args.section == "scaleout":
+                results[name] = measure_scaleout_scale(name, SCALES[name], Path(tmp))
             else:
                 results[name] = measure_scale(name, SCALES[name], Path(tmp))
 

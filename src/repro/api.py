@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from pathlib import Path
 
-from .core.context import AnalysisContext
+from .core.context import AnalysisContext, ShardedAnalysisContext
 from .core.dataset import AttackDataset
 from .datagen.config import DatasetConfig
 from .monitor.schemas import DDoSAttackRecord
@@ -40,6 +40,7 @@ __all__ = [
     "AttackDataset",
     "DatasetConfig",
     "IngestError",
+    "ShardedAnalysisContext",
     "StreamingDataset",
     "WatchSession",
 ]
@@ -78,9 +79,14 @@ def generate(
     return generate_dataset(config, jobs=jobs)
 
 
-def load(path: str | Path) -> AttackDataset:
-    """Load a dataset from a file, dispatching on the extension.
+def load(path: str | Path, *, shards: int | None = None):
+    """Load a dataset from a file or sharded store, dispatching on shape.
 
+    * a directory with a ``manifest.json`` — a sharded colstore store
+      (:func:`repro.io.colstore.save_sharded_npz`; returns a
+      :class:`~repro.io.colstore.ShardedDatasetStore` with per-shard
+      memory-mapped loading — pass it to :func:`context` /
+      :func:`run_all` for map-reduce analysis);
     * ``.jsonl`` — attack log in the Table I schema, one JSON object per
       line (as written by :func:`repro.io.jsonlio.export_attacks_jsonl`);
     * ``.csv`` — attack table export
@@ -93,34 +99,47 @@ def load(path: str | Path) -> AttackDataset:
 
     JSONL/CSV logs rebuild an attack-table-only dataset via
     :func:`ingest`; the colstore archive and the pickle round-trip the
-    full dataset including the Botlist side.
+    full dataset including the Botlist side.  Pass ``shards=N`` to
+    partition a flat dataset into ``N`` equal time windows in memory
+    (returns a :class:`~repro.io.colstore.ShardedDatasetStore`).
 
     >>> from repro import api
     >>> api.load("attacks.xyz")
     Traceback (most recent call last):
     ValueError: cannot infer format of attacks.xyz: expected .jsonl, .csv, .npz or .pkl.gz
     """
+    from .io import colstore
+
     path = Path(path)
+    if colstore.is_sharded_store(path):
+        if shards is not None:
+            raise ValueError(
+                f"{path} is already a sharded store; its layout is fixed by "
+                "the manifest (re-partition via convert --shards)"
+            )
+        return colstore.ShardedDatasetStore(path)
     name = path.name
     if name.endswith(".jsonl"):
         from .io.jsonlio import iter_attacks_jsonl
 
-        return ingest(iter_attacks_jsonl(path))
-    if name.endswith(".csv"):
+        ds = ingest(iter_attacks_jsonl(path))
+    elif name.endswith(".csv"):
         from .io.csvio import read_attacks_csv
 
-        return ingest(read_attacks_csv(path))
-    if name.endswith(".npz"):
-        from .io.colstore import load_dataset_npz
-
-        return load_dataset_npz(path)
-    if name.endswith(".pkl.gz"):
+        ds = ingest(read_attacks_csv(path))
+    elif name.endswith(".npz"):
+        ds = colstore.load_dataset_npz(path)
+    elif name.endswith(".pkl.gz"):
         from .io.cache import load_dataset
 
-        return load_dataset(path)
-    raise ValueError(
-        f"cannot infer format of {path}: expected .jsonl, .csv, .npz or .pkl.gz"
-    )
+        ds = load_dataset(path)
+    else:
+        raise ValueError(
+            f"cannot infer format of {path}: expected .jsonl, .csv, .npz or .pkl.gz"
+        )
+    if shards is not None:
+        return colstore.ShardedDatasetStore.partition(ds, shards=shards)
+    return ds
 
 
 def ingest(
@@ -170,19 +189,31 @@ def watch(path: str | Path, window: ObservationWindow | None = None) -> WatchSes
     return WatchSession(path, window=window)
 
 
-def context(ds: AttackDataset) -> AnalysisContext:
+def context(ds) -> AnalysisContext | ShardedAnalysisContext:
     """The dataset's shared memoized analysis context.
+
+    A flat :class:`AttackDataset` (or an existing context) coerces to
+    its shared :class:`AnalysisContext`; a
+    :class:`~repro.io.colstore.ShardedDatasetStore` wraps into a
+    :class:`ShardedAnalysisContext` whose :meth:`~ShardedAnalysisContext.merged`
+    context is bitwise-identical to the unsharded build.
 
     >>> from repro import api
     >>> ds = api.generate(scale=0.005)
     >>> api.context(ds) is api.context(ds)  # one shared context per dataset
     True
     """
+    if isinstance(ds, ShardedAnalysisContext):
+        return ds
+    from .io.colstore import ShardedDatasetStore
+
+    if isinstance(ds, ShardedDatasetStore):
+        return ShardedAnalysisContext(ds)
     return AnalysisContext.of(ds)
 
 
 def run_all(
-    ctx: AnalysisContext,
+    ctx: AnalysisContext | ShardedAnalysisContext,
     *,
     jobs: int = 1,
     manifest: str | Path | None = None,
@@ -199,6 +230,11 @@ def run_all(
     counters, per-experiment wall times — after the battery finishes
     (see ``docs/OBSERVABILITY.md``).
 
+    A :class:`ShardedAnalysisContext` dispatches map-reduce: every shard
+    builds its mergeable views (across ``jobs`` workers), the merge
+    seeds them onto the merged context, and the battery runs there —
+    rendering byte-identically to the unsharded path.
+
     >>> import os, tempfile
     >>> from repro import api
     >>> ctx = api.context(api.generate(scale=0.005))
@@ -209,6 +245,9 @@ def run_all(
     """
     from .experiments.registry import run_all as _run_all
 
+    if isinstance(ctx, ShardedAnalysisContext):
+        ctx.build(jobs=jobs)
+        ctx = ctx.merged()
     if jobs > 1:
         ctx.prewarm(jobs=jobs)
     results = _run_all(ctx, jobs=jobs)

@@ -9,6 +9,7 @@ Subcommands::
     ddos-repro predict   --family pandora                    # ARIMA forecast
     ddos-repro defense   --train-fraction 0.5                # policy backtests
     ddos-repro watch     --path attacks.jsonl                # live report
+    ddos-repro shard     info data/store                     # manifest summary
     ddos-repro profile                                       # full battery, timed
 
 All subcommands share ``--scale``, ``--seed`` and ``--cache-dir``; the
@@ -60,6 +61,23 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _duration_seconds(text: str) -> float:
+    """argparse type for durations: ``30d``, ``12h``, ``45m`` or plain seconds."""
+    units = {"d": 86400.0, "h": 3600.0, "m": 60.0, "s": 1.0}
+    raw = text.strip().lower()
+    mult = units.get(raw[-1:]) or 1.0
+    number = raw[:-1] if raw[-1:] in units else raw
+    try:
+        value = float(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a duration like '30d', '12h', '45m' or seconds, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"duration must be positive, got {text!r}")
+    return value * mult
 
 
 def _add_command(sub, name: str, *, help: str, description: str, epilog: str):
@@ -137,15 +155,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="convert a dataset file between storage formats",
         description=(
             "Load a dataset file in any supported format (.jsonl, .csv, .npz "
-            "or .pkl.gz) and rewrite it in the format implied by the output "
-            "extension. Converting to .npz produces the memory-mapped "
-            "columnar store — the fastest format to load cold (see "
-            "docs/PERFORMANCE.md)."
+            "or .pkl.gz, or a sharded store directory) and rewrite it in the "
+            "format implied by the output extension. Converting to .npz "
+            "produces the memory-mapped columnar store — the fastest format "
+            "to load cold (see docs/PERFORMANCE.md). With --shards or "
+            "--shard-by the output is instead a sharded store directory: the "
+            "attack table is partitioned into per-time-window .npz shards "
+            "under one manifest, ready for map-reduce analysis."
         ),
-        epilog="example:\n  ddos-repro convert attacks.jsonl attacks.npz",
+        epilog=(
+            "example:\n  ddos-repro convert attacks.jsonl attacks.npz\n"
+            "  ddos-repro convert attacks.npz store/ --shard-by 30d"
+        ),
     )
     conv.add_argument("src", help="input dataset file (.jsonl, .csv, .npz or .pkl.gz)")
     conv.add_argument("dst", help="output file; the extension picks the format")
+    conv_shard = conv.add_mutually_exclusive_group()
+    conv_shard.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="write a sharded store with N equal time windows instead of one file",
+    )
+    conv_shard.add_argument(
+        "--shard-by", type=_duration_seconds, default=None, metavar="DURATION",
+        help="write a sharded store cut every DURATION ('30d', '12h', '45m' or seconds)",
+    )
 
     _add_command(
         sub,
@@ -167,8 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Run the full battery of table and figure reproductions (Tables "
             "II-VI, Figures 2-18) against one shared analysis context, and "
             "snapshot the derived views so the next run starts warm. Use "
-            "--only to run a single experiment, --list to see the ids, and "
-            "--jobs to fan out over threads without changing the output."
+            "--only to run a single experiment, --list to see the ids, "
+            "--jobs to fan out over threads, and --shards to partition the "
+            "dataset and run map-reduce — neither changes the output."
         ),
         epilog="example:\n  ddos-repro experiments --jobs 4 --only table4_prediction",
     )
@@ -181,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--jobs", type=_positive_int, default=1,
         help="worker threads for the battery, >= 1 (output is identical for any value)",
+    )
+    exp.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="partition the dataset into N time windows and run the battery "
+             "map-reduce: per-shard view builds, then a bitwise-identical merge",
     )
 
     pred = _add_command(
@@ -239,6 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many polls (default: run until interrupted)",
     )
 
+    shard = _add_command(
+        sub,
+        "shard",
+        help="inspect a sharded dataset store",
+        description=(
+            "Inspect a sharded dataset store directory written by convert "
+            "--shards/--shard-by: 'info' prints the manifest summary — the "
+            "shard count, total attacks, observation window and each "
+            "shard's file, row count and time bounds."
+        ),
+        epilog="example:\n  ddos-repro shard info data/store",
+    )
+    shard.add_argument("action", choices=["info"], help="what to do with the store")
+    shard.add_argument("path", help="sharded store directory (holds manifest.json)")
+
     prof = _add_command(
         sub,
         "profile",
@@ -295,13 +349,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_convert(args: argparse.Namespace) -> int:
     from . import api
+    from .io import colstore
 
     if not Path(args.src).exists():
         print(f"error: no such file: {args.src}", file=sys.stderr)
         return 1
     ds = api.load(args.src)
+    if isinstance(ds, colstore.ShardedDatasetStore):
+        ds = ds.merged_dataset()
     args._manifest_dataset = ds
     dst = Path(args.dst)
+    if args.shards is not None or args.shard_by is not None:
+        colstore.save_sharded_npz(
+            ds, dst, shards=args.shards, window_seconds=args.shard_by
+        )
+        store = colstore.ShardedDatasetStore(dst, mmap=False)
+        print(
+            f"converted {args.src} -> {dst} "
+            f"({ds.n_attacks} attacks across {store.n_shards} shards)"
+        )
+        return 0
     name = dst.name
     if name.endswith(".npz"):
         from .io.colstore import save_dataset_npz
@@ -346,7 +413,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print(f"{experiment.id:<24s} {experiment.section:<28s} {experiment.title}")
         return 0
     config = _config(args)
-    ctx = load_or_generate_context(config, args.cache_dir)
+    shard_layout = None
+    if args.shards is not None:
+        from .core.context import ShardedAnalysisContext
+        from .io.cache import load_or_generate
+        from .io.colstore import ShardedDatasetStore
+
+        store = ShardedDatasetStore.partition(
+            load_or_generate(config, args.cache_dir), shards=args.shards
+        )
+        shard_layout = store.layout_key()
+        sctx = ShardedAnalysisContext(store)
+        sctx.build(jobs=args.jobs)
+        ctx = sctx.merged()
+    else:
+        ctx = load_or_generate_context(config, args.cache_dir)
     args._manifest_dataset = ctx.dataset
     if args.only:
         print(get_experiment(args.only).run(ctx).render())
@@ -359,7 +440,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         for result in run_all(ctx, jobs=args.jobs):
             print(result.render())
             print()
-    save_context_views(ctx, config, args.cache_dir)
+    save_context_views(ctx, config, args.cache_dir, shard_layout=shard_layout)
     return 0
 
 
@@ -439,6 +520,29 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+
+    from .io import colstore
+
+    path = Path(args.path)
+    if not colstore.is_sharded_store(path):
+        print(f"error: not a sharded store (no manifest.json): {path}", file=sys.stderr)
+        return 1
+    manifest = json.loads((path / colstore.MANIFEST_NAME).read_text())
+    window = manifest["window"]
+    print(f"store:     {path}")
+    print(f"shards:    {manifest['n_shards']}")
+    print(f"attacks:   {manifest['n_attacks']}")
+    print(f"window:    [{window['start']:.0f}, {window['end']:.0f}) "
+          f"({(window['end'] - window['start']) / 86400:.1f} days)")
+    print(f"{'file':<16s} {'attacks':>10s} {'t_lo':>12s} {'t_first':>12s} {'t_last':>12s}")
+    for entry in manifest["shards"]:
+        print(f"{entry['file']:<16s} {entry['n_attacks']:>10d} "
+              f"{entry['t_lo']:>12.0f} {entry['t_first']:>12.0f} {entry['t_last']:>12.0f}")
     return 0
 
 
@@ -524,6 +628,7 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "defense": _cmd_defense,
         "watch": _cmd_watch,
+        "shard": _cmd_shard,
         "profile": _cmd_profile,
     }
     try:

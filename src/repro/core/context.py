@@ -49,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .prediction import DispersionForecast
     from .shift import WeeklyShift
 
-__all__ = ["AnalysisContext", "AnalysisSource"]
+__all__ = ["AnalysisContext", "AnalysisSource", "ShardedAnalysisContext"]
 
 #: Anything the analyses accept: the raw dataset or its context.
 AnalysisSource = Union[AttackDataset, "AnalysisContext"]
@@ -342,6 +342,16 @@ class AnalysisContext:
 
         return self.view(("attack_dispersions", family), build)
 
+    def snapshot_dispersions(self, family: str) -> tuple[np.ndarray, np.ndarray]:
+        """Hourly-snapshot dispersion series for one family (§II-B view)."""
+
+        def build() -> tuple[np.ndarray, np.ndarray]:
+            from . import geolocation as _geolocation
+
+            return _geolocation._snapshot_dispersions(self, family)
+
+        return self.view(("snapshot_dispersions", family), build)
+
     # -- victim marginals --------------------------------------------------
 
     def target_country_idx(self) -> np.ndarray:
@@ -363,6 +373,13 @@ class AnalysisContext:
         return self.view(
             ("target_country_counts",),
             lambda: np.unique(self.target_country_idx(), return_counts=True),
+        )
+
+    def target_org_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global victim-organization marginal: ``(org indices, counts)``."""
+        return self.view(
+            ("target_org_counts",),
+            lambda: np.unique(self.target_org_idx(), return_counts=True),
         )
 
     def family_target_country_counts(self, family: str) -> tuple[np.ndarray, np.ndarray]:
@@ -427,6 +444,17 @@ class AnalysisContext:
         return self.view(("daily_distribution", family), build)
 
     # -- shift -------------------------------------------------------------
+
+    def weekly_shift_pairs(self, family: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The mergeable half of the weekly shift: attack weeks plus
+        unique (week, bot) participation pairs (see ``shift._weekly_pairs``)."""
+
+        def build():
+            from . import shift as _shift
+
+            return _shift._weekly_pairs(self, family)
+
+        return self.view(("weekly_shift_pairs", family), build)
 
     def weekly_shift(self, family: str) -> "WeeklyShift":
         """Fig 8 weekly source-shift series for one family."""
@@ -602,6 +630,361 @@ class AnalysisContext:
                     self._views[key] = value
                     restored += 1
         return restored
+
+
+class ShardedAnalysisContext:
+    """Map-reduce analysis over a time-sharded dataset.
+
+    Wraps a :class:`~repro.io.colstore.ShardedDatasetStore` and owns one
+    :class:`AnalysisContext` per shard.  :meth:`build` fans the
+    per-shard view derivations across the :mod:`repro.par` pool, and
+    :meth:`merged` combines them — through the
+    :mod:`repro.core.merge` combinators, bitwise-identically to an
+    unsharded build — into a single :class:`AnalysisContext` over the
+    concatenated dataset, which downstream consumers (the experiment
+    battery, the report renderers) use unchanged.
+
+    The two views that cross shard boundaries are handled explicitly:
+    interval arrays gain the boundary gaps, and the collaboration/chain
+    scans rescan only the targets whose attacks could link across a
+    boundary.  Hourly-snapshot dispersions are evaluated per shard on
+    each shard's *interior* grid (snapshots whose 24-hour lookback stays
+    inside the shard) plus one boundary-strip pass on the merged
+    context.
+
+    Observability: each per-shard build runs under a ``shard:<i>`` span
+    inside the ``shard.build`` stage; the merge runs under
+    ``shard.merge`` and ticks ``shard.merge.views`` per seeded view and
+    ``shard.merge.stitched_targets`` per rescanned target.
+
+    >>> from repro import api
+    >>> from repro.io.colstore import ShardedDatasetStore
+    >>> store = ShardedDatasetStore.partition(api.generate(scale=0.005), shards=2)
+    >>> sctx = api.context(store)
+    >>> _ = sctx.build(jobs=1)
+    >>> sctx.merged().dataset.n_attacks == store.n_attacks
+    True
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._shard_ctxs: list[AnalysisContext | None] = [None] * store.n_shards
+        self._merged: AnalysisContext | None = None
+        self._shared_coords: tuple[np.ndarray, np.ndarray] | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def n_shards(self) -> int:
+        return self._store.n_shards
+
+    # -- per-shard layer ---------------------------------------------------
+
+    def _shared_bot_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """The bot geo matrix, computed once (registries are shared)."""
+        if self._shared_coords is None:
+            bots = self._store.load_shard(0).bots
+            self._shared_coords = (np.radians(bots.lat), np.radians(bots.lon))
+        return self._shared_coords
+
+    def shard_context(self, index: int) -> AnalysisContext:
+        """The (lazily created) analysis context of one shard."""
+        ctx = self._shard_ctxs[index]
+        if ctx is None:
+            with self._lock:
+                ctx = self._shard_ctxs[index]
+                if ctx is None:
+                    ctx = AnalysisContext.of(self._store.load_shard(index))
+                    # Shards share the registries, so the (large) geo
+                    # matrix is computed once and seeded everywhere.
+                    ctx.seed_view(("bot_coords_radians",), self._shared_bot_coords())
+                    self._shard_ctxs[index] = ctx
+        return ctx
+
+    def shard_families(self, index: int) -> list[str]:
+        """Families with at least one attack in shard ``index``."""
+        ctx = self.shard_context(index)
+        groups = ctx._groups_by("family_attack_index", ctx.dataset.family_idx)
+        return [ctx.dataset.family_name(k) for k in sorted(groups)]
+
+    def _interior_ts(self, index: int) -> np.ndarray:
+        """Grid snapshots whose 24-hour lookback stays inside shard ``index``."""
+        from ..monitor.snapshots import LOOKBACK_SECONDS
+        from . import geolocation as _geolocation
+
+        grid = _geolocation._snapshot_grid(self._store.window)
+        edges = np.asarray(self._store.edges, dtype=float)
+        lo = -np.inf if index == 0 else float(edges[index]) + LOOKBACK_SECONDS
+        hi = np.inf if index == self.n_shards - 1 else float(edges[index + 1])
+        return grid[(grid >= lo) & (grid < hi)]
+
+    def _strip_ts(self) -> np.ndarray:
+        """Grid snapshots interior to no shard (the boundary strips)."""
+        from . import geolocation as _geolocation
+
+        grid = _geolocation._snapshot_grid(self._store.window)
+        covered = np.zeros(grid.size, dtype=bool)
+        for index in range(self.n_shards):
+            covered |= np.isin(grid, self._interior_ts(index))
+        return grid[~covered]
+
+    def shard_snapshot_dispersions(
+        self, index: int, family: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's interior-grid snapshot dispersion series."""
+        ctx = self.shard_context(index)
+
+        def build() -> tuple[np.ndarray, np.ndarray]:
+            from . import geolocation as _geolocation
+
+            return _geolocation._snapshot_dispersions(
+                ctx, family, ts=self._interior_ts(index)
+            )
+
+        return ctx.view(("snapshot_dispersions_interior", family), build)
+
+    def build_shard(self, index: int) -> AnalysisContext:
+        """Materialise one shard's mergeable views (idempotent)."""
+        _shard_build_worker(self, index)
+        return self.shard_context(index)
+
+    def build(self, jobs: int | None = 1) -> int:
+        """Build every shard's mergeable views, possibly in parallel.
+
+        Fans :func:`_shard_build_worker` across the :mod:`repro.par`
+        pool (same serial fallback rules as prewarm) and seeds each
+        worker's view delta back into the parent's shard contexts.
+        Returns the total number of views materialised across shards.
+        """
+        from .. import par
+
+        with _obs_registry().span("shard.build"):
+            indices = list(range(self.n_shards))
+            # Touch every shard context in the parent so forked workers
+            # inherit the datasets (and shared geo matrix) copy-on-write.
+            for index in indices:
+                self.shard_context(index)
+            results = par.parallel_map(
+                _shard_build_worker,
+                indices,
+                jobs=par.resolve_jobs(jobs),
+                payload=self,
+                label="shard_build",
+            )
+            for index, pairs in zip(indices, results):
+                ctx = self.shard_context(index)
+                for key, value in pairs:
+                    ctx.seed_view(key, value)
+        return sum(self.shard_context(i).n_views for i in range(self.n_shards))
+
+    # -- the reduce step ---------------------------------------------------
+
+    def merged(self) -> AnalysisContext:
+        """The merged context: every mergeable view seeded, bitwise equal
+        to an unsharded build over the concatenated dataset."""
+        if self._merged is not None:
+            return self._merged
+        from . import merge as _merge
+        from . import shift as _shift
+
+        for index in range(self.n_shards):
+            self.build_shard(index)
+
+        reg = _obs_registry()
+        merged_views = reg.counter("shard.merge.views")
+        stitched = reg.counter("shard.merge.stitched_targets")
+        with reg.span("shard.merge"):
+            ds = self._store.merged_dataset()
+            ctx = AnalysisContext.of(ds)
+            bases = [int(b) for b in self._store.shard_bases()]
+            shards = [self.shard_context(k) for k in range(self.n_shards)]
+            shard_ds = [c.dataset for c in shards]
+
+            def seed(key: Hashable, value: Any) -> None:
+                if ctx.seed_view(key, value):
+                    merged_views.inc()
+
+            seed(("bot_coords_radians",), self._shared_bot_coords())
+            for gkey, column in (
+                ("family_attack_index", "family_idx"),
+                ("botnet_attack_index", "botnet_id"),
+                ("target_attack_index", "target_idx"),
+            ):
+                parts = [
+                    c._groups_by(gkey, getattr(c.dataset, column)) for c in shards
+                ]
+                seed((gkey,), _merge.merge_grouped_indices(parts, bases))
+            seed(
+                ("attack_intervals",),
+                _merge.merge_intervals(
+                    [c.dataset.start for c in shards],
+                    [c.attack_intervals() for c in shards],
+                ),
+            )
+            seed(("durations",), _merge.merge_concat([c.durations() for c in shards]))
+            seed(
+                ("target_country_idx",),
+                _merge.merge_concat([c.target_country_idx() for c in shards]),
+            )
+            seed(
+                ("target_org_idx",),
+                _merge.merge_concat([c.target_org_idx() for c in shards]),
+            )
+            seed(
+                ("target_country_counts",),
+                _merge.merge_counts([c.target_country_counts() for c in shards]),
+            )
+            seed(
+                ("target_org_counts",),
+                _merge.merge_counts([c.target_org_counts() for c in shards]),
+            )
+            seed(
+                ("protocol_breakdown",),
+                _merge.merge_protocol_breakdown(
+                    [c.protocol_breakdown() for c in shards]
+                ),
+            )
+            seed(
+                ("protocol_popularity",),
+                _merge.merge_protocol_popularity(
+                    [c.protocol_popularity() for c in shards]
+                ),
+            )
+            seed(
+                ("daily_distribution", None),
+                _merge.merge_daily_distributions(
+                    [c.daily_distribution(None) for c in shards], ds, None
+                ),
+            )
+            # Walks ascending org order over the seeded marginal — the
+            # same order the unsharded builder uses.
+            ctx.victim_org_type_counts()
+
+            suspect = _merge.find_boundary_suspects(shard_ds, ds.victims.n_targets)
+            stitched.inc(int(suspect.sum()))
+            seed(
+                ("collaborations",),
+                _merge.merge_scan_events(
+                    [c.collaborations() for c in shards],
+                    bases,
+                    suspect,
+                    ds,
+                    "collaborations",
+                ),
+            )
+            seed(
+                ("chains",),
+                _merge.merge_scan_events(
+                    [c.chains() for c in shards], bases, suspect, ds, "chains"
+                ),
+            )
+
+            present: dict[str, list[int]] = {}
+            for k in range(self.n_shards):
+                for family in self.shard_families(k):
+                    present.setdefault(family, []).append(k)
+            strip_ts = self._strip_ts()
+            for family, in_shards in present.items():
+                here = [shards[k] for k in in_shards]
+                seed(
+                    ("family_starts", family),
+                    _merge.merge_concat([c.family_starts(family) for c in here]),
+                )
+                seed(
+                    ("family_intervals", family, True),
+                    _merge.merge_intervals(
+                        [c.family_starts(family) for c in here],
+                        [c.family_intervals(family) for c in here],
+                    ),
+                )
+                seed(
+                    ("durations", family),
+                    _merge.merge_concat([c.durations(family) for c in here]),
+                )
+                seed(
+                    ("family_participants", family),
+                    _merge.merge_csr([c.family_participants(family) for c in here]),
+                )
+                seed(
+                    ("attack_dispersions", family),
+                    _merge.merge_series([c.attack_dispersions(family) for c in here]),
+                )
+                seed(
+                    ("family_target_country_counts", family),
+                    _merge.merge_counts(
+                        [c.family_target_country_counts(family) for c in here]
+                    ),
+                )
+                seed(
+                    ("daily_distribution", family),
+                    _merge.merge_daily_distributions(
+                        [c.daily_distribution(family) for c in here], ds, family
+                    ),
+                )
+                pairs = _merge.merge_weekly_pairs(
+                    [c.weekly_shift_pairs(family) for c in here]
+                )
+                seed(("weekly_shift_pairs", family), pairs)
+                seed(
+                    ("weekly_shift", family),
+                    _shift._finish_weekly_shift(ds, family, *pairs),
+                )
+                interiors = [
+                    self.shard_snapshot_dispersions(k, family) for k in in_shards
+                ]
+                from . import geolocation as _geolocation
+
+                strip = _geolocation._snapshot_dispersions(ctx, family, ts=strip_ts)
+                seed(
+                    ("snapshot_dispersions", family),
+                    _merge.merge_snapshot_dispersions(interiors + [strip]),
+                )
+            self._merged = ctx
+        return self._merged
+
+
+def _shard_build_worker(
+    sctx: "ShardedAnalysisContext", index: int
+) -> list[tuple[Hashable, Any]]:
+    """Build one shard's mergeable views; return the view delta.
+
+    Runs in-process or in a forked worker (same contract as
+    :func:`_prewarm_worker`): views memoize on the shard's own context,
+    and the delta — minus the pre-seeded shared geo matrix — is the only
+    pickle a forked fan-out pays for.
+    """
+    ctx = sctx.shard_context(index)
+    before = set(ctx._views)
+    with _obs_registry().span(f"shard:{index}"):
+        ds = ctx.dataset
+        ctx._groups_by("family_attack_index", ds.family_idx)
+        ctx._groups_by("botnet_attack_index", ds.botnet_id)
+        ctx._groups_by("target_attack_index", ds.target_idx)
+        ctx.attack_intervals()
+        ctx.durations()
+        ctx.target_country_idx()
+        ctx.target_org_idx()
+        ctx.target_country_counts()
+        ctx.target_org_counts()
+        ctx.protocol_breakdown()
+        ctx.protocol_popularity()
+        ctx.daily_distribution(None)
+        ctx.collaborations()
+        ctx.chains()
+        for family in sctx.shard_families(index):
+            ctx.family_starts(family)
+            ctx.family_intervals(family)
+            ctx.durations(family)
+            ctx.family_participants(family)
+            ctx.attack_dispersions(family)
+            ctx.family_target_country_counts(family)
+            ctx.daily_distribution(family)
+            ctx.weekly_shift_pairs(family)
+            sctx.shard_snapshot_dispersions(index, family)
+    return [(k, v) for k, v in ctx.materialized().items() if k not in before]
 
 
 def _prewarm_worker(ctx: "AnalysisContext", spec: tuple) -> list[tuple[Hashable, Any]]:

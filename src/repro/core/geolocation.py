@@ -134,12 +134,32 @@ def snapshot_dispersions(
     cumulative over 24 hours; this computes the geolocation-distribution
     value of each such snapshot instead of each attack.  Returns aligned
     ``(snapshot timestamps, dispersion values)`` for snapshots with at
-    least two bots.
+    least two bots.  Memoized per family on the shared context.
     """
-    from ..monitor.snapshots import LOOKBACK_SECONDS
+    return AnalysisContext.of(source).snapshot_dispersions(family)
+
+
+def _snapshot_grid(window) -> np.ndarray:
+    """The full hourly snapshot timestamps of an observation window."""
     from ..simulation.clock import SECONDS_PER_HOUR
 
-    ctx = AnalysisContext.of(source)
+    return window.start + np.arange(1, window.n_hours + 1, dtype=float) * SECONDS_PER_HOUR
+
+
+def _snapshot_dispersions(
+    ctx: AnalysisContext, family: str, ts: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The raw computation behind :func:`snapshot_dispersions`.
+
+    ``ts=None`` evaluates the window's full hourly grid.  Passing an
+    explicit (sorted) subset of grid timestamps evaluates only those
+    snapshots — the sharded merge uses this for per-shard interior grids
+    and for the boundary strips it recomputes on the merged context.
+    Each snapshot's value depends only on its own 24-hour bot set, so
+    any partition of the grid concatenates back bitwise-identically.
+    """
+    from ..monitor.snapshots import LOOKBACK_SECONDS
+
     ds = ctx.dataset
     idx = ctx.family_attacks(family)
     if idx.size == 0:
@@ -149,7 +169,10 @@ def snapshot_dispersions(
     window = ds.window
 
     # All snapshot windows at once: attacks starting in (t - 24h, t].
-    ts = window.start + np.arange(1, window.n_hours + 1, dtype=float) * SECONDS_PER_HOUR
+    if ts is None:
+        ts = _snapshot_grid(window)
+    else:
+        ts = np.asarray(ts, dtype=float)
     lo = np.searchsorted(starts, ts - LOOKBACK_SECONDS, side="right")
     hi = np.searchsorted(starts, ts, side="right")
     nonempty = hi > lo

@@ -1,0 +1,406 @@
+"""Mergeable-result combinators for sharded analysis (map-reduce views).
+
+Each combinator takes the per-shard value of one derived view and
+reconstructs the value a single :class:`~repro.core.context.AnalysisContext`
+over the merged dataset would compute — **bitwise** identical, pinned by
+the shard-merge parity tests (``tests/core/test_shard_merge.py``).
+
+The trivially mergeable views are concatenations (durations, per-family
+starts, dispersion series) or re-reductions (marginal counts, weekly
+(week, bot) pair tables, daily histograms).  Two families of views need
+care at shard boundaries:
+
+* **Intervals** — consecutive-gap arrays gain one extra gap per shard
+  boundary (last start of the previous non-empty shard to the first
+  start of the next one).
+* **Collaboration / chain scans** — a run of attacks on one target can
+  straddle a boundary.  :func:`find_boundary_suspects` flags every
+  target whose shard-edge attacks *could* link under the paper's
+  windows; events on non-suspect targets pass through with their attack
+  indices rebased, suspect targets are rescanned on the merged columns
+  (a per-target-independent computation, so the rescan of the suspect
+  subset equals the global scan restricted to those targets).
+
+All index-valued outputs are **global** attack indices: shard ``k``'s
+local index ``i`` maps to ``bases[k] + i`` where ``bases`` are the
+cumulative shard sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..monitor.schemas import Protocol
+from .collaboration import (
+    DURATION_WINDOW_SECONDS,
+    START_WINDOW_SECONDS,
+    _detect_collaborations,
+)
+from .consecutive import CHAIN_MARGIN_SECONDS, _detect_chains
+from .overview import DailyDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .collaboration import CollabEvent
+    from .consecutive import AttackChain
+    from .dataset import AttackDataset
+
+__all__ = [
+    "merge_grouped_indices",
+    "merge_concat",
+    "merge_series",
+    "merge_csr",
+    "merge_counts",
+    "merge_intervals",
+    "merge_weekly_pairs",
+    "merge_daily_distributions",
+    "merge_protocol_breakdown",
+    "merge_protocol_popularity",
+    "merge_snapshot_dispersions",
+    "find_boundary_suspects",
+    "merge_scan_events",
+]
+
+
+# -- plain concatenations --------------------------------------------------
+
+
+def merge_concat(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate per-shard arrays in shard (chronological) order."""
+    return np.concatenate(list(parts))
+
+
+def merge_series(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge aligned ``(timestamps, values)`` pairs by concatenation.
+
+    Shards partition by start time, so shard-order concatenation of
+    chronological per-shard series is the global chronological series.
+    """
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+    )
+
+
+def merge_grouped_indices(
+    parts: Sequence[dict[int, np.ndarray]], bases: Sequence[int]
+) -> dict[int, np.ndarray]:
+    """Merge per-shard grouping dicts (column value -> attack indices).
+
+    Per-shard groups hold local indices in chronological order; rebasing
+    and concatenating in shard order keeps each group chronological.
+    The output dict is built in ascending key order — the same insertion
+    order the unsharded ``np.split`` grouping pass produces.
+    """
+    keys = sorted({k for part in parts for k in part})
+    out: dict[int, np.ndarray] = {}
+    for key in keys:
+        pieces = [
+            part[key] + np.int64(base)
+            for part, base in zip(parts, bases)
+            if key in part
+        ]
+        out[key] = np.concatenate(pieces)
+    return out
+
+
+def merge_csr(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard CSR ``(offsets, flat)`` layouts in shard order.
+
+    ``flat`` entries are global bot indices (the registries are shared
+    across shards), so only the offsets need rebasing.
+    """
+    offset_pieces = [np.zeros(1, dtype=np.int64)]
+    base = np.int64(0)
+    for offsets, _flat in parts:
+        offset_pieces.append(offsets[1:] + base)
+        base += offsets[-1]
+    return (
+        np.concatenate(offset_pieces),
+        np.concatenate([flat for _offsets, flat in parts]),
+    )
+
+
+# -- re-reductions ---------------------------------------------------------
+
+
+def merge_counts(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``np.unique(..., return_counts=True)`` marginals."""
+    uniq = np.concatenate([p[0] for p in parts])
+    counts = np.concatenate([p[1] for p in parts])
+    if uniq.size == 0:
+        return uniq, counts
+    order = np.argsort(uniq, kind="stable")
+    u_sorted = uniq[order]
+    first = np.empty(u_sorted.size, dtype=bool)
+    first[0] = True
+    first[1:] = u_sorted[1:] != u_sorted[:-1]
+    starts = np.flatnonzero(first)
+    return u_sorted[starts], np.add.reduceat(counts[order], starts)
+
+
+def merge_intervals(
+    starts_parts: Sequence[np.ndarray], diff_parts: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Merge per-shard consecutive-gap arrays, adding the boundary gaps.
+
+    ``np.diff`` is an elementwise subtraction, so the global gap array is
+    exactly the per-shard gap arrays interleaved with one boundary gap
+    (first start of a non-empty shard minus the last start of the
+    previous non-empty one) per internal boundary.
+    """
+    pieces: list[np.ndarray] = []
+    prev_last: float | None = None
+    for starts, diffs in zip(starts_parts, diff_parts):
+        if starts.size == 0:
+            continue
+        if prev_last is not None:
+            pieces.append(np.array([starts[0] - prev_last], dtype=np.float64))
+        if diffs.size:
+            pieces.append(diffs)
+        prev_last = float(starts[-1])
+    if not pieces:
+        return np.zeros(0)
+    return np.concatenate(pieces)
+
+
+def merge_weekly_pairs(
+    parts: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Union per-shard ``(weeks_u, u_week, u_bot)`` weekly-shift tables.
+
+    A (week, bot) pair may appear in several shards (the bot attacked in
+    that week on both sides of a boundary); the merged table re-sorts and
+    dedupes, which reproduces the global sorted-unique pair table.
+    """
+    weeks_u = np.unique(np.concatenate([p[0] for p in parts]))
+    cw = np.concatenate([p[1] for p in parts])
+    cb = np.concatenate([p[2] for p in parts])
+    if cw.size == 0:
+        return weeks_u, cw, cb
+    order = np.lexsort((cb, cw))
+    w_sorted = cw[order]
+    b_sorted = cb[order]
+    first = np.empty(w_sorted.size, dtype=bool)
+    first[0] = True
+    first[1:] = (w_sorted[1:] != w_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])
+    return weeks_u, w_sorted[first], b_sorted[first]
+
+
+def merge_daily_distributions(
+    parts: Sequence[DailyDistribution], ds: "AttackDataset", family: str | None
+) -> DailyDistribution:
+    """Pad-sum per-shard daily histograms and recompute the headline.
+
+    The counts are integer sums, so the padded sum is exact; the busiest
+    day's top family is re-derived with the unsharded kernel's own
+    expression over the merged columns (one vectorised pass).
+    """
+    n_days = max(p.counts.size for p in parts)
+    counts = np.zeros(n_days, dtype=parts[0].counts.dtype)
+    for p in parts:
+        counts[: p.counts.size] += p.counts
+    max_day = int(np.argmax(counts))
+    if family is not None:
+        top_family = family if counts[max_day] > 0 else ""
+    else:
+        days = ((ds.start - ds.window.start) // 86400).astype(np.int64)
+        on_max = days == max_day
+        if on_max.any():
+            fams, fam_counts = np.unique(ds.family_idx[on_max], return_counts=True)
+            top_family = ds.family_name(int(fams[np.argmax(fam_counts)]))
+        else:
+            top_family = ""
+    return DailyDistribution(
+        counts=counts,
+        mean_per_day=float(counts[: ds.window.n_days].mean()),
+        max_per_day=int(counts[max_day]),
+        max_day_index=max_day,
+        max_day_label=ds.window.day_label(max_day),
+        max_day_top_family=top_family,
+    )
+
+
+def merge_protocol_breakdown(
+    parts: Sequence[list[tuple[Protocol, str, int]]]
+) -> list[tuple[Protocol, str, int]]:
+    """Sum per-shard Table II cells, protocol-major / family-sorted."""
+    totals: dict[tuple[int, str], int] = {}
+    for rows in parts:
+        for proto, fam, count in rows:
+            key = (int(proto), fam)
+            totals[key] = totals.get(key, 0) + int(count)
+    out: list[tuple[Protocol, str, int]] = []
+    for proto in Protocol:
+        cells = sorted(
+            (fam, count) for (p, fam), count in totals.items() if p == int(proto)
+        )
+        out.extend((proto, fam, count) for fam, count in cells)
+    return out
+
+
+def merge_protocol_popularity(
+    parts: Sequence[dict[Protocol, int]]
+) -> dict[Protocol, int]:
+    """Sum per-shard Fig 1 protocol totals (all protocols, zeros kept)."""
+    return {proto: sum(int(p[proto]) for p in parts) for proto in Protocol}
+
+
+def merge_snapshot_dispersions(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard-interior plus boundary-strip snapshot series.
+
+    Every grid timestamp is evaluated by exactly one part (a shard's
+    interior or the merged-context strip pass), so a stable sort by
+    timestamp is a pure permutation back into grid order.
+    """
+    ts = np.concatenate([p[0] for p in parts])
+    values = np.concatenate([p[1] for p in parts])
+    order = np.argsort(ts, kind="stable")
+    return ts[order], values[order]
+
+
+# -- boundary-stitched scans -----------------------------------------------
+
+
+def _target_segments(
+    ds,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-target scan-edge state: (targets, first start, last start, last end).
+
+    ``last end`` is the end of the last-*started* attack — the attack the
+    chain kernel would link the next shard's first attack against.
+    """
+    n = ds.n_attacks
+    if n == 0:
+        empty_f = np.zeros(0)
+        return np.zeros(0, dtype=np.int64), empty_f, empty_f, empty_f
+    order = np.lexsort((ds.start, ds.target_idx))
+    targets = ds.target_idx[order]
+    starts = ds.start[order]
+    ends = ds.end[order]
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    new[1:] = targets[1:] != targets[:-1]
+    firsts = np.flatnonzero(new)
+    lasts = np.concatenate((firsts[1:], [n])) - 1
+    return (
+        targets[firsts].astype(np.int64),
+        starts[firsts],
+        starts[lasts],
+        ends[lasts],
+    )
+
+
+def find_boundary_suspects(datasets: Sequence, n_targets: int) -> np.ndarray:
+    """Boolean mask of targets whose scans may link across a boundary.
+
+    Walks the shards in time order carrying, per target, the start and
+    end of its last-started attack so far.  A target becomes suspect when
+    its first attack in a later shard falls within the collaboration
+    start window of the carried start, or within the chain margin of the
+    carried end (conservative: the chain kernel's additional >1 s
+    stagger condition is ignored — the rescan settles it exactly).
+    """
+    last_start = np.full(n_targets, -np.inf)
+    last_end = np.full(n_targets, -np.inf)
+    seen = np.zeros(n_targets, dtype=bool)
+    suspect = np.zeros(n_targets, dtype=bool)
+    for ds in datasets:
+        targets, first_start, seg_last_start, seg_last_end = _target_segments(ds)
+        if targets.size == 0:
+            continue
+        cross = seen[targets] & (
+            (first_start - last_start[targets] <= START_WINDOW_SECONDS)
+            | (np.abs(first_start - last_end[targets]) <= CHAIN_MARGIN_SECONDS)
+        )
+        suspect[targets[cross]] = True
+        seen[targets] = True
+        last_start[targets] = seg_last_start
+        last_end[targets] = seg_last_end
+    return suspect
+
+
+class _AttackSlice:
+    """Column view of the merged dataset restricted to a row subset.
+
+    Quacks like an :class:`AttackDataset` for exactly the columns the
+    collaboration/chain kernels touch.  Rows are given in ascending
+    global order, so the kernels' stable ``lexsort`` preserves the same
+    tie order the global scan would use.
+    """
+
+    def __init__(self, ds, rows: np.ndarray) -> None:
+        self._ds = ds
+        self.n_attacks = int(rows.size)
+        self.start = ds.start[rows]
+        self.end = ds.end[rows]
+        self.target_idx = ds.target_idx[rows]
+        self.botnet_id = ds.botnet_id[rows]
+        self.family_idx = ds.family_idx[rows]
+
+    def family_name(self, family_id: int) -> str:
+        return self._ds.family_name(family_id)
+
+
+def merge_scan_events(
+    parts: Sequence[list],
+    bases: Sequence[int],
+    suspect: np.ndarray,
+    merged_ds,
+    kind: str,
+) -> "list[CollabEvent] | list[AttackChain]":
+    """Merge per-shard collaboration/chain event lists.
+
+    Events on non-suspect targets pass through with rebased attack
+    indices; suspect targets are rescanned on the merged columns and the
+    rescan's local indices mapped back through the row subset.  Both
+    scans group strictly per target, so the union reproduces the global
+    scan; the final sort key ``(start, target)`` matches the global
+    enumeration order exactly (runs are enumerated target-major, so the
+    global ``sort(key=start)`` leaves equal-start events in ascending
+    target order).
+    """
+    events = []
+    for shard_events, base in zip(parts, bases):
+        offset = int(base)
+        for event in shard_events:
+            if suspect[event.target_index]:
+                continue
+            events.append(
+                dataclasses.replace(
+                    event,
+                    attack_indices=tuple(int(i) + offset for i in event.attack_indices),
+                )
+            )
+    if suspect.any():
+        rows = np.flatnonzero(suspect[merged_ds.target_idx])
+        shim = _AttackSlice(merged_ds, rows)
+        if kind == "collaborations":
+            rescanned = _detect_collaborations(
+                shim, START_WINDOW_SECONDS, DURATION_WINDOW_SECONDS
+            )
+        elif kind == "chains":
+            rescanned = _detect_chains(shim, CHAIN_MARGIN_SECONDS, 2)
+        else:
+            raise ValueError(f"unknown scan kind {kind!r}")
+        for event in rescanned:
+            events.append(
+                dataclasses.replace(
+                    event,
+                    attack_indices=tuple(
+                        int(rows[i]) for i in event.attack_indices
+                    ),
+                )
+            )
+    events.sort(key=lambda e: (e.start, e.target_index))
+    return events

@@ -56,21 +56,24 @@ def weekly_shift(source: AnalysisSource, family: str) -> WeeklyShift:
     return AnalysisContext.of(source).weekly_shift(family)
 
 
-def _weekly_shift(ctx: AnalysisContext, family: str) -> WeeklyShift:
-    """Sweep-line form of the weekly shift: one pass over (week, bot) pairs.
+def _weekly_pairs(
+    ctx: AnalysisContext, family: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The mergeable half of the weekly shift kernel.
 
-    The per-week loop with an accumulating ``seen`` set is equivalent to
-    labelling every country with the week it first appears: a unique
-    (week, bot) participation counts as "existing" when its country's
-    first week is strictly earlier (or the week is the family's baseline
-    week), "new" otherwise.  Counts are integers, so this is exactly
-    equal to :func:`_reference_weekly_shift` (pinned by the parity
-    tests).
+    Returns ``(weeks_u, u_week, u_bot)``: the sorted week indices with
+    any attack (participant-less weeks included) and the unique
+    (week, bot) participation pairs sorted by week then bot.  All three
+    are empty for a family with no attacks — unlike the finished shift,
+    this half never raises, so per-shard results union cleanly: the
+    sharded merge concatenates parts, re-sorts, and dedupes to exactly
+    the global pair table.
     """
     ds = ctx.dataset
     idx = ctx.family_attacks(family)
     if idx.size == 0:
-        raise ValueError(f"family {family!r} launched no attacks")
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0, dtype=np.int64)
     weeks_of_attack = ((ds.start[idx] - ds.window.start) // (7 * 86400)).astype(np.int64)
 
     offsets, flat = ctx.family_participants(family)
@@ -85,11 +88,32 @@ def _weekly_shift(ctx: AnalysisContext, family: str) -> WeeklyShift:
     if first.size:
         first[0] = True
         first[1:] = (w_sorted[1:] != w_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])
-    u_week = w_sorted[first]
-    u_bot = b_sorted[first]
+    return np.unique(weeks_of_attack), w_sorted[first], b_sorted[first]
+
+
+def _weekly_shift(ctx: AnalysisContext, family: str) -> WeeklyShift:
+    """Sweep-line form of the weekly shift: one pass over (week, bot) pairs.
+
+    The per-week loop with an accumulating ``seen`` set is equivalent to
+    labelling every country with the week it first appears: a unique
+    (week, bot) participation counts as "existing" when its country's
+    first week is strictly earlier (or the week is the family's baseline
+    week), "new" otherwise.  Counts are integers, so this is exactly
+    equal to :func:`_reference_weekly_shift` (pinned by the parity
+    tests).
+    """
+    weeks_u, u_week, u_bot = ctx.weekly_shift_pairs(family)
+    return _finish_weekly_shift(ctx.dataset, family, weeks_u, u_week, u_bot)
+
+
+def _finish_weekly_shift(
+    ds, family: str, weeks_u: np.ndarray, u_week: np.ndarray, u_bot: np.ndarray
+) -> WeeklyShift:
+    """Integer reduction from (week, bot) pairs to the Fig 8 series."""
+    if weeks_u.size == 0:
+        raise ValueError(f"family {family!r} launched no attacks")
     u_country = ds.bots.country_idx[u_bot]
 
-    weeks_u = np.unique(weeks_of_attack)
     # The baseline is the first week with any participants: the loop
     # form's ``seen`` set stays empty across participant-less weeks.
     baseline = u_week[0] if u_week.size else weeks_u[0]

@@ -153,9 +153,11 @@ def victim_org_types(source: AnalysisSource) -> dict[str, int]:
 
 
 def _victim_org_types(ctx: AnalysisContext) -> dict[str, int]:
-    orgs = ctx.target_org_idx()
+    # Built from the memoized per-organization marginal so the sharded
+    # merge (which seeds that marginal) and the unsharded build walk the
+    # same ascending-org-index order into the same dict.
+    uniq, counts = ctx.target_org_counts()
     out: dict[str, int] = {}
-    uniq, counts = np.unique(orgs, return_counts=True)
     for org_index, count in zip(uniq, counts):
         org_type = ctx.dataset.world.organizations[int(org_index)].org_type
         out[org_type] = out.get(org_type, 0) + int(count)

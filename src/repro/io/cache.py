@@ -50,7 +50,9 @@ __all__ = [
 _FORMAT_VERSION = 2
 #: Version of the derived-view snapshot format.  Bump when the set or
 #: shape of :class:`AnalysisContext` views changes incompatibly.
-_VIEWS_FORMAT_VERSION = 1
+#: v2: the payload gained the shard-layout key — a snapshot taken over
+#: one sharding (or the unsharded path) is rejected against any other.
+_VIEWS_FORMAT_VERSION = 2
 
 
 def config_key(config: DatasetConfig) -> str:
@@ -148,16 +150,25 @@ def _views_path(config: DatasetConfig, cache_dir: str | Path | None) -> Path:
 
 
 def save_context_views(
-    ctx: AnalysisContext, config: DatasetConfig, cache_dir: str | Path | None = None
+    ctx: AnalysisContext,
+    config: DatasetConfig,
+    cache_dir: str | Path | None = None,
+    *,
+    shard_layout: tuple | None = None,
 ) -> Path:
     """Snapshot the context's picklable derived views next to the dataset.
 
-    The file records the views format version and the config key, so a
-    stale or mismatched snapshot is rejected on load rather than served.
+    The file records the views format version, the config key and the
+    shard layout the views were derived under
+    (:meth:`~repro.io.colstore.ShardedDatasetStore.layout_key`, or the
+    unsharded sentinel), so a stale or mismatched snapshot is rejected
+    on load rather than served — views built over one sharding carry
+    shard-shaped intermediates and must not restore against another.
     """
     path = _views_path(config, cache_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = (_VIEWS_FORMAT_VERSION, config_key(config), ctx.export_views())
+    layout = colstore.UNSHARDED_LAYOUT if shard_layout is None else tuple(shard_layout)
+    payload = (_VIEWS_FORMAT_VERSION, config_key(config), layout, ctx.export_views())
     tmp = path.with_suffix(path.suffix + ".tmp")
     with gzip.open(tmp, "wb", compresslevel=4) as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -165,18 +176,29 @@ def save_context_views(
     return path
 
 
-def load_context_views(path: str | Path, expected_key: str) -> dict:
+def load_context_views(
+    path: str | Path,
+    expected_key: str,
+    expected_layout: tuple = colstore.UNSHARDED_LAYOUT,
+) -> dict:
     """Load a view snapshot written by :func:`save_context_views`.
 
-    Raises ``ValueError`` on version or config-key mismatch.  Only load
-    files you created yourself — this is a pickle.
+    Raises ``ValueError`` on version, config-key or shard-layout
+    mismatch.  Only load files you created yourself — this is a pickle.
     """
     with gzip.open(Path(path), "rb") as fh:
-        version, key, views = pickle.load(fh)
-    if version != _VIEWS_FORMAT_VERSION:
+        payload = pickle.load(fh)
+    version = payload[0] if isinstance(payload, tuple) and payload else None
+    if version != _VIEWS_FORMAT_VERSION or len(payload) != 4:
         raise ValueError(f"view snapshot {path} has format v{version}, expected v{_VIEWS_FORMAT_VERSION}")
+    _version, key, layout, views = payload
     if key != expected_key:
         raise ValueError(f"view snapshot {path} was built for config {key}, expected {expected_key}")
+    if tuple(layout) != tuple(expected_layout):
+        raise ValueError(
+            f"view snapshot {path} was built under shard layout {layout!r}, "
+            f"expected {tuple(expected_layout)!r}"
+        )
     if not isinstance(views, dict):
         raise TypeError(f"view snapshot {path} does not contain a view dict")
     return views

@@ -153,6 +153,15 @@ class StreamingDataset:
         self._snapshot_epoch = -1
         self._carry_ok = True
 
+        #: Spill state: rows [0, _spilled_rows) have been written out as
+        #: time shards; _spill_max_start is the largest start among them.
+        #: A later batch landing at or before that start would have to be
+        #: merged into rows already on disk, so it marks the spill dirty
+        #: and further spills refuse until a fresh store is chosen.
+        self._spilled_rows = 0
+        self._spill_max_start = -np.inf
+        self._spill_dirty = False
+
     # -- shape -------------------------------------------------------------
 
     @property
@@ -323,6 +332,9 @@ class StreamingDataset:
             [self._target_of[r.target_ip] for r in batch], dtype=np.int32
         )
         magnitude = np.asarray([r.magnitude for r in batch], dtype=np.int32)
+
+        if self._spilled_rows and start[0] <= self._spill_max_start:
+            self._spill_dirty = True
 
         in_order = last_key is None or (start[0], int(botnet[0])) >= last_key
         self._start.append(start)
@@ -495,3 +507,48 @@ class StreamingDataset:
     def dataset(self) -> AttackDataset:
         """The current snapshot dataset (see :meth:`context`)."""
         return self.context().dataset
+
+    # -- spilling ----------------------------------------------------------
+
+    def spill_shards(self, path) -> int:
+        """Spill the closed prefix of the stream into the sharded store.
+
+        Every row whose start is *strictly before* the stream's current
+        maximum start is closed — no in-order batch can ever land among
+        those rows again — so the not-yet-spilled closed rows are
+        appended as the store's next time shard
+        (:func:`repro.io.colstore.append_shard`; the store is created on
+        the first spill).  Rows tied at the maximum stay in memory until
+        a later batch moves the frontier past them.  Returns the number
+        of rows spilled (0 when the frontier has not advanced), counted
+        into ``stream.spilled_rows``.
+
+        Spilling never frees memory — the stream keeps serving full
+        snapshots — it bounds what a *restart* would lose and feeds the
+        map-reduce path (:class:`~repro.io.colstore.ShardedDatasetStore`).
+
+        Raises ``ValueError`` if a batch arrived at or before the spilled
+        frontier since the last spill: those rows were merged into a
+        prefix that is already on disk, so the store no longer partitions
+        the stream and further spills would corrupt it.
+        """
+        from ..io import colstore
+
+        if self._spill_dirty:
+            raise ValueError(
+                "spill is dirty: a batch arrived at or before the spilled "
+                "frontier; the store no longer partitions this stream"
+            )
+        if self.n_attacks == 0:
+            return 0
+        start_col = self._start.view()
+        cut = int(np.searchsorted(start_col, start_col[-1], side="left"))
+        if cut <= self._spilled_rows:
+            return 0
+        chunk = colstore._slice_dataset(self.context().dataset, self._spilled_rows, cut)
+        colstore.append_shard(path, chunk)
+        spilled = cut - self._spilled_rows
+        self._spilled_rows = cut
+        self._spill_max_start = float(start_col[cut - 1])
+        _obs_registry().counter("stream.spilled_rows").inc(spilled)
+        return spilled

@@ -1,0 +1,257 @@
+"""Merge-algebra tests: sharded map-reduce equals the unsharded build.
+
+The tentpole contract is *bitwise*: every derived view seeded by
+:meth:`ShardedAnalysisContext.merged` must be array-equal to the one the
+unsharded :class:`AnalysisContext` builds from scratch, for any shard
+count.  These tests pin that across K ∈ {1, 2, 5} partitions, check the
+commutative combinators are merge-order invariant, and hand-craft
+collaboration/chain cases that straddle a shard boundary (the stitched
+rescan path).  The full-scale byte-identity sweep (marked ``slow``)
+only runs when ``REPRO_BENCH_SCALE`` names a scale, as in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import merge
+from repro.core.context import AnalysisContext, ShardedAnalysisContext
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+from repro.experiments.registry import run_all
+from repro.io.colstore import ShardedDatasetStore
+from repro.io.ingest import dataset_from_records
+from repro.simulation.clock import ObservationWindow
+
+from .test_kernel_parity import _record
+
+
+def _assert_view_equal(label: str, got, want) -> None:
+    """Recursive bitwise equality over the view value shapes we merge."""
+    assert type(got) is type(want), f"{label}: {type(got)} != {type(want)}"
+    if isinstance(got, np.ndarray):
+        np.testing.assert_array_equal(got, want, err_msg=label)
+        assert got.dtype == want.dtype, label
+    elif isinstance(got, dict):
+        assert list(got) == list(want), label  # key *order* matters too
+        for key in got:
+            _assert_view_equal(f"{label}[{key!r}]", got[key], want[key])
+    elif isinstance(got, (list, tuple)):
+        assert len(got) == len(want), label
+        for i, (g, w) in enumerate(zip(got, want)):
+            _assert_view_equal(f"{label}[{i}]", g, w)
+    elif dataclasses.is_dataclass(got):
+        for field in dataclasses.fields(got):
+            _assert_view_equal(
+                f"{label}.{field.name}",
+                getattr(got, field.name),
+                getattr(want, field.name),
+            )
+    else:
+        assert got == want, f"{label}: {got!r} != {want!r}"
+
+
+def _collect_views(ctx: AnalysisContext, families: list[str]) -> dict:
+    """Every mergeable view, keyed by a readable label."""
+    out = {
+        "attack_intervals": ctx.attack_intervals(),
+        "durations": ctx.durations(),
+        "target_country_idx": ctx.target_country_idx(),
+        "target_org_idx": ctx.target_org_idx(),
+        "target_country_counts": ctx.target_country_counts(),
+        "target_org_counts": ctx.target_org_counts(),
+        "victim_org_type_counts": ctx.victim_org_type_counts(),
+        "protocol_breakdown": ctx.protocol_breakdown(),
+        "protocol_popularity": ctx.protocol_popularity(),
+        "daily_distribution": ctx.daily_distribution(),
+        "collaborations": ctx.collaborations(),
+        "chains": ctx.chains(),
+    }
+    for fam in families:
+        out[f"{fam}.attacks"] = ctx.family_attacks(fam)
+        out[f"{fam}.starts"] = ctx.family_starts(fam)
+        out[f"{fam}.intervals"] = ctx.family_intervals(fam)
+        out[f"{fam}.durations"] = ctx.durations(fam)
+        out[f"{fam}.participants"] = ctx.family_participants(fam)
+        out[f"{fam}.attack_dispersions"] = ctx.attack_dispersions(fam)
+        out[f"{fam}.snapshot_dispersions"] = ctx.snapshot_dispersions(fam)
+        out[f"{fam}.target_country_counts"] = ctx.family_target_country_counts(fam)
+        out[f"{fam}.daily_distribution"] = ctx.daily_distribution(fam)
+        out[f"{fam}.weekly_shift"] = ctx.weekly_shift(fam)
+    return out
+
+
+class TestMergedParity:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_every_seeded_view_matches_unsharded(self, small_ds, k):
+        store = ShardedDatasetStore.partition(small_ds, shards=k)
+        sctx = ShardedAnalysisContext(store)
+        sctx.build(jobs=1)
+        merged = sctx.merged()
+        fresh = AnalysisContext(small_ds)
+        assert merged.dataset.attack_columns_equal(small_ds)
+
+        families = [f for f in small_ds.active_families if fresh.family_attacks(f).size]
+        got = _collect_views(merged, families)
+        want = _collect_views(fresh, families)
+        for label in want:
+            _assert_view_equal(label, got[label], want[label])
+
+    def test_merged_views_are_seeded_not_rebuilt(self, small_ds):
+        """merged() must seed the scan results, not leave them lazy."""
+        sctx = ShardedAnalysisContext(ShardedDatasetStore.partition(small_ds, shards=3))
+        sctx.build(jobs=1)
+        merged = sctx.merged()
+        keys = set(merged.view_keys())
+        assert ("collaborations",) in keys
+        assert ("chains",) in keys
+        assert ("attack_intervals",) in keys
+
+    def test_battery_renders_identically(self, small_ds):
+        sctx = ShardedAnalysisContext(ShardedDatasetStore.partition(small_ds, shards=4))
+        sctx.build(jobs=1)
+        sharded = [r.render() for r in run_all(sctx.merged(), jobs=1)]
+        flat = [r.render() for r in run_all(AnalysisContext(small_ds), jobs=1)]
+        assert sharded == flat
+
+
+class TestMergeOrderInvariance:
+    """The commutative combinators give the same answer in any part order."""
+
+    def _parts(self, small_ds, k=4):
+        store = ShardedDatasetStore.partition(small_ds, shards=k)
+        return [store.load_shard(i) for i in range(store.n_shards)]
+
+    def test_counts_invariant(self, small_ds):
+        parts = [
+            np.unique(ds.target_idx, return_counts=True)
+            for ds in self._parts(small_ds)
+        ]
+        base = merge.merge_counts(parts)
+        for order in ([3, 1, 0, 2], [2, 3, 0, 1]):
+            got = merge.merge_counts([parts[i] for i in order])
+            np.testing.assert_array_equal(got[0], base[0])
+            np.testing.assert_array_equal(got[1], base[1])
+
+    def test_protocol_tables_invariant(self, small_ds):
+        shards = self._parts(small_ds)
+        ctxs = [AnalysisContext(ds) for ds in shards]
+        breakdown = [c.protocol_breakdown() for c in ctxs]
+        popularity = [c.protocol_popularity() for c in ctxs]
+        for order in ([3, 1, 0, 2], [1, 0, 3, 2]):
+            assert merge.merge_protocol_breakdown(
+                [breakdown[i] for i in order]
+            ) == merge.merge_protocol_breakdown(breakdown)
+            assert merge.merge_protocol_popularity(
+                [popularity[i] for i in order]
+            ) == merge.merge_protocol_popularity(popularity)
+
+    def test_weekly_pairs_invariant(self, small_ds):
+        shards = self._parts(small_ds)
+        ctxs = [AnalysisContext(ds) for ds in shards]
+        fam = small_ds.active_families[0]
+        parts = [c.weekly_shift_pairs(fam) for c in ctxs]
+        base = merge.merge_weekly_pairs(parts)
+        got = merge.merge_weekly_pairs([parts[i] for i in (2, 0, 3, 1)])
+        for g, b in zip(got, base):
+            np.testing.assert_array_equal(g, b)
+
+
+def _boundary_dataset(records):
+    """Two-day dataset; shard boundary (2 shards) falls at t = 86400."""
+    return dataset_from_records(records, ObservationWindow(start=0, end=2 * 86400))
+
+
+class TestBoundaryStitching:
+    def test_collaboration_straddles_boundary(self):
+        # Two botnets hit one target 50 s apart across t=86400: a
+        # collaboration no single shard can see.
+        ds = _boundary_dataset(
+            [
+                _record(0, botnet=1, family="alpha", target=1, start=86_350.0, duration=600.0),
+                _record(1, botnet=2, family="alpha", target=1, start=86_410.0, duration=600.0),
+                _record(2, botnet=3, family="beta", target=2, start=1_000.0, duration=300.0),
+                _record(3, botnet=4, family="beta", target=3, start=100_000.0, duration=300.0),
+            ]
+        )
+        store = ShardedDatasetStore.partition(ds, shards=2)
+        assert [int(c) for c in store._counts] == [2, 2]
+        sctx = ShardedAnalysisContext(store)
+        sctx.build(jobs=1)
+        merged = sctx.merged()
+        flat = AnalysisContext(ds)
+        assert merged.collaborations() == flat.collaborations()
+        assert len(merged.collaborations()) == 1
+        assert merged.collaborations()[0].attack_indices == (1, 2)
+
+    def test_chain_straddles_boundary(self):
+        # Consecutive same-target attacks handed off across the cut.
+        ds = _boundary_dataset(
+            [
+                _record(0, botnet=1, family="alpha", target=1, start=86_000.0, duration=300.0),
+                _record(1, botnet=2, family="alpha", target=1, start=86_350.0, duration=300.0),
+                _record(2, botnet=3, family="alpha", target=1, start=86_700.0, duration=300.0),
+                _record(3, botnet=4, family="beta", target=2, start=120_000.0, duration=300.0),
+            ]
+        )
+        store = ShardedDatasetStore.partition(ds, shards=2)
+        assert [int(c) for c in store._counts] == [2, 2]
+        sctx = ShardedAnalysisContext(store)
+        sctx.build(jobs=1)
+        merged = sctx.merged()
+        flat = AnalysisContext(ds)
+        assert merged.chains() == flat.chains()
+        assert len(merged.chains()) == 1
+        assert merged.chains()[0].attack_indices == (0, 1, 2)
+
+    def test_boundary_suspects_flag_handoff_targets(self):
+        ds = _boundary_dataset(
+            [
+                _record(0, botnet=1, family="alpha", target=1, start=86_350.0, duration=600.0),
+                _record(1, botnet=2, family="alpha", target=1, start=86_410.0, duration=600.0),
+                _record(2, botnet=3, family="beta", target=2, start=1_000.0, duration=300.0),
+                _record(3, botnet=4, family="beta", target=3, start=100_000.0, duration=300.0),
+            ]
+        )
+        store = ShardedDatasetStore.partition(ds, shards=2)
+        shards = [store.load_shard(i) for i in range(2)]
+        suspect = merge.find_boundary_suspects(shards, ds.victims.n_targets)
+        # rows sort by start: 0 = the early beta, 1-2 = the straddling
+        # alpha pair, 3 = the late beta.
+        assert suspect[ds.target_idx[1]]  # the straddling target
+        assert not suspect[ds.target_idx[0]]  # one-shard-only targets
+        assert not suspect[ds.target_idx[3]]
+
+    def test_intervals_gain_exact_boundary_gap(self):
+        ds = _boundary_dataset(
+            [
+                _record(0, botnet=1, family="alpha", target=1, start=10.0, duration=60.0),
+                _record(1, botnet=2, family="alpha", target=1, start=500.0, duration=60.0),
+                _record(2, botnet=3, family="alpha", target=1, start=90_000.0, duration=60.0),
+            ]
+        )
+        store = ShardedDatasetStore.partition(ds, shards=2)
+        shards = [store.load_shard(i) for i in range(2)]
+        got = merge.merge_intervals(
+            [s.start for s in shards], [np.diff(s.start) for s in shards]
+        )
+        np.testing.assert_array_equal(got, np.diff(ds.start))
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_SCALE"),
+    reason="set REPRO_BENCH_SCALE to run the full-scale shard-merge sweep",
+)
+def test_full_scale_sharded_battery_byte_identical():
+    scale = float(os.environ["REPRO_BENCH_SCALE"])
+    ds = generate_dataset(DatasetConfig(seed=7, scale=scale))
+    sctx = ShardedAnalysisContext(ShardedDatasetStore.partition(ds, shards=8))
+    sctx.build(jobs=1)
+    sharded = [r.render() for r in run_all(sctx.merged(), jobs=1)]
+    flat = [r.render() for r in run_all(AnalysisContext(ds), jobs=1)]
+    assert sharded == flat

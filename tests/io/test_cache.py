@@ -111,3 +111,37 @@ class TestContextViewSnapshots:
         warm = load_or_generate_context(config, tmp_path)
         assert warm.n_views == 0
         assert not path.exists()
+
+    def test_sharded_snapshot_rejected_on_flat_load(self, tmp_path):
+        """Views built under a sharding never restore against the flat path."""
+        from repro.core.context import ShardedAnalysisContext
+        from repro.io.colstore import ShardedDatasetStore
+
+        config = DatasetConfig.tiny(seed=48)
+        ds = load_or_generate_context(config, tmp_path).dataset
+        store = ShardedDatasetStore.partition(ds, shards=2)
+        sctx = ShardedAnalysisContext(store)
+        sctx.build(jobs=1)
+        path = save_context_views(sctx.merged(), config, tmp_path, shard_layout=store.layout_key())
+        with pytest.raises(ValueError, match="shard layout"):
+            load_context_views(path, config_key(config))
+        # load_or_generate_context treats it as a miss and discards it
+        warm = load_or_generate_context(config, tmp_path)
+        assert warm.n_views == 0
+        assert not path.exists()
+
+    def test_snapshot_keyed_by_shard_count_and_edges(self, tmp_path):
+        from repro.core.context import ShardedAnalysisContext
+        from repro.io.colstore import ShardedDatasetStore
+
+        config = DatasetConfig.tiny(seed=48)
+        ds = load_or_generate_context(config, tmp_path).dataset
+        two = ShardedDatasetStore.partition(ds, shards=2)
+        four = ShardedDatasetStore.partition(ds, shards=4)
+        sctx = ShardedAnalysisContext(two)
+        sctx.build(jobs=1)
+        path = save_context_views(sctx.merged(), config, tmp_path, shard_layout=two.layout_key())
+        # same layout restores; any other sharding is rejected
+        assert load_context_views(path, config_key(config), two.layout_key())
+        with pytest.raises(ValueError, match="shard layout"):
+            load_context_views(path, config_key(config), four.layout_key())

@@ -51,16 +51,26 @@ def test_documented_metrics_match_emitted(tiny_config, tmp_path, monkeypatch):
         # experiment battery: context views + experiment spans
         api.run_all(ctx, jobs=2)
 
+        # sharded map-reduce: store round-trip, per-shard builds, merge
+        from repro.io.colstore import save_sharded_npz
+
+        save_sharded_npz(ds, tmp_path / "store", shards=2)
+        sctx = api.context(api.load(tmp_path / "store"))
+        api.run_all(sctx, jobs=1)
+
         # ingest round-trip
         api.ingest(ds.iter_attacks(), window=ds.window)
 
-        # streaming: in-order appends with a carry, then an out-of-order one
+        # streaming: in-order appends with a carry and a spill, then an
+        # out-of-order batch (the spill must precede it: a late batch
+        # marks the spilled prefix dirty)
         records = list(ds.iter_attacks())
         stream = api.stream(window=ds.window)
         stream.append_batch(records[:50])
         stream.context()
         stream.append_batch(records[50:100])
         stream.context()
+        stream.spill_shards(tmp_path / "spill-store")
         stream.append_batch(records[:10])
 
         # watch: tail a real log

@@ -74,3 +74,45 @@ class TestLoad:
     def test_watch_factory(self, tmp_path):
         session = api.watch(tmp_path / "log.jsonl")
         assert session.poll() is None
+
+
+class TestShardedDispatch:
+    def test_load_with_shards_partitions(self, tiny_ds, tmp_path):
+        from repro.io.colstore import ShardedDatasetStore, save_dataset_npz
+
+        path = save_dataset_npz(tiny_ds, tmp_path / "flat.npz")
+        store = api.load(path, shards=3)
+        assert isinstance(store, ShardedDatasetStore)
+        assert store.n_shards == 3
+
+    def test_load_sharded_store_directory(self, tiny_ds, tmp_path):
+        from repro.io.colstore import ShardedDatasetStore, save_sharded_npz
+
+        path = save_sharded_npz(tiny_ds, tmp_path / "store", shards=2)
+        store = api.load(path)
+        assert isinstance(store, ShardedDatasetStore)
+        assert store.n_attacks == tiny_ds.n_attacks
+
+    def test_load_store_with_shards_rejected(self, tiny_ds, tmp_path):
+        from repro.io.colstore import save_sharded_npz
+
+        path = save_sharded_npz(tiny_ds, tmp_path / "store", shards=2)
+        with pytest.raises(ValueError, match="already a sharded store"):
+            api.load(path, shards=4)
+
+    def test_context_wraps_store(self, tiny_ds, tmp_path):
+        from repro.core.context import ShardedAnalysisContext
+        from repro.io.colstore import ShardedDatasetStore
+
+        store = ShardedDatasetStore.partition(tiny_ds, shards=2)
+        sctx = api.context(store)
+        assert isinstance(sctx, ShardedAnalysisContext)
+        assert api.context(sctx) is sctx
+
+    def test_run_all_map_reduce_smoke(self, tiny_ds):
+        from repro.io.colstore import ShardedDatasetStore
+
+        store = ShardedDatasetStore.partition(tiny_ds, shards=2)
+        sharded = [r.render() for r in api.run_all(api.context(store), jobs=1)]
+        flat = [r.render() for r in api.run_all(api.context(tiny_ds), jobs=1)]
+        assert sharded == flat

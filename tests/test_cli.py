@@ -118,3 +118,62 @@ class TestCli:
         )
         assert code == 0
         assert out == ""
+
+
+class TestShardCli:
+    @pytest.fixture()
+    def flat_npz(self, cache_dir, tmp_path):
+        from repro.datagen.config import DatasetConfig
+        from repro.io.cache import load_or_generate
+        from repro.io.colstore import save_dataset_npz
+
+        ds = load_or_generate(DatasetConfig(seed=7, scale=0.005), cache_dir)
+        return save_dataset_npz(ds, tmp_path / "flat.npz")
+
+    def test_convert_shards_then_info(self, capsys, tmp_path, flat_npz):
+        store = tmp_path / "store"
+        code, out = run_cli(capsys, "convert", str(flat_npz), str(store), "--shards", "3")
+        assert code == 0
+        assert "across 3 shards" in out
+        code, out = run_cli(capsys, "shard", "info", str(store))
+        assert code == 0
+        assert "shards:    3" in out
+        assert "shard-0000.npz" in out
+
+    def test_convert_shard_by_duration(self, capsys, tmp_path, flat_npz):
+        store = tmp_path / "by-month"
+        code, out = run_cli(capsys, "convert", str(flat_npz), str(store), "--shard-by", "60d")
+        assert code == 0
+        assert "shards" in out
+
+    def test_convert_store_back_to_flat(self, capsys, tmp_path, flat_npz):
+        import numpy as np
+
+        from repro import api
+
+        store = tmp_path / "store"
+        run_cli(capsys, "convert", str(flat_npz), str(store), "--shards", "2")
+        code, _out = run_cli(capsys, "convert", str(store), str(tmp_path / "back.npz"))
+        assert code == 0
+        ds = api.load(flat_npz)
+        back = api.load(tmp_path / "back.npz")
+        assert np.array_equal(back.start, ds.start)
+
+    def test_shard_info_rejects_non_store(self, capsys, tmp_path):
+        code = main(["shard", "info", str(tmp_path)])
+        assert code == 1
+        assert "not a sharded store" in capsys.readouterr().err
+
+    def test_convert_bad_duration_rejected(self, capsys, flat_npz, tmp_path):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["convert", str(flat_npz), str(tmp_path / "s"), "--shard-by", "soon"])
+        assert exc_info.value.code == 2
+
+    def test_experiments_sharded_matches_flat(self, capsys, cache_dir):
+        code, flat = run_cli(capsys, *BASE, "--cache-dir", cache_dir, "experiments")
+        assert code == 0
+        code, sharded = run_cli(
+            capsys, *BASE, "--cache-dir", cache_dir, "experiments", "--shards", "3"
+        )
+        assert code == 0
+        assert sharded == flat
