@@ -1,0 +1,368 @@
+"""Load-generate against the analysis service and record `BENCH_serve.json`.
+
+Drives a live ``repro.serve`` server over real HTTP with the workload a
+multi-tenant deployment sees — batched ingest, then a mixed read load
+(snapshot / full battery / single experiment) from concurrent client
+threads — and records sustained queries/sec plus latency percentiles.
+Before any number is accepted, the served battery is asserted
+byte-identical to a local ``api.run_all`` over the same records (the
+parity gate).
+
+Three modes, mirroring ``benchmarks/record.py``:
+
+* record a committed baseline::
+
+      python benchmarks/loadgen.py --out BENCH_serve.json
+
+* re-measure and compare against the baseline, failing when any latency
+  leg regressed beyond the tolerance factor (the CI bench-smoke step)::
+
+      python benchmarks/loadgen.py --scales small \\
+          --check BENCH_serve.json --tolerance 5
+
+* smoke-test the real CLI entry point end to end — spawn
+  ``ddos-repro serve`` as a subprocess, ingest over the wire, diff the
+  served battery against a local render (the CI service-smoke step)::
+
+      python benchmarks/loadgen.py --smoke
+
+Legs per scale (all latencies seconds; lower is better, which is what
+lets the ``--check`` comparison reuse the record.py tolerance rule):
+
+* ``ingest_total`` — wall time to POST the whole dataset in
+  ``--batch-size`` batches with ``wait=1`` (each response arrives after
+  the fold + prewarm, so this includes snapshot publication);
+* ``first_battery_read`` — the first ``GET /v1/experiments`` of the
+  final epoch: pays the one battery render that seeds the shared cache;
+* ``query_p50`` / ``query_p90`` / ``query_p99`` — per-request latency
+  percentiles over the mixed read phase;
+* ``query_wall`` — wall time of the whole read phase
+  (``--queries`` requests across ``--readers`` threads).
+
+Derived (recorded next to the timings, not tolerance-checked):
+``ingest_records_per_sec``, ``sustained_qps``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed package)
+except ImportError:  # running from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import api
+from repro.datagen.config import DatasetConfig
+from repro.datagen.generator import generate_dataset
+from repro.serve.codec import record_to_json
+
+SCHEMA_VERSION = 1
+SCALES = {"small": 0.02, "full": 1.0}
+DEFAULT_OUT = "BENCH_serve.json"
+SMOKE_SCALE = 0.005
+
+#: The mixed read workload: weights must sum to the cycle length.
+#: Snapshot-heavy, battery reads amortised by the shared render cache.
+READ_CYCLE = ("snapshot", "snapshot", "snapshot", "experiments", "experiment")
+
+
+def _call(base: str, method: str, path: str, payload: dict | None = None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=600) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def machine_manifest() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def measure_scale(
+    name: str, scale: float, *, batch_size: int, queries: int, readers: int
+) -> dict:
+    config = DatasetConfig(seed=7, scale=scale)
+    print(f"[{name}] generate (untimed setup) ...", flush=True)
+    ds = generate_dataset(config, jobs=1)
+    records = list(ds.iter_attacks())
+    rows = [record_to_json(r) for r in records]
+    batches = [rows[i:i + batch_size] for i in range(0, len(rows), batch_size)]
+
+    with api.serve(port=0, queue_size=max(64, len(batches))) as server:
+        base = server.url
+
+        print(f"[{name}] ingest {len(rows)} records in {len(batches)} batches ...",
+              flush=True)
+        t0 = time.perf_counter()
+        for batch in batches:
+            status, body = _call(
+                base, "POST", "/v1/ingest?tenant=bench", {"records": batch}
+            )
+            assert status == 200, (status, body)
+        t_ingest = time.perf_counter() - t0
+        final_epoch = body["epoch"]
+        assert body["n_attacks"] == len(rows)
+
+        print(f"[{name}] first battery read (epoch {final_epoch}) ...", flush=True)
+        t0 = time.perf_counter()
+        status, served = _call(
+            base, "GET", f"/v1/experiments?tenant=bench&epoch={final_epoch}"
+        )
+        t_first_read = time.perf_counter() - t0
+        assert status == 200, (status, served)
+
+        # Parity gate: the served battery must be byte-identical to a
+        # local replay of the same batches before any number is accepted.
+        print(f"[{name}] parity gate ...", flush=True)
+        stream = api.stream()
+        for i in range(0, len(records), batch_size):
+            stream.append_batch(records[i:i + batch_size])
+        local = [
+            (r.experiment_id, r.render()) for r in api.run_all(stream.context())
+        ]
+        assert [
+            (e["id"], e["render"]) for e in served["experiments"]
+        ] == local, "served battery diverged from the local render"
+
+        exp_id = served["experiments"][0]["id"]
+        paths = {
+            "snapshot": "/v1/snapshot?tenant=bench",
+            "experiments": f"/v1/experiments?tenant=bench&epoch={final_epoch}",
+            "experiment": f"/v1/experiments/{exp_id}?tenant=bench",
+        }
+
+        print(f"[{name}] {queries} mixed reads across {readers} threads ...",
+              flush=True)
+        latencies: list[float] = []
+        failures: list[tuple] = []
+        lock = threading.Lock()
+        counter = iter(range(queries))
+
+        def read_loop() -> None:
+            while True:
+                with lock:
+                    seq = next(counter, None)
+                if seq is None:
+                    return
+                path = paths[READ_CYCLE[seq % len(READ_CYCLE)]]
+                t_req = time.perf_counter()
+                status, body = _call(base, "GET", path)
+                elapsed = time.perf_counter() - t_req
+                with lock:
+                    if status != 200:
+                        failures.append((path, status, body))
+                    latencies.append(elapsed)
+
+        threads = [threading.Thread(target=read_loop) for _ in range(readers)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        t_queries = time.perf_counter() - t0
+        assert not failures, failures[:3]
+
+    latencies.sort()
+    timings = {
+        "ingest_total": round(t_ingest, 4),
+        "first_battery_read": round(t_first_read, 4),
+        "query_p50": round(_percentile(latencies, 0.50), 5),
+        "query_p90": round(_percentile(latencies, 0.90), 5),
+        "query_p99": round(_percentile(latencies, 0.99), 5),
+        "query_wall": round(t_queries, 4),
+    }
+    derived = {
+        "ingest_records_per_sec": round(len(rows) / max(t_ingest, 1e-9), 1),
+        "sustained_qps": round(queries / max(t_queries, 1e-9), 1),
+    }
+    entry = {
+        "scale": scale,
+        "n_attacks": len(rows),
+        "n_batches": len(batches),
+        "queries": queries,
+        "readers": readers,
+        "final_epoch": final_epoch,
+        "timings": timings,
+        "derived": derived,
+    }
+    print(f"[{name}] {json.dumps(timings)}")
+    print(f"[{name}] derived: {json.dumps(derived)}")
+    return entry
+
+
+def smoke() -> int:
+    """End-to-end CLI smoke: subprocess server, wire ingest, parity diff."""
+    print(f"[smoke] generate scale={SMOKE_SCALE} ...", flush=True)
+    ds = generate_dataset(DatasetConfig(seed=7, scale=SMOKE_SCALE), jobs=1)
+    records = list(ds.iter_attacks())
+    rows = [record_to_json(r) for r in records]
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--max-seconds", "300"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        base = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            print(f"[smoke] server: {line.rstrip()}", flush=True)
+            if line.startswith("serving on "):
+                base = line.split("serving on ", 1)[1].strip()
+                break
+        assert base, "server never announced its URL"
+
+        half = len(rows) // 2
+        for lo, hi in ((0, half), (half, len(rows))):
+            status, body = _call(
+                base, "POST", "/v1/ingest?tenant=smoke", {"records": rows[lo:hi]}
+            )
+            assert status == 200, (status, body)
+        print(f"[smoke] ingested {body['n_attacks']} records "
+              f"(epoch {body['epoch']})", flush=True)
+
+        status, snap = _call(base, "GET", "/v1/snapshot?tenant=smoke")
+        assert status == 200 and snap["n_attacks"] == len(rows), snap
+        status, served = _call(base, "GET", "/v1/experiments?tenant=smoke")
+        assert status == 200, (status, served)
+        status, health = _call(base, "GET", "/v1/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        status, metrics = _call(base, "GET", "/v1/metrics")
+        assert status == 200 and "serve.requests" in metrics, sorted(metrics)
+
+        stream = api.stream()
+        stream.append_batch(records[:half])
+        stream.append_batch(records[half:])
+        local = [
+            (r.experiment_id, r.render()) for r in api.run_all(stream.context())
+        ]
+        assert [
+            (e["id"], e["render"]) for e in served["experiments"]
+        ] == local, "served battery diverged from the local render"
+        print(f"[smoke] parity OK: {len(local)} experiments byte-identical "
+              "to the local battery", flush=True)
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Timings that regressed beyond ``tolerance``x the baseline."""
+    failures = []
+    for name, entry in current.items():
+        base = baseline.get("scales", {}).get(name)
+        if base is None:
+            continue
+        for leg, seconds in entry["timings"].items():
+            ref = base["timings"].get(leg)
+            if ref is not None and seconds > ref * tolerance:
+                failures.append(
+                    f"{name}.{leg}: {seconds:.3f}s > {tolerance:.1f}x "
+                    f"baseline {ref:.3f}s"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", nargs="+", choices=sorted(SCALES), default=sorted(SCALES),
+        help="which scales to measure",
+    )
+    parser.add_argument("--out", default=None, help="write the baseline JSON here")
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against this committed baseline instead of recording",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=5.0,
+        help="allowed slowdown factor in --check mode (absorbs machine variance)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="subprocess end-to-end smoke (ddos-repro serve + parity diff) and exit",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=500,
+        help="records per ingest POST",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=400,
+        help="mixed read requests per scale",
+    )
+    parser.add_argument(
+        "--readers", type=int, default=4,
+        help="concurrent reader threads",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    results = {}
+    for name in args.scales:
+        results[name] = measure_scale(
+            name, SCALES[name],
+            batch_size=args.batch_size,
+            queries=args.queries,
+            readers=args.readers,
+        )
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check(baseline, results, args.tolerance)
+        if failures:
+            print("serve regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"serve path within {args.tolerance:.1f}x of {args.check}")
+        return 0
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "section": "serve",
+        "machine": machine_manifest(),
+        "scales": results,
+    }
+    out = Path(args.out or DEFAULT_OUT)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,16 +14,18 @@ The :mod:`repro.api` facade is the stable entry point; the submodules
 remain importable directly for anything it does not cover.
 """
 
+from . import errors  # noqa: F401  (the taxonomy must import before the facade)
 from . import api
 from .core.dataset import AttackDataset, BotRegistry, VictimRegistry
 from .datagen.config import DatasetConfig
 from .datagen.generator import generate_dataset
 from .monitor.schemas import Protocol
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
+    "errors",
     "AttackDataset",
     "BotRegistry",
     "VictimRegistry",

@@ -20,15 +20,30 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from pathlib import Path
+from typing import Union
 
 from .core.context import AnalysisContext, ShardedAnalysisContext
 from .core.dataset import AttackDataset
 from .datagen.config import DatasetConfig
+from .errors import FormatError, IngestError, ReproError, ShardLayoutError
+from .io.colstore import ShardedDatasetStore
 from .monitor.schemas import DDoSAttackRecord
 from .simulation.clock import ObservationWindow
-from .stream import IngestError, StreamingDataset, WatchSession
+from .stream import StreamingDataset, WatchSession
+
+#: The facade's own compatibility version (independent of the package
+#: version): the major bumps only on a breaking change to a documented
+#: ``api.*`` signature, the minor on additive growth.  ``docs/API.md``
+#: records each symbol's stability note against this number.
+__version__ = "2.0"
+
+#: What :func:`load` returns: one flat in-memory dataset, or the lazy
+#: handle onto a time-partitioned store (pass either to :func:`context`
+#: / :func:`run_all`; the sharded path dispatches to map-reduce).
+LoadedData = Union[AttackDataset, ShardedDatasetStore]
 
 __all__ = [
+    "open",
     "generate",
     "load",
     "ingest",
@@ -36,20 +51,26 @@ __all__ = [
     "watch",
     "context",
     "run_all",
+    "serve",
     "AnalysisContext",
     "AttackDataset",
     "DatasetConfig",
+    "LoadedData",
+    "ReproError",
+    "FormatError",
+    "ShardLayoutError",
     "IngestError",
     "ShardedAnalysisContext",
     "StreamingDataset",
     "WatchSession",
+    "__version__",
 ]
 
 
 def generate(
     scale: float = 0.02,
-    seed: int = 7,
     *,
+    seed: int = 7,
     config: DatasetConfig | None = None,
     cache: bool = True,
     cache_dir: str | Path | None = None,
@@ -58,7 +79,8 @@ def generate(
     """Generate (or load from cache) the synthetic dataset.
 
     Pass ``config`` for full control; otherwise a default
-    :class:`DatasetConfig` is built from ``scale`` and ``seed``.  With
+    :class:`DatasetConfig` is built from ``scale`` and ``seed`` (both
+    keyword-only past ``scale``, like every facade option).  With
     ``cache`` (the default) the result is cached on disk keyed by the
     config hash — see :func:`repro.io.cache.load_or_generate`.
     ``jobs > 1`` generates across worker processes; the dataset is
@@ -79,7 +101,69 @@ def generate(
     return generate_dataset(config, jobs=jobs)
 
 
-def load(path: str | Path, *, shards: int | None = None):
+def open(source=None, *, shards: int | None = None):
+    """One documented entry point unifying the three acquisition paths.
+
+    Dispatches on what ``source`` is:
+
+    * ``None`` — a fresh :class:`StreamingDataset` (:func:`stream`), the
+      append-oriented live path;
+    * a :class:`DatasetConfig` — :func:`generate` with that config
+      (cached on disk keyed by the config hash);
+    * a ``str`` / :class:`~pathlib.Path` — :func:`load`, with the format
+      inferred from the extension (or the sharded-store manifest);
+    * an :class:`AttackDataset` or
+      :class:`~repro.io.colstore.ShardedDatasetStore` — passed through.
+
+    ``shards=N`` partitions a flat result into ``N`` equal time windows
+    (exactly as :func:`load` does); combining it with a source that is
+    already sharded — or with the streaming path — raises
+    :class:`~repro.errors.ShardLayoutError`.  Anything else raises
+    :class:`~repro.errors.FormatError`.  Whatever comes back feeds
+    straight into :func:`context` / :func:`run_all`.
+
+    >>> from repro import api
+    >>> api.open().n_attacks                        # None -> a fresh stream
+    0
+    >>> ds = api.open(api.DatasetConfig.tiny(seed=7))   # config -> generate
+    >>> api.open(ds) is ds                          # datasets pass through
+    True
+    >>> api.open(ds, shards=2).n_shards             # ... unless partitioned
+    2
+    >>> api.open(3.14)
+    Traceback (most recent call last):
+    repro.errors.FormatError: cannot open a float as a dataset source...
+    """
+    if source is None:
+        if shards is not None:
+            raise ShardLayoutError(
+                "a fresh stream cannot be pre-partitioned; spill it into a "
+                "sharded store later via StreamingDataset.spill_shards"
+            )
+        return stream()
+    if isinstance(source, DatasetConfig):
+        ds = generate(config=source)
+    elif isinstance(source, (str, Path)):
+        return load(source, shards=shards)
+    elif isinstance(source, (AttackDataset, ShardedDatasetStore)):
+        ds = source
+    else:
+        raise FormatError(
+            f"cannot open a {type(source).__name__} as a dataset source; "
+            "expected None, a DatasetConfig, a path, an AttackDataset or a "
+            "ShardedDatasetStore"
+        )
+    if shards is not None:
+        if isinstance(ds, ShardedDatasetStore):
+            raise ShardLayoutError(
+                "source is already a sharded store; its layout is fixed by "
+                "the manifest (re-partition via convert --shards)"
+            )
+        return ShardedDatasetStore.partition(ds, shards=shards)
+    return ds
+
+
+def load(path: str | Path, *, shards: int | None = None) -> LoadedData:
     """Load a dataset from a file or sharded store, dispatching on shape.
 
     * a directory with a ``manifest.json`` — a sharded colstore store
@@ -103,17 +187,22 @@ def load(path: str | Path, *, shards: int | None = None):
     partition a flat dataset into ``N`` equal time windows in memory
     (returns a :class:`~repro.io.colstore.ShardedDatasetStore`).
 
+    Unrecognised extensions raise :class:`~repro.errors.FormatError`;
+    asking to re-partition an already-sharded store raises
+    :class:`~repro.errors.ShardLayoutError` (both are ``ValueError``
+    subclasses, so pre-taxonomy callers keep working).
+
     >>> from repro import api
     >>> api.load("attacks.xyz")
     Traceback (most recent call last):
-    ValueError: cannot infer format of attacks.xyz: expected .jsonl, .csv, .npz or .pkl.gz
+    repro.errors.FormatError: cannot infer format of attacks.xyz: expected .jsonl, .csv, .npz or .pkl.gz
     """
     from .io import colstore
 
     path = Path(path)
     if colstore.is_sharded_store(path):
         if shards is not None:
-            raise ValueError(
+            raise ShardLayoutError(
                 f"{path} is already a sharded store; its layout is fixed by "
                 "the manifest (re-partition via convert --shards)"
             )
@@ -134,7 +223,7 @@ def load(path: str | Path, *, shards: int | None = None):
 
         ds = load_dataset(path)
     else:
-        raise ValueError(
+        raise FormatError(
             f"cannot infer format of {path}: expected .jsonl, .csv, .npz or .pkl.gz"
         )
     if shards is not None:
@@ -144,14 +233,16 @@ def load(path: str | Path, *, shards: int | None = None):
 
 def ingest(
     records: Iterable[DDoSAttackRecord],
-    window: ObservationWindow | None = None,
     *,
+    window: ObservationWindow | None = None,
     strict: bool = True,
 ) -> AttackDataset:
     """Build an attack-table-only dataset from Table I records.
 
     See :func:`repro.io.ingest.dataset_from_records`; malformed input
-    raises :class:`IngestError` (``strict=False`` drops instead).
+    raises :class:`~repro.errors.IngestError` (``strict=False`` drops
+    instead).  ``window`` — like every facade option past the data
+    argument — is keyword-only.
 
     >>> from repro import api
     >>> ds = api.generate(scale=0.005)
@@ -164,7 +255,7 @@ def ingest(
     return dataset_from_records(records, window, strict=strict)
 
 
-def stream(window: ObservationWindow | None = None) -> StreamingDataset:
+def stream(*, window: ObservationWindow | None = None) -> StreamingDataset:
     """A fresh append-oriented dataset builder (the streaming path).
 
     >>> from repro import api
@@ -175,7 +266,7 @@ def stream(window: ObservationWindow | None = None) -> StreamingDataset:
     return StreamingDataset(window=window)
 
 
-def watch(path: str | Path, window: ObservationWindow | None = None) -> WatchSession:
+def watch(path: str | Path, *, window: ObservationWindow | None = None) -> WatchSession:
     """A poll-driven session tailing a JSONL attack log.
 
     Each ``poll()`` ingests newly appended records and returns the
@@ -196,20 +287,31 @@ def context(ds) -> AnalysisContext | ShardedAnalysisContext:
     its shared :class:`AnalysisContext`; a
     :class:`~repro.io.colstore.ShardedDatasetStore` wraps into a
     :class:`ShardedAnalysisContext` whose :meth:`~ShardedAnalysisContext.merged`
-    context is bitwise-identical to the unsharded build.
+    context is bitwise-identical to the unsharded build; a
+    :class:`StreamingDataset` yields its current epoch snapshot's
+    context.  Anything else raises :class:`~repro.errors.FormatError`.
 
     >>> from repro import api
     >>> ds = api.generate(scale=0.005)
     >>> api.context(ds) is api.context(ds)  # one shared context per dataset
     True
+    >>> api.context(object())
+    Traceback (most recent call last):
+    repro.errors.FormatError: cannot build an analysis context from object...
     """
-    if isinstance(ds, ShardedAnalysisContext):
+    if isinstance(ds, (AnalysisContext, ShardedAnalysisContext)):
         return ds
-    from .io.colstore import ShardedDatasetStore
-
     if isinstance(ds, ShardedDatasetStore):
         return ShardedAnalysisContext(ds)
-    return AnalysisContext.of(ds)
+    if isinstance(ds, StreamingDataset):
+        return ds.context()
+    if isinstance(ds, AttackDataset):
+        return AnalysisContext.of(ds)
+    raise FormatError(
+        f"cannot build an analysis context from {type(ds).__name__}; "
+        "expected an AttackDataset, a context, a ShardedDatasetStore or a "
+        "StreamingDataset"
+    )
 
 
 def run_all(
@@ -256,3 +358,38 @@ def run_all(
 
         RunManifest.collect(_obs_registry(), dataset=ctx.dataset).write(manifest)
     return results
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    queue_size: int = 64,
+    prewarm_jobs: int = 1,
+    keep_epochs: int = 4,
+):
+    """Start the multi-tenant analysis service and return its handle.
+
+    A started :class:`~repro.serve.AnalysisServer`: a threaded HTTP
+    server fronting this facade, with per-tenant streaming ingest
+    (bounded-queue backpressure), epoch-tagged snapshot isolation and a
+    shared experiment render cache — see ``docs/ARCHITECTURE.md`` and
+    the endpoint table in :mod:`repro.serve`.  ``port=0`` binds any free
+    port (read it back from ``server.url``).  Stop it with
+    ``server.stop()`` or use it as a context manager.  The CLI twin is
+    ``ddos-repro serve``.
+
+    >>> from repro import api
+    >>> with api.serve(port=0) as server:
+    ...     server.url.startswith("http://127.0.0.1:")
+    True
+    """
+    from .serve import AnalysisServer
+
+    return AnalysisServer(
+        host=host,
+        port=port,
+        queue_size=queue_size,
+        prewarm_jobs=prewarm_jobs,
+        keep_epochs=keep_epochs,
+    ).start()

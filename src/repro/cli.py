@@ -10,6 +10,7 @@ Subcommands::
     ddos-repro defense   --train-fraction 0.5                # policy backtests
     ddos-repro watch     --path attacks.jsonl                # live report
     ddos-repro shard     info data/store                     # manifest summary
+    ddos-repro serve     --port 8321                         # HTTP analysis service
     ddos-repro profile                                       # full battery, timed
 
 All subcommands share ``--scale``, ``--seed`` and ``--cache-dir``; the
@@ -293,6 +294,48 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("action", choices=["info"], help="what to do with the store")
     shard.add_argument("path", help="sharded store directory (holds manifest.json)")
 
+    serve = _add_command(
+        sub,
+        "serve",
+        help="run the multi-tenant HTTP analysis service",
+        description=(
+            "Run the long-running analysis service: a stdlib-only HTTP "
+            "server where clients POST batches of attack records "
+            "(/v1/ingest, with bounded-queue backpressure) and query "
+            "epoch-tagged immutable snapshots — metadata (/v1/snapshot), "
+            "the rendered experiment battery (/v1/experiments), process "
+            "metrics (/v1/metrics) and liveness (/v1/healthz). With "
+            "--preload, the current scale/seed dataset is ingested into "
+            "the 'default' tenant before the port opens."
+        ),
+        epilog="example:\n  ddos-repro --scale 0.02 serve --port 8321 --preload",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="port to bind (0 picks a free port; it is printed at startup)",
+    )
+    serve.add_argument(
+        "--queue-size", type=_positive_int, default=64,
+        help="pending ingest batches per tenant before 429 backpressure",
+    )
+    serve.add_argument(
+        "--prewarm-jobs", type=_positive_int, default=1,
+        help="worker threads for view prewarm after each ingest fold",
+    )
+    serve.add_argument(
+        "--keep-epochs", type=_positive_int, default=4,
+        help="epoch snapshots retained per tenant for pinned reads",
+    )
+    serve.add_argument(
+        "--preload", action="store_true",
+        help="ingest the scale/seed dataset into the 'default' tenant at startup",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="exit after this many seconds (default: serve until interrupted)",
+    )
+
     prof = _add_command(
         sub,
         "profile",
@@ -546,6 +589,44 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import AnalysisServer
+
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        prewarm_jobs=args.prewarm_jobs,
+        keep_epochs=args.keep_epochs,
+    )
+    if args.preload:
+        ds = load_or_generate(_config(args), args.cache_dir)
+        args._manifest_dataset = ds
+        tenant = server.tenants.get_or_create("default")
+        result = tenant.ingest(list(ds.iter_attacks()), timeout=600.0)
+        print(
+            f"preloaded {result['accepted']} attacks into tenant 'default' "
+            f"(epoch {result['epoch']})",
+            flush=True,
+        )
+    server.start()
+    print(f"serving on {server.url}", flush=True)
+    try:
+        if args.max_seconds is not None:
+            time.sleep(args.max_seconds)
+        else:
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print("server stopped", flush=True)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from . import par
     from .core.context import AnalysisContext
@@ -629,6 +710,7 @@ def main(argv: list[str] | None = None) -> int:
         "defense": _cmd_defense,
         "watch": _cmd_watch,
         "shard": _cmd_shard,
+        "serve": _cmd_serve,
         "profile": _cmd_profile,
     }
     try:

@@ -42,6 +42,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.dataset import AttackDataset, BotRegistry, VictimRegistry
+from ..errors import FormatError
 from ..geo.world import City, Country, Organization, World
 from ..monitor.schemas import BotnetRecord
 from ..obs import registry as _obs_registry
@@ -91,7 +92,7 @@ _VICTIM_COLS = (
 )
 
 
-class ColstoreError(ValueError):
+class ColstoreError(FormatError):
     """The file is not a valid colstore archive (or a newer version)."""
 
 

@@ -1,0 +1,54 @@
+"""``repro.serve`` — the long-running multi-tenant analysis service.
+
+A stdlib-only HTTP front on the :mod:`repro.api` facade: clients POST
+batches of Table I rows, the service folds them into per-tenant
+streaming datasets (single writer, bounded queue, 429 backpressure),
+and readers query epoch-tagged immutable snapshots — metadata, the full
+rendered experiment battery, or a single experiment — plus the process
+metrics registry.  For a pinned epoch the served renders are
+byte-identical to a local :func:`repro.api.run_all` over the same data.
+
+Layering (no sockets below the transport):
+
+* :mod:`~repro.serve.server` — ``ThreadingHTTPServer`` transport and the
+  :class:`AnalysisServer` lifecycle handle;
+* :mod:`~repro.serve.routes` — the ``/v1`` endpoint table, transport-free;
+* :mod:`~repro.serve.tenants` — per-tenant stream + writer thread +
+  epoch snapshot shelf;
+* :mod:`~repro.serve.codec` — JSON bodies in the JSONL row schema;
+* :mod:`~repro.serve.errors` — service errors and the exception→HTTP map.
+
+Start one from the facade (``api.serve(port=0)``), the CLI
+(``ddos-repro serve``), or directly:
+
+>>> from repro.serve import AnalysisServer
+>>> with AnalysisServer(port=0) as server:
+...     server.url.startswith("http://")
+True
+"""
+
+from __future__ import annotations
+
+from .errors import (
+    BackpressureError,
+    ConflictError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ServeError,
+)
+from .routes import Response, Router
+from .server import AnalysisServer
+from .tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "AnalysisServer",
+    "BackpressureError",
+    "ConflictError",
+    "MethodNotAllowedError",
+    "NotFoundError",
+    "Response",
+    "Router",
+    "ServeError",
+    "Tenant",
+    "TenantRegistry",
+]

@@ -1,0 +1,98 @@
+"""Service-side errors and the one mapping from exceptions to HTTP codes.
+
+The service does not grow a parallel error vocabulary: handlers raise the
+library's own taxonomy (:mod:`repro.errors`) plus the three service-only
+conditions below, and :func:`http_status` / :func:`error_payload` turn
+any of them into a response.  Because the mapping dispatches on the
+:class:`~repro.errors.ReproError` hierarchy, an error raised five layers
+down in ``repro.io`` or ``repro.stream`` surfaces with the right status
+code without the handler knowing it exists.
+
+==============================================  ======
+exception                                       status
+==============================================  ======
+:class:`~repro.errors.FormatError`              400
+:class:`~repro.errors.IngestError`              422
+:class:`~repro.errors.ShardLayoutError`         409
+:class:`ConflictError`                          409
+:class:`NotFoundError`                          404
+:class:`MethodNotAllowedError`                  405
+:class:`BackpressureError`                      429 (+ ``Retry-After``)
+other :class:`~repro.errors.ReproError`         500
+anything else                                   500
+==============================================  ======
+"""
+
+from __future__ import annotations
+
+from ..errors import FormatError, IngestError, ReproError, ShardLayoutError
+
+__all__ = [
+    "ServeError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "ConflictError",
+    "BackpressureError",
+    "http_status",
+    "error_payload",
+]
+
+
+class ServeError(ReproError):
+    """Base of the service-only error conditions (maps to HTTP 500)."""
+
+    status = 500
+
+
+class NotFoundError(ServeError):
+    """Unknown route, tenant, experiment id or evicted epoch (404)."""
+
+    status = 404
+
+
+class MethodNotAllowedError(ServeError):
+    """The path exists but not for this HTTP method (405)."""
+
+    status = 405
+
+
+class ConflictError(ServeError):
+    """The request is well-formed but the tenant's state refuses it (409).
+
+    E.g. querying experiments on a tenant that has not ingested anything
+    yet: there is no epoch snapshot to serve.
+    """
+
+    status = 409
+
+
+class BackpressureError(ServeError):
+    """The tenant's bounded ingest queue is full (429 + ``Retry-After``).
+
+    ``retry_after`` is the seconds the client should wait before
+    retrying; the server sends it as the ``Retry-After`` header.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status code for an exception (see the module table)."""
+    if isinstance(exc, ServeError):
+        return exc.status
+    if isinstance(exc, IngestError):
+        return 422
+    if isinstance(exc, ShardLayoutError):
+        return 409
+    if isinstance(exc, FormatError):
+        return 400
+    return 500
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The JSON error body: ``{"error": <class>, "detail": <message>}``."""
+    return {"error": type(exc).__name__, "detail": str(exc)}

@@ -36,34 +36,20 @@ import numpy as np
 
 from ..core.context import AnalysisContext
 from ..core.dataset import AttackDataset, BotRegistry, VictimRegistry
+from ..errors import IngestError
 from ..geo.world import COUNTRY_TABLE, City, Country, Organization, World
 from ..monitor.schemas import BotnetRecord, DDoSAttackRecord
 from ..obs import registry as _obs_registry
 from ..simulation.clock import ObservationWindow
 from .columns import GrowableColumn
 
+#: Re-exported for compatibility — the class moved to :mod:`repro.errors`
+#: when the taxonomy was unified; this module is its historical home.
 __all__ = ["IngestError", "StreamingDataset"]
 
 _KNOWN_CENTROIDS = {code: (lat, lon) for code, _n, lat, lon, _w in COUNTRY_TABLE}
 
 _SECONDS_PER_DAY = 86400
-
-
-class IngestError(ValueError):
-    """A malformed record (or record stream) was handed to the ingest path.
-
-    ``index`` is the position of the offending record in the input
-    iterable (None when the whole stream is at fault, e.g. empty input).
-
-    >>> from repro import api
-    >>> api.ingest([])
-    Traceback (most recent call last):
-    repro.stream.builder.IngestError: no records to ingest
-    """
-
-    def __init__(self, message: str, index: int | None = None) -> None:
-        super().__init__(message if index is None else f"record #{index}: {message}")
-        self.index = index
 
 
 def _validated(records: Iterable[DDoSAttackRecord], strict: bool) -> list[DDoSAttackRecord]:

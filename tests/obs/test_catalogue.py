@@ -79,6 +79,39 @@ def test_documented_metrics_match_emitted(tiny_config, tmp_path, monkeypatch):
         session = api.watch(log)
         assert session.poll() is not None
 
+        # serve: one HTTP ingest round-trip (requests, request_seconds,
+        # ingest.records, queue_depth, tenants) plus a forced 429 on a
+        # paused writer (ingest.rejected)
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.serve.codec import record_to_json
+
+        rows = [record_to_json(r) for r in records[:20]]
+        with api.serve(port=0, queue_size=1) as server:
+            body = json.dumps({"records": rows}).encode()
+            req = urllib.request.Request(
+                server.url + "/v1/ingest?tenant=cat", data=body, method="POST"
+            )
+            with urllib.request.urlopen(req, timeout=120) as resp:
+                assert resp.status == 200
+            tenant = server.tenants.get("cat")
+            tenant.pause()
+            rejected = 0
+            for _ in range(4):
+                req = urllib.request.Request(
+                    server.url + "/v1/ingest?tenant=cat&wait=0",
+                    data=body, method="POST",
+                )
+                try:
+                    urllib.request.urlopen(req, timeout=120).close()
+                except urllib.error.HTTPError as err:
+                    assert err.code == 429
+                    rejected += 1
+            assert rejected, "expected at least one 429 on the paused tenant"
+            tenant.resume()
+
         emitted = obs.registry().names()
     finally:
         obs.reset()

@@ -116,3 +116,106 @@ class TestShardedDispatch:
         sharded = [r.render() for r in api.run_all(api.context(store), jobs=1)]
         flat = [r.render() for r in api.run_all(api.context(tiny_ds), jobs=1)]
         assert sharded == flat
+
+
+class TestOpen:
+    """``api.open`` unifies the load / stream / generate dispatch."""
+
+    def test_open_nothing_starts_a_stream(self):
+        from repro.stream import StreamingDataset
+
+        stream = api.open()
+        assert isinstance(stream, StreamingDataset)
+        assert stream.n_attacks == 0
+
+    def test_open_config_generates(self, tiny_config, tiny_ds):
+        ds = api.open(tiny_config)
+        assert ds.n_attacks == tiny_ds.n_attacks
+
+    def test_open_path_loads(self, tiny_ds, tmp_path):
+        from repro.io.jsonlio import export_attacks_jsonl
+
+        path = tmp_path / "attacks.jsonl"
+        export_attacks_jsonl(tiny_ds, path)
+        assert api.open(path).n_attacks == tiny_ds.n_attacks
+
+    def test_open_dataset_is_identity(self, tiny_ds):
+        assert api.open(tiny_ds) is tiny_ds
+
+    def test_open_dataset_with_shards_partitions(self, tiny_ds):
+        from repro.io.colstore import ShardedDatasetStore
+
+        store = api.open(tiny_ds, shards=2)
+        assert isinstance(store, ShardedDatasetStore)
+        assert store.n_shards == 2
+
+    def test_open_store_passthrough_and_reshard_conflict(self, tiny_ds, tmp_path):
+        from repro.errors import ShardLayoutError
+        from repro.io.colstore import save_sharded_npz
+
+        store = api.load(save_sharded_npz(tiny_ds, tmp_path / "store", shards=2))
+        assert api.open(store) is store
+        with pytest.raises(ShardLayoutError):
+            api.open(store, shards=4)
+
+    def test_open_nothing_with_shards_rejected(self):
+        from repro.errors import ShardLayoutError
+
+        with pytest.raises(ShardLayoutError):
+            api.open(shards=2)
+
+    def test_open_garbage_rejected(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            api.open(object())
+
+
+class TestSurface:
+    """The documented facade surface: version, alias, doc coverage."""
+
+    def test_api_version_is_a_string(self):
+        major, minor = api.__version__.split(".")
+        assert int(major) >= 2
+
+    def test_loaded_data_alias_members(self):
+        from typing import get_args
+
+        from repro.io.colstore import ShardedDatasetStore
+
+        assert set(get_args(api.LoadedData)) == {
+            api.AttackDataset,
+            ShardedDatasetStore,
+        }
+
+    def test_errors_reachable_from_facade(self):
+        from repro import errors
+
+        assert api.ReproError is errors.ReproError
+        assert api.FormatError is errors.FormatError
+        assert api.ShardLayoutError is errors.ShardLayoutError
+        assert api.IngestError is errors.IngestError
+
+    def test_keyword_only_signatures(self):
+        """Everything after the first positional argument is keyword-only."""
+        import inspect
+
+        for name in ("generate", "open", "load", "ingest", "stream", "watch",
+                     "run_all", "serve"):
+            func = getattr(api, name)
+            params = list(inspect.signature(func).parameters.values())
+            for param in params[1:]:
+                assert param.kind in (
+                    inspect.Parameter.KEYWORD_ONLY,
+                    inspect.Parameter.VAR_KEYWORD,
+                ), f"api.{name} parameter {param.name!r} is not keyword-only"
+
+    def test_api_md_documents_every_export(self):
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+        text = doc.read_text()
+        for name in api.__all__:
+            assert f"api.{name}" in text, (
+                f"docs/API.md is missing the facade export {name!r}"
+            )

@@ -1,0 +1,112 @@
+"""Tests for the ``repro.errors`` taxonomy and its facade guarantees.
+
+Two contracts matter: every library failure is catchable as
+:class:`repro.errors.ReproError`, and the re-parenting kept the builtin
+bases (``FormatError`` is still a ``ValueError``) so pre-taxonomy
+callers that catch ``ValueError`` keep working.
+"""
+
+import pytest
+
+from repro import api, errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (errors.FormatError, errors.ShardLayoutError, errors.IngestError):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_builtin_bases_preserved(self):
+        for cls in (errors.FormatError, errors.ShardLayoutError, errors.IngestError):
+            assert issubclass(cls, ValueError)
+
+    def test_serve_errors_join_the_taxonomy(self):
+        from repro.serve import BackpressureError, NotFoundError, ServeError
+
+        assert issubclass(ServeError, errors.ReproError)
+        assert issubclass(NotFoundError, ServeError)
+        assert issubclass(BackpressureError, ServeError)
+
+    def test_stream_reexports_ingest_error(self):
+        from repro.stream import IngestError as stream_ingest_error
+
+        assert stream_ingest_error is errors.IngestError
+
+    def test_colstore_error_is_a_format_error(self):
+        from repro.io.colstore import ColstoreError
+
+        assert issubclass(ColstoreError, errors.FormatError)
+
+
+class TestRaisedTypes:
+    def test_load_unknown_extension_is_format_error(self, tmp_path):
+        with pytest.raises(errors.FormatError, match="cannot infer format"):
+            api.load(tmp_path / "attacks.xyz")
+
+    def test_load_resharding_store_is_shard_layout_error(self, tiny_ds, tmp_path):
+        from repro.io.colstore import save_sharded_npz
+
+        path = save_sharded_npz(tiny_ds, tmp_path / "store", shards=2)
+        with pytest.raises(errors.ShardLayoutError, match="already a sharded store"):
+            api.load(path, shards=4)
+
+    def test_open_unloadable_source_is_format_error(self):
+        with pytest.raises(errors.FormatError, match="cannot open"):
+            api.open(3.14)
+
+    def test_context_unknown_type_is_format_error(self):
+        with pytest.raises(errors.FormatError, match="cannot build an analysis context"):
+            api.context(42)
+
+    def test_empty_ingest_is_ingest_error(self):
+        with pytest.raises(errors.IngestError, match="no records to ingest"):
+            api.ingest([])
+
+    def test_ingest_error_carries_the_record_index(self, tiny_ds):
+        import dataclasses
+
+        record = next(iter(tiny_ds.iter_attacks()))
+        bad = dataclasses.replace(record, end_time=record.timestamp - 1.0)
+        stream = api.stream()
+        with pytest.raises(errors.IngestError, match="record #0") as excinfo:
+            stream.append_batch([bad])
+        assert excinfo.value.index == 0
+
+    def test_all_raised_errors_catchable_as_repro_error(self, tmp_path):
+        with pytest.raises(errors.ReproError):
+            api.load(tmp_path / "attacks.xyz")
+        with pytest.raises(errors.ReproError):
+            api.ingest([])
+
+
+class TestHTTPMapping:
+    def test_status_codes(self):
+        from repro.serve.errors import (
+            BackpressureError,
+            ConflictError,
+            MethodNotAllowedError,
+            NotFoundError,
+            http_status,
+        )
+
+        assert http_status(errors.FormatError("x")) == 400
+        assert http_status(errors.ShardLayoutError("x")) == 409
+        assert http_status(errors.IngestError("x")) == 422
+        assert http_status(NotFoundError("x")) == 404
+        assert http_status(MethodNotAllowedError("x")) == 405
+        assert http_status(ConflictError("x")) == 409
+        assert http_status(BackpressureError("x")) == 429
+        assert http_status(errors.ReproError("x")) == 500
+        assert http_status(RuntimeError("x")) == 500
+
+    def test_error_payload_shape(self):
+        from repro.serve.errors import error_payload
+
+        payload = error_payload(errors.FormatError("bad row"))
+        assert payload == {"error": "FormatError", "detail": "bad row"}
+
+    def test_backpressure_carries_retry_after(self):
+        from repro.serve.errors import BackpressureError
+
+        exc = BackpressureError("full", retry_after=2.5)
+        assert exc.retry_after == 2.5
