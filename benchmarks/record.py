@@ -74,8 +74,31 @@ accepted.  Scale-out legs per scale:
   battery on the merged context vs a fresh unsharded context, asserted
   byte-identical.
 
+The **stream path** (``--section stream``, baseline ``BENCH_stream.json``)
+measures the bounded-memory sketch layer against the exact streaming
+path at scale-out volume (5M synthetic attacks at ``full``).  Before any
+timing is accepted, the sketch answers are asserted against exact
+numpy-computed truth under the documented contracts (``docs/STREAMING.md``)
+and the sketch's resident memory is asserted flat between the first
+quarter of the stream and the end — the fixed-memory ceiling the ISSUE's
+acceptance criterion names.  Stream legs per scale:
+
+* ``synthesize`` — the synthetic attack table (same builder as the
+  scale-out section);
+* ``sketch_append`` — folding every row into an
+  :class:`repro.sketch.AttackStreamSummary` in batches via the
+  vectorised array path (the sustained sketch append rate);
+* ``exact_append`` — folding a capped prefix of real record objects
+  into an exact :class:`repro.stream.StreamingDataset` (capped because
+  exact mode is object-bound; the cap and measured resident bytes are
+  recorded for the memory comparison);
+* ``watch_sketch_session`` — a real ``WatchSession(sketch=True)`` fed
+  the same capped prefix through ``fold`` (the CLI ``watch --sketch``
+  code path).
+
 Derived ratios (``generate_speedup``, ``load_speedup``, ``warm_speedup``,
-``map_parallel_potential``) are stored next to the raw timings;
+``map_parallel_potential``, ``sketch_rows_per_sec``,
+``exact_to_sketch_memory``) are stored next to the raw timings;
 ``docs/PERFORMANCE.md`` quotes them.
 """
 
@@ -112,11 +135,18 @@ DEFAULT_OUT = {
     "cold": "BENCH_coldpath.json",
     "warm": "BENCH_warmpath.json",
     "scaleout": "BENCH_scaleout.json",
+    "stream": "BENCH_stream.json",
 }
 #: The scale-out section's ``full`` volume: ~10x the paper's 50,704
 #: attacks, partitioned into SCALEOUT_SHARDS time shards.
 SCALEOUT_ATTACKS = 5_000_000
 SCALEOUT_SHARDS = 8
+#: Exact mode materialises record objects, so the stream section caps
+#: its exact-path comparison legs at this many rows; the sketch leg
+#: always folds the full volume.
+STREAM_EXACT_CAP = 200_000
+#: Rows per append batch in the stream section (both modes).
+STREAM_BATCH = 100_000
 
 
 def _timed(fn):
@@ -131,6 +161,11 @@ def machine_manifest() -> dict:
         "machine": platform.machine(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        # parallel legs ask for PARALLEL_JOBS workers but repro.par caps
+        # at the CPU count; this is the worker count that actually ran,
+        # so baseline readers can tell a capped (serialised) fan-out
+        # from a real one.
+        "effective_parallel_jobs": min(PARALLEL_JOBS, os.cpu_count() or 1),
     }
 
 
@@ -373,6 +408,135 @@ def measure_scaleout_scale(name: str, scale: float, workdir: Path) -> dict:
     return entry
 
 
+def measure_stream_scale(name: str, scale: float) -> dict:
+    import itertools
+
+    import numpy as np
+
+    from repro.sketch import AttackStreamSummary
+    from repro.stream import StreamingDataset, WatchSession
+
+    n_rows = int(SCALEOUT_ATTACKS * scale)
+    print(f"[{name}] synthesize {n_rows} attacks ...", flush=True)
+    t_synth, ds = _timed(lambda: _synthetic_scaleout_dataset(n_rows))
+
+    # Per-attack string/int arrays, gathered once (the stream layer does
+    # the same gather per batch from record objects).
+    family = np.asarray(ds.families, dtype=object)[ds.family_idx]
+    codes = np.asarray([c.code for c in ds.world.countries], dtype=object)
+    country = codes[np.asarray(ds.victims.country_idx)[ds.target_idx]]
+    victim = np.asarray(ds.victims.ip)[ds.target_idx]
+    start, end, botnet = np.asarray(ds.start), np.asarray(ds.end), ds.botnet_id
+
+    print(f"[{name}] sketch append ({n_rows} rows) ...", flush=True)
+    summary = AttackStreamSummary()
+    quarter_bytes = 0
+
+    def sketch_append() -> None:
+        nonlocal quarter_bytes
+        quarter_row = max(1, n_rows // 4)
+        for lo in range(0, n_rows, STREAM_BATCH):
+            hi = min(lo + STREAM_BATCH, n_rows)
+            summary.update_arrays(
+                start=start[lo:hi], end=end[lo:hi], family=family[lo:hi],
+                country=country[lo:hi], victim=victim[lo:hi],
+                botnet=botnet[lo:hi],
+            )
+            if quarter_bytes == 0 and hi >= quarter_row:
+                quarter_bytes = summary.memory_bytes()
+
+    t_sketch, _ = _timed(sketch_append)
+    sketch_bytes = summary.memory_bytes()
+
+    # The acceptance criterion: resident sketch memory is flat past the
+    # first quarter of the stream (KLL may add a level — a few hundred
+    # bytes of logarithmic headroom — hence the 1.25 slack, far below
+    # the 4x an exact column would grow by).
+    assert summary.n_records == n_rows
+    assert sketch_bytes <= quarter_bytes * 1.25, (
+        f"sketch memory grew {quarter_bytes} -> {sketch_bytes} bytes "
+        "between the first quarter and the end of the stream"
+    )
+
+    # Accuracy gates against exact numpy truth, under docs/STREAMING.md
+    # contracts — no timing is accepted unless these hold.
+    est = summary.estimate()
+    fams, fam_counts = np.unique(family, return_counts=True)
+    slack = summary.cms_family.epsilon * summary.cms_family.total
+    for fam, true in zip(fams.tolist(), fam_counts.tolist()):
+        got = est["families"][fam]
+        assert true <= got <= true + slack, (
+            f"family {fam}: estimate {got} outside [{true}, {true + slack}]"
+        )
+    for key, column in (("botnets", botnet), ("victims", victim)):
+        true = len(np.unique(column))
+        got = est["distinct"][key]
+        rse = summary.hll_botnets.relative_error
+        assert abs(got - true) <= max(3 * rse * true, 3.0), (
+            f"distinct {key}: estimate {got} vs true {true} beyond 3*rse"
+        )
+    durations = np.sort(end - start)
+    for q in (0.1, 0.5, 0.9):
+        value = summary.kll_duration.quantile(q)
+        rank = np.searchsorted(durations, value, side="right") / durations.size
+        assert abs(rank - q) <= summary.kll_duration.rank_error, (
+            f"duration q={q}: estimate {value} has true rank {rank:.4f}"
+        )
+
+    cap = min(n_rows, STREAM_EXACT_CAP)
+    print(f"[{name}] exact append (capped at {cap} rows) ...", flush=True)
+    records = list(itertools.islice(ds.iter_attacks(), cap))
+    exact = StreamingDataset()
+
+    def exact_append() -> None:
+        for lo in range(0, cap, STREAM_BATCH):
+            exact.append_batch(records[lo:lo + STREAM_BATCH])
+
+    t_exact, _ = _timed(exact_append)
+    exact_bytes = exact.resident_bytes()
+
+    print(f"[{name}] watch --sketch session ({cap} rows) ...", flush=True)
+    session = WatchSession(os.devnull, sketch=True)
+
+    def drive_session() -> None:
+        for lo in range(0, cap, STREAM_BATCH):
+            session.fold(records[lo:lo + STREAM_BATCH])
+
+    t_watch, _ = _timed(drive_session)
+    assert session.n_attacks == cap
+    assert len(session.render()) > 0
+
+    timings = {
+        "synthesize": t_synth,
+        "sketch_append": t_sketch,
+        "exact_append": t_exact,
+        "watch_sketch_session": t_watch,
+    }
+    derived = {
+        "sketch_rows_per_sec": round(n_rows / max(t_sketch, 1e-9)),
+        "exact_rows_per_sec": round(cap / max(t_exact, 1e-9)),
+        # Memory the exact path spends per row the sketch path never
+        # will: at full scale the exact side would be 25x its capped
+        # figure while the sketch side stays at sketch_bytes.
+        "exact_to_sketch_memory": round(exact_bytes / max(sketch_bytes, 1), 1),
+    }
+    entry = {
+        "scale": scale,
+        "n_attacks": n_rows,
+        "memory": {
+            "sketch_bytes_quarter": int(quarter_bytes),
+            "sketch_bytes_end": int(sketch_bytes),
+            "exact_rows_measured": int(cap),
+            "exact_resident_bytes": int(exact_bytes),
+        },
+        "timings": timings,
+        "derived": derived,
+    }
+    print(f"[{name}] {json.dumps(timings)}")
+    print(f"[{name}] derived: {json.dumps(derived)}")
+    return entry
+
+
 def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Timings that regressed beyond ``tolerance``x the baseline."""
     failures = []
@@ -422,6 +586,8 @@ def main(argv: list[str] | None = None) -> int:
                 results[name] = measure_warm_scale(name, SCALES[name])
             elif args.section == "scaleout":
                 results[name] = measure_scaleout_scale(name, SCALES[name], Path(tmp))
+            elif args.section == "stream":
+                results[name] = measure_stream_scale(name, SCALES[name])
             else:
                 results[name] = measure_scale(name, SCALES[name], Path(tmp))
 

@@ -29,13 +29,14 @@ from .errors import FormatError, IngestError, ReproError, ShardLayoutError
 from .io.colstore import ShardedDatasetStore
 from .monitor.schemas import DDoSAttackRecord
 from .simulation.clock import ObservationWindow
+from .sketch import AttackStreamSummary
 from .stream import StreamingDataset, WatchSession
 
 #: The facade's own compatibility version (independent of the package
 #: version): the major bumps only on a breaking change to a documented
 #: ``api.*`` signature, the minor on additive growth.  ``docs/API.md``
 #: records each symbol's stability note against this number.
-__version__ = "2.0"
+__version__ = "2.1"
 
 #: What :func:`load` returns: one flat in-memory dataset, or the lazy
 #: handle onto a time-partitioned store (pass either to :func:`context`
@@ -52,7 +53,9 @@ __all__ = [
     "context",
     "run_all",
     "serve",
+    "sketch",
     "AnalysisContext",
+    "AttackStreamSummary",
     "AttackDataset",
     "DatasetConfig",
     "LoadedData",
@@ -266,18 +269,31 @@ def stream(*, window: ObservationWindow | None = None) -> StreamingDataset:
     return StreamingDataset(window=window)
 
 
-def watch(path: str | Path, *, window: ObservationWindow | None = None) -> WatchSession:
+def watch(
+    path: str | Path,
+    *,
+    window: ObservationWindow | None = None,
+    sketch: bool = False,
+    exact_window: int = 50_000,
+) -> WatchSession:
     """A poll-driven session tailing a JSONL attack log.
 
     Each ``poll()`` ingests newly appended records and returns the
     re-rendered headline report, or ``None`` when nothing changed.
+    With ``sketch=True`` the session runs at fixed memory: records fold
+    into an :class:`AttackStreamSummary` (plus a trailing window of
+    ``exact_window`` verbatim records) instead of materialising exact
+    columns forever, and the rendered report is the approximate one —
+    see ``docs/STREAMING.md`` for the memory model and error contract.
 
     >>> from repro import api
-    >>> session = api.watch("not-written-yet.jsonl")
+    >>> session = api.watch("not-written-yet.jsonl", sketch=True)
     >>> session.poll() is None              # log file does not exist yet
     True
     """
-    return WatchSession(path, window=window)
+    return WatchSession(
+        path, window=window, sketch=sketch, exact_window=exact_window
+    )
 
 
 def context(ds) -> AnalysisContext | ShardedAnalysisContext:
@@ -367,6 +383,7 @@ def serve(
     queue_size: int = 64,
     prewarm_jobs: int = 1,
     keep_epochs: int = 4,
+    max_tenant_bytes: int | None = None,
 ):
     """Start the multi-tenant analysis service and return its handle.
 
@@ -378,6 +395,12 @@ def serve(
     port (read it back from ``server.url``).  Stop it with
     ``server.stop()`` or use it as a context manager.  The CLI twin is
     ``ddos-repro serve``.
+
+    ``max_tenant_bytes`` caps each tenant's resident exact-column
+    memory: once a tenant's stream buffers exceed the ceiling, further
+    ingests are refused with 429/``Retry-After`` while the tenant's
+    ``/v1/sketch`` endpoint — fed by the fixed-memory summary every
+    tenant maintains — keeps answering (``docs/STREAMING.md``).
 
     >>> from repro import api
     >>> with api.serve(port=0) as server:
@@ -392,4 +415,71 @@ def serve(
         queue_size=queue_size,
         prewarm_jobs=prewarm_jobs,
         keep_epochs=keep_epochs,
+        max_tenant_bytes=max_tenant_bytes,
     ).start()
+
+
+def sketch(source=None, **params) -> AttackStreamSummary:
+    """A bounded-memory approximate summary of any dataset source.
+
+    Dispatches on what ``source`` is, mirroring :func:`open`:
+
+    * ``None`` — a fresh empty :class:`AttackStreamSummary` (feed it
+      with ``update`` / ``update_arrays``);
+    * an :class:`AttackDataset` — one vectorised pass over its columns
+      (:func:`repro.sketch.summarize_dataset`);
+    * a :class:`~repro.io.colstore.ShardedDatasetStore` — each shard is
+      summarised independently and the parts reduce through
+      :func:`repro.core.merge.sketch_summaries`, the sketch layer's
+      map-reduce;
+    * a :class:`StreamingDataset` built with ``sketches=True`` — its
+      own per-epoch snapshot (``params`` must be empty: the stream's
+      summary already fixed them); without sketches, its current
+      snapshot dataset is summarised like a flat dataset;
+    * any other iterable of records — folded via ``update``.
+
+    ``params`` (``epsilon``, ``delta``, ``precision``, ``k``,
+    ``reservoir_size``, ``seed``) forward to
+    :class:`AttackStreamSummary`; the defaults give the documented
+    contract in ``docs/STREAMING.md``.
+
+    >>> from repro import api
+    >>> ds = api.generate(scale=0.005)
+    >>> summary = api.sketch(ds)
+    >>> summary.n_records == ds.n_attacks
+    True
+    >>> sorted(summary.estimate()["families"]) == sorted(ds.active_families)
+    True
+    """
+    from .core.merge import sketch_summaries
+    from .sketch import summarize_dataset
+
+    if source is None:
+        return AttackStreamSummary(**params)
+    if isinstance(source, AttackStreamSummary):
+        return source
+    if isinstance(source, ShardedDatasetStore):
+        return sketch_summaries(
+            summarize_dataset(source.load_shard(i), **params)
+            for i in range(source.n_shards)
+        )
+    if isinstance(source, StreamingDataset):
+        if source.sketch is not None:
+            if params:
+                raise FormatError(
+                    "a sketch-enabled stream fixes its own sketch parameters; "
+                    "drop the overrides or summarise stream.dataset() instead"
+                )
+            return source.sketch_snapshot()
+        return summarize_dataset(source.dataset(), **params)
+    if isinstance(source, AttackDataset):
+        return summarize_dataset(source, **params)
+    if isinstance(source, Iterable):
+        summary = AttackStreamSummary(**params)
+        summary.update(source)
+        return summary
+    raise FormatError(
+        f"cannot sketch a {type(source).__name__}; expected None, an "
+        "AttackDataset, a ShardedDatasetStore, a StreamingDataset, or an "
+        "iterable of records"
+    )

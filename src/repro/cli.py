@@ -265,7 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
             "live: each poll ingests only the newly appended complete lines "
             "(an O(batch) incremental update for in-order logs) and "
             "re-renders when something changed. The status line shows the "
-            "attack count, the stream epoch and the ingest lag in seconds."
+            "attack count, the stream epoch and the ingest lag in seconds. "
+            "With --sketch the session runs at fixed memory forever: "
+            "records fold into bounded-memory sketches (Count-Min, "
+            "HyperLogLog, KLL) instead of exact columns, and the report "
+            "shows approximate answers with their documented error budget "
+            "(docs/STREAMING.md)."
         ),
         epilog="example:\n  ddos-repro watch --path attacks.jsonl --interval 2",
     )
@@ -277,6 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--max-polls", type=_positive_int, default=None,
         help="stop after this many polls (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--sketch", action="store_true",
+        help="bounded-memory mode: sketch summaries instead of exact columns",
+    )
+    watch.add_argument(
+        "--exact-window", type=_positive_int, default=50_000,
+        help="with --sketch, how many recent records to keep verbatim",
     )
 
     shard = _add_command(
@@ -303,10 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
             "server where clients POST batches of attack records "
             "(/v1/ingest, with bounded-queue backpressure) and query "
             "epoch-tagged immutable snapshots — metadata (/v1/snapshot), "
-            "the rendered experiment battery (/v1/experiments), process "
+            "the rendered experiment battery (/v1/experiments), the "
+            "bounded-memory approximate summary (/v1/sketch), process "
             "metrics (/v1/metrics) and liveness (/v1/healthz). With "
             "--preload, the current scale/seed dataset is ingested into "
-            "the 'default' tenant before the port opens."
+            "the 'default' tenant before the port opens. --max-tenant-mb "
+            "caps each tenant's resident exact-column memory: past the "
+            "ceiling, ingests get 429/Retry-After while /v1/sketch keeps "
+            "answering at fixed memory."
         ),
         epilog="example:\n  ddos-repro --scale 0.02 serve --port 8321 --preload",
     )
@@ -326,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--keep-epochs", type=_positive_int, default=4,
         help="epoch snapshots retained per tenant for pinned reads",
+    )
+    serve.add_argument(
+        "--max-tenant-mb", type=_positive_int, default=None,
+        help="per-tenant resident-memory ceiling in MiB (429 past it)",
     )
     serve.add_argument(
         "--preload", action="store_true",
@@ -545,7 +566,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
     from .stream import WatchSession
 
-    session = WatchSession(args.path)
+    session = WatchSession(
+        args.path, sketch=args.sketch, exact_window=args.exact_window
+    )
     polls = 0
     try:
         while args.max_polls is None or polls < args.max_polls:
@@ -600,6 +623,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         prewarm_jobs=args.prewarm_jobs,
         keep_epochs=args.keep_epochs,
+        max_tenant_bytes=(
+            args.max_tenant_mb * 1024 * 1024
+            if args.max_tenant_mb is not None
+            else None
+        ),
     )
     if args.preload:
         ds = load_or_generate(_config(args), args.cache_dir)

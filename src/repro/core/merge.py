@@ -61,6 +61,7 @@ __all__ = [
     "merge_snapshot_dispersions",
     "find_boundary_suspects",
     "merge_scan_events",
+    "sketch_summaries",
 ]
 
 
@@ -404,3 +405,32 @@ def merge_scan_events(
             )
     events.sort(key=lambda e: (e.start, e.target_index))
     return events
+
+
+# -- sketch summaries ------------------------------------------------------
+
+
+def sketch_summaries(summaries):
+    """Reduce per-shard :class:`~repro.sketch.AttackStreamSummary` values.
+
+    The sketch counterpart of the exact combinators above: every member
+    structure merges under its own associative algebra (Count-Min adds,
+    HLL maxes, KLL compacts), so any merge tree over the same shards
+    answers queries under the same documented error contract.  The only
+    boundary artefact is the one inter-attack interval spanning each
+    shard edge, which no shard observed (see
+    :meth:`repro.sketch.AttackStreamSummary.merge`) — the exact-interval
+    combinator :func:`merge_intervals` reinserts such gaps, the sketch
+    one cannot.
+
+    The inputs are left untouched (the reduce starts from a copy).
+    Raises ``ValueError`` on an empty sequence — an empty *summary* is a
+    fine identity, but the caller must pick its parameters.
+    """
+    parts = list(summaries)
+    if not parts:
+        raise ValueError("sketch_summaries needs at least one summary")
+    merged = parts[0].copy()
+    for part in parts[1:]:
+        merged.merge(part)
+    return merged

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
@@ -34,6 +35,10 @@ from typing import Any
 from ..obs import registry as _obs_registry
 
 __all__ = ["default_jobs", "fork_available", "parallel_map", "resolve_jobs"]
+
+#: Whether this process has already warned about a CPU-capped fan-out;
+#: the counter keeps counting, the warning fires once.
+_CAP_WARNED = False
 
 #: Fork-inherited payload for the fan-out in flight.  Set by the parent
 #: immediately before the executor is created, cleared after the map
@@ -86,20 +91,38 @@ def parallel_map(
     pickling.  Results come back in item order regardless of completion
     order, so a parallel map is a drop-in for the serial loop.
     """
-    global _PAYLOAD
+    global _PAYLOAD, _CAP_WARNED
     seq: Sequence[Any] = list(items)
     n_jobs = jobs if fork_available() else 1
     # More workers than cores only measures fork/pickle overhead (the
     # committed cold-path baseline shows jobs=4 running 0.75x on a
     # single-core machine), so an explicit ``jobs`` is capped at the
     # CPU count — on a 1-CPU box every fan-out degrades to serial.
-    n_jobs = min(n_jobs, os.cpu_count() or 1)
+    cpu_cap = os.cpu_count() or 1
+    capped = n_jobs > cpu_cap and len(seq) > cpu_cap
+    n_jobs = min(n_jobs, cpu_cap)
     n_jobs = max(1, min(n_jobs, len(seq)))
 
     reg = _obs_registry()
     name = label or getattr(worker, "__name__", "task").lstrip("_")
     reg.counter("par.tasks", phase=name).inc(len(seq))
     reg.gauge("par.jobs").set(n_jobs)
+    if capped:
+        # Silent serialisation misled BENCH readers on the 1-core bench
+        # machine; make the cap observable — a counter per capped
+        # fan-out, a warning once per process.
+        reg.counter("par.jobs_capped").inc()
+        if not _CAP_WARNED:
+            _CAP_WARNED = True
+            warnings.warn(
+                f"parallel_map requested jobs={jobs} but this machine has "
+                f"{cpu_cap} CPU(s); running with jobs={n_jobs}. Timings "
+                "recorded under higher jobs values measure the capped "
+                "worker count (see effective_parallel_jobs in BENCH "
+                "manifests).",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     _PAYLOAD = payload
     try:

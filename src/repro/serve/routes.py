@@ -13,6 +13,7 @@ endpoint                      meaning
 ============================  ======================================
 ``POST /v1/ingest``           append a batch of Table I rows
 ``GET  /v1/snapshot``         epoch-tagged snapshot metadata
+``GET  /v1/sketch``           bounded-memory approximate summary
 ``GET  /v1/experiments``      the full rendered battery for an epoch
 ``GET  /v1/experiments/{id}`` one experiment's rendered output
 ``GET  /v1/metrics``          the process obs-registry snapshot
@@ -127,6 +128,9 @@ class Router:
         if path == "/v1/snapshot":
             self._require(method, "GET", path)
             return self._snapshot(query)
+        if path == "/v1/sketch":
+            self._require(method, "GET", path)
+            return self._sketch(query)
         if path == "/v1/experiments":
             self._require(method, "GET", path)
             return self._experiments(query)
@@ -152,6 +156,8 @@ class Router:
             return "ingest"
         if path == "/v1/snapshot":
             return "snapshot"
+        if path == "/v1/sketch":
+            return "sketch"
         if path == "/v1/experiments":
             return "experiments"
         if path.startswith("/v1/experiments/"):
@@ -196,6 +202,21 @@ class Router:
                     },
                 )
         return Response(status=200, payload=payload, route="snapshot")
+
+    def _sketch(self, query: dict) -> Response:
+        with _obs_registry().span("serve.sketch"):
+            tenant = self.tenants.get(_one(query, "tenant", _DEFAULT_TENANT))
+            epoch, sketch = tenant.sketch_at(_epoch_of(query))
+            payload = {
+                "tenant": tenant.name,
+                "epoch": epoch,
+                "n_records": sketch.n_records,
+                "estimate": sketch.estimate(),
+                "contract": sketch.contract(),
+                "sketch_bytes": sketch.memory_bytes(),
+                "resident_bytes": tenant.resident_bytes,
+            }
+        return Response(status=200, payload=payload, route="sketch")
 
     def _experiments(self, query: dict) -> Response:
         with _obs_registry().span("serve.experiments"):

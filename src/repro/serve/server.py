@@ -121,6 +121,7 @@ class AnalysisServer:
         prewarm_jobs: int = 1,
         keep_epochs: int = 4,
         retry_after: float = 1.0,
+        max_tenant_bytes: int | None = None,
     ) -> None:
         from .tenants import TenantRegistry
 
@@ -132,6 +133,7 @@ class AnalysisServer:
                 prewarm_jobs=prewarm_jobs,
                 keep_epochs=keep_epochs,
                 retry_after=retry_after,
+                max_tenant_bytes=max_tenant_bytes,
             )
         )
         self._httpd: _HTTPServer | None = None

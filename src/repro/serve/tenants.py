@@ -64,6 +64,7 @@ class Tenant:
         prewarm_jobs: int = 1,
         keep_epochs: int = 4,
         retry_after: float = 1.0,
+        max_tenant_bytes: int | None = None,
     ) -> None:
         if not _TENANT_NAME.match(name):
             raise FormatError(
@@ -77,12 +78,14 @@ class Tenant:
         self._prewarm_jobs = prewarm_jobs
         self._keep_epochs = max(1, keep_epochs)
         self._retry_after = retry_after
-        self._stream = StreamingDataset()
+        self._max_tenant_bytes = max_tenant_bytes
+        self._stream = StreamingDataset(sketches=True)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._running = threading.Event()
         self._running.set()
         self._lock = threading.Lock()
         self._epochs: "OrderedDict[int, AnalysisContext]" = OrderedDict()
+        self._sketches: "OrderedDict[int, object]" = OrderedDict()
         self._render_lock = threading.Lock()
         self._renders: dict[int, list[tuple[str, str]]] = {}
         self._writer = threading.Thread(
@@ -107,6 +110,18 @@ class Tenant:
         ``{"queued": True, ...}`` as soon as the batch is admitted.
         """
         batch = list(records)
+        if (
+            self._max_tenant_bytes is not None
+            and self._stream.resident_bytes() >= self._max_tenant_bytes
+        ):
+            _obs_registry().counter("serve.ingest.rejected").inc()
+            raise BackpressureError(
+                f"tenant {self.name!r} is at its memory ceiling "
+                f"({self._stream.resident_bytes()} of {self._max_tenant_bytes} "
+                "resident bytes); query /v1/sketch for the bounded-memory "
+                "summary, or retry after eviction",
+                retry_after=self._retry_after,
+            )
         future: Future = Future()
         try:
             self._queue.put_nowait((batch, future))
@@ -145,6 +160,9 @@ class Tenant:
                 if n:
                     self._publish(epoch, ctx)
                     reg.counter("serve.ingest.records").inc(n)
+                    reg.gauge("serve.tenant_bytes", tenant=self.name).set(
+                        self._stream.resident_bytes()
+                    )
                 result = {
                     "tenant": self.name,
                     "accepted": n,
@@ -158,10 +176,13 @@ class Tenant:
                 self._gauge_depth()
 
     def _publish(self, epoch: int, ctx: AnalysisContext) -> None:
+        sketch = self._stream.sketch_snapshot()
         with self._lock:
             self._epochs[epoch] = ctx
+            self._sketches[epoch] = sketch
             while len(self._epochs) > self._keep_epochs:
                 evicted, _ = self._epochs.popitem(last=False)
+                self._sketches.pop(evicted, None)
                 self._renders.pop(evicted, None)
 
     def _gauge_depth(self) -> None:
@@ -219,6 +240,33 @@ class Tenant:
                 f"snapshot shelf (retained: {self.retained_epochs()})"
             )
         return epoch, ctx
+
+    def sketch_at(self, epoch: int | None = None) -> tuple[int, object]:
+        """A published epoch's frozen sketch summary (latest when ``None``).
+
+        The sketch shelf is published in lockstep with the context shelf
+        (same epochs, same eviction), so any epoch :meth:`context_at`
+        can serve, this can too.  Raises the same 409/404 errors.
+        """
+        with self._lock:
+            if not self._sketches:
+                raise ConflictError(
+                    f"tenant {self.name!r} has no data yet; POST /v1/ingest first"
+                )
+            if epoch is None:
+                epoch = next(reversed(self._sketches))
+            sketch = self._sketches.get(epoch)
+        if sketch is None:
+            raise NotFoundError(
+                f"epoch {epoch} of tenant {self.name!r} is not on the "
+                f"snapshot shelf (retained: {self.retained_epochs()})"
+            )
+        return epoch, sketch
+
+    @property
+    def resident_bytes(self) -> int:
+        """The stream's resident buffer bytes (the ceiling's measure)."""
+        return self._stream.resident_bytes()
 
     def retained_epochs(self) -> list[int]:
         """The epochs currently on the shelf, oldest first."""
@@ -302,12 +350,14 @@ class TenantRegistry:
         prewarm_jobs: int = 1,
         keep_epochs: int = 4,
         retry_after: float = 1.0,
+        max_tenant_bytes: int | None = None,
     ) -> None:
         self._config = dict(
             queue_size=queue_size,
             prewarm_jobs=prewarm_jobs,
             keep_epochs=keep_epochs,
             retry_after=retry_after,
+            max_tenant_bytes=max_tenant_bytes,
         )
         self._lock = threading.Lock()
         self._tenants: dict[str, Tenant] = {}

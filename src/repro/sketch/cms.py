@@ -1,0 +1,205 @@
+"""Count-Min Sketch: bounded-memory per-key frequency estimates.
+
+The classic Cormode–Muthukrishnan structure: a ``depth x width`` table
+of counters, one pairwise-independent hash row per depth, point queries
+answered by the minimum over rows.  With ``width = ceil(e / epsilon)``
+and ``depth = ceil(ln(1 / delta))`` the estimate for any key obeys the
+standard contract
+
+    true <= estimate <= true + epsilon * total
+
+with probability at least ``1 - delta`` (over the hash choice; the
+lower bound always holds — Count-Min never under-counts).  ``total`` is
+the number of updates folded in, so the *absolute* slack grows with the
+stream while the memory stays fixed: ``depth * width`` int64 counters,
+~109 KiB at the defaults.
+
+Merging two sketches built with the same ``(epsilon, delta, seed)`` is
+element-wise addition — exactly the semantics the shard layer's
+map-reduce needs (associative, commutative, identity = empty sketch).
+"""
+
+from __future__ import annotations
+
+import base64
+import math
+
+import numpy as np
+
+from .hashing import code_of, codes_of, hash_codes
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Approximate per-key counts in fixed memory.
+
+    >>> from repro.sketch import CountMinSketch
+    >>> cms = CountMinSketch(epsilon=0.01, delta=0.01, seed=7)
+    >>> cms.update(["pandora"] * 40 + ["dirtjumper"] * 2)
+    >>> true_slack = cms.epsilon * cms.total
+    >>> 40 <= cms.estimate("pandora") <= 40 + true_slack
+    True
+    """
+
+    __slots__ = ("_epsilon", "_delta", "_seed", "_table", "_total")
+
+    def __init__(
+        self, *, epsilon: float = 0.001, delta: float = 0.01, seed: int = 7
+    ) -> None:
+        if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
+            raise ValueError(
+                f"epsilon and delta must be in (0, 1), got {epsilon}, {delta}"
+            )
+        self._epsilon = float(epsilon)
+        self._delta = float(delta)
+        self._seed = int(seed)
+        width = math.ceil(math.e / epsilon)
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._total = 0
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        """The relative error bound: estimate - true <= epsilon * total."""
+        return self._epsilon
+
+    @property
+    def delta(self) -> float:
+        """The failure probability of the epsilon bound (per query)."""
+        return self._delta
+
+    @property
+    def seed(self) -> int:
+        """The hash seed; merges require equal seeds."""
+        return self._seed
+
+    @property
+    def width(self) -> int:
+        """Counters per hash row (``ceil(e / epsilon)``)."""
+        return self._table.shape[1]
+
+    @property
+    def depth(self) -> int:
+        """Hash rows (``ceil(ln(1 / delta))``)."""
+        return self._table.shape[0]
+
+    @property
+    def total(self) -> int:
+        """Updates folded in so far (the L1 mass of the sketch)."""
+        return self._total
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident size of the counter table."""
+        return int(self._table.nbytes)
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, keys, counts=None) -> None:
+        """Fold a batch of keys (ints or strings) into the sketch.
+
+        ``counts`` (optional, same length) adds that many per key
+        instead of 1.  Vectorised: one hash pass and one scatter-add per
+        depth row.
+        """
+        codes = codes_of(keys)
+        if codes.size == 0:
+            return
+        if counts is None:
+            weights = None
+            added = int(codes.size)
+        else:
+            weights = np.asarray(counts, dtype=np.int64)
+            if weights.shape != codes.shape:
+                raise ValueError("counts must match keys in length")
+            added = int(weights.sum())
+        width = np.uint64(self.width)
+        for row in range(self.depth):
+            slots = hash_codes(codes, seed=self._seed * 31 + row) % width
+            if weights is None:
+                np.add.at(self._table[row], slots.astype(np.intp), 1)
+            else:
+                np.add.at(self._table[row], slots.astype(np.intp), weights)
+        self._total += added
+
+    # -- queries -----------------------------------------------------------
+
+    def estimate(self, key) -> int:
+        """The key's estimated count (never below the true count)."""
+        return int(self.estimate_many([code_of(key)])[0])
+
+    def estimate_many(self, keys) -> np.ndarray:
+        """Vectorised :meth:`estimate` over a batch of keys."""
+        codes = codes_of(keys)
+        if codes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        width = np.uint64(self.width)
+        out = np.full(codes.size, np.iinfo(np.int64).max, dtype=np.int64)
+        for row in range(self.depth):
+            slots = hash_codes(codes, seed=self._seed * 31 + row) % width
+            np.minimum(out, self._table[row][slots.astype(np.intp)], out=out)
+        return out
+
+    # -- algebra -----------------------------------------------------------
+
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if not isinstance(other, CountMinSketch):
+            raise TypeError(f"cannot merge CountMinSketch with {type(other).__name__}")
+        if (self._epsilon, self._delta, self._seed) != (
+            other._epsilon, other._delta, other._seed,
+        ):
+            raise ValueError(
+                "cannot merge Count-Min sketches with different "
+                f"(epsilon, delta, seed): {(self._epsilon, self._delta, self._seed)} "
+                f"vs {(other._epsilon, other._delta, other._seed)}"
+            )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Fold another sketch in (element-wise add); returns ``self``.
+
+        Requires identical ``(epsilon, delta, seed)``.  Associative and
+        commutative: any merge tree over the same batches yields the
+        same table.
+        """
+        self._check_compatible(other)
+        self._table += other._table
+        self._total += other._total
+        return self
+
+    def copy(self) -> "CountMinSketch":
+        """An independent deep copy (same parameters and counters)."""
+        dup = CountMinSketch(epsilon=self._epsilon, delta=self._delta, seed=self._seed)
+        dup._table = self._table.copy()
+        dup._total = self._total
+        return dup
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able state (counters base64-encoded little-endian int64)."""
+        return {
+            "kind": "cms",
+            "epsilon": self._epsilon,
+            "delta": self._delta,
+            "seed": self._seed,
+            "total": self._total,
+            "table": base64.b64encode(
+                np.ascontiguousarray(self._table, dtype="<i8").tobytes()
+            ).decode("ascii"),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "CountMinSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        sketch = cls(
+            epsilon=state["epsilon"], delta=state["delta"], seed=state["seed"]
+        )
+        table = np.frombuffer(
+            base64.b64decode(state["table"]), dtype="<i8"
+        ).reshape(sketch._table.shape)
+        sketch._table = table.astype(np.int64)
+        sketch._total = int(state["total"])
+        return sketch

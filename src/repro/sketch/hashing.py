@@ -1,0 +1,98 @@
+"""Deterministic 64-bit hashing shared by every sketch structure.
+
+All sketches in :mod:`repro.sketch` hash through one primitive so their
+estimates are reproducible across processes and machines: a SplitMix64
+finalizer over unsigned 64-bit numpy arrays (vectorised, overflow-
+wrapping by construction) seeded per use site.  Python's builtin
+``hash`` is deliberately avoided — it is salted per process
+(``PYTHONHASHSEED``), which would make two runs of the same stream
+disagree about which counter a key lands in.
+
+Keys come in two shapes:
+
+* **integer keys** (victim IPs, botnet ids) pass through as their own
+  64-bit code and are hashed in bulk by :func:`hash_codes`;
+* **string keys** (family names, country codes) are folded to a 64-bit
+  code once via BLAKE2b (:func:`code_of`) and memoised — the string
+  domains here (23 families, ~200 countries) are tiny, so the memo is
+  bounded by the domain, not the stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["code_of", "codes_of", "hash_codes"]
+
+_U64 = np.uint64
+
+#: SplitMix64 increment (odd), used to derive per-row seeds.
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+
+#: Memo of string-key codes; bounded by the key domains (families,
+#: country codes), never by stream length.
+_STR_CODES: dict[str, int] = {}
+
+
+def _mix(z: np.ndarray) -> np.ndarray:
+    """The SplitMix64 finalizer over a uint64 array (wrapping)."""
+    with np.errstate(over="ignore"):
+        z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+        return z ^ (z >> _U64(31))
+
+
+def hash_codes(codes: np.ndarray, seed: int) -> np.ndarray:
+    """Hash a uint64 code array under one seed (uint64 out, vectorised).
+
+    Different seeds give (empirically) independent hash functions, which
+    is what the Count-Min rows and the HyperLogLog index/rank split rely
+    on.
+
+    >>> import numpy as np
+    >>> from repro.sketch.hashing import hash_codes
+    >>> a = hash_codes(np.arange(4, dtype=np.uint64), seed=0)
+    >>> b = hash_codes(np.arange(4, dtype=np.uint64), seed=1)
+    >>> a.dtype == np.uint64 and not np.array_equal(a, b)
+    True
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = codes + _GOLDEN * _U64(2 * seed + 1)
+    return _mix(z)
+
+
+def code_of(key) -> int:
+    """The stable 64-bit code of one scalar key (int or str).
+
+    Integers pass through (masked to 64 bits); strings are digested with
+    BLAKE2b and memoised, so repeated lookups of the same family or
+    country name cost a dict hit.
+    """
+    if isinstance(key, (int, np.integer)):
+        return int(key) & 0xFFFFFFFFFFFFFFFF
+    if isinstance(key, str):
+        code = _STR_CODES.get(key)
+        if code is None:
+            code = int.from_bytes(
+                hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
+            )
+            _STR_CODES[key] = code
+        return code
+    raise TypeError(f"sketch keys must be int or str, got {type(key).__name__}")
+
+
+def codes_of(keys) -> np.ndarray:
+    """Vectorised :func:`code_of`: a uint64 code array for a key batch.
+
+    Integer arrays are reinterpreted in bulk; anything else goes through
+    the scalar path (amortised to a memo hit per distinct string).
+    """
+    arr = np.asarray(keys)
+    if arr.dtype.kind in ("i", "u"):
+        return arr.astype(np.uint64, copy=False)
+    return np.fromiter(
+        (code_of(k) for k in arr.tolist()), dtype=np.uint64, count=arr.size
+    )

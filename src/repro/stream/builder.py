@@ -94,10 +94,25 @@ class StreamingDataset:
     documented in :mod:`repro.io.ingest`.
     """
 
-    def __init__(self, window: ObservationWindow | None = None) -> None:
+    def __init__(
+        self,
+        window: ObservationWindow | None = None,
+        *,
+        sketches: bool = False,
+    ) -> None:
         self._window_fixed = window
         self._min_start: float | None = None
         self._max_end: float | None = None
+
+        #: Optional fixed-memory summary maintained alongside the exact
+        #: columns (see :mod:`repro.sketch`); per-epoch snapshot copies
+        #: are cached so concurrent readers get immutable state.
+        self._summary = None
+        if sketches:
+            from ..sketch import AttackStreamSummary
+
+            self._summary = AttackStreamSummary()
+        self._sketch_cache: tuple[int, object] | None = None
 
         self._world = World()
         self._country_of: dict[str, int] = {}
@@ -322,6 +337,16 @@ class StreamingDataset:
         if self._spilled_rows and start[0] <= self._spill_max_start:
             self._spill_dirty = True
 
+        if self._summary is not None:
+            self._summary.update_arrays(
+                start=start,
+                end=end,
+                family=np.asarray([r.family for r in batch], dtype=object),
+                country=np.asarray([r.country_code for r in batch], dtype=object),
+                victim=np.asarray([r.target_ip for r in batch], dtype=np.uint64),
+                botnet=botnet,
+            )
+
         in_order = last_key is None or (start[0], int(botnet[0])) >= last_key
         self._start.append(start)
         self._end.append(end)
@@ -493,6 +518,56 @@ class StreamingDataset:
     def dataset(self) -> AttackDataset:
         """The current snapshot dataset (see :meth:`context`)."""
         return self.context().dataset
+
+    # -- sketches ----------------------------------------------------------
+
+    @property
+    def sketch(self):
+        """The live fixed-memory summary, or ``None`` in exact-only mode.
+
+        Only present when the stream was built with ``sketches=True``;
+        it is the *mutable* summary the append path feeds — readers that
+        need immutable state should take :meth:`sketch_snapshot`.
+        """
+        return self._summary
+
+    def sketch_snapshot(self):
+        """An immutable copy of the summary at the current epoch.
+
+        Cached per epoch, like :meth:`context`: repeated calls between
+        appends return the same object, so concurrent readers share one
+        frozen copy while the live summary keeps absorbing batches.
+        Raises ``ValueError`` when the stream was built without
+        ``sketches=True``.
+        """
+        if self._summary is None:
+            raise ValueError(
+                "this stream has no sketches; build it with "
+                "StreamingDataset(sketches=True)"
+            )
+        if self._sketch_cache is None or self._sketch_cache[0] != self._epoch:
+            self._sketch_cache = (self._epoch, self._summary.copy())
+        return self._sketch_cache[1]
+
+    def resident_bytes(self) -> int:
+        """Resident bytes of the stream's own buffers.
+
+        Counts the attack-column and victim-column backing buffers (at
+        capacity, i.e. what is actually allocated) plus the sketch
+        summary when enabled.  Interning dicts and snapshot contexts are
+        not included — this is the number the serve layer's per-tenant
+        memory ceiling compares against.
+        """
+        columns = (
+            self._start, self._end, self._family_idx, self._botnet_id,
+            self._protocol, self._target_idx, self._magnitude,
+            self._v_ip, self._v_lat, self._v_lon, self._v_cc,
+            self._v_city, self._v_org, self._v_asn,
+        )
+        total = sum(col.nbytes for col in columns)
+        if self._summary is not None:
+            total += self._summary.memory_bytes()
+        return int(total)
 
     # -- spilling ----------------------------------------------------------
 

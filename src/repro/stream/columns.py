@@ -32,6 +32,11 @@ class GrowableColumn:
     def dtype(self):
         return self._buf.dtype
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the backing buffer (capacity, not length)."""
+        return int(self._buf.nbytes)
+
     def append(self, values) -> None:
         """Append a batch of values (list or array) to the column."""
         values = np.asarray(values, dtype=self._buf.dtype)

@@ -11,12 +11,23 @@ report rendering.  Each poll that finds new records appends them (an
 O(batch) incremental update for in-order logs) and re-renders the
 headline report from the snapshot context; polls that find nothing
 return ``None`` without touching the stream.
+
+Sessions come in two memory models (``docs/STREAMING.md``):
+
+* **exact** (default) — every record is materialised into a
+  :class:`StreamingDataset`; memory grows with the log.
+* **sketch** (``sketch=True``, the CLI's ``--sketch``) — records fold
+  into an :class:`~repro.sketch.AttackStreamSummary` and only the most
+  recent ``exact_window`` records are retained verbatim; memory is
+  fixed no matter how long the log grows, and the rendered report is
+  the approximate one with its error budget in the footer.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from pathlib import Path
 
 from ..monitor.schemas import DDoSAttackRecord
@@ -94,6 +105,10 @@ class WatchSession:
     True
     >>> (session.n_attacks, session.epoch)
     (0, 0)
+
+    With ``sketch=True`` the session never materialises exact columns
+    beyond the trailing ``exact_window`` records; ``render`` produces
+    the approximate report instead (``repro.sketch.render_sketch_report``).
     """
 
     def __init__(
@@ -102,21 +117,54 @@ class WatchSession:
         *,
         window: ObservationWindow | None = None,
         renderer=None,
+        sketch: bool = False,
+        exact_window: int = 50_000,
     ) -> None:
         self._tail = JsonlTail(path)
-        self._stream = StreamingDataset(window=window)
         self._renderer = renderer
+        self._stream: StreamingDataset | None = None
+        self._summary = None
+        self._recent: deque | None = None
+        self._epoch_count = 0
+        if sketch:
+            from ..sketch import AttackStreamSummary
+
+            if exact_window < 0:
+                raise ValueError(f"exact_window must be >= 0, got {exact_window}")
+            self._summary = AttackStreamSummary()
+            self._recent = deque(maxlen=exact_window)
+        else:
+            self._stream = StreamingDataset(window=window)
 
     @property
-    def stream(self) -> StreamingDataset:
+    def stream(self) -> StreamingDataset | None:
+        """The exact-mode dataset, or ``None`` in sketch mode."""
         return self._stream
 
     @property
+    def sketch(self):
+        """The sketch-mode summary, or ``None`` in exact mode."""
+        return self._summary
+
+    @property
+    def recent(self) -> list:
+        """Sketch mode's trailing exact-record window (newest last).
+
+        Empty in exact mode — there the full record history lives in
+        :attr:`stream`.
+        """
+        return list(self._recent) if self._recent is not None else []
+
+    @property
     def n_attacks(self) -> int:
+        if self._summary is not None:
+            return self._summary.n_records
         return self._stream.n_attacks
 
     @property
     def epoch(self) -> int:
+        if self._summary is not None:
+            return self._epoch_count
         return self._stream.epoch
 
     @property
@@ -147,7 +195,7 @@ class WatchSession:
         records = self._tail.poll()
         if not records:
             return None
-        appended = self._stream.append_batch(records)
+        appended = self.fold(records)
         if not appended:
             return None
         reg.counter("watch.lines_ingested").inc(appended)
@@ -156,10 +204,39 @@ class WatchSession:
         reg.histogram("watch.render_seconds").observe(time.perf_counter() - t0)
         return rendered
 
+    def fold(self, records) -> int:
+        """Ingest records directly, bypassing the JSONL transport.
+
+        The same path :meth:`poll` uses once it has parsed new lines —
+        exposed so drivers that already hold record objects (benchmarks,
+        tests, embedding applications) can feed a session without
+        round-tripping through a log file.  Returns the number folded.
+        """
+        if self._summary is not None:
+            batch = sorted(records, key=lambda r: r.timestamp)
+            folded = self._summary.update(batch)
+            if folded:
+                self._recent.extend(batch)
+                self._epoch_count += 1
+            return folded
+        return self._stream.append_batch(records)
+
     def render(self) -> str:
-        """The report for the current snapshot (headline + protocol mix)."""
-        if self._stream.n_attacks == 0:
+        """The report for the current state.
+
+        Exact mode renders the headline + protocol mix from the snapshot
+        context; sketch mode renders the approximate summary report
+        (with its error budget in the footer).  A custom ``renderer``
+        callable receives the context (exact) or summary (sketch).
+        """
+        if self.n_attacks == 0:
             return "(no attacks ingested yet)"
+        if self._summary is not None:
+            if self._renderer is not None:
+                return self._renderer(self._summary)
+            from ..sketch import render_sketch_report
+
+            return render_sketch_report(self._summary)
         ctx = self._stream.context()
         if self._renderer is not None:
             return self._renderer(ctx)

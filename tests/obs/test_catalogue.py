@@ -19,6 +19,11 @@ DOC = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
 _ROW = re.compile(r"^\| `([a-z][a-z0-9_.]+)` \|", re.MULTILINE)
 
 
+def _echo(payload, item):
+    """Module-level worker for the capped-fan-out probe."""
+    return item
+
+
 def documented_metrics() -> set[str]:
     """Metric names from the catalogue table in docs/OBSERVABILITY.md."""
     text = DOC.read_text()
@@ -73,11 +78,30 @@ def test_documented_metrics_match_emitted(tiny_config, tmp_path, monkeypatch):
         stream.spill_shards(tmp_path / "spill-store")
         stream.append_batch(records[:10])
 
-        # watch: tail a real log
+        # watch: tail a real log, in both memory models
         log = tmp_path / "attacks.jsonl"
         append_attacks_jsonl(records[:20], log)
         session = api.watch(log)
         assert session.poll() is not None
+        sketch_session = api.watch(log, sketch=True)
+        assert sketch_session.poll() is not None
+
+        # sketch layer: updates, memory/error-budget gauges, one merge
+        from repro.core.merge import sketch_summaries
+        from repro.sketch import summarize_dataset
+
+        sketch_summaries([summarize_dataset(ds), summarize_dataset(ds)])
+
+        # a capped fan-out: more jobs than CPUs on a multi-item map
+        import warnings
+
+        from repro.par.pool import parallel_map
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr("os.cpu_count", lambda: 1)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                parallel_map(_echo, [1, 2], jobs=2)
 
         # serve: one HTTP ingest round-trip (requests, request_seconds,
         # ingest.records, queue_depth, tenants) plus a forced 429 on a

@@ -1,0 +1,1 @@
+"""Tests for the bounded-memory sketch layer (``repro.sketch``)."""

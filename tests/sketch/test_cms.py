@@ -1,0 +1,111 @@
+"""Count-Min Sketch: the one-sided error contract, algebra, state.
+
+The contract under test is the classic CM guarantee: estimates never
+under-count, and over-count by at most ``epsilon * total`` (here checked
+deterministically for *every* key, not just with probability 1 - delta,
+because the test stream is far below the collision regime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch import CountMinSketch
+
+
+def _skewed_stream(n_keys: int, seed: int = 7):
+    """Zipf-ish key frequencies, like attacks-per-family."""
+    rng = np.random.default_rng(seed)
+    keys = np.array([f"key-{i}" for i in range(n_keys)], dtype=object)
+    counts = np.maximum(1, (5000 / np.arange(1, n_keys + 1)).astype(np.int64))
+    rng.shuffle(counts)
+    return keys, counts
+
+
+class TestContract:
+    def test_never_undercounts_and_respects_epsilon(self):
+        cms = CountMinSketch(epsilon=0.001, delta=0.01, seed=7)
+        keys, counts = _skewed_stream(500)
+        cms.update(keys, counts)
+        total = int(counts.sum())
+        assert cms.total == total
+        got = cms.estimate_many(keys)
+        true = counts
+        assert np.all(got >= true), "CMS must never under-count"
+        assert np.all(got <= true + cms.epsilon * total)
+
+    def test_absent_key_bounded(self):
+        cms = CountMinSketch(epsilon=0.001, delta=0.01, seed=7)
+        keys, counts = _skewed_stream(200)
+        cms.update(keys, counts)
+        assert 0 <= cms.estimate("never-seen") <= cms.epsilon * cms.total
+
+    def test_unit_counts_default(self):
+        cms = CountMinSketch(seed=7)
+        cms.update(["a", "a", "b"])
+        assert cms.total == 3
+        assert cms.estimate("a") >= 2
+        assert cms.estimate("b") >= 1
+
+    def test_dimensions_from_epsilon_delta(self):
+        cms = CountMinSketch(epsilon=0.001, delta=0.01)
+        assert cms.width == int(np.ceil(np.e / 0.001))
+        assert cms.depth == max(1, int(np.ceil(np.log(1.0 / 0.01))))
+        assert cms.memory_bytes == cms.width * cms.depth * 8
+
+    def test_integer_keys_accepted(self):
+        cms = CountMinSketch(seed=7)
+        cms.update(np.arange(100), np.ones(100, dtype=np.int64))
+        assert cms.estimate(int(np.arange(100)[3])) >= 1
+
+
+class TestAlgebra:
+    def test_merge_equals_single_pass(self):
+        keys, counts = _skewed_stream(300)
+        whole = CountMinSketch(seed=7)
+        whole.update(keys, counts)
+        left = CountMinSketch(seed=7)
+        right = CountMinSketch(seed=7)
+        left.update(keys[:150], counts[:150])
+        right.update(keys[150:], counts[150:])
+        left.merge(right)
+        assert left.total == whole.total
+        np.testing.assert_array_equal(
+            left.estimate_many(keys), whole.estimate_many(keys)
+        )
+
+    def test_merge_rejects_mismatched_params(self):
+        a = CountMinSketch(epsilon=0.001, seed=7)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(CountMinSketch(epsilon=0.01, seed=7))
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(CountMinSketch(epsilon=0.001, seed=8))
+        with pytest.raises(TypeError):
+            a.merge(object())
+
+
+class TestState:
+    def test_roundtrip_preserves_estimates(self):
+        cms = CountMinSketch(seed=7)
+        keys, counts = _skewed_stream(100)
+        cms.update(keys, counts)
+        revived = CountMinSketch.from_dict(cms.to_dict())
+        assert revived.total == cms.total
+        np.testing.assert_array_equal(
+            revived.estimate_many(keys), cms.estimate_many(keys)
+        )
+
+    def test_copy_is_independent(self):
+        cms = CountMinSketch(seed=7)
+        cms.update(["a"])
+        dup = cms.copy()
+        dup.update(["a"] * 10)
+        assert cms.estimate("a") == 1
+        assert dup.estimate("a") >= 11
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.0)
+        with pytest.raises(ValueError):
+            CountMinSketch(delta=1.5)

@@ -1,0 +1,134 @@
+"""Sketch merge algebra: shard-split parity, order invariance, full scale.
+
+Mirrors ``tests/core/test_shard_merge.py``: a summary reduced over
+K ∈ {1, 2, 5} time-window shards must answer like the one-pass summary
+over the unsharded stream, merge order must not matter for the
+order-free members (CMS / HLL are exactly commutative and associative),
+and the ``slow``-marked sweep re-pins the documented epsilon/delta
+bounds at the scale named by ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.merge import sketch_summaries
+from repro.io.colstore import ShardedDatasetStore
+from repro.sketch import AttackStreamSummary, summarize_dataset
+
+
+def _shard_summaries(ds, k: int) -> list:
+    store = ShardedDatasetStore.partition(ds, shards=k)
+    return [summarize_dataset(store.load_shard(i)) for i in range(store.n_shards)]
+
+
+@pytest.fixture(scope="module")
+def whole(tiny_ds):
+    return summarize_dataset(tiny_ds)
+
+
+class TestShardParity:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_reduced_equals_one_pass(self, tiny_ds, whole, k):
+        merged = sketch_summaries(_shard_summaries(tiny_ds, k))
+        assert merged.n_records == whole.n_records
+        assert merged.families == whole.families
+        assert merged.countries == whole.countries
+        # CMS tables and HLL registers add/maximise exactly, so the
+        # counting answers are bit-equal to the one-pass summary.
+        est_m, est_w = merged.estimate(), whole.estimate()
+        assert est_m["families"] == est_w["families"]
+        assert est_m["top_countries"] == est_w["top_countries"]
+        assert est_m["distinct"] == est_w["distinct"]
+
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_interval_stream_loses_only_boundaries(self, tiny_ds, whole, k):
+        merged = sketch_summaries(_shard_summaries(tiny_ds, k))
+        # Each shard boundary drops exactly one spanning interval.
+        assert merged.kll_interval.n == whole.kll_interval.n - (k - 1)
+        assert merged.kll_duration.n == whole.kll_duration.n
+
+
+class TestOrderInvariance:
+    def test_counting_members_commute(self, tiny_ds):
+        parts = _shard_summaries(tiny_ds, 5)
+        forward = sketch_summaries([p.copy() for p in parts])
+        reversed_ = sketch_summaries([p.copy() for p in reversed(parts)])
+        ef, er = forward.estimate(), reversed_.estimate()
+        assert ef["families"] == er["families"]
+        assert ef["distinct"] == er["distinct"]
+        assert ef["n_records"] == er["n_records"]
+        np.testing.assert_array_equal(
+            forward.cms_victim._table, reversed_.cms_victim._table
+        )
+        np.testing.assert_array_equal(
+            forward.hll_victims._registers, reversed_.hll_victims._registers
+        )
+
+    def test_associativity_of_counting_members(self, tiny_ds):
+        a, b, c = _shard_summaries(tiny_ds, 3)
+        left = a.copy().merge(b.copy()).merge(c.copy())
+        right = a.copy().merge(b.copy().merge(c.copy()))
+        np.testing.assert_array_equal(left.cms_family._table, right.cms_family._table)
+        np.testing.assert_array_equal(
+            left.hll_botnets._registers, right.hll_botnets._registers
+        )
+        assert left.n_records == right.n_records
+
+    def test_merge_does_not_mutate_right_operand(self, tiny_ds):
+        a, b = _shard_summaries(tiny_ds, 2)
+        b_records = b.n_records
+        b_table = b.cms_family._table.copy()
+        a.merge(b)
+        assert b.n_records == b_records
+        np.testing.assert_array_equal(b.cms_family._table, b_table)
+
+    def test_merge_rejects_mismatched_params(self, tiny_ds):
+        a = summarize_dataset(tiny_ds)
+        with pytest.raises(ValueError, match="different params"):
+            a.merge(AttackStreamSummary(epsilon=0.01))
+
+    def test_reduce_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sketch_summaries([])
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_SCALE"),
+    reason="set REPRO_BENCH_SCALE to run the full-scale sketch parity sweep",
+)
+def test_full_scale_epsilon_bounds():
+    """The documented epsilon/delta contract at benchmark scale."""
+    from repro import api
+
+    scale = float(os.environ["REPRO_BENCH_SCALE"])
+    ds = api.generate(scale=scale)
+    summary = summarize_dataset(ds)
+    assert summary.n_records == ds.n_attacks
+
+    # CMS: the one-sided bound holds for every family, deterministically.
+    est = summary.estimate()
+    idx = np.asarray(ds.family_idx)
+    slack = summary.cms_family.epsilon * summary.cms_family.total
+    for i, fam in enumerate(ds.families):
+        true = int(np.sum(idx == i))
+        if true:
+            assert true <= est["families"][fam] <= true + slack, fam
+
+    # HLL: distincts within the 3-sigma band.
+    true_botnets = len(set(r.botnet_id for r in ds.iter_attacks()))
+    rse = summary.hll_botnets.relative_error
+    got = est["distinct"]["botnets"]
+    assert abs(got - true_botnets) <= max(3 * rse * true_botnets, 3)
+
+    # KLL: duration quantiles within the documented rank error.
+    durations = np.sort(np.asarray(ds.end) - np.asarray(ds.start))
+    err = summary.kll_duration.rank_error
+    for key, q in (("p10", 0.1), ("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+        got = est["duration_seconds"][key]
+        true_rank = np.searchsorted(durations, got, side="right") / durations.size
+        assert abs(true_rank - q) <= err, key

@@ -1,0 +1,163 @@
+"""KLL quantiles and reservoir sampling: rank error, algebra, state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch import KLLSketch, ReservoirSample
+
+
+def _true_rank(sorted_values: np.ndarray, value: float) -> float:
+    return float(np.searchsorted(sorted_values, value, side="right")) / sorted_values.size
+
+
+class TestKLLAccuracy:
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal", "bimodal"])
+    def test_rank_error_within_contract(self, dist):
+        rng = np.random.default_rng(7)
+        n = 50_000
+        if dist == "uniform":
+            data = rng.uniform(0, 1000, n)
+        elif dist == "lognormal":
+            data = rng.lognormal(3.0, 1.5, n)  # duration-like heavy tail
+        else:
+            data = np.concatenate([rng.normal(10, 1, n // 2), rng.normal(1000, 5, n - n // 2)])
+        kll = KLLSketch(k=200, seed=7)
+        for chunk in np.array_split(data, 13):  # uneven batch sizes
+            kll.update(chunk)
+        assert kll.n == n
+        truth = np.sort(data)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            got = kll.quantile(q)
+            assert abs(_true_rank(truth, got) - q) <= kll.rank_error, (dist, q)
+
+    def test_extremes_are_exact(self):
+        kll = KLLSketch(seed=7)
+        kll.update([5.0, -3.0, 17.0, 2.0])
+        assert kll.quantile(0.0) == -3.0
+        assert kll.quantile(1.0) == 17.0
+
+    def test_empty_returns_nan(self):
+        kll = KLLSketch(seed=7)
+        assert np.isnan(kll.quantile(0.5))
+        assert np.isnan(kll.rank(1.0))
+
+    def test_small_stream_is_exact(self):
+        kll = KLLSketch(k=200, seed=7)
+        kll.update(np.arange(100, dtype=np.float64))
+        # Below the first compaction everything is retained at weight 1.
+        assert abs(kll.quantile(0.5) - 49.5) <= 1.0
+
+    def test_memory_stays_bounded(self):
+        kll = KLLSketch(k=200, seed=7)
+        rng = np.random.default_rng(7)
+        sizes = []
+        for _ in range(20):
+            kll.update(rng.uniform(0, 1, 25_000))
+            sizes.append(kll.memory_bytes)
+        # Logarithmic growth: half a million items fit in a few KiB.
+        assert sizes[-1] < 64 * 1024
+        assert kll.n == 500_000
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            KLLSketch(k=4)
+        kll = KLLSketch(seed=7)
+        with pytest.raises(ValueError):
+            kll.quantile(1.5)
+
+
+class TestKLLAlgebra:
+    def test_merge_keeps_contract(self):
+        rng = np.random.default_rng(7)
+        data = rng.lognormal(2.0, 1.0, 40_000)
+        parts = np.array_split(data, 4)
+        sketches = [KLLSketch(k=200, seed=7) for _ in parts]
+        for sk, part in zip(sketches, parts):
+            sk.update(part)
+        merged = sketches[0]
+        for sk in sketches[1:]:
+            merged.merge(sk)
+        assert merged.n == data.size
+        truth = np.sort(data)
+        for q in (0.1, 0.5, 0.9):
+            got = merged.quantile(q)
+            assert abs(_true_rank(truth, got) - q) <= merged.rank_error
+
+    def test_merge_rejects_mismatched_params(self):
+        a = KLLSketch(k=200, seed=7)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(KLLSketch(k=100, seed=7))
+        with pytest.raises(TypeError):
+            a.merge(42)
+
+
+class TestKLLState:
+    def test_roundtrip_preserves_estimates(self):
+        kll = KLLSketch(seed=7)
+        kll.update(np.random.default_rng(7).uniform(0, 1, 30_000))
+        revived = KLLSketch.from_dict(kll.to_dict())
+        assert revived.n == kll.n
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert revived.quantile(q) == kll.quantile(q)
+
+    def test_roundtrip_empty(self):
+        revived = KLLSketch.from_dict(KLLSketch(seed=7).to_dict())
+        assert revived.n == 0 and np.isnan(revived.quantile(0.5))
+
+    def test_copy_is_independent(self):
+        kll = KLLSketch(seed=7)
+        kll.update([1.0, 2.0, 3.0])
+        dup = kll.copy()
+        dup.update(np.full(10_000, 99.0))
+        assert kll.n == 3 and kll.quantile(1.0) == 3.0
+
+
+class TestReservoir:
+    def test_below_capacity_keeps_everything(self):
+        res = ReservoirSample(size=100, seed=7)
+        res.update(np.arange(60, dtype=np.float64))
+        np.testing.assert_array_equal(np.sort(res.values()), np.arange(60))
+        assert res.n == 60
+
+    def test_capacity_and_count(self):
+        res = ReservoirSample(size=64, seed=7)
+        res.update(np.arange(10_000))
+        assert res.values().size == 64
+        assert res.n == 10_000
+        assert res.memory_bytes == 64 * 8
+
+    def test_sample_is_roughly_uniform(self):
+        res = ReservoirSample(size=2_000, seed=7)
+        res.update(np.arange(100_000, dtype=np.float64))
+        # A uniform sample's mean sits near the stream mean.
+        assert abs(res.values().mean() - 49_999.5) < 5_000
+
+    def test_merge_tracks_population(self):
+        a = ReservoirSample(size=500, seed=7)
+        b = ReservoirSample(size=500, seed=7)
+        a.update(np.zeros(9_000))
+        b.update(np.ones(1_000))
+        a.merge(b)
+        assert a.n == 10_000
+        frac_ones = float(a.values().mean())
+        assert 0.02 <= frac_ones <= 0.25  # ~0.1 expected
+
+    def test_merge_with_empty_is_identity(self):
+        a = ReservoirSample(size=10, seed=7)
+        a.update(np.arange(5, dtype=np.float64))
+        before = np.sort(a.values())
+        a.merge(ReservoirSample(size=10, seed=7))
+        np.testing.assert_array_equal(np.sort(a.values()), before)
+
+    def test_roundtrip(self):
+        res = ReservoirSample(size=32, seed=7)
+        res.update(np.arange(1_000))
+        revived = ReservoirSample.from_dict(res.to_dict())
+        assert revived.n == res.n
+        np.testing.assert_array_equal(revived.values(), res.values())
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(size=0)
