@@ -55,24 +55,33 @@ The **scale-out path** (``--section scaleout``, baseline
 the paper's volume: a synthetic attack table (5M rows at ``full``,
 riding on a real generated world/registry base) is partitioned into
 time shards on disk, every shard's mergeable views are built and timed
-individually, and the merge that seeds the global context is timed as
-the reduce leg.  At ``small`` scale the merged battery is additionally
-asserted byte-identical to the unsharded one before any number is
-accepted.  Scale-out legs per scale:
+individually (after an untimed warmup build, so the first shard is not
+billed the process warmup), and the merge that seeds the global context
+is timed as the reduce leg.  The merged battery is asserted
+byte-identical to the unsharded one at every scale before any number
+is accepted.  Scale-out legs per scale:
 
 * ``synthesize`` — building the synthetic attack table (untimed base
-  generation aside, this is array work);
+  generation aside, this is array work); one extra shard's worth of
+  rows is held back for the append leg;
 * ``partition_save`` / ``store_open`` — writing the sharded store and
   reopening it from the manifest;
 * ``shard_build_total`` / ``shard_build_max`` — the map phase: the sum
   and the slowest of the per-shard view builds (their ratio is the
   scale-out headroom on a multi-core box; the full per-shard list is
   stored next to the timings);
-* ``merge_views`` — the reduce phase: combining every per-shard view
-  and stitching the boundary scans;
-* ``run_all_merged`` / ``run_all_flat`` — (small scale only) the
-  battery on the merged context vs a fresh unsharded context, asserted
-  byte-identical.
+* ``merge_views`` — the reduce phase: the memoized tree reduce over
+  the per-shard partials plus the vectorised boundary stitch;
+* ``merge_views_parallel`` — the same reduce re-run with the subtree
+  memo cleared and ``jobs=4`` fanning out each tree level;
+* ``run_all_merged`` / ``run_all_flat`` — the battery on the merged
+  context vs a fresh unsharded context, asserted byte-identical;
+* ``append_shard_build`` / ``remerge_after_append`` — the held-back
+  shard is appended to the store and the merge re-run: only the O(log
+  K) spine of the reduce tree recombines and only the new seams are
+  stitched (the merge stats are stored under ``derived``, and the
+  appended battery is asserted against the unsharded full table at
+  ``small`` scale).
 
 The **stream path** (``--section stream``, baseline ``BENCH_stream.json``)
 measures the bounded-memory sketch layer against the exact streaming
@@ -349,8 +358,14 @@ def measure_scaleout_scale(name: str, scale: float, workdir: Path) -> dict:
     from repro.core.context import ShardedAnalysisContext
 
     n_rows = int(SCALEOUT_ATTACKS * scale)
-    print(f"[{name}] synthesize {n_rows} attacks ...", flush=True)
-    t_synth, ds = _timed(lambda: _synthetic_scaleout_dataset(n_rows))
+    tail_rows = n_rows // SCALEOUT_SHARDS
+    print(f"[{name}] synthesize {n_rows}+{tail_rows} attacks ...", flush=True)
+    # One extra shard's worth of rows is synthesized up front and held
+    # back: the incremental-remerge leg appends it after the headline
+    # merge, exactly as a streaming spill would grow the store.
+    t_synth, ds_all = _timed(lambda: _synthetic_scaleout_dataset(n_rows + tail_rows))
+    ds = colstore._slice_dataset(ds_all, 0, n_rows)
+    tail = colstore._slice_dataset(ds_all, n_rows, n_rows + tail_rows)
 
     store_dir = workdir / f"{name}-store"
     print(f"[{name}] partition into {SCALEOUT_SHARDS} shards ...", flush=True)
@@ -358,6 +373,14 @@ def measure_scaleout_scale(name: str, scale: float, workdir: Path) -> dict:
         lambda: colstore.save_sharded_npz(ds, store_dir, shards=SCALEOUT_SHARDS)
     )
     t_open, store = _timed(lambda: colstore.ShardedDatasetStore(store_dir))
+
+    # Warm the lazy imports, mmap pages and view machinery on a
+    # throwaway context first: without this, shard 0's timing bills the
+    # whole process warmup to the first task (2.19s vs ~0.14s at the
+    # small scale) and the per-shard list misreads as build skew.
+    warm = ShardedAnalysisContext(colstore.ShardedDatasetStore(store_dir))
+    warm.build_shard(0)
+    del warm
 
     sctx = ShardedAnalysisContext(store)
     per_shard = []
@@ -368,6 +391,14 @@ def measure_scaleout_scale(name: str, scale: float, workdir: Path) -> dict:
     print(f"[{name}] merge ...", flush=True)
     t_merge, merged = _timed(sctx.merged)
 
+    # Re-reduce with the level-synchronous fan-out (the subtree memo is
+    # cleared so every pairwise combine really runs; on a multi-core
+    # box each tree level's combines execute concurrently).
+    sctx._merged = None
+    sctx._finalized = None
+    sctx._partials.clear()
+    t_merge_par, merged = _timed(lambda: sctx.merged(jobs=PARALLEL_JOBS))
+
     timings = {
         "synthesize": t_synth,
         "partition_save": t_save,
@@ -375,30 +406,50 @@ def measure_scaleout_scale(name: str, scale: float, workdir: Path) -> dict:
         "shard_build_total": round(sum(per_shard), 4),
         "shard_build_max": round(max(per_shard), 4),
         "merge_views": t_merge,
+        "merge_views_parallel": t_merge_par,
     }
-    if scale < 1.0:
-        # Parity gate: the merged battery must render byte-identical to
-        # the unsharded one before any timing is accepted.
-        from repro.core.context import AnalysisContext
 
-        print(f"[{name}] parity battery (merged vs flat) ...", flush=True)
-        timings["run_all_merged"], sharded_results = _timed(
-            lambda: [r.render() for r in run_all(merged, jobs=1)]
-        )
-        timings["run_all_flat"], flat_results = _timed(
-            lambda: [r.render() for r in run_all(AnalysisContext(ds), jobs=1)]
-        )
-        assert sharded_results == flat_results, "sharded battery output diverged"
+    # Parity gate: the merged battery must render byte-identical to the
+    # unsharded one before any timing is accepted — at every scale.
+    print(f"[{name}] parity battery (merged vs flat) ...", flush=True)
+    timings["run_all_merged"], sharded_results = _timed(
+        lambda: [r.render() for r in run_all(merged, jobs=1)]
+    )
+    timings["run_all_flat"], flat_results = _timed(
+        lambda: [r.render() for r in run_all(AnalysisContext(ds), jobs=1)]
+    )
+    assert sharded_results == flat_results, "sharded battery output diverged"
+
+    # Append one shard and re-merge: only the new seams are stitched
+    # and only the O(log K) spine of the reduce tree recombines.
+    print(f"[{name}] append {tail_rows} rows, incremental re-merge ...", flush=True)
+    colstore.append_shard(store_dir, tail)
+    assert sctx.refresh() == 1, "store refresh did not adopt the appended shard"
+    t_append_build, _ = _timed(lambda: sctx.build_shard(sctx.n_shards - 1))
+    t_remerge, remerged = _timed(sctx.merged)
+    merge_stats = dict(sctx.last_merge_stats)
+    assert merge_stats["mode"] == "incremental", merge_stats
+    timings["append_shard_build"] = t_append_build
+    timings["remerge_after_append"] = t_remerge
+    if scale < 1.0:
+        appended_results = [r.render() for r in run_all(remerged, jobs=1)]
+        flat_all = [r.render() for r in run_all(AnalysisContext(ds_all), jobs=1)]
+        assert appended_results == flat_all, "incremental re-merge output diverged"
 
     derived = {
         "map_parallel_potential": round(
             timings["shard_build_total"] / max(timings["shard_build_max"], 1e-9), 2
         ),
+        "remerge_speedup": round(
+            timings["merge_views"] / max(timings["remerge_after_append"], 1e-9), 2
+        ),
+        "merge_stats": merge_stats,
     }
     entry = {
         "scale": scale,
         "n_attacks": int(ds.n_attacks),
-        "n_shards": store.n_shards,
+        "n_shards": SCALEOUT_SHARDS,
+        "append_rows": tail_rows,
         "per_shard_build_seconds": per_shard,
         "timings": timings,
         "derived": derived,

@@ -218,6 +218,26 @@ class AnalysisContext:
             self._views[key] = value
             return True
 
+    def invalidate_views(self, kind: str) -> int:
+        """Drop every materialised view whose key kind is ``kind``.
+
+        The sharded layer uses this when a layout change (an appended
+        shard) retroactively invalidates a view that was computed under
+        the old layout — e.g. the last shard's interior snapshot grid,
+        whose upper bound moves when a shard is appended after it.
+        Returns the number of views dropped.
+        """
+        with self._meta_lock:
+            doomed = [
+                key
+                for key in self._views
+                if (key[0] if isinstance(key, tuple) and key else str(key)) == kind
+            ]
+            for key in doomed:
+                del self._views[key]
+                self._key_locks.pop(key, None)
+        return len(doomed)
+
     # -- attack groupings --------------------------------------------------
 
     def _groups_by(self, key: str, column: np.ndarray) -> dict[int, np.ndarray]:
@@ -652,10 +672,22 @@ class ShardedAnalysisContext:
     inside the shard) plus one boundary-strip pass on the merged
     context.
 
+    The reduce is tree-structured: the small re-reduction state of every
+    shard (:class:`~repro.core.merge.ShardPartial`) combines over
+    :func:`repro.par.tree_reduce` — ~log2(K) parallel levels instead of
+    a serial left-fold — with subtree results memoized in-process and,
+    when a :class:`~repro.io.cache.MergeCache` is supplied, on disk.
+    After :meth:`refresh` picks up appended shards, :meth:`merged`
+    re-merges incrementally: cached subtrees cover the untouched prefix,
+    the previous merged context is reused as one big left operand, and
+    only the new shard seams are re-stitched.
+
     Observability: each per-shard build runs under a ``shard:<i>`` span
     inside the ``shard.build`` stage; the merge runs under
-    ``shard.merge`` and ticks ``shard.merge.views`` per seeded view and
-    ``shard.merge.stitched_targets`` per rescanned target.
+    ``shard.merge`` and ticks ``shard.merge.views`` per seeded view,
+    ``shard.merge.stitched_targets`` per boundary-stitched target,
+    ``shard.merge.levels`` per parallel combine round and
+    ``shard.merge.reused`` per memoized subtree served.
 
     >>> from repro import api
     >>> from repro.io.colstore import ShardedDatasetStore
@@ -666,12 +698,29 @@ class ShardedAnalysisContext:
     True
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store, *, merge_cache=None) -> None:
         self._store = store
+        self._merge_cache = merge_cache
         self._shard_ctxs: list[AnalysisContext | None] = [None] * store.n_shards
         self._merged: AnalysisContext | None = None
         self._shared_coords: tuple[np.ndarray, np.ndarray] | None = None
         self._lock = threading.Lock()
+        #: Memoized subtree partials keyed by half-open shard range.
+        self._partials: dict[tuple[int, int], Any] = {}
+        #: The last finalised merge: (shard signatures, merged context).
+        self._finalized: tuple[tuple, AnalysisContext] | None = None
+        #: Shards whose interior snapshot views were computed when they
+        #: were the last shard and are stale under the grown layout.
+        self._stale_interiors: set[int] = set()
+        #: Merged columns with reserved tail capacity so an append only
+        #: copies the new shard's rows (see colstore.GrowableConcat).
+        self._growable: _colstore.GrowableConcat | None = None
+        #: Concat-shaped merged views in growable buffers, keyed by view
+        #: key; the incremental merge extends these in place.
+        self._view_bufs: dict[Hashable, Any] = {}
+        #: What the last :meth:`merged` call actually did (diagnostics):
+        #: ``{"mode": "full" | "incremental", "levels", "reused", "combined"}``.
+        self.last_merge_stats: dict[str, Any] | None = None
 
     @property
     def store(self):
@@ -680,6 +729,40 @@ class ShardedAnalysisContext:
     @property
     def n_shards(self) -> int:
         return self._store.n_shards
+
+    def refresh(self) -> int:
+        """Adopt shards appended to the backing store since construction.
+
+        Re-reads the store's manifest; appended shards get fresh (lazy)
+        contexts while every already-built shard keeps its views, so the
+        next :meth:`merged` call only maps the new shards and re-merges
+        the O(log K) spine.  If the append rewrote the shared registries
+        (new families/bots/victims interned), all per-shard state is
+        reset — the old contexts index into the old registries.  Returns
+        the number of shards adopted.
+        """
+        refresh_store = getattr(self._store, "refresh", None)
+        if refresh_store is None:
+            return 0
+        with self._lock:
+            appended, reset = refresh_store()
+            if reset:
+                self._shard_ctxs = [None] * self._store.n_shards
+                self._shared_coords = None
+                self._partials = {}
+                self._finalized = None
+                self._stale_interiors = set()
+                self._merged = None
+            elif appended:
+                old_n = len(self._shard_ctxs)
+                self._shard_ctxs.extend([None] * appended)
+                if old_n:
+                    # The former last shard's interior snapshot grid ran
+                    # to +inf; under the new layout its tail snapshots
+                    # belong to the boundary strip.
+                    self._stale_interiors.add(old_n - 1)
+                self._merged = None
+        return appended
 
     # -- per-shard layer ---------------------------------------------------
 
@@ -746,6 +829,25 @@ class ShardedAnalysisContext:
 
         return ctx.view(("snapshot_dispersions_interior", family), build)
 
+    def shard_scan_events(self, index: int, kind: str) -> list:
+        """One shard's collaboration/chain events, rebased to global rows.
+
+        The rebase is done once at shard-build time (in the map phase,
+        where it parallelises) instead of per merge.
+        """
+        ctx = self.shard_context(index)
+        base = int(self._store.shard_bases()[index])
+
+        def build() -> list:
+            from . import merge as _merge
+
+            events = (
+                ctx.collaborations() if kind == "collaborations" else ctx.chains()
+            )
+            return _merge.rebase_scan_events(events, base)
+
+        return ctx.view((f"{kind}_global",), build)
+
     def build_shard(self, index: int) -> AnalysisContext:
         """Materialise one shard's mergeable views (idempotent)."""
         _shard_build_worker(self, index)
@@ -782,168 +884,813 @@ class ShardedAnalysisContext:
 
     # -- the reduce step ---------------------------------------------------
 
-    def merged(self) -> AnalysisContext:
+    def _signatures(self) -> tuple:
+        """Per-shard content signatures, in shard order."""
+        return tuple(
+            self._store.shard_signature(k) for k in range(self.n_shards)
+        )
+
+    def _reduce_partials(self, jobs: int | None):
+        """Tree-reduce the per-shard partials; returns (partial, stats).
+
+        Subtree results memoize in ``self._partials`` (keyed by shard
+        range — shards are immutable, so ranges never go stale within a
+        store lineage) and, when a merge cache was supplied, on disk
+        keyed by the range's shard signatures.  Spine prefixes are
+        memoized too, so a repeat merge is a single lookup.
+        """
+        from .. import par
+        from . import merge as _merge
+
+        sigs = self._signatures()
+        window = self._store.window
+        cache = self._merge_cache
+        memo = self._partials
+
+        def fingerprint(lo: int, hi: int) -> tuple:
+            return ((float(window.start), float(window.end)), sigs[lo:hi])
+
+        def lookup(lo: int, hi: int):
+            value = memo.get((lo, hi))
+            if value is not None:
+                return value
+            if cache is not None and hi - lo > 1:
+                value = cache.load("partial", fingerprint(lo, hi))
+                if value is not None:
+                    memo[(lo, hi)] = value
+            return value
+
+        def store(lo: int, hi: int, value) -> None:
+            memo[(lo, hi)] = value
+            if cache is not None:
+                cache.save("partial", fingerprint(lo, hi), value)
+
+        def leaf(index: int):
+            partial = _merge.make_shard_partial(
+                self.shard_context(index), self.shard_families(index), index
+            )
+            memo[(index, index + 1)] = partial
+            return partial
+
+        return par.tree_reduce(
+            self.n_shards,
+            leaf,
+            _merge.combine_partials,
+            jobs=par.resolve_jobs(jobs),
+            lookup=lookup,
+            store=store,
+            label="shard_merge",
+        )
+
+    def merged(self, jobs: int | None = 1) -> AnalysisContext:
         """The merged context: every mergeable view seeded, bitwise equal
-        to an unsharded build over the concatenated dataset."""
+        to an unsharded build over the concatenated dataset.
+
+        The re-reduction views combine through a memoized tree reduce
+        (``jobs`` bounds the per-level fan-out); the boundary stitch is
+        the vectorised crossing-run pass of
+        :func:`repro.core.merge.stitch_scan_events`.  After
+        :meth:`refresh` adopted appended shards, the previous merged
+        context is extended incrementally when the layout allows it
+        (same window/registries, non-empty new shards) — only the new
+        seams are stitched and only grid snapshots whose lookback
+        reaches the new rows are recomputed.
+        """
         if self._merged is not None:
             return self._merged
+
+        for index in range(self.n_shards):
+            self.build_shard(index)
+
+        reg = _obs_registry()
+        with reg.span("shard.merge"):
+            sigs = self._signatures()
+            partial, stats = self._reduce_partials(jobs)
+            reg.counter("shard.merge.levels").inc(stats.levels)
+            reg.counter("shard.merge.reused").inc(stats.reused)
+            mode = "full"
+            ctx: AnalysisContext | None = None
+            if self._finalized is not None:
+                prev_sigs, prev_ctx = self._finalized
+                n_prev = len(prev_sigs)
+                if sigs == prev_sigs:
+                    ctx = prev_ctx
+                    mode = "unchanged"
+                elif (
+                    0 < n_prev < self.n_shards
+                    and sigs[:n_prev] == prev_sigs
+                    and self._append_compatible(prev_ctx, n_prev)
+                ):
+                    ctx = self._finalize_append(prev_ctx, n_prev, partial)
+                    mode = "incremental"
+            if ctx is None:
+                ctx = self._finalize_full(partial)
+            self._finalized = (sigs, ctx)
+            self.last_merge_stats = {
+                "mode": mode,
+                "levels": stats.levels,
+                "reused": stats.reused,
+                "combined": stats.combined,
+            }
+            self._merged = ctx
+        return self._merged
+
+    def _append_compatible(self, prev_ctx: AnalysisContext, n_prev: int) -> bool:
+        """Can the previous merged context absorb shards ``n_prev..``?"""
+        pds = prev_ctx.dataset
+        window = self._store.window
+        if (float(pds.window.start), float(pds.window.end)) != (
+            float(window.start),
+            float(window.end),
+        ):
+            return False
+        for k in range(n_prev, self.n_shards):
+            sds = self.shard_context(k).dataset
+            if (
+                sds.n_attacks == 0
+                or list(sds.families) != list(pds.families)
+                or sds.victims.n_targets != pds.victims.n_targets
+                or sds.bots.lat.size != pds.bots.lat.size
+            ):
+                return False
+        return True
+
+    def _grow(self, key: Hashable, pieces: list[np.ndarray]) -> np.ndarray:
+        """Concatenate ``pieces`` into a fresh growable buffer under ``key``.
+
+        Bitwise the same array ``np.concatenate(pieces)`` yields (one
+        copy of each piece, in order), but with reserved tail capacity
+        so :meth:`_regrow` can extend it in place on the next append.
+        """
+        from . import merge as _merge
+
+        if not pieces:
+            return np.zeros(0)
+        gb = _merge.GrowBuffer(pieces)
+        self._view_bufs[key] = gb
+        return gb.view
+
+    def _regrow(
+        self, key: Hashable, prev: np.ndarray, pieces: list[np.ndarray]
+    ) -> np.ndarray:
+        """Extend ``key``'s buffer by ``pieces`` when ``prev`` is its view.
+
+        Falls back to a fresh buffer (one full copy, headroom restored)
+        when the buffer is missing, was superseded, or is out of room.
+        """
+        gb = self._view_bufs.get(key)
+        if gb is not None and gb.view is prev:
+            out = gb.extend(pieces)
+            if out is not None:
+                return out
+        return self._grow(key, [prev, *pieces])
+
+    def _finalize_full(self, partial) -> AnalysisContext:
+        """Assemble the merged context from scratch (all K shards)."""
+        from . import geolocation as _geolocation
+        from . import merge as _merge
+        from . import shift as _shift
+        from ..io import colstore as _colstore
+
+        reg = _obs_registry()
+        merged_views = reg.counter("shard.merge.views")
+        for index in sorted(self._stale_interiors):
+            if index < len(self._shard_ctxs) and self._shard_ctxs[index] is not None:
+                self._shard_ctxs[index].invalidate_views(
+                    "snapshot_dispersions_interior"
+                )
+        self._stale_interiors.clear()
+
+        shards = [self.shard_context(k) for k in range(self.n_shards)]
+        self._growable = _colstore.GrowableConcat([c.dataset for c in shards])
+        self._view_bufs = {}
+        ds = self._growable.dataset
+        ctx = AnalysisContext.of(ds)
+        bases = [int(b) for b in self._store.shard_bases()]
+
+        def seed(key: Hashable, value: Any) -> None:
+            if ctx.seed_view(key, value):
+                merged_views.inc()
+
+        seed(("bot_coords_radians",), self._shared_bot_coords())
+        grouped_by_target: dict[int, np.ndarray] = {}
+        for gkey, column in (
+            ("family_attack_index", "family_idx"),
+            ("botnet_attack_index", "botnet_id"),
+            ("target_attack_index", "target_idx"),
+        ):
+            parts = [
+                c._groups_by(gkey, getattr(c.dataset, column)) for c in shards
+            ]
+            groups = _merge.merge_grouped_indices(parts, bases)
+            seed((gkey,), groups)
+            if gkey == "target_attack_index":
+                grouped_by_target = groups
+        seed(
+            ("attack_intervals",),
+            self._grow(
+                ("attack_intervals",),
+                _merge.interval_pieces(
+                    [c.dataset.start for c in shards],
+                    [c.attack_intervals() for c in shards],
+                ),
+            ),
+        )
+        seed(
+            ("durations",),
+            self._grow(("durations",), [c.durations() for c in shards]),
+        )
+        seed(
+            ("target_country_idx",),
+            self._grow(
+                ("target_country_idx",),
+                [c.target_country_idx() for c in shards],
+            ),
+        )
+        seed(
+            ("target_org_idx",),
+            self._grow(("target_org_idx",), [c.target_org_idx() for c in shards]),
+        )
+        days = self._grow(
+            ("daily_days",),
+            [((ds.start - ds.window.start) // 86400).astype(np.int64)],
+        )
+        self._seed_partial_views(ctx, seed, partial, ds, days)
+        # Walks ascending org order over the seeded marginal — the
+        # same order the unsharded builder uses.
+        ctx.victim_org_type_counts()
+
+        self._seed_stitched_scans(
+            ctx,
+            seed,
+            ds,
+            grouped_by_target,
+            bases,
+            lambda kind: [
+                self.shard_scan_events(k, kind) for k in range(self.n_shards)
+            ],
+            prev_events=None,
+        )
+
+        present: dict[str, list[int]] = {}
+        for k in range(self.n_shards):
+            for family in self.shard_families(k):
+                present.setdefault(family, []).append(k)
+        strip_ts = self._strip_ts()
+        for family, in_shards in present.items():
+            here = [shards[k] for k in in_shards]
+            starts_parts = [c.family_starts(family) for c in here]
+            seed(
+                ("family_starts", family),
+                self._grow(("family_starts", family), starts_parts),
+            )
+            seed(
+                ("family_intervals", family, True),
+                self._grow(
+                    ("family_intervals", family, True),
+                    _merge.interval_pieces(
+                        starts_parts,
+                        [c.family_intervals(family) for c in here],
+                    ),
+                ),
+            )
+            seed(
+                ("durations", family),
+                self._grow(
+                    ("durations", family), [c.durations(family) for c in here]
+                ),
+            )
+            off_pieces, flat_pieces = _merge.csr_pieces(
+                [c.family_participants(family) for c in here]
+            )
+            fp_key = ("family_participants", family)
+            seed(
+                fp_key,
+                (
+                    self._grow((fp_key, 0), off_pieces),
+                    self._grow((fp_key, 1), flat_pieces),
+                ),
+            )
+            disp = [c.attack_dispersions(family) for c in here]
+            disp_key = ("attack_dispersions", family)
+            seed(
+                disp_key,
+                (
+                    self._grow((disp_key, 0), [p[0] for p in disp]),
+                    self._grow((disp_key, 1), [p[1] for p in disp]),
+                ),
+            )
+            self._seed_partial_family_views(seed, partial, ds, family)
+            pairs = partial.weekly_pairs[family]
+            seed(("weekly_shift_pairs", family), pairs)
+            seed(
+                ("weekly_shift", family),
+                _shift._finish_weekly_shift(ds, family, *pairs),
+            )
+            interiors = [
+                self.shard_snapshot_dispersions(k, family) for k in in_shards
+            ]
+            strip = _geolocation._snapshot_dispersions(ctx, family, ts=strip_ts)
+            seed(
+                ("snapshot_dispersions", family),
+                _merge.merge_snapshot_dispersions(interiors + [strip]),
+            )
+        return ctx
+
+    def _seed_partial_views(self, ctx, seed, partial, ds, days=None) -> None:
+        """Seed the global re-reduction views from the tree partial.
+
+        ``days`` optionally passes the per-attack day column kept in a
+        growable buffer so the busiest-day re-derivation skips its
+        full-column pass on re-merges.
+        """
+        from . import merge as _merge
+
+        seed(("target_country_counts",), partial.target_country_counts)
+        seed(("target_org_counts",), partial.target_org_counts)
+        seed(("protocol_breakdown",), partial.protocol_breakdown)
+        seed(("protocol_popularity",), partial.protocol_popularity)
+        seed(
+            ("daily_distribution", None),
+            _merge.finish_daily_distribution(
+                partial.daily_counts[None], ds, None, days=days
+            ),
+        )
+
+    def _seed_partial_family_views(self, seed, partial, ds, family: str) -> None:
+        from . import merge as _merge
+
+        seed(
+            ("family_target_country_counts", family),
+            partial.family_country_counts[family],
+        )
+        seed(
+            ("daily_distribution", family),
+            _merge.finish_daily_distribution(
+                partial.daily_counts[family], ds, family
+            ),
+        )
+
+    def _seed_stitched_scans(
+        self, ctx, seed, ds, grouped_by_target, bases, parts_of, prev_events
+    ) -> None:
+        """Seed collaborations/chains via the vectorised boundary stitch."""
+        from . import merge as _merge
+
+        reg = _obs_registry()
+        stitched_targets: set[int] = set()
+        for kind in ("collaborations", "chains"):
+            if prev_events is None:
+                events, targets = _merge.stitch_scan_events(
+                    parts_of(kind), ds, grouped_by_target, bases, kind
+                )
+            else:
+                events, targets = _merge.seam_stitch_scan_events(
+                    prev_events[kind],
+                    parts_of(kind),
+                    ds,
+                    grouped_by_target,
+                    bases,
+                    kind,
+                )
+            stitched_targets |= targets
+            seed((kind,), events)
+        reg.counter("shard.merge.stitched_targets").inc(len(stitched_targets))
+
+    def _finalize_append(
+        self, prev_ctx: AnalysisContext, n_prev: int, partial
+    ) -> AnalysisContext:
+        """Extend the previous merged context by the appended shards.
+
+        The previous merged context acts as one big left operand: its
+        linear views concatenate with the new shards' views, the scan
+        stitch probes only the new seams, and of the snapshot grid only
+        timestamps whose 24-hour lookback reaches the new rows are
+        recomputed (every earlier snapshot sees an unchanged window, and
+        timestamp-partitioned evaluation is exactly what the interior/
+        strip machinery already pins as bitwise-safe).
+        """
+        from . import geolocation as _geolocation
+        from . import merge as _merge
+        from . import shift as _shift
+        from ..io import colstore as _colstore
+
+        reg = _obs_registry()
+        merged_views = reg.counter("shard.merge.views")
+        new_indices = list(range(n_prev, self.n_shards))
+        new_shards = [self.shard_context(k) for k in new_indices]
+        pds = prev_ctx.dataset
+        ds = None
+        if self._growable is not None and self._growable.dataset is pds:
+            # Fast path: the previous merged columns sit in buffers with
+            # reserved headroom — copy only the appended shards' rows.
+            ds = self._growable.extend([c.dataset for c in new_shards])
+        if ds is None:
+            # Headroom exhausted (or prev context predates the buffers):
+            # one full copy, which also restores the reserve.
+            self._growable = _colstore.GrowableConcat(
+                [pds] + [c.dataset for c in new_shards]
+            )
+            ds = self._growable.dataset
+        ctx = AnalysisContext.of(ds)
+        bases = [0]
+        for part in [prev_ctx] + new_shards[:-1]:
+            bases.append(bases[-1] + int(part.dataset.n_attacks))
+
+        def seed(key: Hashable, value: Any) -> None:
+            if ctx.seed_view(key, value):
+                merged_views.inc()
+
+        seed(("bot_coords_radians",), self._shared_bot_coords())
+        grouped_by_target: dict[int, np.ndarray] = {}
+        for gkey, column in (
+            ("family_attack_index", "family_idx"),
+            ("botnet_attack_index", "botnet_id"),
+            ("target_attack_index", "target_idx"),
+        ):
+            parts = [
+                c._groups_by(gkey, getattr(c.dataset, column))
+                for c in [prev_ctx] + new_shards
+            ]
+            groups = _merge.merge_grouped_indices(parts, bases)
+            seed((gkey,), groups)
+            if gkey == "target_attack_index":
+                grouped_by_target = groups
+        empty = np.zeros(0)
+        seed(
+            ("attack_intervals",),
+            self._regrow(
+                ("attack_intervals",),
+                prev_ctx.attack_intervals(),
+                # An empty leading diff array yields only the pieces
+                # after the previous merged part: the seam gap plus the
+                # new shards' gap arrays.
+                _merge.interval_pieces(
+                    [pds.start] + [c.dataset.start for c in new_shards],
+                    [empty] + [c.attack_intervals() for c in new_shards],
+                ),
+            ),
+        )
+        seed(
+            ("durations",),
+            self._regrow(
+                ("durations",),
+                prev_ctx.durations(),
+                [c.durations() for c in new_shards],
+            ),
+        )
+        seed(
+            ("target_country_idx",),
+            self._regrow(
+                ("target_country_idx",),
+                prev_ctx.target_country_idx(),
+                [c.target_country_idx() for c in new_shards],
+            ),
+        )
+        seed(
+            ("target_org_idx",),
+            self._regrow(
+                ("target_org_idx",),
+                prev_ctx.target_org_idx(),
+                [c.target_org_idx() for c in new_shards],
+            ),
+        )
+        days = None
+        day_buf = self._view_bufs.get(("daily_days",))
+        if day_buf is not None and day_buf.n == pds.n_attacks:
+            days = day_buf.extend(
+                [
+                    ((c.dataset.start - ds.window.start) // 86400).astype(np.int64)
+                    for c in new_shards
+                ]
+            )
+        if days is None:
+            days = self._grow(
+                ("daily_days",),
+                [((ds.start - ds.window.start) // 86400).astype(np.int64)],
+            )
+        self._seed_partial_views(ctx, seed, partial, ds, days)
+        ctx.victim_org_type_counts()
+
+        self._seed_stitched_scans(
+            ctx,
+            seed,
+            ds,
+            grouped_by_target,
+            bases,
+            lambda kind: [self.shard_scan_events(k, kind) for k in new_indices],
+            prev_events={
+                "collaborations": prev_ctx.collaborations(),
+                "chains": prev_ctx.chains(),
+            },
+        )
+
+        prev_keys = set(prev_ctx.view_keys())
+        new_families: dict[str, list[AnalysisContext]] = {}
+        new_family_indices: dict[str, list[int]] = {}
+        for k, shard in zip(new_indices, new_shards):
+            for family in self.shard_families(k):
+                new_families.setdefault(family, []).append(shard)
+                new_family_indices.setdefault(family, []).append(k)
+        cutoff = float(ds.start[bases[1]])
+        # Snapshots before the cutoff see an unchanged 24 h window and
+        # keep their previous values; of the rest, each new shard's
+        # interior hours were already evaluated in the map phase, so
+        # only the seam strips (lookbacks that straddle a new edge) are
+        # recomputed on the merged context.
+        grid = _geolocation._snapshot_grid(self._store.window)
+        covered = np.zeros(grid.size, dtype=bool)
+        for k in new_indices:
+            covered |= np.isin(grid, self._interior_ts(k))
+        strip_ts = grid[(grid >= cutoff) & ~covered]
+        for family in partial.families:
+            # A battery run on the previous context lazily builds empty
+            # views for families it hasn't seen yet, so key presence
+            # alone is not evidence the family has rows to extend.
+            in_prev = (
+                ("family_starts", family) in prev_keys
+                and prev_ctx.family_starts(family).size > 0
+            )
+            here = new_families.get(family, [])
+            new_starts = [c.family_starts(family) for c in here]
+            new_fp = [c.family_participants(family) for c in here]
+            new_disp = [c.attack_dispersions(family) for c in here]
+            fp_key = ("family_participants", family)
+            disp_key = ("attack_dispersions", family)
+            if in_prev:
+                prev_starts = prev_ctx.family_starts(family)
+                seed(
+                    ("family_starts", family),
+                    self._regrow(("family_starts", family), prev_starts, new_starts),
+                )
+                seed(
+                    ("family_intervals", family, True),
+                    self._regrow(
+                        ("family_intervals", family, True),
+                        prev_ctx.family_intervals(family),
+                        _merge.interval_pieces(
+                            [prev_starts] + new_starts,
+                            [empty] + [c.family_intervals(family) for c in here],
+                        ),
+                    ),
+                )
+                seed(
+                    ("durations", family),
+                    self._regrow(
+                        ("durations", family),
+                        prev_ctx.durations(family),
+                        [c.durations(family) for c in here],
+                    ),
+                )
+                # The previous offsets are already global (their own
+                # merge rebased them from zero), so rebasing the new
+                # shards' offsets continues from the previous flat end.
+                prev_fp = prev_ctx.family_participants(family)
+                off_pieces: list[np.ndarray] = []
+                base = prev_fp[0][-1]
+                for offsets, _flat in new_fp:
+                    off_pieces.append(offsets[1:] + base)
+                    base = base + offsets[-1]
+                seed(
+                    fp_key,
+                    (
+                        self._regrow((fp_key, 0), prev_fp[0], off_pieces),
+                        self._regrow(
+                            (fp_key, 1), prev_fp[1], [f for _o, f in new_fp]
+                        ),
+                    ),
+                )
+                prev_disp = prev_ctx.attack_dispersions(family)
+                seed(
+                    disp_key,
+                    (
+                        self._regrow(
+                            (disp_key, 0), prev_disp[0], [p[0] for p in new_disp]
+                        ),
+                        self._regrow(
+                            (disp_key, 1), prev_disp[1], [p[1] for p in new_disp]
+                        ),
+                    ),
+                )
+            else:
+                # Family first seen in the appended shards: fresh buffers.
+                seed(
+                    ("family_starts", family),
+                    self._grow(("family_starts", family), new_starts),
+                )
+                seed(
+                    ("family_intervals", family, True),
+                    self._grow(
+                        ("family_intervals", family, True),
+                        _merge.interval_pieces(
+                            new_starts,
+                            [c.family_intervals(family) for c in here],
+                        ),
+                    ),
+                )
+                seed(
+                    ("durations", family),
+                    self._grow(
+                        ("durations", family),
+                        [c.durations(family) for c in here],
+                    ),
+                )
+                off_pieces, flat_pieces = _merge.csr_pieces(new_fp)
+                seed(
+                    fp_key,
+                    (
+                        self._grow((fp_key, 0), off_pieces),
+                        self._grow((fp_key, 1), flat_pieces),
+                    ),
+                )
+                seed(
+                    disp_key,
+                    (
+                        self._grow((disp_key, 0), [p[0] for p in new_disp]),
+                        self._grow((disp_key, 1), [p[1] for p in new_disp]),
+                    ),
+                )
+            self._seed_partial_family_views(seed, partial, ds, family)
+            pairs = partial.weekly_pairs[family]
+            seed(("weekly_shift_pairs", family), pairs)
+            seed(
+                ("weekly_shift", family),
+                _shift._finish_weekly_shift(ds, family, *pairs),
+            )
+            if in_prev:
+                prev_ts, prev_values = prev_ctx.snapshot_dispersions(family)
+                cut = int(np.searchsorted(prev_ts, cutoff, side="left"))
+                parts = [(prev_ts[:cut], prev_values[:cut])]
+                parts += [
+                    self.shard_snapshot_dispersions(k, family)
+                    for k in new_family_indices.get(family, [])
+                ]
+                parts.append(
+                    _geolocation._snapshot_dispersions(ctx, family, ts=strip_ts)
+                )
+                seed(
+                    ("snapshot_dispersions", family),
+                    _merge.merge_snapshot_dispersions(parts),
+                )
+            # A family first seen in the appended shards has no previous
+            # series to extend; its view builds lazily with the full
+            # kernel, which is the flat computation itself.
+        return ctx
+
+    def merged_reference(self) -> AnalysisContext:
+        """The retained serial left-fold merge (the parity reference).
+
+        This is the pre-tree implementation, kept verbatim as the
+        ``_reference_*``-style pin for :meth:`merged`: a serial walk
+        over all K shards with the conservative boundary-suspect rescan.
+        Builds a fresh context on every call (never cached, no counters)
+        so CI's merge-parity step can diff it against :meth:`merged`.
+        """
+        from . import geolocation as _geolocation
         from . import merge as _merge
         from . import shift as _shift
 
         for index in range(self.n_shards):
             self.build_shard(index)
 
-        reg = _obs_registry()
-        merged_views = reg.counter("shard.merge.views")
-        stitched = reg.counter("shard.merge.stitched_targets")
-        with reg.span("shard.merge"):
-            ds = self._store.merged_dataset()
-            ctx = AnalysisContext.of(ds)
-            bases = [int(b) for b in self._store.shard_bases()]
-            shards = [self.shard_context(k) for k in range(self.n_shards)]
-            shard_ds = [c.dataset for c in shards]
+        ds = self._store.merged_dataset()
+        ctx = AnalysisContext.of(ds)
+        bases = [int(b) for b in self._store.shard_bases()]
+        shards = [self.shard_context(k) for k in range(self.n_shards)]
+        shard_ds = [c.dataset for c in shards]
+        seed = ctx.seed_view
 
-            def seed(key: Hashable, value: Any) -> None:
-                if ctx.seed_view(key, value):
-                    merged_views.inc()
+        seed(("bot_coords_radians",), self._shared_bot_coords())
+        for gkey, column in (
+            ("family_attack_index", "family_idx"),
+            ("botnet_attack_index", "botnet_id"),
+            ("target_attack_index", "target_idx"),
+        ):
+            parts = [
+                c._groups_by(gkey, getattr(c.dataset, column)) for c in shards
+            ]
+            seed((gkey,), _merge.merge_grouped_indices(parts, bases))
+        seed(
+            ("attack_intervals",),
+            _merge.merge_intervals(
+                [c.dataset.start for c in shards],
+                [c.attack_intervals() for c in shards],
+            ),
+        )
+        seed(("durations",), _merge.merge_concat([c.durations() for c in shards]))
+        seed(
+            ("target_country_idx",),
+            _merge.merge_concat([c.target_country_idx() for c in shards]),
+        )
+        seed(
+            ("target_org_idx",),
+            _merge.merge_concat([c.target_org_idx() for c in shards]),
+        )
+        seed(
+            ("target_country_counts",),
+            _merge.merge_counts([c.target_country_counts() for c in shards]),
+        )
+        seed(
+            ("target_org_counts",),
+            _merge.merge_counts([c.target_org_counts() for c in shards]),
+        )
+        seed(
+            ("protocol_breakdown",),
+            _merge.merge_protocol_breakdown(
+                [c.protocol_breakdown() for c in shards]
+            ),
+        )
+        seed(
+            ("protocol_popularity",),
+            _merge.merge_protocol_popularity(
+                [c.protocol_popularity() for c in shards]
+            ),
+        )
+        seed(
+            ("daily_distribution", None),
+            _merge.merge_daily_distributions(
+                [c.daily_distribution(None) for c in shards], ds, None
+            ),
+        )
+        ctx.victim_org_type_counts()
 
-            seed(("bot_coords_radians",), self._shared_bot_coords())
-            for gkey, column in (
-                ("family_attack_index", "family_idx"),
-                ("botnet_attack_index", "botnet_id"),
-                ("target_attack_index", "target_idx"),
-            ):
-                parts = [
-                    c._groups_by(gkey, getattr(c.dataset, column)) for c in shards
-                ]
-                seed((gkey,), _merge.merge_grouped_indices(parts, bases))
+        suspect = _merge.find_boundary_suspects(shard_ds, ds.victims.n_targets)
+        seed(
+            ("collaborations",),
+            _merge.merge_scan_events(
+                [c.collaborations() for c in shards],
+                bases,
+                suspect,
+                ds,
+                "collaborations",
+            ),
+        )
+        seed(
+            ("chains",),
+            _merge.merge_scan_events(
+                [c.chains() for c in shards], bases, suspect, ds, "chains"
+            ),
+        )
+
+        present: dict[str, list[int]] = {}
+        for k in range(self.n_shards):
+            for family in self.shard_families(k):
+                present.setdefault(family, []).append(k)
+        strip_ts = self._strip_ts()
+        for family, in_shards in present.items():
+            here = [shards[k] for k in in_shards]
             seed(
-                ("attack_intervals",),
+                ("family_starts", family),
+                _merge.merge_concat([c.family_starts(family) for c in here]),
+            )
+            seed(
+                ("family_intervals", family, True),
                 _merge.merge_intervals(
-                    [c.dataset.start for c in shards],
-                    [c.attack_intervals() for c in shards],
-                ),
-            )
-            seed(("durations",), _merge.merge_concat([c.durations() for c in shards]))
-            seed(
-                ("target_country_idx",),
-                _merge.merge_concat([c.target_country_idx() for c in shards]),
-            )
-            seed(
-                ("target_org_idx",),
-                _merge.merge_concat([c.target_org_idx() for c in shards]),
-            )
-            seed(
-                ("target_country_counts",),
-                _merge.merge_counts([c.target_country_counts() for c in shards]),
-            )
-            seed(
-                ("target_org_counts",),
-                _merge.merge_counts([c.target_org_counts() for c in shards]),
-            )
-            seed(
-                ("protocol_breakdown",),
-                _merge.merge_protocol_breakdown(
-                    [c.protocol_breakdown() for c in shards]
+                    [c.family_starts(family) for c in here],
+                    [c.family_intervals(family) for c in here],
                 ),
             )
             seed(
-                ("protocol_popularity",),
-                _merge.merge_protocol_popularity(
-                    [c.protocol_popularity() for c in shards]
+                ("durations", family),
+                _merge.merge_concat([c.durations(family) for c in here]),
+            )
+            seed(
+                ("family_participants", family),
+                _merge.merge_csr([c.family_participants(family) for c in here]),
+            )
+            seed(
+                ("attack_dispersions", family),
+                _merge.merge_series([c.attack_dispersions(family) for c in here]),
+            )
+            seed(
+                ("family_target_country_counts", family),
+                _merge.merge_counts(
+                    [c.family_target_country_counts(family) for c in here]
                 ),
             )
             seed(
-                ("daily_distribution", None),
+                ("daily_distribution", family),
                 _merge.merge_daily_distributions(
-                    [c.daily_distribution(None) for c in shards], ds, None
+                    [c.daily_distribution(family) for c in here], ds, family
                 ),
             )
-            # Walks ascending org order over the seeded marginal — the
-            # same order the unsharded builder uses.
-            ctx.victim_org_type_counts()
-
-            suspect = _merge.find_boundary_suspects(shard_ds, ds.victims.n_targets)
-            stitched.inc(int(suspect.sum()))
+            pairs = _merge.merge_weekly_pairs(
+                [c.weekly_shift_pairs(family) for c in here]
+            )
+            seed(("weekly_shift_pairs", family), pairs)
             seed(
-                ("collaborations",),
-                _merge.merge_scan_events(
-                    [c.collaborations() for c in shards],
-                    bases,
-                    suspect,
-                    ds,
-                    "collaborations",
-                ),
+                ("weekly_shift", family),
+                _shift._finish_weekly_shift(ds, family, *pairs),
             )
+            interiors = [
+                self.shard_snapshot_dispersions(k, family) for k in in_shards
+            ]
+            strip = _geolocation._snapshot_dispersions(ctx, family, ts=strip_ts)
             seed(
-                ("chains",),
-                _merge.merge_scan_events(
-                    [c.chains() for c in shards], bases, suspect, ds, "chains"
-                ),
+                ("snapshot_dispersions", family),
+                _merge.merge_snapshot_dispersions(interiors + [strip]),
             )
-
-            present: dict[str, list[int]] = {}
-            for k in range(self.n_shards):
-                for family in self.shard_families(k):
-                    present.setdefault(family, []).append(k)
-            strip_ts = self._strip_ts()
-            for family, in_shards in present.items():
-                here = [shards[k] for k in in_shards]
-                seed(
-                    ("family_starts", family),
-                    _merge.merge_concat([c.family_starts(family) for c in here]),
-                )
-                seed(
-                    ("family_intervals", family, True),
-                    _merge.merge_intervals(
-                        [c.family_starts(family) for c in here],
-                        [c.family_intervals(family) for c in here],
-                    ),
-                )
-                seed(
-                    ("durations", family),
-                    _merge.merge_concat([c.durations(family) for c in here]),
-                )
-                seed(
-                    ("family_participants", family),
-                    _merge.merge_csr([c.family_participants(family) for c in here]),
-                )
-                seed(
-                    ("attack_dispersions", family),
-                    _merge.merge_series([c.attack_dispersions(family) for c in here]),
-                )
-                seed(
-                    ("family_target_country_counts", family),
-                    _merge.merge_counts(
-                        [c.family_target_country_counts(family) for c in here]
-                    ),
-                )
-                seed(
-                    ("daily_distribution", family),
-                    _merge.merge_daily_distributions(
-                        [c.daily_distribution(family) for c in here], ds, family
-                    ),
-                )
-                pairs = _merge.merge_weekly_pairs(
-                    [c.weekly_shift_pairs(family) for c in here]
-                )
-                seed(("weekly_shift_pairs", family), pairs)
-                seed(
-                    ("weekly_shift", family),
-                    _shift._finish_weekly_shift(ds, family, *pairs),
-                )
-                interiors = [
-                    self.shard_snapshot_dispersions(k, family) for k in in_shards
-                ]
-                from . import geolocation as _geolocation
-
-                strip = _geolocation._snapshot_dispersions(ctx, family, ts=strip_ts)
-                seed(
-                    ("snapshot_dispersions", family),
-                    _merge.merge_snapshot_dispersions(interiors + [strip]),
-                )
-            self._merged = ctx
-        return self._merged
+        return ctx
 
 
 def _shard_build_worker(
@@ -974,6 +1721,10 @@ def _shard_build_worker(
         ctx.daily_distribution(None)
         ctx.collaborations()
         ctx.chains()
+        # Rebase scan events to global rows here, in the (parallel) map
+        # phase, so the merge only has to stitch the boundaries.
+        sctx.shard_scan_events(index, "collaborations")
+        sctx.shard_scan_events(index, "chains")
         for family in sctx.shard_families(index):
             ctx.family_starts(family)
             ctx.family_intervals(family)

@@ -28,6 +28,7 @@ cumulative shard sizes.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import TYPE_CHECKING, Sequence
 
@@ -37,14 +38,13 @@ from ..monitor.schemas import Protocol
 from .collaboration import (
     DURATION_WINDOW_SECONDS,
     START_WINDOW_SECONDS,
+    CollabEvent,
     _detect_collaborations,
 )
-from .consecutive import CHAIN_MARGIN_SECONDS, _detect_chains
+from .consecutive import CHAIN_MARGIN_SECONDS, AttackChain, _detect_chains
 from .overview import DailyDistribution
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from .collaboration import CollabEvent
-    from .consecutive import AttackChain
     from .dataset import AttackDataset
 
 __all__ = [
@@ -56,11 +56,19 @@ __all__ = [
     "merge_intervals",
     "merge_weekly_pairs",
     "merge_daily_distributions",
+    "finish_daily_distribution",
     "merge_protocol_breakdown",
     "merge_protocol_popularity",
     "merge_snapshot_dispersions",
     "find_boundary_suspects",
     "merge_scan_events",
+    "rebase_scan_events",
+    "scan_order",
+    "stitch_scan_events",
+    "seam_stitch_scan_events",
+    "ShardPartial",
+    "make_shard_partial",
+    "combine_partials",
     "sketch_summaries",
 ]
 
@@ -71,6 +79,42 @@ __all__ = [
 def merge_concat(parts: Sequence[np.ndarray]) -> np.ndarray:
     """Concatenate per-shard arrays in shard (chronological) order."""
     return np.concatenate(list(parts))
+
+
+class GrowBuffer:
+    """A 1-D concatenation with reserved tail capacity.
+
+    Concat-shaped merged views (durations, per-family starts, CSR flats,
+    dispersion series, ...) are suffix-extended by an append: the merged
+    array after one more shard is the old array plus the new shard's
+    rows.  Rebuilding them with :func:`merge_concat` re-copies every row
+    on every re-merge.  A ``GrowBuffer`` copies the pieces once into a
+    buffer with ``reserve`` fractional headroom; later appends write
+    only the new pieces into the reserved tail, and the previously
+    returned view stays valid because it covers an immutable prefix of
+    the same buffer.
+
+    ``extend`` returns ``None`` once the headroom is exhausted — callers
+    rebuild a fresh ``GrowBuffer``, which restores the reserve.
+    """
+
+    def __init__(self, pieces: Sequence[np.ndarray], *, reserve: float = 0.5):
+        n = sum(int(p.size) for p in pieces)
+        self._buf = np.empty(n + max(int(n * reserve), 16), dtype=pieces[0].dtype)
+        self.n = 0
+        self.view = self._buf[:0]
+        self.extend(pieces)
+
+    def extend(self, pieces: Sequence[np.ndarray]) -> np.ndarray | None:
+        """Append ``pieces`` in place; ``None`` if headroom is exhausted."""
+        add = sum(int(p.size) for p in pieces)
+        if self.n + add > self._buf.size:
+            return None
+        for p in pieces:
+            self._buf[self.n : self.n + p.size] = p
+            self.n += int(p.size)
+        self.view = self._buf[: self.n]
+        return self.view
 
 
 def merge_series(
@@ -109,6 +153,22 @@ def merge_grouped_indices(
     return out
 
 
+def csr_pieces(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """The ``(offset_pieces, flat_pieces)`` of the merged CSR layout.
+
+    Exposed separately from :func:`merge_csr` so the incremental merge
+    can write the pieces into growable buffers instead of concatenating.
+    """
+    offset_pieces = [np.zeros(1, dtype=np.int64)]
+    base = np.int64(0)
+    for offsets, _flat in parts:
+        offset_pieces.append(offsets[1:] + base)
+        base += offsets[-1]
+    return offset_pieces, [flat for _offsets, flat in parts]
+
+
 def merge_csr(
     parts: Sequence[tuple[np.ndarray, np.ndarray]]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -117,15 +177,8 @@ def merge_csr(
     ``flat`` entries are global bot indices (the registries are shared
     across shards), so only the offsets need rebasing.
     """
-    offset_pieces = [np.zeros(1, dtype=np.int64)]
-    base = np.int64(0)
-    for offsets, _flat in parts:
-        offset_pieces.append(offsets[1:] + base)
-        base += offsets[-1]
-    return (
-        np.concatenate(offset_pieces),
-        np.concatenate([flat for _offsets, flat in parts]),
-    )
+    offset_pieces, flat_pieces = csr_pieces(parts)
+    return np.concatenate(offset_pieces), np.concatenate(flat_pieces)
 
 
 # -- re-reductions ---------------------------------------------------------
@@ -148,15 +201,15 @@ def merge_counts(
     return u_sorted[starts], np.add.reduceat(counts[order], starts)
 
 
-def merge_intervals(
+def interval_pieces(
     starts_parts: Sequence[np.ndarray], diff_parts: Sequence[np.ndarray]
-) -> np.ndarray:
-    """Merge per-shard consecutive-gap arrays, adding the boundary gaps.
+) -> list[np.ndarray]:
+    """The concat pieces of the merged gap array (see merge_intervals).
 
-    ``np.diff`` is an elementwise subtraction, so the global gap array is
-    exactly the per-shard gap arrays interleaved with one boundary gap
-    (first start of a non-empty shard minus the last start of the
-    previous non-empty one) per internal boundary.
+    Passing an empty diff array for an already-merged leading part
+    yields only the pieces *after* it — one boundary gap per seam plus
+    the new parts' gap arrays — which is what the incremental merge
+    appends to its growable buffer.
     """
     pieces: list[np.ndarray] = []
     prev_last: float | None = None
@@ -168,6 +221,20 @@ def merge_intervals(
         if diffs.size:
             pieces.append(diffs)
         prev_last = float(starts[-1])
+    return pieces
+
+
+def merge_intervals(
+    starts_parts: Sequence[np.ndarray], diff_parts: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Merge per-shard consecutive-gap arrays, adding the boundary gaps.
+
+    ``np.diff`` is an elementwise subtraction, so the global gap array is
+    exactly the per-shard gap arrays interleaved with one boundary gap
+    (first start of a non-empty shard minus the last start of the
+    previous non-empty one) per internal boundary.
+    """
+    pieces = interval_pieces(starts_parts, diff_parts)
     if not pieces:
         return np.zeros(0)
     return np.concatenate(pieces)
@@ -209,11 +276,27 @@ def merge_daily_distributions(
     counts = np.zeros(n_days, dtype=parts[0].counts.dtype)
     for p in parts:
         counts[: p.counts.size] += p.counts
+    return finish_daily_distribution(counts, ds, family)
+
+
+def finish_daily_distribution(
+    counts: np.ndarray,
+    ds: "AttackDataset",
+    family: str | None,
+    days: np.ndarray | None = None,
+) -> DailyDistribution:
+    """Build a :class:`DailyDistribution` from already-summed day counts.
+
+    ``days`` optionally supplies the per-attack day index column (the
+    same elementwise expression computed below) so re-merges can keep it
+    in a growable buffer instead of recomputing it over every row.
+    """
     max_day = int(np.argmax(counts))
     if family is not None:
         top_family = family if counts[max_day] > 0 else ""
     else:
-        days = ((ds.start - ds.window.start) // 86400).astype(np.int64)
+        if days is None:
+            days = ((ds.start - ds.window.start) // 86400).astype(np.int64)
         on_max = days == max_day
         if on_max.any():
             fams, fam_counts = np.unique(ds.family_idx[on_max], return_counts=True)
@@ -405,6 +488,414 @@ def merge_scan_events(
             )
     events.sort(key=lambda e: (e.start, e.target_index))
     return events
+
+
+# -- vectorised boundary stitch --------------------------------------------
+#
+# The suspect-rescan path above is the retained reference: simple, pinned
+# by the parity tests, and O(per-event Python work).  The functions below
+# reproduce it with array passes: rebasing happens once per shard build
+# (:func:`rebase_scan_events`), and the merge regenerates only the runs
+# that actually cross a shard boundary instead of every run on a suspect
+# target.  Both paths are exact — shards are contiguous time slices, so a
+# shard's per-target rows are a contiguous run of that target's global
+# rows, local scan events are consistent fragments of global ones, and
+# any fragment belonging to a boundary-crossing run is dropped and
+# regenerated from the merged columns.
+
+
+def rebase_scan_events(events: Sequence, base: int) -> list:
+    """Shift scan-event attack indices into the global index space."""
+    base = int(base)
+    if base == 0 or not events:
+        return list(events)
+    out = []
+    if isinstance(events[0], CollabEvent):
+        for e in events:
+            out.append(
+                CollabEvent(
+                    attack_indices=tuple(i + base for i in e.attack_indices),
+                    target_index=e.target_index,
+                    families=e.families,
+                    botnet_ids=e.botnet_ids,
+                    start=e.start,
+                    is_inter_family=e.is_inter_family,
+                )
+            )
+    elif isinstance(events[0], AttackChain):
+        for e in events:
+            out.append(
+                AttackChain(
+                    attack_indices=tuple(i + base for i in e.attack_indices),
+                    target_index=e.target_index,
+                    families=e.families,
+                    start=e.start,
+                    end=e.end,
+                    gaps=e.gaps,
+                )
+            )
+    else:
+        for e in events:
+            out.append(
+                dataclasses.replace(
+                    e, attack_indices=tuple(i + base for i in e.attack_indices)
+                )
+            )
+    return out
+
+
+def scan_order(grouped: dict[int, np.ndarray], n: int) -> np.ndarray:
+    """Scan enumeration order from a merged target grouping dict.
+
+    The kernels enumerate rows by ``lexsort((start, target_idx))``.  The
+    dataset is globally start-sorted, so each target's ascending-index
+    group *is* its start order (stable ties included), and the groups are
+    already keyed ascending — target-major concatenation reproduces the
+    lexsort without sorting anything.
+    """
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(list(grouped.values()))
+
+
+def _linked_mask(
+    targets: np.ndarray, starts: np.ndarray, ends: np.ndarray, kind: str
+) -> np.ndarray:
+    """Adjacent-pair link mask in scan order (``mask[i]`` links ``i, i+1``).
+
+    For collaborations a "link" means *same run* (start-window adjacency);
+    for chains it is the kernel's chain-link predicate.
+    """
+    same_target = targets[1:] == targets[:-1]
+    if kind == "collaborations":
+        return same_target & (starts[1:] - starts[:-1] <= START_WINDOW_SECONDS)
+    if kind == "chains":
+        return (
+            same_target
+            & (np.abs(starts[1:] - ends[:-1]) <= CHAIN_MARGIN_SECONDS)
+            & (starts[1:] - starts[:-1] > 1.0)
+        )
+    raise ValueError(f"unknown scan kind {kind!r}")
+
+
+def _materialize_row_runs(ds, row_segs: Sequence[np.ndarray], kind: str) -> list:
+    """Regenerate the scan events of boundary-crossing runs.
+
+    ``row_segs`` holds one ascending global-row array per crossing run.
+    Collaboration runs are rescanned through :class:`_AttackSlice` (the
+    kernel may split a run into several events or none; runs on the same
+    target are separated by more than the start window, and different
+    targets never merge, so the slice rescan is exact).  Chains map
+    one-to-one onto linked runs, so they are materialised directly —
+    rescanning a slice would be *wrong* here: the >1 s stagger condition
+    means omitted in-between rows can break links the slice cannot see.
+    """
+    if not row_segs:
+        return []
+    if kind == "collaborations":
+        rows = np.sort(np.concatenate(list(row_segs)))
+        shim = _AttackSlice(ds, rows)
+        fresh = _detect_collaborations(
+            shim, START_WINDOW_SECONDS, DURATION_WINDOW_SECONDS
+        )
+        return [
+            dataclasses.replace(
+                e, attack_indices=tuple(int(rows[i]) for i in e.attack_indices)
+            )
+            for e in fresh
+        ]
+    if kind != "chains":
+        raise ValueError(f"unknown scan kind {kind!r}")
+    chains = []
+    for seg in row_segs:
+        s = ds.start[seg]
+        e = ds.end[seg]
+        chains.append(
+            AttackChain(
+                attack_indices=tuple(int(i) for i in seg),
+                target_index=int(ds.target_idx[seg[0]]),
+                families=tuple(
+                    ds.family_name(int(k)) for k in ds.family_idx[seg]
+                ),
+                start=float(s[0]),
+                end=float(e[-1]),
+                gaps=tuple(float(g) for g in (s[1:] - e[:-1])),
+            )
+        )
+    return chains
+
+
+def _merge_sorted_events(kept: list, fresh: list) -> list:
+    """Merge kept (already sorted) and few fresh events by (start, target).
+
+    Equal-start events only arise across targets, and both scans emit at
+    most one event per (start, target) — the key is a total order that
+    matches the global kernel's stable target-major enumeration.
+    """
+    key = lambda e: (e.start, e.target_index)  # noqa: E731
+    if not fresh:
+        return kept
+    fresh = sorted(fresh, key=key)
+    if not kept:
+        return fresh
+    if len(fresh) <= 32:
+        out = kept
+        for e in fresh:
+            bisect.insort(out, e, key=key)
+        return out
+    starts = np.fromiter(
+        (e.start for e in kept), dtype=np.float64, count=len(kept)
+    )
+    out = []
+    prev = 0
+    for e in fresh:
+        pos = int(np.searchsorted(starts, e.start, side="left"))
+        while (
+            pos < len(kept)
+            and kept[pos].start == e.start
+            and kept[pos].target_index < e.target_index
+        ):
+            pos += 1
+        pos = max(pos, prev)
+        out.extend(kept[prev:pos])
+        out.append(e)
+        prev = pos
+    out.extend(kept[prev:])
+    return out
+
+
+def stitch_scan_events(
+    parts: Sequence[list],
+    ds,
+    grouped: dict[int, np.ndarray],
+    bases: Sequence[int],
+    kind: str,
+) -> tuple[list, set[int]]:
+    """Merge per-shard event lists already carrying global attack indices.
+
+    Vectorised replacement for :func:`merge_scan_events`: one array pass
+    finds the runs whose rows span more than one shard, every per-shard
+    event belonging to such a run is dropped, and only those runs are
+    regenerated from the merged columns.  Returns ``(events, targets)``
+    where ``targets`` is the set of target ids that needed stitching.
+
+    When nothing crosses a boundary, the shard-order concatenation is
+    already globally sorted (per-shard lists are start-sorted and shard
+    start ranges are disjoint) and is returned as-is.
+    """
+    n = int(ds.n_attacks)
+    if n == 0:
+        return [], set()
+    order = scan_order(grouped, n)
+    targets = ds.target_idx[order]
+    starts = ds.start[order]
+    ends = ds.end[order]
+    linked = _linked_mask(targets, starts, ends, kind)
+    bases_arr = np.asarray(list(bases), dtype=np.int64)
+    part_of = np.searchsorted(bases_arr, order, side="right") - 1
+    cross_adj = linked & (part_of[1:] != part_of[:-1])
+    if not cross_adj.any():
+        return [e for part in parts for e in part], set()
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = ~linked
+    run_id = np.cumsum(new_run) - 1
+    crossing = np.zeros(int(run_id[-1]) + 1, dtype=bool)
+    crossing[run_id[1:][cross_adj]] = True
+    in_crossing = np.zeros(n, dtype=bool)
+    in_crossing[order[crossing[run_id]]] = True
+    kept = [
+        e
+        for part in parts
+        for e in part
+        if not in_crossing[e.attack_indices[0]]
+    ]
+    run_first = np.flatnonzero(new_run)
+    run_last = np.concatenate((run_first[1:], [n]))
+    segs = [
+        order[run_first[r] : run_last[r]] for r in np.flatnonzero(crossing)
+    ]
+    fresh = _materialize_row_runs(ds, segs, kind)
+    stitched = {int(ds.target_idx[seg[0]]) for seg in segs}
+    return _merge_sorted_events(kept, fresh), stitched
+
+
+def seam_stitch_scan_events(
+    prev_events: Sequence,
+    new_parts: Sequence[list],
+    ds,
+    grouped: dict[int, np.ndarray],
+    bases: Sequence[int],
+    kind: str,
+) -> tuple[list, set[int]]:
+    """Incremental stitch after an append: touch only the new seams.
+
+    ``prev_events`` is the previous merged context's event list (rows
+    ``[0, bases[1])``); ``new_parts`` are the appended shards' rebased
+    lists.  Instead of an O(n) scan, each seam is probed per target: a
+    searchsorted into the target's merged row group finds the adjacent
+    pair straddling the seam, and the run is grown outwards only while
+    the link predicate holds.  Dropped previous events all have
+    ``start >= `` the earliest crossing run's first start, so the kept
+    prefix is a bisect, not a filter.
+    """
+    seams = [int(b) for b in bases[1:]]
+    row_starts = ds.start
+    row_ends = ds.end
+
+    if kind == "collaborations":
+
+        def linked(a: int, b: int) -> bool:
+            return row_starts[b] - row_starts[a] <= START_WINDOW_SECONDS
+
+    elif kind == "chains":
+
+        def linked(a: int, b: int) -> bool:
+            return (
+                abs(row_starts[b] - row_ends[a]) <= CHAIN_MARGIN_SECONDS
+                and row_starts[b] - row_starts[a] > 1.0
+            )
+
+    else:
+        raise ValueError(f"unknown scan kind {kind!r}")
+
+    seen: set[tuple[int, int, int]] = set()
+    segs: list[np.ndarray] = []
+    for target, g in grouped.items():
+        for seam in seams:
+            pos = int(np.searchsorted(g, seam))
+            if pos == 0 or pos == g.size:
+                continue
+            if not linked(g[pos - 1], g[pos]):
+                continue
+            lo, hi = pos - 1, pos + 1
+            while lo > 0 and linked(g[lo - 1], g[lo]):
+                lo -= 1
+            while hi < g.size and linked(g[hi - 1], g[hi]):
+                hi += 1
+            # Maximal runs from different seams are equal or disjoint —
+            # abutting-but-unlinked neighbours must stay separate runs.
+            if (target, lo, hi) not in seen:
+                seen.add((target, lo, hi))
+                segs.append(g[lo:hi])
+    prev_events = list(prev_events)
+    if not segs:
+        return prev_events + [e for part in new_parts for e in part], set()
+    crossing_rows = {int(i) for seg in segs for i in seg}
+    threshold = min(float(row_starts[seg[0]]) for seg in segs)
+    cut = bisect.bisect_left(prev_events, threshold, key=lambda e: e.start)
+    kept = prev_events[:cut]
+    kept.extend(
+        e for e in prev_events[cut:] if e.attack_indices[0] not in crossing_rows
+    )
+    for part in new_parts:
+        kept.extend(e for e in part if e.attack_indices[0] not in crossing_rows)
+    fresh = _materialize_row_runs(ds, segs, kind)
+    stitched = {int(ds.target_idx[seg[0]]) for seg in segs}
+    return _merge_sorted_events(kept, fresh), stitched
+
+
+# -- tree-reducible shard partials -----------------------------------------
+
+
+@dataclasses.dataclass
+class ShardPartial:
+    """The re-reduction state of one contiguous shard range ``[lo, hi)``.
+
+    Everything in here merges under :func:`combine_partials` — a small,
+    associative algebra (integer sums, sorted-unique unions), bitwise
+    stable under any tree shape, and cheap to pickle for the subtree
+    cache.  The concatenation-shaped views (index groupings, per-family
+    series, scan events) stay out: they are linear-size and assembled
+    once during finalisation instead of being copied at every level.
+    """
+
+    lo: int
+    hi: int
+    target_country_counts: tuple[np.ndarray, np.ndarray]
+    target_org_counts: tuple[np.ndarray, np.ndarray]
+    protocol_breakdown: list[tuple[Protocol, str, int]]
+    protocol_popularity: dict[Protocol, int]
+    #: family name (or ``None`` for the headline) -> per-day counts
+    daily_counts: dict[str | None, np.ndarray]
+    #: family name -> ``(weeks_u, u_week, u_bot)`` weekly-shift table
+    weekly_pairs: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]]
+    #: family name -> ``(uniq, counts)`` target-country marginal
+    family_country_counts: dict[str, tuple[np.ndarray, np.ndarray]]
+    families: tuple[str, ...]
+
+
+def make_shard_partial(ctx, families: Sequence[str], index: int) -> ShardPartial:
+    """Extract one shard's :class:`ShardPartial` from its built context."""
+    daily: dict[str | None, np.ndarray] = {
+        None: ctx.daily_distribution(None).counts
+    }
+    for family in families:
+        daily[family] = ctx.daily_distribution(family).counts
+    return ShardPartial(
+        lo=index,
+        hi=index + 1,
+        target_country_counts=ctx.target_country_counts(),
+        target_org_counts=ctx.target_org_counts(),
+        protocol_breakdown=ctx.protocol_breakdown(),
+        protocol_popularity=ctx.protocol_popularity(),
+        daily_counts=daily,
+        weekly_pairs={f: ctx.weekly_shift_pairs(f) for f in families},
+        family_country_counts={
+            f: ctx.family_target_country_counts(f) for f in families
+        },
+        families=tuple(families),
+    )
+
+
+def _pad_sum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.zeros(max(a.size, b.size), dtype=a.dtype)
+    out[: a.size] += a
+    out[: b.size] += b
+    return out
+
+
+def combine_partials(a: ShardPartial, b: ShardPartial) -> ShardPartial:
+    """Combine two adjacent shard partials (``a`` left of ``b``)."""
+    if a.hi != b.lo:
+        raise ValueError(f"non-adjacent partials: [{a.lo},{a.hi}) + [{b.lo},{b.hi})")
+    daily: dict[str | None, np.ndarray] = {}
+    for key in dict.fromkeys([*a.daily_counts, *b.daily_counts]):
+        pa = a.daily_counts.get(key)
+        pb = b.daily_counts.get(key)
+        daily[key] = pa if pb is None else pb if pa is None else _pad_sum(pa, pb)
+    weekly: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for key in dict.fromkeys([*a.weekly_pairs, *b.weekly_pairs]):
+        pa = a.weekly_pairs.get(key)
+        pb = b.weekly_pairs.get(key)
+        weekly[key] = (
+            pa if pb is None else pb if pa is None else merge_weekly_pairs([pa, pb])
+        )
+    fam_counts: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for key in dict.fromkeys([*a.family_country_counts, *b.family_country_counts]):
+        pa = a.family_country_counts.get(key)
+        pb = b.family_country_counts.get(key)
+        fam_counts[key] = (
+            pa if pb is None else pb if pa is None else merge_counts([pa, pb])
+        )
+    return ShardPartial(
+        lo=a.lo,
+        hi=b.hi,
+        target_country_counts=merge_counts(
+            [a.target_country_counts, b.target_country_counts]
+        ),
+        target_org_counts=merge_counts([a.target_org_counts, b.target_org_counts]),
+        protocol_breakdown=merge_protocol_breakdown(
+            [a.protocol_breakdown, b.protocol_breakdown]
+        ),
+        protocol_popularity=merge_protocol_popularity(
+            [a.protocol_popularity, b.protocol_popularity]
+        ),
+        daily_counts=daily,
+        weekly_pairs=weekly,
+        family_country_counts=fam_counts,
+        families=tuple(sorted(set(a.families) | set(b.families))),
+    )
 
 
 # -- sketch summaries ------------------------------------------------------

@@ -55,6 +55,7 @@ __all__ = [
     "ColstoreError",
     "ShardedDatasetStore",
     "append_shard",
+    "concat_datasets",
     "is_sharded_store",
     "load_dataset_npz",
     "save_dataset_npz",
@@ -638,6 +639,93 @@ class ShardedDatasetStore:
             self._datasets[index] = ds
         return ds
 
+    def shard_signature(self, index: int) -> tuple:
+        """Cheap content signature of one shard: (rows, t_lo, first, last).
+
+        The same tuple for the same slice of data whether the store is a
+        disk directory or an in-memory partition, so merge memo entries
+        (see :class:`repro.io.cache.MergeCache`) transfer between the
+        two.  It is a manifest-level fingerprint — it does not hash the
+        columns — which is the same trust level the manifest itself gets.
+        """
+        if self._entries:
+            entry = self._entries[index]
+            return (
+                int(entry["n_attacks"]),
+                float(entry["t_lo"]),
+                None if entry["t_first"] is None else float(entry["t_first"]),
+                None if entry["t_last"] is None else float(entry["t_last"]),
+            )
+        ds = self._datasets[index]
+        n = int(ds.n_attacks)
+        return (
+            n,
+            float(self.edges[index]),
+            float(ds.start[0]) if n else None,
+            float(ds.start[-1]) if n else None,
+        )
+
+    def refresh(self) -> tuple[int, bool]:
+        """Re-read the manifest after an :func:`append_shard`.
+
+        Returns ``(appended, registries_reset)``.  Existing shard
+        entries must be unchanged — a rewritten store (different files
+        or counts for already-known shards) raises rather than silently
+        serving mixed data.  ``registries_reset`` is True when the
+        append rewrote ``registries.npz`` with different scalar state
+        (new families/bots/victims interned), in which case every cached
+        shard dataset was dropped: the old ones index the old registries.
+        """
+        if self.path is None:
+            return 0, False
+        manifest_path = self.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("sharded_version") != SHARDED_VERSION:
+            raise ColstoreError(
+                f"{self.path}: sharded version {manifest.get('sharded_version')}"
+                f" != {SHARDED_VERSION}"
+            )
+        new_entries = list(manifest["shards"])
+        if len(new_entries) < len(self._entries) or any(
+            new["file"] != old["file"] or new["n_attacks"] != old["n_attacks"]
+            for new, old in zip(new_entries, self._entries)
+        ):
+            raise ColstoreError(
+                f"{self.path}: store was rewritten, not appended; reopen it"
+            )
+        appended = len(new_entries) - len(self._entries)
+        if appended == 0:
+            return 0, False
+        reset = False
+        if self._shared is not None:
+            path = self.path / _REGISTRIES_NAME
+            arrays, _ = _read_members(path, self._mmap)
+            meta = _pop_meta(arrays, path)
+            shared = self._shared
+            if (
+                list(meta["families"]) != shared["families"]
+                or int(meta["window"]["start"]) != int(shared["window"].start)
+                or int(meta["window"]["end"]) != int(shared["window"].end)
+                or len(meta["botnets"]) != len(shared["botnets"])
+                or np.asarray(arrays["bots.ip"]).size != shared["bots"].ip.size
+                or np.asarray(arrays["victims.ip"]).size != shared["victims"].ip.size
+            ):
+                reset = True
+                self._shared = None
+                self._datasets = [None] * len(new_entries)
+        if not reset:
+            self._datasets = self._datasets + [None] * appended
+        self._entries = new_entries
+        self.window = ObservationWindow(
+            start=manifest["window"]["start"], end=manifest["window"]["end"]
+        )
+        self.edges = np.array([e["t_lo"] for e in new_entries], dtype=float)
+        self.n_attacks = int(manifest["n_attacks"])
+        self._counts = np.array(
+            [e["n_attacks"] for e in new_entries], dtype=np.int64
+        )
+        return appended, reset
+
     def merged_dataset(self) -> AttackDataset:
         """All shards concatenated back into one dataset.
 
@@ -645,18 +733,69 @@ class ShardedDatasetStore:
         partitions — so the merged columns are bitwise what the shards
         actually hold, never a reference to some original.
         """
-        parts = [self.load_shard(i) for i in range(self.n_shards)]
+        return concat_datasets([self.load_shard(i) for i in range(self.n_shards)])
+
+
+class GrowableConcat:
+    """Concatenated attack columns with reserved tail capacity.
+
+    ``concat_datasets`` re-copies every row each time the merged table
+    grows by one shard, which makes an incremental re-merge O(total
+    rows) in memcpy alone.  This variant allocates each column with
+    ``reserve`` fractional headroom so that appending a shard only
+    copies the *new* rows into the reserved tail; the previously
+    returned dataset stays valid because its views cover an immutable
+    prefix of the same buffers.
+
+    ``extend`` returns ``None`` once the headroom is exhausted — the
+    caller falls back to a fresh copy (typically by building a new
+    ``GrowableConcat``, which restores the headroom).
+    """
+
+    _COLS = (
+        "start", "end", "family_idx", "botnet_id", "protocol",
+        "target_idx", "magnitude", "truth_collab_group",
+        "truth_collab_kind", "truth_chain_id", "truth_symmetric",
+        "truth_residual_km",
+    )
+
+    def __init__(self, parts: list[AttackDataset], *, reserve: float = 0.5):
         first = parts[0]
+        self._template = first
+        rows = sum(np.asarray(p.part_offsets).size - 1 for p in parts)
+        flat = sum(int(np.asarray(p.part_offsets)[-1]) for p in parts)
+        self._cap_rows = rows + max(int(rows * reserve), 1)
+        self._cap_flat = flat + max(int(flat * reserve), 1)
+        self._bufs = {
+            name: np.empty(self._cap_rows, dtype=np.asarray(getattr(first, name)).dtype)
+            for name in self._COLS
+        }
+        self._bufs["participants"] = np.empty(
+            self._cap_flat, dtype=np.asarray(first.participants).dtype
+        )
+        self._off = np.empty(self._cap_rows + 1, dtype=np.int64)
+        self._off[0] = 0
+        self._n_rows = 0
+        self._n_flat = 0
+        self._copy_in(parts)
+        self.dataset = self._snapshot()
 
-        def cat(name: str) -> np.ndarray:
-            return np.concatenate([np.asarray(getattr(p, name)) for p in parts])
-
-        offsets = [np.zeros(1, dtype=np.int64)]
-        base = 0
+    def _copy_in(self, parts: list[AttackDataset]) -> None:
         for p in parts:
             po = np.asarray(p.part_offsets)
-            offsets.append(po[1:] + base)
-            base += int(po[-1])
+            rows = po.size - 1
+            flat = int(po[-1])
+            r0, f0 = self._n_rows, self._n_flat
+            for name in self._COLS:
+                self._bufs[name][r0:r0 + rows] = np.asarray(getattr(p, name))
+            self._bufs["participants"][f0:f0 + flat] = np.asarray(p.participants)
+            self._off[r0 + 1:r0 + rows + 1] = po[1:] + f0
+            self._n_rows = r0 + rows
+            self._n_flat = f0 + flat
+
+    def _snapshot(self) -> AttackDataset:
+        first = self._template
+        cols = {name: self._bufs[name][: self._n_rows] for name in self._COLS}
         return AttackDataset(
             window=first.window,
             world=first.world,
@@ -665,18 +804,60 @@ class ShardedDatasetStore:
             bots=first.bots,
             victims=first.victims,
             botnets=list(first.botnets),
-            start=cat("start"),
-            end=cat("end"),
-            family_idx=cat("family_idx"),
-            botnet_id=cat("botnet_id"),
-            protocol=cat("protocol"),
-            target_idx=cat("target_idx"),
-            magnitude=cat("magnitude"),
-            part_offsets=np.concatenate(offsets),
-            participants=cat("participants"),
-            truth_collab_group=cat("truth_collab_group"),
-            truth_collab_kind=cat("truth_collab_kind"),
-            truth_chain_id=cat("truth_chain_id"),
-            truth_symmetric=cat("truth_symmetric"),
-            truth_residual_km=cat("truth_residual_km"),
+            part_offsets=self._off[: self._n_rows + 1],
+            participants=self._bufs["participants"][: self._n_flat],
+            **cols,
         )
+
+    def extend(self, parts: list[AttackDataset]) -> AttackDataset | None:
+        """Append ``parts`` in place; ``None`` if headroom is exhausted."""
+        rows = sum(np.asarray(p.part_offsets).size - 1 for p in parts)
+        flat = sum(int(np.asarray(p.part_offsets)[-1]) for p in parts)
+        if self._n_rows + rows > self._cap_rows or self._n_flat + flat > self._cap_flat:
+            return None
+        self._copy_in(parts)
+        self.dataset = self._snapshot()
+        return self.dataset
+
+
+def concat_datasets(parts: list[AttackDataset]) -> AttackDataset:
+    """Concatenate attack tables that share registries and window.
+
+    Parts must be in time order (each part's starts after the previous
+    part's); the incremental merge uses this with the previous merged
+    dataset as one big leading part.
+    """
+    first = parts[0]
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate([np.asarray(getattr(p, name)) for p in parts])
+
+    offsets = [np.zeros(1, dtype=np.int64)]
+    base = 0
+    for p in parts:
+        po = np.asarray(p.part_offsets)
+        offsets.append(po[1:] + base)
+        base += int(po[-1])
+    return AttackDataset(
+        window=first.window,
+        world=first.world,
+        families=list(first.families),
+        active_families=list(first.active_families),
+        bots=first.bots,
+        victims=first.victims,
+        botnets=list(first.botnets),
+        start=cat("start"),
+        end=cat("end"),
+        family_idx=cat("family_idx"),
+        botnet_id=cat("botnet_id"),
+        protocol=cat("protocol"),
+        target_idx=cat("target_idx"),
+        magnitude=cat("magnitude"),
+        part_offsets=np.concatenate(offsets),
+        participants=cat("participants"),
+        truth_collab_group=cat("truth_collab_group"),
+        truth_collab_kind=cat("truth_collab_kind"),
+        truth_chain_id=cat("truth_chain_id"),
+        truth_symmetric=cat("truth_symmetric"),
+        truth_residual_km=cat("truth_residual_km"),
+    )

@@ -5,5 +5,13 @@ payloads, serial fallback, parent-side instrumentation).
 """
 
 from .pool import default_jobs, fork_available, parallel_map, resolve_jobs
+from .tree import TreeReduceStats, tree_reduce
 
-__all__ = ["default_jobs", "fork_available", "parallel_map", "resolve_jobs"]
+__all__ = [
+    "TreeReduceStats",
+    "default_jobs",
+    "fork_available",
+    "parallel_map",
+    "resolve_jobs",
+    "tree_reduce",
+]

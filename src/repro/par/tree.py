@@ -1,0 +1,145 @@
+"""Tree-structured parallel reduction with memoized subtree results.
+
+:func:`tree_reduce` reshapes an associative fold over ``n`` leaves into
+a balanced binary reduction: power-of-two-aligned subtrees combine
+level-synchronously (every level's pending combines fan out over
+:func:`repro.par.parallel_map`), and the leftover "mountain-range peaks"
+fold left into the final value.  A serial left-fold touches all ``n``
+leaves on every call; the aligned tree needs only ``~log2(n)`` levels of
+parallel combines — and, because every aligned subtree keeps its range
+under append (growing ``n`` never re-aligns an existing subtree), a
+caller-supplied cache turns re-reduction after an append into an
+O(log n) walk of the spine.
+
+The caller supplies ``lookup``/``store`` hooks keyed by the half-open
+leaf range ``(lo, hi)``; anything served by ``lookup`` short-circuits
+that whole subtree.  Spine prefixes ``(0, hi)`` are stored too, so a
+repeat reduce over unchanged leaves is a single lookup of ``(0, n)``.
+
+The combine callable must be associative **and executed pairwise in
+left-to-right range order** — the scheduler guarantees the second
+operand's range always starts where the first ends, so combiners that
+rely on shard adjacency (boundary gaps, edge stitching) stay correct.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from .pool import parallel_map
+
+__all__ = ["TreeReduceStats", "tree_reduce"]
+
+
+@dataclasses.dataclass
+class TreeReduceStats:
+    """What one :func:`tree_reduce` call actually did."""
+
+    #: Parallel combine rounds executed (aligned levels plus, when any
+    #: peak fold ran, one spine round).
+    levels: int = 0
+    #: Subtree results served by ``lookup`` instead of being recombined.
+    reused: int = 0
+    #: Pairwise combines executed.
+    combined: int = 0
+
+
+def _peaks(n: int) -> list[tuple[int, int]]:
+    """Power-of-two-aligned decomposition of ``[0, n)`` (MMR peaks)."""
+    peaks: list[tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        size = 1
+        while size * 2 <= n - lo and lo % (size * 2) == 0:
+            size *= 2
+        peaks.append((lo, lo + size))
+        lo += size
+    return peaks
+
+
+def _combine_worker(payload, pair):
+    combine, left, right = payload[0], pair[0], pair[1]
+    return combine(left, right)
+
+
+def tree_reduce(
+    n: int,
+    leaf: Callable[[int], Any],
+    combine: Callable[[Any, Any], Any],
+    *,
+    jobs: int | None = 1,
+    lookup: Callable[[int, int], Any] | None = None,
+    store: Callable[[int, int, Any], None] | None = None,
+    label: str = "tree_reduce",
+) -> tuple[Any, TreeReduceStats]:
+    """Reduce ``leaf(0) .. leaf(n-1)`` under ``combine``; see module doc.
+
+    ``lookup(lo, hi)`` may return a cached subtree value (or ``None``);
+    ``store(lo, hi, value)`` is called for every combined subtree and
+    spine prefix (never for single leaves — the caller owns those).
+    Returns ``(value, stats)``.  Raises ``ValueError`` when ``n == 0``.
+    """
+    if n <= 0:
+        raise ValueError("tree_reduce needs at least one leaf")
+    stats = TreeReduceStats()
+    values: dict[tuple[int, int], Any] = {}
+
+    def resolve(lo: int, hi: int) -> bool:
+        """True when ``(lo, hi)`` is available without combining."""
+        if (lo, hi) in values:
+            return True
+        if lookup is not None:
+            hit = lookup(lo, hi)
+            if hit is not None:
+                values[(lo, hi)] = hit
+                stats.reused += 1
+                return True
+        if hi - lo == 1:
+            values[(lo, hi)] = leaf(lo)
+            return True
+        return False
+
+    # Top-down: find the missing aligned subtrees under each peak, then
+    # run their combines bottom-up, one parallel round per node size.
+    # Nodes are (lo, mid, hi): aligned subtrees split at the midpoint,
+    # spine prefixes at the peak boundary.
+    pending_by_size: dict[int, list[tuple[int, int, int]]] = {}
+
+    def need(lo: int, hi: int) -> None:
+        if resolve(lo, hi):
+            return
+        mid = lo + (hi - lo) // 2
+        need(lo, mid)
+        need(mid, hi)
+        pending_by_size.setdefault(hi - lo, []).append((lo, mid, hi))
+
+    def run_round(nodes: list[tuple[int, int, int]]) -> None:
+        pairs = [(values[(lo, mid)], values[(mid, hi)]) for lo, mid, hi in nodes]
+        results = parallel_map(
+            _combine_worker, pairs, jobs=jobs, payload=(combine,), label=label
+        )
+        stats.levels += 1
+        stats.combined += len(nodes)
+        for (lo, _mid, hi), value in zip(nodes, results):
+            values[(lo, hi)] = value
+            if store is not None:
+                store(lo, hi, value)
+
+    peaks = _peaks(n)
+    # A repeat reduce over unchanged leaves is one spine-prefix lookup.
+    if not resolve(0, n):
+        for lo, hi in peaks:
+            need(lo, hi)
+        for size in sorted(pending_by_size):
+            run_round(pending_by_size[size])
+
+        # Fold the peaks left into the spine, memoizing every prefix.
+        spine = [
+            (0, acc_hi, hi)
+            for (_lo, acc_hi), (lo, hi) in zip(peaks, peaks[1:])
+            if not resolve(0, hi)
+        ]
+        for node in spine:
+            run_round([node])
+    return values[(0, n)], stats

@@ -571,7 +571,7 @@ class StreamingDataset:
 
     # -- spilling ----------------------------------------------------------
 
-    def spill_shards(self, path) -> int:
+    def spill_shards(self, path, *, context=None) -> int:
         """Spill the closed prefix of the stream into the sharded store.
 
         Every row whose start is *strictly before* the stream's current
@@ -587,6 +587,10 @@ class StreamingDataset:
         Spilling never frees memory — the stream keeps serving full
         snapshots — it bounds what a *restart* would lose and feeds the
         map-reduce path (:class:`~repro.io.colstore.ShardedDatasetStore`).
+        Pass the store's live
+        :class:`~repro.core.context.ShardedAnalysisContext` as
+        ``context`` and it is refreshed after the append, so its next
+        ``merged()`` re-merges incrementally instead of from scratch.
 
         Raises ``ValueError`` if a batch arrived at or before the spilled
         frontier since the last spill: those rows were merged into a
@@ -612,4 +616,6 @@ class StreamingDataset:
         self._spilled_rows = cut
         self._spill_max_start = float(start_col[cut - 1])
         _obs_registry().counter("stream.spilled_rows").inc(spilled)
+        if context is not None:
+            context.refresh()
         return spilled

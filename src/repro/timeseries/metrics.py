@@ -44,7 +44,9 @@ def cosine_similarity(a, b) -> float:
         return 1.0
     if nx == 0.0 or ny == 0.0:
         return 0.0
-    return float(np.dot(x, y) / (nx * ny))
+    # Rounding can push |x.y| a hair past |x||y| for near-parallel
+    # vectors; clamp so the similarity honours its [-1, 1] contract.
+    return float(np.clip(np.dot(x, y) / (nx * ny), -1.0, 1.0))
 
 
 def mean_absolute_error(truth, prediction) -> float:

@@ -1,0 +1,120 @@
+"""Unit tests for the memoized tree reduction in :mod:`repro.par.tree`.
+
+The scheduler's contract: the reduced value equals a serial left fold
+for every leaf count, every pairwise combine receives range-adjacent
+operands in left-to-right order, ``store`` sees combined subtrees and
+spine prefixes (never leaves), and a ``lookup`` hit short-circuits the
+whole subtree — so after an append only the O(log n) spine recombines.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.par.tree import TreeReduceStats, _peaks, tree_reduce
+
+
+def _concat(a, b):
+    return a + b
+
+
+class TestPeaks:
+    @pytest.mark.parametrize(
+        ("n", "want"),
+        [
+            (1, [(0, 1)]),
+            (2, [(0, 2)]),
+            (3, [(0, 2), (2, 3)]),
+            (5, [(0, 4), (4, 5)]),
+            (8, [(0, 8)]),
+            (11, [(0, 8), (8, 10), (10, 11)]),
+        ],
+    )
+    def test_power_of_two_aligned_decomposition(self, n, want):
+        assert _peaks(n) == want
+
+    @pytest.mark.parametrize("n", range(1, 33))
+    def test_covers_range_with_aligned_blocks(self, n):
+        peaks = _peaks(n)
+        assert peaks[0][0] == 0 and peaks[-1][1] == n
+        for (_, a_hi), (b_lo, _) in zip(peaks, peaks[1:]):
+            assert a_hi == b_lo
+        for lo, hi in peaks:
+            size = hi - lo
+            assert size & (size - 1) == 0  # power of two
+            assert lo % size == 0  # aligned
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("n", range(1, 18))
+    def test_equals_serial_left_fold(self, n):
+        value, stats = tree_reduce(n, lambda i: [i], _concat)
+        assert value == functools.reduce(_concat, ([i] for i in range(n)))
+        assert stats.combined == n - 1
+        assert stats.reused == 0
+
+    def test_combines_are_range_adjacent(self):
+        # Leaves carry their range; the combine asserts adjacency, so a
+        # scheduler that ever pairs non-neighbouring subtrees fails here.
+        def adjacent(a, b):
+            assert a[1] == b[0], (a, b)
+            return (a[0], b[1])
+
+        for n in range(1, 14):
+            value, _ = tree_reduce(n, lambda i: (i, i + 1), adjacent)
+            assert value == (0, n)
+
+    @pytest.mark.parametrize(
+        ("n", "levels", "combined"),
+        [(1, 0, 0), (2, 1, 1), (5, 3, 4), (8, 3, 7)],
+    )
+    def test_round_counts(self, n, levels, combined):
+        _, stats = tree_reduce(n, lambda i: [i], _concat)
+        assert (stats.levels, stats.combined) == (levels, combined)
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(ValueError, match="at least one leaf"):
+            tree_reduce(0, lambda i: [i], _concat)
+
+    def test_store_sees_subtrees_and_spine_never_leaves(self):
+        stored: dict[tuple[int, int], list[int]] = {}
+        tree_reduce(5, lambda i: [i], _concat, store=lambda lo, hi, v: stored.__setitem__((lo, hi), v))
+        # Aligned subtrees (0,2) (2,4) (0,4) plus the spine prefix (0,5).
+        assert set(stored) == {(0, 2), (2, 4), (0, 4), (0, 5)}
+        assert all(hi - lo > 1 for lo, hi in stored)
+        assert stored[(0, 5)] == [0, 1, 2, 3, 4]
+
+    def test_repeat_reduce_is_one_lookup(self):
+        memo: dict[tuple[int, int], list[int]] = {}
+        store = lambda lo, hi, v: memo.__setitem__((lo, hi), v)
+        lookup = lambda lo, hi: memo.get((lo, hi))
+        first, s1 = tree_reduce(8, lambda i: [i], _concat, lookup=lookup, store=store)
+        again, s2 = tree_reduce(8, lambda i: [i], _concat, lookup=lookup, store=store)
+        assert again == first == list(range(8))
+        assert (s2.levels, s2.reused, s2.combined) == (0, 1, 0)
+
+    @pytest.mark.parametrize("n", [2, 5, 8, 13])
+    def test_append_recombines_only_the_spine(self, n):
+        memo: dict[tuple[int, int], list[int]] = {}
+        store = lambda lo, hi, v: memo.__setitem__((lo, hi), v)
+        leaves_built: list[int] = []
+
+        def leaf(i):
+            leaves_built.append(i)
+            memo[(i, i + 1)] = [i]
+            return [i]
+
+        tree_reduce(n, leaf, _concat, lookup=lambda lo, hi: memo.get((lo, hi)), store=store)
+        leaves_built.clear()
+        value, stats = tree_reduce(n + 1, leaf, _concat, lookup=lambda lo, hi: memo.get((lo, hi)), store=store)
+        assert value == list(range(n + 1))
+        assert leaves_built == [n]  # every old leaf served from the memo
+        # Strictly fewer combines than a from-scratch reduce would need.
+        assert stats.combined < n
+        assert stats.reused >= 1
+
+    def test_stats_dataclass_defaults(self):
+        stats = TreeReduceStats()
+        assert (stats.levels, stats.reused, stats.combined) == (0, 0, 0)
